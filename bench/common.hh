@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Shared helpers for the figure-reproduction benchmarks: ttcp-style
+ * stream generators/sinks and measurement-window utilities.
+ */
+
+#ifndef IOAT_BENCH_COMMON_HH
+#define IOAT_BENCH_COMMON_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "core/app_memory.hh"
+#include "core/node.hh"
+#include "core/testbed.hh"
+#include "simcore/simcore.hh"
+
+namespace ioat::bench {
+
+using core::IoatConfig;
+using core::Node;
+using core::NodeConfig;
+using sim::Coro;
+using sim::Simulation;
+using sim::Tick;
+
+/** Stream sink options. */
+struct SinkOptions
+{
+    std::size_t recvChunk = 64 * 1024;
+    /** Stream over received data (consumer behaviour). */
+    bool touchPayload = false;
+};
+
+/**
+ * ttcp-style server: accept forever; per connection, recv forever.
+ * One AppMemory per node models the receive buffers' cache footprint.
+ */
+inline Coro<void>
+streamSinkLoop(Node &node, std::uint16_t port, SinkOptions opts,
+               core::AppMemory &mem)
+{
+    auto &listener = node.stack().listen(port);
+    for (;;) {
+        tcp::Connection *conn = co_await listener.accept();
+        node.simulation().spawn(
+            [](Node &, tcp::Connection *c, SinkOptions o,
+               core::AppMemory &m) -> Coro<void> {
+                m.reserve(o.recvChunk); // long-lived receive buffer
+                for (;;) {
+                    const std::size_t got =
+                        co_await c->recvAll(o.recvChunk);
+                    if (got == 0)
+                        co_return;
+                    if (o.touchPayload)
+                        co_await m.touch(got);
+                    else
+                        m.noteBuffer(got);
+                }
+            }(node, conn, opts, mem));
+    }
+}
+
+/** ttcp-style sender: connect once, then send chunks forever. */
+inline Coro<void>
+streamSenderLoop(Node &node, net::NodeId dst, std::uint16_t port,
+                 std::size_t chunk, bool zero_copy = false)
+{
+    tcp::Connection *conn = co_await node.stack().connect(dst, port);
+    const tcp::SendOptions opts{.zeroCopy = zero_copy};
+    for (;;)
+        co_await conn->send(chunk, opts);
+}
+
+/**
+ * One measurement: warm up, reset utilization windows, run the
+ * window, and report payload deltas.
+ */
+class Meter
+{
+  public:
+    explicit Meter(Simulation &sim) : sim_(sim) {}
+
+    /** Run the warmup phase then reset the given nodes' CPU windows. */
+    void
+    warmup(Tick duration, std::initializer_list<Node *> nodes)
+    {
+        sim_.runFor(duration);
+        for (Node *n : nodes)
+            n->cpu().resetUtilizationWindow();
+        windowStart_ = sim_.now();
+    }
+
+    /** Run the measurement window. */
+    void run(Tick duration) { sim_.runFor(duration); }
+
+    Tick windowStart() const { return windowStart_; }
+    Tick elapsed() const { return sim_.now() - windowStart_; }
+
+  private:
+    Simulation &sim_;
+    Tick windowStart_ = 0;
+};
+
+/** Relative benefit (b - a) / b as the paper defines it (§4). */
+inline double
+relativeBenefit(double ioat, double non_ioat)
+{
+    return non_ioat > 0.0 ? (non_ioat - ioat) / non_ioat : 0.0;
+}
+
+/** Pretty percent for tables. */
+inline std::string
+pct(double fraction, int precision = 1)
+{
+    return sim::strprintf("%.*f%%", precision, fraction * 100.0);
+}
+
+inline std::string
+num(double v, int precision = 1)
+{
+    return sim::strprintf("%.*f", precision, v);
+}
+
+} // namespace ioat::bench
+
+#endif // IOAT_BENCH_COMMON_HH

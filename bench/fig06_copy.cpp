@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Reproduces Figure 6: CPU-based copy vs DMA-based copy (§4.4).
+ *
+ * Series: copy-cache (CPU, both buffers L2-resident), copy-nocache
+ * (CPU, memory-bound), DMA-copy (submission + engine), DMA-overhead
+ * (submission only — the CPU-visible part), and the overlap
+ * percentage (engine time / total).
+ *
+ * Each DMA point is additionally validated against an actual
+ * simulated transfer, not just the closed-form model.
+ */
+
+#include <iostream>
+
+#include "common.hh"
+#include "dma/dma_engine.hh"
+#include "mem/copy_model.hh"
+
+using namespace ioat;
+using namespace ioat::bench;
+
+int
+main()
+{
+    std::cout << "=== Figure 6: CPU-based Copy vs DMA-based Copy ===\n\n";
+
+    Simulation sim;
+    mem::CopyModel copies(core::calibration::serverCopy());
+    dma::DmaEngine engine(sim, core::calibration::ioatDma());
+
+    sim::Table t({"size", "copy-cache us", "copy-nocache us",
+                  "DMA-copy us", "DMA-overhead us", "overlap"});
+    for (std::size_t sz = 1024; sz <= 64 * 1024; sz *= 2) {
+        // Validate the model against a simulated engine transfer.
+        const sim::Tick t0 = sim.now();
+        bool done = false;
+        sim.spawn([](dma::DmaEngine &e, std::size_t n,
+                     bool &f) -> sim::Coro<void> {
+            co_await e.transfer(n);
+            f = true;
+        }(engine, sz, done));
+        sim.run();
+        sim::simAssert(done, "transfer did not finish");
+        const sim::Tick engine_measured = sim.now() - t0;
+        sim::simAssert(engine_measured == engine.engineTime(sz),
+                       "engine time model/simulation mismatch");
+
+        std::string label = sz >= 1024 * 1024
+                                ? std::to_string(sz / (1024 * 1024)) + "M"
+                                : std::to_string(sz / 1024) + "K";
+        t.addRow({label,
+                  num(sim::toMicroseconds(copies.hotCopyTime(sz)), 1),
+                  num(sim::toMicroseconds(copies.coldCopyTime(sz)), 1),
+                  num(sim::toMicroseconds(engine.syncCopyTime(sz)), 1),
+                  num(sim::toMicroseconds(engine.submissionCost(sz)), 1),
+                  pct(engine.overlapFraction(sz), 0)});
+    }
+    t.print(std::cout);
+
+    std::cout << "\nPaper anchors: DMA-copy beats copy-nocache above "
+                 "8K; overlap grows to ~93% at 64K;\ncopy-cache beats "
+                 "DMA end-to-end, but DMA-overhead stays below "
+                 "copy-cache time.\n";
+    return 0;
+}

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Engine micro-benchmarks (google-benchmark): raw costs of the
+ * simulation substrate itself — event queue, coroutine scheduling,
+ * model evaluations.  Not a paper figure; used to keep the simulator
+ * fast enough for the full sweeps.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/calibration.hh"
+#include "dma/dma_engine.hh"
+#include "mem/copy_model.hh"
+#include "simcore/simcore.hh"
+
+namespace {
+
+using namespace ioat;
+using sim::Coro;
+using sim::Simulation;
+
+void
+BM_EventQueueScheduleRun(benchmark::State &state)
+{
+    for (auto _ : state) {
+        sim::EventQueue eq;
+        int sink = 0;
+        for (int i = 0; i < 1000; ++i)
+            eq.schedule(static_cast<sim::Tick>(i), [&sink] { ++sink; });
+        eq.run();
+        benchmark::DoNotOptimize(sink);
+    }
+    state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+void
+BM_CoroutineSpawnResume(benchmark::State &state)
+{
+    for (auto _ : state) {
+        Simulation sim;
+        for (int i = 0; i < 100; ++i) {
+            sim.spawn([](Simulation &s) -> Coro<void> {
+                co_await s.delay(1);
+                co_await s.delay(1);
+            }(sim));
+        }
+        sim.run();
+    }
+    state.SetItemsProcessed(state.iterations() * 100);
+}
+BENCHMARK(BM_CoroutineSpawnResume);
+
+void
+BM_SemaphoreHandoff(benchmark::State &state)
+{
+    for (auto _ : state) {
+        Simulation sim;
+        sim::Semaphore sem(sim, 1);
+        for (int i = 0; i < 100; ++i) {
+            sim.spawn([](Simulation &s, sim::Semaphore &sm) -> Coro<void> {
+                co_await sm.acquire();
+                co_await s.delay(1);
+                sm.release();
+            }(sim, sem));
+        }
+        sim.run();
+    }
+    state.SetItemsProcessed(state.iterations() * 100);
+}
+BENCHMARK(BM_SemaphoreHandoff);
+
+void
+BM_CopyModelEvaluate(benchmark::State &state)
+{
+    mem::CopyModel cm(core::calibration::serverCopy());
+    std::size_t sz = 1024;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cm.copyTime(sz, 0.5, 1.2));
+        sz = sz < (1u << 20) ? sz * 2 : 1024;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CopyModelEvaluate);
+
+void
+BM_ZipfSample(benchmark::State &state)
+{
+    sim::ZipfDistribution zipf(20000, 0.9);
+    sim::Rng rng(42);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(zipf.sample(rng));
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ZipfSample);
+
+void
+BM_DmaEngineTransferSim(benchmark::State &state)
+{
+    for (auto _ : state) {
+        Simulation sim;
+        dma::DmaEngine eng(sim, core::calibration::ioatDma());
+        for (int i = 0; i < 64; ++i)
+            eng.transferAsync(65536, nullptr);
+        sim.run();
+    }
+    state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_DmaEngineTransferSim);
+
+} // namespace
+
+BENCHMARK_MAIN();

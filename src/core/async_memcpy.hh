@@ -1,0 +1,137 @@
+/**
+ * @file
+ * User-level asynchronous memcpy on the I/OAT engine — the paper's
+ * §8 future-work item ("we are trying to provide an asynchronous
+ * memory copy operation to user applications ... though this involves
+ * some amount of overhead such as context switches, user page
+ * locking").
+ *
+ * The API mirrors what such a facility would look like: submit() pins
+ * both buffers and queues the descriptor (CPU cost), start the engine
+ * and return a handle; wait() blocks (the simulated task, not the
+ * CPU) until the copy lands, then unpins.  copy() is the synchronous
+ * convenience.  A policy helper answers "would offloading this copy
+ * beat just doing it on the CPU", capturing §7's pinning-cost caveat.
+ */
+
+#ifndef IOAT_CORE_ASYNC_MEMCPY_HH
+#define IOAT_CORE_ASYNC_MEMCPY_HH
+
+#include <memory>
+
+#include "simcore/coro.hh"
+#include "simcore/sync.hh"
+#include "tcp/host.hh"
+
+namespace ioat::core {
+
+using sim::Coro;
+using sim::Tick;
+
+/** Extra user→kernel transition cost for the user-level API. */
+struct AsyncMemcpyConfig
+{
+    Tick syscallOverhead = sim::nanoseconds(900);
+};
+
+/**
+ * User-facing asynchronous copy service for one node.
+ */
+class AsyncMemcpy
+{
+  public:
+    using Config = AsyncMemcpyConfig;
+    /** An in-flight asynchronous copy. */
+    class Op
+    {
+      public:
+        bool done() const { return done_->triggered(); }
+        std::size_t bytes() const { return bytes_; }
+
+      private:
+        friend class AsyncMemcpy;
+        Op(sim::Simulation &sim, std::size_t bytes)
+            : done_(std::make_shared<sim::Event>(sim)), bytes_(bytes)
+        {}
+        std::shared_ptr<sim::Event> done_;
+        std::size_t bytes_;
+    };
+
+    explicit AsyncMemcpy(const tcp::Host &host, const Config &cfg = {})
+        : host_(host), cfg_(cfg)
+    {
+        sim::simAssert(host_.dma != nullptr,
+                       "AsyncMemcpy requires a DMA engine");
+    }
+
+    /**
+     * Submit an asynchronous copy of @p bytes.  Charges the CPU for
+     * syscall + pinning source and destination + descriptor setup,
+     * then returns while the engine works.
+     */
+    Coro<Op>
+    submit(std::size_t bytes)
+    {
+        const Tick cpu_cost = cfg_.syscallOverhead +
+                              2 * host_.pages.pinCost(bytes) +
+                              host_.dma->submissionCost(bytes);
+        co_await host_.cpu.compute(cpu_cost);
+        host_.bus.consume(2 * bytes);
+
+        Op op(host_.sim, bytes);
+        auto done = op.done_;
+        host_.dma->transferAsync(bytes, [done] { done->trigger(); });
+        co_return op;
+    }
+
+    /** Wait for a submitted copy; charges the unpin cost. */
+    Coro<void>
+    wait(Op op)
+    {
+        co_await op.done_->wait();
+        co_await host_.cpu.compute(2 * host_.pages.unpinCost(op.bytes()));
+    }
+
+    /** Synchronous convenience: submit + wait. */
+    Coro<void>
+    copy(std::size_t bytes)
+    {
+        Op op = co_await submit(bytes);
+        co_await wait(op);
+    }
+
+    /**
+     * §7 policy: is offloading @p bytes expected to beat a CPU copy?
+     * Compares the CPU-visible offload cost (pin both sides, submit,
+     * unpin) with the full cost of copying on the CPU at the given
+     * cache residency.
+     */
+    bool
+    offloadProfitable(std::size_t bytes, double residency = 0.0) const
+    {
+        const Tick offload_cpu = cfg_.syscallOverhead +
+                                 2 * host_.pages.pinCost(bytes) +
+                                 host_.dma->submissionCost(bytes) +
+                                 2 * host_.pages.unpinCost(bytes);
+        return offload_cpu < host_.copy.copyTime(bytes, residency);
+    }
+
+    /** Smallest power-of-two size for which offload is profitable. */
+    std::size_t
+    breakevenBytes(double residency = 0.0) const
+    {
+        for (std::size_t sz = 512; sz <= (64u << 20); sz *= 2) {
+            if (offloadProfitable(sz, residency))
+                return sz;
+        }
+        return 0; // never profitable at this residency
+    }
+
+  private:
+    tcp::Host host_;
+    Config cfg_;
+};
+
+} // namespace ioat::core
+
+#endif // IOAT_CORE_ASYNC_MEMCPY_HH

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Calibration constants: every model parameter, with the paper
+ * evidence it is tuned against.
+ *
+ * We reproduce *shapes*, not the authors' absolute numbers, but the
+ * constants below are chosen so absolute values land in the same
+ * ballpark as the paper's Testbed 1 (two nodes, dual-socket dual-core
+ * 3.46 GHz, 2 MB L2, three dual-port Intel PRO/1000 adapters, Linux
+ * 2.6 RedHat AS4) and Testbed 2 (44 dual-Xeon 2.66 GHz clients).
+ *
+ * Paper anchors used:
+ *  - Fig. 3a: ~5635 Mbps over 6 ports; receiver CPU 37% (non-I/OAT)
+ *    vs 29% (I/OAT).
+ *  - Fig. 3b: ~9600 Mbps bidirectional; CPU 90% vs 70%.
+ *  - Fig. 6: DMA copy beats cold CPU copy above 8 KB; overlap ~93%
+ *    at 64 KB; hot CPU copy beats DMA end-to-end.
+ *  - Fig. 7a: DMA engine ≈16% relative CPU benefit at 16–128 KB.
+ *  - Fig. 7b: split headers up to ≈26% throughput at 1 MB messages
+ *    (4 MB working set vs 2 MB L2), shrinking toward 8 MB.
+ */
+
+#ifndef IOAT_CORE_CALIBRATION_HH
+#define IOAT_CORE_CALIBRATION_HH
+
+#include "cpu/cpu.hh"
+#include "dma/dma_engine.hh"
+#include "mem/copy_model.hh"
+#include "mem/memory_bus.hh"
+#include "mem/page_model.hh"
+#include "nic/nic.hh"
+#include "simcore/types.hh"
+#include "tcp/config.hh"
+
+namespace ioat::core::calibration {
+
+using sim::Rate;
+
+/** Testbed 1 server node: dual-socket dual-core 3.46 GHz. */
+inline cpu::CpuConfig
+serverCpu()
+{
+    return {.cores = 4};
+}
+
+/** Testbed 2 client node: dual-socket single-core 2.66 GHz Xeon. */
+inline cpu::CpuConfig
+clientCpu()
+{
+    return {.cores = 2};
+}
+
+/** Testbed 1 L2: 2 MB shared per socket; we model one 2 MB pool,
+ *  which is what the paper's "4 MB of data does not fit in the 2 MB
+ *  cache" arithmetic assumes. */
+inline constexpr std::size_t kServerL2Bytes = 2 * 1024 * 1024;
+
+/**
+ * memcpy rates.  2006-era Netburst/Core: ~4 GB/s L2-resident,
+ * ~1.5 GB/s DRAM-bound.  Tuned so Fig. 6's cold-copy curve crosses
+ * the DMA curve at 8 KB and Fig. 3a's copy share of CPU matches.
+ */
+inline mem::CopyModelConfig
+serverCopy()
+{
+    mem::CopyModelConfig cfg;
+    cfg.hotRate = Rate::bytesPerSec(4.0e9);
+    cfg.coldRate = Rate::bytesPerSec(1.5e9);
+    cfg.callOverhead = sim::nanoseconds(80);
+    return cfg;
+}
+
+/** get_user_pages ~350 ns/page (2.6-era measurement folklore);
+ *  §7's pinning-cost caveat emerges from these numbers. */
+inline mem::PageModelConfig
+serverPages()
+{
+    return {};
+}
+
+/**
+ * FSB-era achievable memory bandwidth.  1066 MT/s × 8 B ≈ 8.5 GB/s
+ * peak shared by 2 sockets; ~40% achievable under mixed load.
+ * This is what caps Fig. 7b's large-message throughput.
+ */
+inline mem::MemoryBusConfig
+serverBus()
+{
+    mem::MemoryBusConfig cfg;
+    cfg.capacity = Rate::bytesPerSec(2.8e9);
+    cfg.window = sim::microseconds(200);
+    return cfg;
+}
+
+/**
+ * I/OAT DMA engine: ~2 GB/s per channel, submission ≈1.5 µs plus
+ * ~55 ns per page descriptor.  Yields Fig. 6's ~93% overlap at 64 KB
+ * and the >8 KB crossover vs the cold CPU copy.
+ */
+inline dma::DmaConfig
+ioatDma()
+{
+    dma::DmaConfig cfg;
+    cfg.channels = 4;
+    cfg.rate = Rate::bytesPerSec(2.0e9);
+    cfg.submitBase = sim::nanoseconds(1500);
+    cfg.perPageDescriptor = sim::nanoseconds(55);
+    cfg.coherenceCost = sim::nanoseconds(150);
+    return cfg;
+}
+
+/** Testbed 1 NIC complex: three dual-port PRO/1000 = 6 × 1 GbE. */
+inline nic::NicConfig
+serverNic(unsigned ports = 6)
+{
+    nic::NicConfig cfg;
+    cfg.ports = ports;
+    cfg.portRate = Rate::gbps(1.0);
+    cfg.mtu = 1500;
+    cfg.frameOverhead = 58;
+    cfg.tso = false;          // Fig. 5 enables this as "Case 3"
+    cfg.splitHeader = false;  // set by IoatConfig
+    cfg.rxQueuesPerPort = 1;
+    cfg.coalesceDelay = 0;    // Fig. 5 enables this as "Case 5"
+    cfg.coalesceMaxBursts = 32;
+    return cfg;
+}
+
+/** Testbed 2 client NIC: single 1 GbE port. */
+inline nic::NicConfig
+clientNic()
+{
+    return serverNic(1);
+}
+
+/**
+ * Transport cost table.  The per-frame numbers follow the era's
+ * "~1 GHz of CPU per 1 Gbps" receive-processing rule of thumb
+ * (~1.8 µs/frame at 1500 MTU on 3.46 GHz), which reproduces
+ * Fig. 3a's 37% receiver CPU at 5.6 Gbps.
+ */
+inline tcp::TcpConfig
+serverTcp()
+{
+    return {}; // defaults in tcp/config.hh are the calibrated values
+}
+
+} // namespace ioat::core::calibration
+
+#endif // IOAT_CORE_CALIBRATION_HH

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * The I/OAT feature set (the paper's subject, §2.2).
+ */
+
+#ifndef IOAT_CORE_IOAT_CONFIG_HH
+#define IOAT_CORE_IOAT_CONFIG_HH
+
+namespace ioat::core {
+
+/**
+ * Which of the three I/OAT features a node enables.
+ *
+ * The paper's platform exposes split headers and the DMA copy engine;
+ * multiple receive queues existed in the adapter but were disabled in
+ * the Linux kernel of the time, so the paper could not evaluate them
+ * (we model the feature anyway; see EXPERIMENTS.md for an ablation).
+ */
+struct IoatConfig
+{
+    /** Offload receive-path kernel→user copies to the DMA engine. */
+    bool dmaEngine = false;
+    /** NIC separates protocol headers from payload on receive. */
+    bool splitHeader = false;
+    /** Spread one port's flows over multiple RX queues/cores. */
+    bool multiQueue = false;
+
+    /** Everything the paper could turn on ("I/OAT"). */
+    static constexpr IoatConfig
+    enabled()
+    {
+        return {true, true, false};
+    }
+
+    /** Traditional communication ("non-I/OAT"). */
+    static constexpr IoatConfig
+    disabled()
+    {
+        return {false, false, false};
+    }
+
+    /** DMA engine only (Fig. 7 "I/OAT-DMA"). */
+    static constexpr IoatConfig
+    dmaOnly()
+    {
+        return {true, false, false};
+    }
+
+    bool
+    any() const
+    {
+        return dmaEngine || splitHeader || multiQueue;
+    }
+};
+
+} // namespace ioat::core
+
+#endif // IOAT_CORE_IOAT_CONFIG_HH

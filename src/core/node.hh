@@ -1,0 +1,148 @@
+/**
+ * @file
+ * A complete simulated cluster node: CPU, cache, memory bus, DMA
+ * engine, NIC and protocol stack, wired per an IoatConfig.
+ *
+ * This is the library's main entry point for building systems; see
+ * core/testbed.hh for paper-testbed shortcuts.
+ */
+
+#ifndef IOAT_CORE_NODE_HH
+#define IOAT_CORE_NODE_HH
+
+#include <memory>
+
+#include "core/calibration.hh"
+#include "core/ioat_config.hh"
+#include "cpu/cpu.hh"
+#include "dma/dma_engine.hh"
+#include "mem/cache_model.hh"
+#include "mem/copy_model.hh"
+#include "mem/memory_bus.hh"
+#include "mem/page_model.hh"
+#include "net/switch.hh"
+#include "nic/nic.hh"
+#include "simcore/sim.hh"
+#include "tcp/host.hh"
+#include "tcp/stack.hh"
+
+namespace ioat::core {
+
+using sim::Simulation;
+
+/** Full static description of one node. */
+struct NodeConfig
+{
+    cpu::CpuConfig cpu = calibration::serverCpu();
+    std::size_t l2CacheBytes = calibration::kServerL2Bytes;
+    mem::CopyModelConfig copy = calibration::serverCopy();
+    mem::PageModelConfig pages = calibration::serverPages();
+    mem::MemoryBusConfig bus = calibration::serverBus();
+    dma::DmaConfig dma = calibration::ioatDma();
+    nic::NicConfig nic = calibration::serverNic();
+    tcp::TcpConfig tcp = calibration::serverTcp();
+    /** Which I/OAT features to enable (requires the hardware). */
+    IoatConfig ioat = IoatConfig::disabled();
+    /** Node physically has the I/OAT chipset/NIC (Testbed 1 does;
+     *  the Testbed 2 clients do not). */
+    bool hasIoatHardware = true;
+
+    /** Convenience: Testbed 1 node with the given feature set. */
+    static NodeConfig
+    server(IoatConfig features, unsigned ports = 6)
+    {
+        NodeConfig cfg;
+        cfg.nic = calibration::serverNic(ports);
+        cfg.ioat = features;
+        return cfg;
+    }
+
+    /** Convenience: Testbed 2 client node (no I/OAT hardware). */
+    static NodeConfig
+    client()
+    {
+        NodeConfig cfg;
+        cfg.cpu = calibration::clientCpu();
+        cfg.nic = calibration::clientNic();
+        cfg.hasIoatHardware = false;
+        return cfg;
+    }
+};
+
+/**
+ * One node, owning all of its hardware models and its stack.
+ */
+class Node
+{
+  public:
+    Node(Simulation &sim, net::Switch &fabric, const NodeConfig &cfg)
+        : sim_(sim), cfg_(applyFeatures(cfg)),
+          cpu_(sim, cfg_.cpu),
+          cache_(cfg_.l2CacheBytes),
+          copy_(cfg_.copy),
+          pages_(cfg_.pages),
+          bus_(sim, cfg_.bus),
+          dma_(cfg_.hasIoatHardware
+                   ? std::make_unique<dma::DmaEngine>(sim, cfg_.dma)
+                   : nullptr),
+          nic_(sim, fabric, cfg_.nic),
+          stack_(tcp::Host{sim, cpu_, cache_, copy_, pages_, bus_,
+                           dma_.get()},
+                 nic_, cfg_.tcp)
+    {}
+
+    Node(const Node &) = delete;
+    Node &operator=(const Node &) = delete;
+
+    net::NodeId id() const { return nic_.id(); }
+    const NodeConfig &config() const { return cfg_; }
+
+    Simulation &simulation() { return sim_; }
+    cpu::CpuSet &cpu() { return cpu_; }
+    mem::CacheModel &cache() { return cache_; }
+    const mem::CopyModel &copyModel() const { return copy_; }
+    const mem::PageModel &pageModel() const { return pages_; }
+    mem::MemoryBus &bus() { return bus_; }
+    dma::DmaEngine *dma() { return dma_.get(); }
+    nic::Nic &nic() { return nic_; }
+    tcp::TcpStack &stack() { return stack_; }
+
+    /** Non-owning hardware view (for AsyncMemcpy and apps). */
+    tcp::Host
+    host()
+    {
+        return tcp::Host{sim_, cpu_, cache_, copy_, pages_, bus_,
+                         dma_.get()};
+    }
+
+  private:
+    /** Translate the IoatConfig into NIC/TCP feature switches. */
+    static NodeConfig
+    applyFeatures(NodeConfig cfg)
+    {
+        if (cfg.ioat.any()) {
+            sim::simAssert(cfg.hasIoatHardware,
+                           "I/OAT features require I/OAT hardware");
+        }
+        cfg.nic.splitHeader = cfg.ioat.splitHeader;
+        cfg.tcp.splitHeader = cfg.ioat.splitHeader;
+        cfg.tcp.dmaCopyOffload = cfg.ioat.dmaEngine;
+        cfg.nic.rxQueuesPerPort = cfg.ioat.multiQueue ? 4 : 1;
+        return cfg;
+    }
+
+    Simulation &sim_;
+    NodeConfig cfg_;
+    cpu::CpuSet cpu_;
+    mem::CacheModel cache_;
+    mem::CopyModel copy_;
+    mem::PageModel pages_;
+    mem::MemoryBus bus_;
+    std::unique_ptr<dma::DmaEngine> dma_;
+    nic::Nic nic_;
+    tcp::TcpStack stack_;
+};
+
+} // namespace ioat::core
+
+#endif // IOAT_CORE_NODE_HH

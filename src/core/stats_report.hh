@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Per-node statistics reporting.
+ *
+ * Collects every component's counters into one structured snapshot —
+ * what a real system exposes via /proc, ethtool and vmstat — so
+ * experiments can diff "before vs after" and humans can eyeball a
+ * run.  Snapshots subtract cleanly, giving per-window deltas.
+ */
+
+#ifndef IOAT_CORE_STATS_REPORT_HH
+#define IOAT_CORE_STATS_REPORT_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+#include "core/node.hh"
+#include "simcore/table.hh"
+
+namespace ioat::core {
+
+/** One node's counters at a point in simulated time. */
+struct NodeSnapshot
+{
+    sim::Tick when = 0;
+
+    // CPU
+    sim::Tick cpuBusyTicks = 0;
+    std::uint64_t cpuWorkItems = 0;
+
+    // NIC
+    std::uint64_t txWireBytes = 0;
+    std::uint64_t rxWireBytes = 0;
+    std::uint64_t interrupts = 0;
+    std::uint64_t rxBursts = 0;
+
+    // Stack
+    std::uint64_t txPayload = 0;
+    std::uint64_t rxPayload = 0;
+    std::uint64_t rxSegments = 0;
+    std::uint64_t cpuCopies = 0;
+    std::uint64_t dmaCopies = 0;
+
+    // DMA engine / memory bus
+    std::uint64_t dmaTransfers = 0;
+    std::uint64_t dmaBytes = 0;
+    std::uint64_t busBytes = 0;
+
+    /** Capture a node's counters now. */
+    static NodeSnapshot
+    capture(Node &node)
+    {
+        NodeSnapshot s;
+        s.when = node.simulation().now();
+        s.cpuBusyTicks = node.cpu().totalBusyTicks();
+        s.cpuWorkItems = node.cpu().completedItems();
+        s.txWireBytes = node.nic().txWireBytes();
+        s.rxWireBytes = node.nic().rxWireBytes();
+        s.interrupts = node.nic().interrupts();
+        s.rxBursts = node.nic().rxBursts();
+        s.txPayload = node.stack().txPayloadBytes();
+        s.rxPayload = node.stack().rxPayloadBytes();
+        s.rxSegments = node.stack().rxSegments();
+        s.cpuCopies = node.stack().cpuCopies();
+        s.dmaCopies = node.stack().dmaOffloadedCopies();
+        if (node.dma()) {
+            s.dmaTransfers = node.dma()->completedTransfers();
+            s.dmaBytes = node.dma()->bytesCopied();
+        }
+        s.busBytes = node.bus().totalBytes();
+        return s;
+    }
+
+    /** Counter deltas over a window (this - earlier). */
+    NodeSnapshot
+    operator-(const NodeSnapshot &o) const
+    {
+        NodeSnapshot d;
+        d.when = when - o.when;
+        d.cpuBusyTicks = cpuBusyTicks - o.cpuBusyTicks;
+        d.cpuWorkItems = cpuWorkItems - o.cpuWorkItems;
+        d.txWireBytes = txWireBytes - o.txWireBytes;
+        d.rxWireBytes = rxWireBytes - o.rxWireBytes;
+        d.interrupts = interrupts - o.interrupts;
+        d.rxBursts = rxBursts - o.rxBursts;
+        d.txPayload = txPayload - o.txPayload;
+        d.rxPayload = rxPayload - o.rxPayload;
+        d.rxSegments = rxSegments - o.rxSegments;
+        d.cpuCopies = cpuCopies - o.cpuCopies;
+        d.dmaCopies = dmaCopies - o.dmaCopies;
+        d.dmaTransfers = dmaTransfers - o.dmaTransfers;
+        d.dmaBytes = dmaBytes - o.dmaBytes;
+        d.busBytes = busBytes - o.busBytes;
+        return d;
+    }
+
+    /** Average CPU utilization implied by this window delta. */
+    double
+    cpuUtilization(unsigned cores) const
+    {
+        if (when == 0 || cores == 0)
+            return 0.0;
+        return static_cast<double>(cpuBusyTicks) /
+               (static_cast<double>(when) * cores);
+    }
+
+    double rxMbps() const { return sim::throughputMbps(rxPayload, when); }
+    double txMbps() const { return sim::throughputMbps(txPayload, when); }
+
+    /** Human-readable dump. */
+    void
+    print(std::ostream &os, const std::string &label,
+          unsigned cores = 0) const
+    {
+        os << "--- " << label << " (window "
+           << sim::strprintf("%.3f ms", sim::toMicroseconds(when) / 1000)
+           << ") ---\n";
+        sim::Table t({"metric", "value"});
+        if (cores > 0) {
+            t.addRow({"cpu utilization",
+                      sim::strprintf("%.1f%%",
+                                     cpuUtilization(cores) * 100)});
+        }
+        t.addRow({"cpu work items", std::to_string(cpuWorkItems)});
+        t.addRow({"rx payload", sim::strprintf("%.1f Mbps", rxMbps())});
+        t.addRow({"tx payload", sim::strprintf("%.1f Mbps", txMbps())});
+        t.addRow({"rx wire bytes", std::to_string(rxWireBytes)});
+        t.addRow({"tx wire bytes", std::to_string(txWireBytes)});
+        t.addRow({"interrupts", std::to_string(interrupts)});
+        t.addRow({"rx segments", std::to_string(rxSegments)});
+        t.addRow({"cpu copies", std::to_string(cpuCopies)});
+        t.addRow({"dma copies", std::to_string(dmaCopies)});
+        t.addRow({"dma bytes", std::to_string(dmaBytes)});
+        t.addRow({"memory-bus bytes", std::to_string(busBytes)});
+        t.print(os);
+    }
+};
+
+} // namespace ioat::core
+
+#endif // IOAT_CORE_STATS_REPORT_HH

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * CpuSet implementation: FIFO dispatch over N cores.
+ */
+
+#include "cpu/cpu.hh"
+
+#include "simcore/assert.hh"
+
+namespace ioat::cpu {
+
+CpuSet::CpuSet(Simulation &sim, const CpuConfig &cfg)
+    : sim_(sim), quantum_(cfg.preemptionQuantum), cores_(cfg.cores)
+{
+    sim::simAssert(cfg.cores > 0, "CpuSet needs at least one core");
+    sim::simAssert(cfg.preemptionQuantum > 0,
+                   "preemption quantum must be positive");
+}
+
+void
+CpuSet::submit(Tick duration, int core, bool highPriority,
+               std::function<void()> done)
+{
+    sim::simAssert(core == kAnyCore ||
+                       (core >= 0 &&
+                        core < static_cast<int>(cores_.size())),
+                   "CpuSet::submit: bad core id");
+    WorkItem item{duration, std::move(done),
+                  highPriority ? "softirq" : "app"};
+
+    if (core == kAnyCore) {
+        const int idle = findIdleCore();
+        if (idle >= 0) {
+            startOn(static_cast<unsigned>(idle), std::move(item));
+        } else if (highPriority) {
+            globalHigh_.push_back(std::move(item));
+        } else {
+            globalQueue_.push_back(std::move(item));
+        }
+        return;
+    }
+
+    auto &c = cores_[static_cast<unsigned>(core)];
+    if (!c.busy) {
+        startOn(static_cast<unsigned>(core), std::move(item));
+    } else if (highPriority) {
+        c.high.push_back(std::move(item));
+    } else {
+        c.queue.push_back(std::move(item));
+    }
+}
+
+void
+CpuSet::startOn(unsigned core_idx, WorkItem item)
+{
+    auto &c = cores_[core_idx];
+    sim::simAssert(!c.busy, "starting work on a busy core");
+    c.busy = true;
+    c.runStart = sim_.now();
+    c.runLabel = item.label;
+    ++busyCount_;
+    busySignal_.update(sim_.now(), static_cast<double>(busyCount_));
+    totalBusy_ += item.duration;
+
+    sim_.queue().scheduleIn(
+        item.duration,
+        [this, core_idx, done = std::move(item.done)]() mutable {
+            finishOn(core_idx);
+            if (done)
+                done();
+        });
+}
+
+void
+CpuSet::finishOn(unsigned core_idx)
+{
+    auto &c = cores_[core_idx];
+    sim::simAssert(c.busy, "finishing work on an idle core");
+    if (tracer_) {
+        tracer_->complete(c.runLabel, "cpu", c.runStart,
+                          sim_.now() - c.runStart,
+                          sim::TraceWriter::Lanes::core0 +
+                              static_cast<int>(core_idx));
+    }
+    c.busy = false;
+    --busyCount_;
+    busySignal_.update(sim_.now(), static_cast<double>(busyCount_));
+    completed_.inc();
+
+    // Interrupt-class work first (FIFO within each class), pinned
+    // work ahead of the global pool.
+    auto take = [&](std::deque<WorkItem> &q) {
+        WorkItem next = std::move(q.front());
+        q.pop_front();
+        startOn(core_idx, std::move(next));
+    };
+    if (!c.high.empty())
+        take(c.high);
+    else if (!globalHigh_.empty())
+        take(globalHigh_);
+    else if (!c.queue.empty())
+        take(c.queue);
+    else if (!globalQueue_.empty())
+        take(globalQueue_);
+}
+
+int
+CpuSet::findIdleCore() const
+{
+    for (std::size_t i = 0; i < cores_.size(); ++i)
+        if (!cores_[i].busy)
+            return static_cast<int>(i);
+    return -1;
+}
+
+double
+CpuSet::utilization() const
+{
+    return busySignal_.average(sim_.now()) /
+           static_cast<double>(cores_.size());
+}
+
+void
+CpuSet::resetUtilizationWindow()
+{
+    busySignal_.resetWindow(sim_.now());
+}
+
+std::size_t
+CpuSet::queuedWork() const
+{
+    std::size_t n = globalQueue_.size() + globalHigh_.size();
+    for (const auto &c : cores_)
+        n += c.queue.size() + c.high.size();
+    return n;
+}
+
+} // namespace ioat::cpu

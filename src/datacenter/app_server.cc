@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Application-server and database tiers implementation.
+ */
+
+#include "datacenter/app_server.hh"
+
+#include "sock/message.hh"
+
+namespace ioat::dc {
+
+using sim::Coro;
+using tcp::Connection;
+
+// --------------------------------------------------------------------
+// Database
+// --------------------------------------------------------------------
+
+Database::Database(core::Node &node, const DynConfig &cfg)
+    : node_(node), cfg_(cfg), mem_(node.host(), "dc.database")
+{
+    // Buffer pool: large and hot-contended, like any real DB.
+    mem_.reserve(cfg_.dbResidentBytes);
+}
+
+void
+Database::start()
+{
+    node_.simulation().spawn(acceptLoop());
+}
+
+Coro<void>
+Database::acceptLoop()
+{
+    auto &listener = node_.stack().listen(cfg_.dbPort);
+    for (;;) {
+        Connection *conn = co_await listener.accept();
+        node_.simulation().spawn(serveConnection(conn));
+    }
+}
+
+Coro<void>
+Database::serveConnection(Connection *conn)
+{
+    for (;;) {
+        auto msg = co_await sock::recvMessage(*conn);
+        if (!msg.has_value())
+            co_return;
+        sim::simAssert(msg->tag == static_cast<std::uint64_t>(DynTag::Query),
+                       "database expects Query");
+
+        // Parse + index walk + row fetch from the buffer pool.
+        co_await node_.cpu().compute(cfg_.dbQueryCost);
+        co_await mem_.touch(cfg_.rowBytes);
+        queries_.inc();
+
+        sock::Message result;
+        result.tag = static_cast<std::uint64_t>(DynTag::QueryResult);
+        result.a = msg->a;
+        result.payloadBytes = cfg_.rowBytes;
+        co_await sock::sendMessage(*conn, result);
+    }
+}
+
+// --------------------------------------------------------------------
+// AppServer
+// --------------------------------------------------------------------
+
+AppServer::AppServer(core::Node &node, const DcConfig &http_cfg,
+                     const DynConfig &cfg, net::NodeId db,
+                     unsigned db_conns)
+    : node_(node), httpCfg_(http_cfg), cfg_(cfg), db_(db),
+      dbConns_(db_conns), mem_(node.host(), "dc.appserver"),
+      idleDb_(node.simulation())
+{
+    mem_.reserve(httpCfg_.appResidentBytes);
+}
+
+void
+AppServer::start()
+{
+    node_.simulation().spawn(openDbPool());
+    node_.simulation().spawn(acceptLoop());
+}
+
+Coro<void>
+AppServer::openDbPool()
+{
+    for (unsigned i = 0; i < dbConns_; ++i) {
+        Connection *conn =
+            co_await node_.stack().connect(db_, cfg_.dbPort);
+        idleDb_.push(conn);
+    }
+}
+
+Coro<void>
+AppServer::acceptLoop()
+{
+    auto &listener = node_.stack().listen(cfg_.appPort);
+    for (;;) {
+        Connection *conn = co_await listener.accept();
+        node_.simulation().spawn(serveConnection(conn));
+    }
+}
+
+Coro<void>
+AppServer::serveConnection(Connection *conn)
+{
+    for (;;) {
+        auto msg = co_await sock::recvMessage(*conn);
+        if (!msg.has_value())
+            co_return;
+        sim::simAssert(
+            msg->tag == static_cast<std::uint64_t>(DynTag::DynamicGet),
+            "app server expects DynamicGet");
+
+        co_await node_.cpu().compute(httpCfg_.requestParseCost +
+                                     httpCfg_.workerOverheadCost);
+
+        // Run the script: interpretation plus DB round trips.
+        co_await node_.cpu().compute(cfg_.scriptCost);
+        for (unsigned q = 0; q < cfg_.queriesPerRequest; ++q) {
+            auto db = co_await idleDb_.recv();
+            sim::simAssert(db.has_value(), "db pool closed");
+            Connection *dbc = *db;
+
+            sock::Message query;
+            query.tag = static_cast<std::uint64_t>(DynTag::Query);
+            query.a = msg->a * 131 + q;
+            co_await sock::sendMessage(*dbc, query);
+            auto result = co_await sock::recvMessageAndPayload(*dbc);
+            sim::simAssert(result.has_value(),
+                           "database closed mid-query");
+            idleDb_.push(dbc);
+        }
+
+        // Template the page: stream over the assembled response.
+        co_await mem_.touch(cfg_.responseBytes);
+        co_await node_.cpu().compute(httpCfg_.responseBuildCost);
+
+        // Dynamic content cannot use sendfile: it is generated in
+        // user memory, so the normal copying send path applies.
+        sock::Message resp;
+        resp.tag = static_cast<std::uint64_t>(DynTag::QueryResult);
+        resp.a = msg->a;
+        resp.payloadBytes = cfg_.responseBytes;
+        co_await sock::sendMessage(*conn, resp,
+                                   tcp::SendOptions{.zeroCopy = false});
+        served_.inc();
+    }
+}
+
+} // namespace ioat::dc

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Application-server and database tiers for dynamic content.
+ *
+ * The paper's data-center picture (Fig. 2a) is three tiers —
+ * proxy/edge, application servers and a database — and its workload
+ * taxonomy (§5.1) includes "dynamic content workloads ... via CGI,
+ * PHP, and Java servlets with a back-end database", which the paper
+ * then leaves unevaluated.  These classes complete the picture: an
+ * application server that runs a script per request and queries the
+ * database tier, and a database server answering keyed queries.
+ *
+ * The paper's own argument for where I/OAT helps ("the application
+ * server is known to be cpu-intensive due to processing of scripts
+ * ... If the application servers have I/OAT capability, due to
+ * reduced CPU utilization the server can accept more requests",
+ * §5.1) is exactly what bench/extension_dynamic_content measures.
+ */
+
+#ifndef IOAT_DATACENTER_APP_SERVER_HH
+#define IOAT_DATACENTER_APP_SERVER_HH
+
+#include <cstdint>
+
+#include "core/app_memory.hh"
+#include "core/node.hh"
+#include "datacenter/config.hh"
+#include "datacenter/workload.hh"
+#include "simcore/stats.hh"
+
+namespace ioat::dc {
+
+/** Extra message tags for the dynamic tiers. */
+enum class DynTag : std::uint64_t {
+    DynamicGet = 11, ///< a = script id, b = result-size hint
+    Query = 12,      ///< a = key
+    QueryResult = 13,
+};
+
+/** Cost model for the dynamic tiers. */
+struct DynConfig
+{
+    /** Script interpretation (PHP/CGI) per request. */
+    sim::Tick scriptCost = sim::microseconds(250);
+    /** Database queries issued per dynamic request. */
+    unsigned queriesPerRequest = 2;
+    /** Database row bytes returned per query. */
+    std::size_t rowBytes = 1024;
+    /** Query parsing + index lookup at the database. */
+    sim::Tick dbQueryCost = sim::microseconds(120);
+    /** Dynamic response size (templated page). */
+    std::size_t responseBytes = 16 * 1024;
+    /** Database resident working set (buffer pool). */
+    std::size_t dbResidentBytes = 48 * 1024 * 1024;
+
+    std::uint16_t appPort = 8082;
+    std::uint16_t dbPort = 8083;
+};
+
+/**
+ * Database tier: answers keyed queries from its buffer pool.
+ */
+class Database
+{
+  public:
+    Database(core::Node &node, const DynConfig &cfg);
+
+    void start();
+
+    std::uint64_t queriesServed() const { return queries_.value(); }
+
+  private:
+    sim::Coro<void> acceptLoop();
+    sim::Coro<void> serveConnection(tcp::Connection *conn);
+
+    core::Node &node_;
+    DynConfig cfg_;
+    core::AppMemory mem_;
+    sim::stats::Counter queries_;
+};
+
+/**
+ * Application-server tier: runs a script per request, queries the
+ * database, assembles a dynamic response.
+ */
+class AppServer
+{
+  public:
+    /**
+     * @param db node id of the database tier
+     * @param db_conns persistent connections to the database
+     */
+    AppServer(core::Node &node, const DcConfig &http_cfg,
+              const DynConfig &cfg, net::NodeId db,
+              unsigned db_conns = 8);
+
+    /** Connect the DB pool and begin accepting on cfg.appPort. */
+    void start();
+
+    std::uint64_t requestsServed() const { return served_.value(); }
+
+  private:
+    sim::Coro<void> openDbPool();
+    sim::Coro<void> acceptLoop();
+    sim::Coro<void> serveConnection(tcp::Connection *conn);
+
+    core::Node &node_;
+    DcConfig httpCfg_;
+    DynConfig cfg_;
+    net::NodeId db_;
+    unsigned dbConns_;
+    core::AppMemory mem_;
+    sim::Channel<tcp::Connection *> idleDb_;
+    sim::stats::Counter served_;
+};
+
+} // namespace ioat::dc
+
+#endif // IOAT_DATACENTER_APP_SERVER_HH

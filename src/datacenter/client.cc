@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Client fleet implementation.
+ */
+
+#include "datacenter/client.hh"
+
+#include "datacenter/web_server.hh"
+#include "sock/message.hh"
+
+namespace ioat::dc {
+
+using sim::Coro;
+using tcp::Connection;
+
+ClientFleet::ClientFleet(std::vector<core::Node *> nodes,
+                         Workload &workload, const Options &opts)
+    : nodes_(std::move(nodes)), workload_(workload), opts_(opts)
+{
+    sim::simAssert(!nodes_.empty(), "client fleet needs nodes");
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+        // Threads are dealt round-robin, so node i hosts the threads
+        // with t % nodes == i.
+        const unsigned threads_here =
+            opts_.threads / static_cast<unsigned>(nodes_.size()) +
+            (i < opts_.threads % nodes_.size() ? 1 : 0);
+        mems_.push_back(std::make_unique<core::AppMemory>(
+            nodes_[i]->host(), "dc.client"));
+        mems_.back()->reserve(opts_.residentBytes +
+                              threads_here *
+                                  opts_.residentBytesPerThread);
+    }
+}
+
+ClientFleet::~ClientFleet() = default;
+
+void
+ClientFleet::start()
+{
+    for (unsigned t = 0; t < opts_.threads; ++t) {
+        const std::size_t n = t % nodes_.size();
+        nodes_[n]->simulation().spawn(
+            clientThread(*nodes_[n], *mems_[n], opts_.rngSeed + t));
+    }
+}
+
+Coro<void>
+ClientFleet::clientThread(core::Node &node, core::AppMemory &mem,
+                          std::uint64_t seed)
+{
+    sim::Rng rng(seed);
+    Connection *conn =
+        co_await node.stack().connect(opts_.target, opts_.port);
+
+    for (;;) {
+        const Request req = workload_.next(rng);
+        const sim::Tick t0 = node.simulation().now();
+
+        co_await node.cpu().compute(opts_.perRequestCost);
+
+        sock::Message get;
+        get.tag = opts_.requestTag;
+        get.a = req.fileId;
+        get.b = req.bytes;
+        co_await sock::sendMessage(*conn, get);
+
+        auto resp = co_await sock::recvMessage(*conn);
+        sim::simAssert(resp.has_value(), "server closed mid-request");
+        const std::size_t got = co_await conn->recvAll(resp->payloadBytes);
+        sim::simAssert(got == resp->payloadBytes, "short response");
+
+        if (opts_.touchPayload)
+            co_await mem.touch(got);
+
+        completed_.inc();
+        latency_.sample(
+            sim::toMicroseconds(node.simulation().now() - t0));
+    }
+}
+
+} // namespace ioat::dc

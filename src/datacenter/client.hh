@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Closed-loop HTTP client fleet.
+ *
+ * Each client thread fires one request at a time and sends the next
+ * only after the response arrives — exactly the paper's client model
+ * (§5.1: "Each client fires one request at a time and sends another
+ * request after getting a reply").  Threads are spread round-robin
+ * over the given client nodes (the Testbed 2 farm, or a Testbed 1
+ * node for the Fig. 9 "emulated clients" experiment).
+ */
+
+#ifndef IOAT_DATACENTER_CLIENT_HH
+#define IOAT_DATACENTER_CLIENT_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/app_memory.hh"
+#include "core/node.hh"
+#include "datacenter/config.hh"
+#include "datacenter/workload.hh"
+#include "simcore/stats.hh"
+
+namespace ioat::dc {
+
+/**
+ * A fleet of closed-loop request generators.
+ */
+class ClientFleet
+{
+  public:
+    struct Options
+    {
+        /** Target node (proxy, or web server directly). */
+        net::NodeId target;
+        std::uint16_t port = 8080;
+        /** Total client threads, spread over the nodes. */
+        unsigned threads = 16;
+        /** Per-request client-side application cost. */
+        sim::Tick perRequestCost = sim::microseconds(10);
+        /** Stream over the received payload (realistic consumer). */
+        bool touchPayload = true;
+        /** Resident application memory on each client node. */
+        std::size_t residentBytes = 0;
+        /** Message tag to send (HttpTag::Get, or DynTag::DynamicGet
+         *  when driving the application-server tier directly). */
+        std::uint64_t requestTag = 1;
+        /** Extra resident memory per client thread (worker process
+         *  heap, stack, buffers — prefork servers scale with
+         *  concurrency). */
+        std::size_t residentBytesPerThread = 0;
+        std::uint64_t rngSeed = 1;
+    };
+
+    ClientFleet(std::vector<core::Node *> nodes, Workload &workload,
+                const Options &opts);
+    ~ClientFleet();
+
+    ClientFleet(const ClientFleet &) = delete;
+    ClientFleet &operator=(const ClientFleet &) = delete;
+
+    /** Spawn every client thread. */
+    void start();
+
+    /** Completed requests since start. */
+    std::uint64_t completed() const { return completed_.value(); }
+
+    /** Response-latency summary (microseconds). */
+    const sim::stats::Accumulator &latencyUs() const { return latency_; }
+
+  private:
+    sim::Coro<void> clientThread(core::Node &node, core::AppMemory &mem,
+                                 std::uint64_t seed);
+
+    std::vector<core::Node *> nodes_;
+    Workload &workload_;
+    Options opts_;
+    /** One working-set tracker per node (shared by its threads). */
+    std::vector<std::unique_ptr<core::AppMemory>> mems_;
+    sim::stats::Counter completed_;
+    sim::stats::Accumulator latency_;
+};
+
+} // namespace ioat::dc
+
+#endif // IOAT_DATACENTER_CLIENT_HH

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Data-center application configuration and cost model.
+ *
+ * Apache-2.0-era per-request CPU costs (parsing, logging, cache and
+ * VFS lookups) on the paper's 3.46 GHz Xeons.  The network-path costs
+ * live in tcp::TcpConfig; these are the application-level additions.
+ */
+
+#ifndef IOAT_DATACENTER_CONFIG_HH
+#define IOAT_DATACENTER_CONFIG_HH
+
+#include <cstddef>
+#include <cstdint>
+
+#include "simcore/types.hh"
+
+namespace ioat::dc {
+
+using sim::Tick;
+
+struct DcConfig
+{
+    /** HTTP request line + header parsing, access logging. */
+    Tick requestParseCost = sim::microseconds(90);
+    /** Building the response headers. */
+    Tick responseBuildCost = sim::microseconds(45);
+    /** Proxy cache lookup / insertion bookkeeping. */
+    Tick proxyCacheOpCost = sim::microseconds(15);
+    /** VFS + page-cache lookup at the web server. */
+    Tick serverFileLookupCost = sim::microseconds(20);
+    /** Per-request scheduling/process overhead (Apache worker). */
+    Tick workerOverheadCost = sim::microseconds(60);
+    /**
+     * Whether the receiving application streams the payload once
+     * after recv (checksum / templating / forwarding buffers).  This
+     * is what couples application speed to cache pollution.
+     */
+    bool touchPayload = true;
+
+    /**
+     * Whether the proxy tier caches responses.  Apache's proxy module
+     * alone (the paper's first tier) only forwards; enabling caching
+     * models mod_proxy + mod_cache.
+     */
+    bool proxyCachingEnabled = true;
+    /** Proxy object-cache capacity in bytes. */
+    std::size_t proxyCacheBytes = 64 * 1024 * 1024;
+    /**
+     * Resident memory of the server application itself (worker pool,
+     * heap, logging buffers).  Apache-era prefork servers carry tens
+     * of MB that keep competing with the network stack for L2.
+     */
+    std::size_t appResidentBytes = 12 * 1024 * 1024;
+
+    std::uint16_t proxyPort = 8080;
+    std::uint16_t serverPort = 8081;
+};
+
+} // namespace ioat::dc
+
+#endif // IOAT_DATACENTER_CONFIG_HH

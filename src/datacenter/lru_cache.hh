@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Byte-capacity LRU object cache (the proxy tier's content cache).
+ */
+
+#ifndef IOAT_DATACENTER_LRU_CACHE_HH
+#define IOAT_DATACENTER_LRU_CACHE_HH
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "simcore/assert.hh"
+
+namespace ioat::dc {
+
+/**
+ * Maps file id → object size, evicting least-recently-used entries
+ * once the byte capacity is exceeded.
+ */
+class LruCache
+{
+  public:
+    explicit LruCache(std::size_t capacity_bytes)
+        : capacity_(capacity_bytes)
+    {}
+
+    /** Look up (and touch) an object. @return its size, or 0 if absent. */
+    std::size_t
+    get(std::uint64_t id)
+    {
+        auto it = index_.find(id);
+        if (it == index_.end())
+            return 0;
+        lru_.splice(lru_.begin(), lru_, it->second);
+        return it->second->bytes;
+    }
+
+    bool contains(std::uint64_t id) const { return index_.count(id) > 0; }
+
+    /** Insert or refresh an object, evicting as needed. */
+    void
+    put(std::uint64_t id, std::size_t bytes)
+    {
+        if (bytes > capacity_)
+            return; // object larger than the whole cache
+        auto it = index_.find(id);
+        if (it != index_.end()) {
+            used_ -= it->second->bytes;
+            lru_.erase(it->second);
+            index_.erase(it);
+        }
+        while (used_ + bytes > capacity_ && !lru_.empty()) {
+            const Entry &victim = lru_.back();
+            used_ -= victim.bytes;
+            index_.erase(victim.id);
+            lru_.pop_back();
+        }
+        lru_.push_front(Entry{id, bytes});
+        index_[id] = lru_.begin();
+        used_ += bytes;
+    }
+
+    std::size_t usedBytes() const { return used_; }
+    std::size_t capacity() const { return capacity_; }
+    std::size_t objectCount() const { return lru_.size(); }
+
+  private:
+    struct Entry
+    {
+        std::uint64_t id;
+        std::size_t bytes;
+    };
+
+    std::size_t capacity_;
+    std::size_t used_ = 0;
+    std::list<Entry> lru_;
+    std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index_;
+};
+
+} // namespace ioat::dc
+
+#endif // IOAT_DATACENTER_LRU_CACHE_HH

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Proxy tier implementation.
+ */
+
+#include "datacenter/proxy.hh"
+
+#include "datacenter/web_server.hh"
+#include "sock/message.hh"
+
+namespace ioat::dc {
+
+using sim::Coro;
+using tcp::Connection;
+
+Proxy::Proxy(core::Node &node, const DcConfig &cfg, net::NodeId backend,
+             unsigned backend_conns)
+    : node_(node), cfg_(cfg), backend_(backend),
+      backendConns_(backend_conns), cache_(cfg.proxyCacheBytes),
+      mem_(node.host(), "dc.proxy"),
+      idleBackends_(node.simulation())
+{
+    mem_.reserve(cfg_.appResidentBytes);
+}
+
+void
+Proxy::start()
+{
+    node_.simulation().spawn(openBackendPool());
+    node_.simulation().spawn(acceptLoop());
+}
+
+Coro<void>
+Proxy::openBackendPool()
+{
+    for (unsigned i = 0; i < backendConns_; ++i) {
+        Connection *conn =
+            co_await node_.stack().connect(backend_, cfg_.serverPort);
+        idleBackends_.push(conn);
+    }
+}
+
+Coro<void>
+Proxy::acceptLoop()
+{
+    auto &listener = node_.stack().listen(cfg_.proxyPort);
+    for (;;) {
+        Connection *conn = co_await listener.accept();
+        node_.simulation().spawn(serveConnection(conn));
+    }
+}
+
+Coro<void>
+Proxy::serveConnection(Connection *client)
+{
+    for (;;) {
+        auto msg = co_await sock::recvMessage(*client);
+        if (!msg.has_value())
+            co_return;
+        sim::simAssert(msg->tag == static_cast<std::uint64_t>(HttpTag::Get),
+                       "proxy expects GET");
+
+        co_await node_.cpu().compute(cfg_.requestParseCost +
+                                     cfg_.workerOverheadCost +
+                                     cfg_.proxyCacheOpCost);
+
+        std::size_t bytes =
+            cfg_.proxyCachingEnabled ? cache_.get(msg->a) : 0;
+        if (bytes != 0) {
+            hits_.inc();
+        } else {
+            misses_.inc();
+            // Forward over a pooled persistent backend connection.
+            auto backend = co_await idleBackends_.recv();
+            sim::simAssert(backend.has_value(), "backend pool closed");
+            Connection *bc = *backend;
+
+            sock::Message fwd = *msg;
+            co_await sock::sendMessage(*bc, fwd);
+
+            auto resp = co_await sock::recvMessage(*bc);
+            sim::simAssert(resp.has_value(), "backend closed mid-request");
+            bytes = resp->payloadBytes;
+            const std::size_t got = co_await bc->recvAll(bytes);
+            sim::simAssert(got == bytes, "short backend response");
+            idleBackends_.push(bc);
+
+            // Stream the fetched object into the forwarding buffer
+            // (and, when caching, into the object cache).
+            if (cfg_.touchPayload)
+                co_await mem_.copyInto(bytes);
+            if (cfg_.proxyCachingEnabled) {
+                co_await node_.cpu().compute(cfg_.proxyCacheOpCost);
+                cache_.put(msg->a, bytes);
+                mem_.setReserved(cfg_.appResidentBytes +
+                                 cache_.usedBytes());
+            }
+        }
+
+        co_await node_.cpu().compute(cfg_.responseBuildCost);
+
+        // Serve from in-memory cache: zero-copy out.
+        sock::Message resp;
+        resp.tag = static_cast<std::uint64_t>(HttpTag::Response);
+        resp.a = msg->a;
+        resp.payloadBytes = bytes;
+        co_await sock::sendMessage(*client, resp,
+                                   tcp::SendOptions{.zeroCopy = true});
+        served_.inc();
+    }
+}
+
+} // namespace ioat::dc

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Proxy/edge tier (Apache proxy module in the paper's testbed):
+ * terminates client connections, serves cached objects, forwards
+ * misses to the web-server tier over a persistent connection pool.
+ *
+ * The proxy is the component whose *receive path* (responses coming
+ * back from the web server, requests coming from clients) benefits
+ * from I/OAT — this is the paper's §5 deployment argument.
+ */
+
+#ifndef IOAT_DATACENTER_PROXY_HH
+#define IOAT_DATACENTER_PROXY_HH
+
+#include <cstdint>
+
+#include "core/app_memory.hh"
+#include "core/node.hh"
+#include "datacenter/config.hh"
+#include "datacenter/lru_cache.hh"
+#include "simcore/channel.hh"
+#include "simcore/stats.hh"
+
+namespace ioat::dc {
+
+/**
+ * One proxy instance on a node.
+ */
+class Proxy
+{
+  public:
+    /**
+     * @param backend node id of the web-server tier
+     * @param backend_conns persistent connections to keep open
+     */
+    Proxy(core::Node &node, const DcConfig &cfg, net::NodeId backend,
+          unsigned backend_conns = 16);
+
+    /** Open the backend pool and begin accepting on cfg.proxyPort. */
+    void start();
+
+    std::uint64_t requestsServed() const { return served_.value(); }
+    std::uint64_t cacheHits() const { return hits_.value(); }
+    std::uint64_t cacheMisses() const { return misses_.value(); }
+
+    double
+    hitRate() const
+    {
+        const auto total = hits_.value() + misses_.value();
+        return total ? static_cast<double>(hits_.value()) /
+                           static_cast<double>(total)
+                     : 0.0;
+    }
+
+  private:
+    sim::Coro<void> openBackendPool();
+    sim::Coro<void> acceptLoop();
+    sim::Coro<void> serveConnection(tcp::Connection *client);
+
+    core::Node &node_;
+    DcConfig cfg_;
+    net::NodeId backend_;
+    unsigned backendConns_;
+    LruCache cache_;
+    core::AppMemory mem_;
+    /** Idle persistent backend connections. */
+    sim::Channel<tcp::Connection *> idleBackends_;
+    sim::stats::Counter served_;
+    sim::stats::Counter hits_;
+    sim::stats::Counter misses_;
+};
+
+} // namespace ioat::dc
+
+#endif // IOAT_DATACENTER_PROXY_HH

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Trace-driven and mixed-size workloads.
+ *
+ * The paper's evaluation uses synthetic single-file and Zipf traces;
+ * real deployments replay recorded traces and serve wildly mixed
+ * object sizes.  This header adds both:
+ *
+ *  - MixedSizeZipfWorkload: Zipf popularity over a population whose
+ *    per-file sizes follow a SPECweb-like class mix (many small
+ *    pages, some images, few downloads), deterministic per file id;
+ *  - RecordedWorkload: replays "fileId bytes" lines from a trace
+ *    stream, wrapping around at the end;
+ *  - recordTrace(): samples any workload into that format, so
+ *    experiments can be frozen and replayed bit-identically.
+ */
+
+#ifndef IOAT_DATACENTER_TRACE_WORKLOAD_HH
+#define IOAT_DATACENTER_TRACE_WORKLOAD_HH
+
+#include <istream>
+#include <ostream>
+#include <vector>
+
+#include "datacenter/workload.hh"
+#include "simcore/assert.hh"
+
+namespace ioat::dc {
+
+/**
+ * Zipf popularity with a mixed object-size distribution.
+ */
+class MixedSizeZipfWorkload final : public Workload
+{
+  public:
+    /** One object-size class. */
+    struct SizeClass
+    {
+        double weight;     ///< fraction of the population
+        std::size_t minBytes;
+        std::size_t maxBytes;
+    };
+
+    /** SPECweb99-flavoured default mix. */
+    static std::vector<SizeClass>
+    defaultClasses()
+    {
+        return {
+            {0.35, 1 * 1024, 10 * 1024},    // pages
+            {0.50, 10 * 1024, 100 * 1024},  // images
+            {0.14, 100 * 1024, 1024 * 1024}, // media
+            {0.01, 1024 * 1024, 8 * 1024 * 1024}, // downloads
+        };
+    }
+
+    MixedSizeZipfWorkload(double alpha, std::uint64_t files,
+                          std::vector<SizeClass> classes =
+                              defaultClasses(),
+                          std::uint64_t size_seed = 12345)
+        : zipf_(files, alpha), sizes_(files)
+    {
+        sim::simAssert(!classes.empty(), "need at least one size class");
+        double total = 0.0;
+        for (const auto &c : classes)
+            total += c.weight;
+        sim::simAssert(total > 0.0, "class weights must be positive");
+
+        // Sizes are fixed per file id so every run (and both sides of
+        // an I/OAT comparison) sees identical content.
+        sim::Rng rng(size_seed);
+        for (auto &sz : sizes_) {
+            double u = rng.uniform() * total;
+            const SizeClass *pick = &classes.back();
+            for (const auto &c : classes) {
+                if (u < c.weight) {
+                    pick = &c;
+                    break;
+                }
+                u -= c.weight;
+            }
+            sz = pick->minBytes +
+                 rng.uniformInt(0, pick->maxBytes - pick->minBytes);
+        }
+    }
+
+    Request
+    next(sim::Rng &rng) override
+    {
+        const std::uint64_t id = zipf_.sample(rng);
+        return {id, sizes_[id]};
+    }
+
+    std::uint64_t fileCount() const override { return sizes_.size(); }
+
+    std::size_t
+    fileSize(std::uint64_t id) const override
+    {
+        sim::simAssert(id < sizes_.size(), "file id out of range");
+        return sizes_[id];
+    }
+
+    /** Population bytes (overrides the uniform-size base helper). */
+    std::uint64_t
+    corpusBytes() const
+    {
+        std::uint64_t sum = 0;
+        for (auto sz : sizes_)
+            sum += sz;
+        return sum;
+    }
+
+  private:
+    sim::ZipfDistribution zipf_;
+    std::vector<std::size_t> sizes_;
+};
+
+/**
+ * Replays a recorded request trace ("fileId bytes" per line).
+ */
+class RecordedWorkload final : public Workload
+{
+  public:
+    explicit RecordedWorkload(std::istream &in)
+    {
+        std::uint64_t id = 0;
+        std::size_t bytes = 0;
+        while (in >> id >> bytes) {
+            requests_.push_back(Request{id, bytes});
+            maxId_ = std::max(maxId_, id);
+            if (id >= sizes_.size())
+                sizes_.resize(id + 1, 0);
+            sizes_[id] = bytes;
+        }
+        sim::simAssert(!requests_.empty(), "empty request trace");
+    }
+
+    /** Requests replay in recorded order, wrapping at the end. */
+    Request
+    next(sim::Rng &) override
+    {
+        const Request r = requests_[cursor_];
+        cursor_ = (cursor_ + 1) % requests_.size();
+        return r;
+    }
+
+    std::uint64_t fileCount() const override { return maxId_ + 1; }
+
+    std::size_t
+    fileSize(std::uint64_t id) const override
+    {
+        sim::simAssert(id < sizes_.size(), "file id out of range");
+        return sizes_[id];
+    }
+
+    std::size_t requestCount() const { return requests_.size(); }
+
+  private:
+    std::vector<Request> requests_;
+    std::vector<std::size_t> sizes_;
+    std::uint64_t maxId_ = 0;
+    std::size_t cursor_ = 0;
+};
+
+/** Sample @p n requests from a workload into the trace format. */
+inline void
+recordTrace(Workload &workload, std::size_t n, std::uint64_t seed,
+            std::ostream &out)
+{
+    sim::Rng rng(seed);
+    for (std::size_t i = 0; i < n; ++i) {
+        const Request r = workload.next(rng);
+        out << r.fileId << ' ' << r.bytes << '\n';
+    }
+}
+
+} // namespace ioat::dc
+
+#endif // IOAT_DATACENTER_TRACE_WORKLOAD_HH

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Web-server tier implementation.
+ */
+
+#include "datacenter/web_server.hh"
+
+#include "sock/message.hh"
+
+namespace ioat::dc {
+
+using sim::Coro;
+using tcp::Connection;
+
+WebServer::WebServer(core::Node &node, const DcConfig &cfg,
+                     const Workload &files)
+    : node_(node), cfg_(cfg), files_(files),
+      mem_(node.host(), "dc.webserver")
+{
+    // The served corpus (page cache) and Apache's own resident state
+    // compete for L2 the entire run.
+    mem_.reserve(cfg_.appResidentBytes + files_.totalBytes());
+}
+
+void
+WebServer::start()
+{
+    node_.simulation().spawn(acceptLoop());
+}
+
+Coro<void>
+WebServer::acceptLoop()
+{
+    auto &listener = node_.stack().listen(cfg_.serverPort);
+    for (;;) {
+        Connection *conn = co_await listener.accept();
+        node_.simulation().spawn(serveConnection(conn));
+    }
+}
+
+Coro<void>
+WebServer::serveConnection(Connection *conn)
+{
+    for (;;) {
+        auto msg = co_await sock::recvMessage(*conn);
+        if (!msg.has_value())
+            co_return; // client hung up
+        sim::simAssert(msg->tag == static_cast<std::uint64_t>(HttpTag::Get),
+                       "web server expects GET");
+
+        const std::size_t bytes = files_.fileSize(msg->a);
+
+        // Request parsing, worker scheduling, VFS/page-cache lookup,
+        // response-header construction.
+        co_await node_.cpu().compute(
+            cfg_.requestParseCost + cfg_.workerOverheadCost +
+            cfg_.serverFileLookupCost + cfg_.responseBuildCost);
+
+        // Static content goes out via sendfile (zero-copy): the NIC
+        // reads the page cache directly.
+        sock::Message resp;
+        resp.tag = static_cast<std::uint64_t>(HttpTag::Response);
+        resp.a = msg->a;
+        resp.payloadBytes = bytes;
+        co_await sock::sendMessage(*conn, resp,
+                                   tcp::SendOptions{.zeroCopy = true});
+        served_.inc();
+    }
+}
+
+} // namespace ioat::dc

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Static-content web-server tier (Apache 2.0.52 web module in the
+ * paper's testbed): accepts connections, answers GET requests with
+ * sendfile()-served static files.
+ */
+
+#ifndef IOAT_DATACENTER_WEB_SERVER_HH
+#define IOAT_DATACENTER_WEB_SERVER_HH
+
+#include <cstdint>
+
+#include "core/app_memory.hh"
+#include "core/node.hh"
+#include "datacenter/config.hh"
+#include "datacenter/workload.hh"
+#include "simcore/stats.hh"
+
+namespace ioat::dc {
+
+/** Message tags of the little HTTP-like protocol. */
+enum class HttpTag : std::uint64_t {
+    Get = 1,      ///< a = file id, b = expected size (client hint)
+    Response = 2, ///< payloadBytes = file content
+};
+
+/**
+ * Serves GET requests for a static file population.
+ */
+class WebServer
+{
+  public:
+    WebServer(core::Node &node, const DcConfig &cfg,
+              const Workload &files);
+
+    /** Begin accepting on cfg.serverPort. */
+    void start();
+
+    std::uint64_t requestsServed() const { return served_.value(); }
+
+  private:
+    sim::Coro<void> acceptLoop();
+    sim::Coro<void> serveConnection(tcp::Connection *conn);
+
+    core::Node &node_;
+    DcConfig cfg_;
+    const Workload &files_;
+    core::AppMemory mem_;
+    sim::stats::Counter served_;
+};
+
+} // namespace ioat::dc
+
+#endif // IOAT_DATACENTER_WEB_SERVER_HH

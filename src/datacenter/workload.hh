@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Data-center workload generators (paper §5.1).
+ *
+ * Single-file micro workloads: every request hits one file of a fixed
+ * size (traces 1–5 use 2 K–10 K).  Zipf workloads: requests over a
+ * large file population with popularity ∝ 1/i^α (Breslau et al.),
+ * α from 0.95 (high temporal locality) down to 0.5.
+ */
+
+#ifndef IOAT_DATACENTER_WORKLOAD_HH
+#define IOAT_DATACENTER_WORKLOAD_HH
+
+#include <cstdint>
+#include <memory>
+
+#include "simcore/random.hh"
+
+namespace ioat::dc {
+
+/** One HTTP request: which file, how big the response will be. */
+struct Request
+{
+    std::uint64_t fileId;
+    std::size_t bytes;
+};
+
+/** Generator interface: draw the next request. */
+class Workload
+{
+  public:
+    virtual ~Workload() = default;
+    virtual Request next(sim::Rng &rng) = 0;
+    /** Total distinct files (for sizing server state). */
+    virtual std::uint64_t fileCount() const = 0;
+    /** Size of a given file. */
+    virtual std::size_t fileSize(std::uint64_t id) const = 0;
+
+    /** Total corpus size (for server working-set accounting). */
+    std::uint64_t
+    totalBytes() const
+    {
+        return fileCount() * fileSize(0);
+    }
+};
+
+/**
+ * Single-file micro workload: a pool of same-sized files requested
+ * uniformly (the paper's "1,000 request subset of different files"
+ * per client, all of the trace's average size).
+ */
+class SingleFileWorkload final : public Workload
+{
+  public:
+    SingleFileWorkload(std::size_t file_bytes, std::uint64_t files = 1000)
+        : bytes_(file_bytes), files_(files)
+    {}
+
+    Request
+    next(sim::Rng &rng) override
+    {
+        return {rng.uniformInt(0, files_ - 1), bytes_};
+    }
+
+    std::uint64_t fileCount() const override { return files_; }
+    std::size_t fileSize(std::uint64_t) const override { return bytes_; }
+
+  private:
+    std::size_t bytes_;
+    std::uint64_t files_;
+};
+
+/**
+ * Zipf-like workload over a large static file population.
+ */
+class ZipfWorkload final : public Workload
+{
+  public:
+    ZipfWorkload(double alpha, std::uint64_t files = 20000,
+                 std::size_t file_bytes = 8192)
+        : zipf_(files, alpha), bytes_(file_bytes)
+    {}
+
+    Request
+    next(sim::Rng &rng) override
+    {
+        return {zipf_.sample(rng), bytes_};
+    }
+
+    std::uint64_t fileCount() const override { return zipf_.size(); }
+    std::size_t fileSize(std::uint64_t) const override { return bytes_; }
+
+  private:
+    sim::ZipfDistribution zipf_;
+    std::size_t bytes_;
+};
+
+} // namespace ioat::dc
+
+#endif // IOAT_DATACENTER_WORKLOAD_HH

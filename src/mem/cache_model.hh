@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Capacity-level L2 cache occupancy model.
+ *
+ * The paper's split-header result (Fig. 7b) is a cache-pollution
+ * effect: incoming network payload competes with the application's
+ * working set and the stack's header/metadata structures for the 2 MB
+ * L2.  We model this at *capacity* granularity: components register
+ * footprints; protected ("pinned") footprints — e.g. the split-header
+ * pool, which is small and extremely hot — get capacity first, and the
+ * remainder is shared proportionally among the rest.
+ *
+ * residency(id) answers "what fraction of this footprint's lines will
+ * a streaming access find in cache", which feeds the copy model.
+ */
+
+#ifndef IOAT_MEM_CACHE_MODEL_HH
+#define IOAT_MEM_CACHE_MODEL_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "simcore/assert.hh"
+
+namespace ioat::mem {
+
+/** Opaque footprint handle. */
+using FootprintId = std::uint32_t;
+
+/**
+ * Tracks named memory footprints competing for a fixed cache capacity.
+ */
+class CacheModel
+{
+  public:
+    explicit CacheModel(std::size_t capacity_bytes)
+        : capacity_(capacity_bytes)
+    {
+        sim::simAssert(capacity_bytes > 0, "cache capacity must be > 0");
+    }
+
+    std::size_t capacity() const { return capacity_; }
+
+    /**
+     * Register a footprint.
+     *
+     * @param name debugging label
+     * @param bytes current size of the working set
+     * @param protectedHot model this footprint as winning cache
+     *        capacity before the streaming ones (split-header pool,
+     *        hot metadata)
+     */
+    FootprintId
+    addFootprint(std::string name, std::size_t bytes,
+                 bool protectedHot = false)
+    {
+        const FootprintId id = nextId_++;
+        footprints_.emplace(id, Footprint{std::move(name), bytes,
+                                          protectedHot});
+        return id;
+    }
+
+    /** Update a footprint's size (working sets grow and shrink). */
+    void
+    resizeFootprint(FootprintId id, std::size_t bytes)
+    {
+        auto it = footprints_.find(id);
+        sim::simAssert(it != footprints_.end(), "unknown footprint");
+        it->second.bytes = bytes;
+    }
+
+    void
+    removeFootprint(FootprintId id)
+    {
+        footprints_.erase(id);
+    }
+
+    std::size_t
+    footprintSize(FootprintId id) const
+    {
+        auto it = footprints_.find(id);
+        sim::simAssert(it != footprints_.end(), "unknown footprint");
+        return it->second.bytes;
+    }
+
+    /** Sum of all registered footprints. */
+    std::size_t
+    totalFootprint() const
+    {
+        std::size_t sum = 0;
+        for (const auto &[id, f] : footprints_)
+            sum += f.bytes;
+        return sum;
+    }
+
+    /**
+     * Fraction of this footprint's lines expected resident.
+     *
+     * Protected footprints claim capacity first (shared
+     * proportionally among themselves if they alone exceed capacity);
+     * unprotected footprints share what remains in proportion to
+     * size.
+     */
+    double
+    residency(FootprintId id) const
+    {
+        auto it = footprints_.find(id);
+        sim::simAssert(it != footprints_.end(), "unknown footprint");
+        const Footprint &f = it->second;
+        if (f.bytes == 0)
+            return 1.0;
+
+        std::size_t protectedSum = 0, streamingSum = 0;
+        for (const auto &[fid, fp] : footprints_) {
+            if (fp.protectedHot)
+                protectedSum += fp.bytes;
+            else
+                streamingSum += fp.bytes;
+        }
+
+        if (f.protectedHot) {
+            if (protectedSum <= capacity_)
+                return 1.0;
+            return static_cast<double>(capacity_) /
+                   static_cast<double>(protectedSum);
+        }
+
+        const std::size_t left =
+            protectedSum >= capacity_ ? 0 : capacity_ - protectedSum;
+        if (streamingSum <= left)
+            return 1.0;
+        if (left == 0)
+            return 0.0;
+        return static_cast<double>(left) /
+               static_cast<double>(streamingSum);
+    }
+
+    /**
+     * Residency of a hypothetical streaming footprint of @p bytes on
+     * top of the current contents (for one-shot transfers that are
+     * not worth registering).
+     */
+    double
+    transientResidency(std::size_t bytes) const
+    {
+        if (bytes == 0)
+            return 1.0;
+        std::size_t protectedSum = 0, streamingSum = 0;
+        for (const auto &[fid, fp] : footprints_) {
+            if (fp.protectedHot)
+                protectedSum += fp.bytes;
+            else
+                streamingSum += fp.bytes;
+        }
+        const std::size_t left =
+            protectedSum >= capacity_ ? 0 : capacity_ - protectedSum;
+        const std::size_t demand = streamingSum + bytes;
+        if (demand <= left)
+            return 1.0;
+        if (left == 0)
+            return 0.0;
+        return static_cast<double>(left) / static_cast<double>(demand);
+    }
+
+    std::size_t footprintCount() const { return footprints_.size(); }
+
+  private:
+    struct Footprint
+    {
+        std::string name;
+        std::size_t bytes;
+        bool protectedHot;
+    };
+
+    std::size_t capacity_;
+    FootprintId nextId_ = 1;
+    std::unordered_map<FootprintId, Footprint> footprints_;
+};
+
+} // namespace ioat::mem
+
+#endif // IOAT_MEM_CACHE_MODEL_HH

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * CPU memory-copy and memory-touch cost model.
+ *
+ * The paper's receive path spends most of its time in kernel→user
+ * copies (§2.2.2), and the cost of a copy depends dramatically on
+ * whether source/destination lines are L2-resident.  This model blends
+ * a cache-hot rate and a memory-bound (cold) rate by residency
+ * fraction; Fig. 6's copy-cache and copy-nocache series are its two
+ * extremes.
+ */
+
+#ifndef IOAT_MEM_COPY_MODEL_HH
+#define IOAT_MEM_COPY_MODEL_HH
+
+#include <cstddef>
+
+#include "simcore/assert.hh"
+#include "simcore/types.hh"
+
+namespace ioat::mem {
+
+using sim::Rate;
+using sim::Tick;
+
+/** Tunable parameters of the copy model (see core/calibration.hh). */
+struct CopyModelConfig
+{
+    /** memcpy throughput with both buffers L2-resident. */
+    Rate hotRate = Rate::bytesPerSec(4.0e9);
+    /** memcpy throughput when the copy streams from/to DRAM. */
+    Rate coldRate = Rate::bytesPerSec(1.5e9);
+    /** Fixed per-call overhead (call, alignment setup). */
+    Tick callOverhead = sim::nanoseconds(80);
+};
+
+/**
+ * Computes CPU time for copies and plain touches (reads/writes) of a
+ * buffer, given the fraction of that buffer resident in cache.
+ */
+class CopyModel
+{
+  public:
+    explicit CopyModel(const CopyModelConfig &cfg = {}) : cfg_(cfg)
+    {
+        sim::simAssert(cfg_.hotRate.valid() && cfg_.coldRate.valid(),
+                       "CopyModel rates must be positive");
+    }
+
+    const CopyModelConfig &config() const { return cfg_; }
+
+    /**
+     * Time for the CPU to copy @p bytes.
+     *
+     * @param residency fraction of the involved lines that are
+     *        L2-resident (combined source+destination estimate, 0..1).
+     * @param busFactor memory-bus slowdown (>= 1) applied to the
+     *        memory-bound (cold) component only — cache hits are
+     *        unaffected by bus contention.
+     */
+    Tick
+    copyTime(std::size_t bytes, double residency = 0.0,
+             double busFactor = 1.0) const
+    {
+        return cfg_.callOverhead + blendedTime(bytes, residency, busFactor);
+    }
+
+    /** Time for the CPU to stream-read @p bytes (checksum, parse...). */
+    Tick
+    touchTime(std::size_t bytes, double residency = 0.0,
+              double busFactor = 1.0) const
+    {
+        // Touching costs roughly half a copy (one stream, not two).
+        return cfg_.callOverhead / 2 +
+               blendedTime(bytes, residency, busFactor) / 2;
+    }
+
+    /** Fully cache-resident copy time (Fig. 6 "copy-cache"). */
+    Tick hotCopyTime(std::size_t bytes) const { return copyTime(bytes, 1.0); }
+
+    /** Fully memory-bound copy time (Fig. 6 "copy-nocache"). */
+    Tick coldCopyTime(std::size_t bytes) const { return copyTime(bytes, 0.0); }
+
+  private:
+    Tick
+    blendedTime(std::size_t bytes, double residency,
+                double busFactor = 1.0) const
+    {
+        if (residency < 0.0)
+            residency = 0.0;
+        if (residency > 1.0)
+            residency = 1.0;
+        if (busFactor < 1.0)
+            busFactor = 1.0;
+        const double hot_ns =
+            static_cast<double>(cfg_.hotRate.transferTime(bytes));
+        const double cold_ns =
+            static_cast<double>(cfg_.coldRate.transferTime(bytes));
+        return static_cast<Tick>(residency * hot_ns +
+                                 (1.0 - residency) * cold_ns * busFactor);
+    }
+
+    CopyModelConfig cfg_;
+};
+
+} // namespace ioat::mem
+
+#endif // IOAT_MEM_COPY_MODEL_HH

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Front-side-bus / memory-bandwidth contention model.
+ *
+ * On the paper's 2006-era platform every bulk byte movement — NIC
+ * receive DMA, the I/OAT copy engine, CPU copies that miss cache,
+ * application streaming — shares one memory interface of a few GB/s.
+ * When aggregate demand approaches capacity, every memory-bound
+ * operation stretches.  This is the effect that caps large-message
+ * throughput below wire speed and makes avoided traffic (split
+ * headers, offloaded copies) show up as *throughput*, not just CPU.
+ *
+ * The model is deliberately simple and stable: consumers report the
+ * bytes they move; demand is estimated over a sliding window; the
+ * `slowdown()` factor (demand/capacity, floored at 1) is applied by
+ * consumers to the memory-bound part of their latencies.  The
+ * resulting negative feedback settles demand near capacity.
+ */
+
+#ifndef IOAT_MEM_MEMORY_BUS_HH
+#define IOAT_MEM_MEMORY_BUS_HH
+
+#include <cstdint>
+
+#include "simcore/sim.hh"
+#include "simcore/types.hh"
+
+namespace ioat::mem {
+
+using sim::Rate;
+using sim::Simulation;
+using sim::Tick;
+
+struct MemoryBusConfig
+{
+    /** Achievable aggregate memory bandwidth. */
+    Rate capacity = Rate::bytesPerSec(3.2e9);
+    /** Demand-estimation window (two half-window buckets). */
+    Tick window = sim::microseconds(200);
+};
+
+/**
+ * Sliding-window estimator of memory-interface demand.
+ */
+class MemoryBus
+{
+  public:
+    MemoryBus(Simulation &sim, const MemoryBusConfig &cfg = {})
+        : sim_(sim), cfg_(cfg), half_(cfg.window / 2)
+    {
+        sim::simAssert(cfg_.capacity.valid(),
+                       "memory bus capacity must be positive");
+        sim::simAssert(half_ > 0, "memory bus window too small");
+    }
+
+    const MemoryBusConfig &config() const { return cfg_; }
+
+    /** Report @p bytes moved across the memory interface. */
+    void
+    consume(std::size_t bytes)
+    {
+        rotate();
+        current_ += bytes;
+        total_ += bytes;
+    }
+
+    /** Estimated demand in bytes/second over the recent window. */
+    double
+    demandBytesPerSec()
+    {
+        rotate();
+        const double bytes =
+            static_cast<double>(current_ + previous_);
+        // The buckets cover the full previous half-window plus the
+        // elapsed part of the current one.
+        const Tick coverage = half_ + (sim_.now() - bucketStart_);
+        return bytes / sim::toSeconds(coverage);
+    }
+
+    /**
+     * Multiplier (>= 1) for memory-bound latencies.  1 while demand
+     * is under capacity; grows linearly with oversubscription.
+     */
+    double
+    slowdown()
+    {
+        const double d = demandBytesPerSec();
+        const double c = cfg_.capacity.bytesPerSecond();
+        return d > c ? d / c : 1.0;
+    }
+
+    /** Fraction of capacity in use (can exceed 1 transiently). */
+    double
+    utilization()
+    {
+        return demandBytesPerSec() / cfg_.capacity.bytesPerSecond();
+    }
+
+    std::uint64_t totalBytes() const { return total_; }
+
+  private:
+    /** Advance the two half-window buckets to cover the current time. */
+    void
+    rotate()
+    {
+        const Tick now = sim_.now();
+        while (now >= bucketStart_ + half_) {
+            previous_ = current_;
+            current_ = 0;
+            bucketStart_ += half_;
+            // If we jumped more than a full window, fast-forward.
+            if (now >= bucketStart_ + 2 * half_) {
+                previous_ = 0;
+                bucketStart_ = now - (now % half_);
+            }
+        }
+    }
+
+    Simulation &sim_;
+    MemoryBusConfig cfg_;
+    Tick half_;
+    Tick bucketStart_ = 0;
+    std::uint64_t current_ = 0;
+    std::uint64_t previous_ = 0;
+    std::uint64_t total_ = 0;
+};
+
+} // namespace ioat::mem
+
+#endif // IOAT_MEM_MEMORY_BUS_HH

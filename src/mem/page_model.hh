@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Virtual-memory page accounting: pinning costs for DMA.
+ *
+ * The I/OAT copy engine works on physical addresses, so pages must be
+ * pinned before a transfer and transfers split at page boundaries
+ * (paper §2.2.2 and §7: "the usefulness of the copy engine becomes
+ * questionable if the pinning cost exceeds the copy cost").
+ */
+
+#ifndef IOAT_MEM_PAGE_MODEL_HH
+#define IOAT_MEM_PAGE_MODEL_HH
+
+#include <cstddef>
+
+#include "simcore/assert.hh"
+#include "simcore/types.hh"
+
+namespace ioat::mem {
+
+using sim::Tick;
+
+struct PageModelConfig
+{
+    std::size_t pageSize = 4096;
+    /** get_user_pages()-style cost per pinned page. */
+    Tick pinPerPage = sim::nanoseconds(350);
+    /** Fixed syscall/locking overhead per pin call. */
+    Tick pinCallOverhead = sim::nanoseconds(400);
+    /** Release cost per page. */
+    Tick unpinPerPage = sim::nanoseconds(120);
+};
+
+/** Page-granularity helpers shared by the DMA engine and async memcpy. */
+class PageModel
+{
+  public:
+    explicit PageModel(const PageModelConfig &cfg = {}) : cfg_(cfg)
+    {
+        sim::simAssert(cfg_.pageSize > 0, "page size must be > 0");
+    }
+
+    const PageModelConfig &config() const { return cfg_; }
+    std::size_t pageSize() const { return cfg_.pageSize; }
+
+    /** Number of pages spanned by a buffer of @p bytes. */
+    std::size_t
+    pagesFor(std::size_t bytes) const
+    {
+        return (bytes + cfg_.pageSize - 1) / cfg_.pageSize;
+    }
+
+    /** CPU cost to pin a user buffer of @p bytes. */
+    Tick
+    pinCost(std::size_t bytes) const
+    {
+        if (bytes == 0)
+            return 0;
+        return cfg_.pinCallOverhead + cfg_.pinPerPage * pagesFor(bytes);
+    }
+
+    /** CPU cost to unpin a previously pinned buffer. */
+    Tick
+    unpinCost(std::size_t bytes) const
+    {
+        if (bytes == 0)
+            return 0;
+        return cfg_.unpinPerPage * pagesFor(bytes);
+    }
+
+  private:
+    PageModelConfig cfg_;
+};
+
+} // namespace ioat::mem
+
+#endif // IOAT_MEM_PAGE_MODEL_HH

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Sliding-window byte counter (two half-window buckets).
+ *
+ * Used to estimate "how many bytes streamed through X recently",
+ * e.g. the cache footprint of in-flight network copies.
+ */
+
+#ifndef IOAT_MEM_ROLLING_BYTES_HH
+#define IOAT_MEM_ROLLING_BYTES_HH
+
+#include <cstdint>
+
+#include "simcore/assert.hh"
+#include "simcore/sim.hh"
+#include "simcore/types.hh"
+
+namespace ioat::mem {
+
+using sim::Simulation;
+using sim::Tick;
+
+/** Approximate bytes observed in the trailing window. */
+class RollingBytes
+{
+  public:
+    RollingBytes(Simulation &sim, Tick window)
+        : sim_(sim), half_(window / 2)
+    {
+        sim::simAssert(half_ > 0, "RollingBytes window too small");
+    }
+
+    void
+    add(std::size_t bytes)
+    {
+        rotate();
+        current_ += bytes;
+    }
+
+    /** Bytes seen over roughly the last window. */
+    std::uint64_t
+    estimate()
+    {
+        rotate();
+        return current_ + previous_;
+    }
+
+  private:
+    void
+    rotate()
+    {
+        const Tick now = sim_.now();
+        while (now >= bucketStart_ + half_) {
+            previous_ = current_;
+            current_ = 0;
+            bucketStart_ += half_;
+            if (now >= bucketStart_ + 2 * half_) {
+                previous_ = 0;
+                bucketStart_ = now - (now % half_);
+            }
+        }
+    }
+
+    Simulation &sim_;
+    Tick half_;
+    Tick bucketStart_ = 0;
+    std::uint64_t current_ = 0;
+    std::uint64_t previous_ = 0;
+};
+
+} // namespace ioat::mem
+
+#endif // IOAT_MEM_ROLLING_BYTES_HH

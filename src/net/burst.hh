@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Wire-level data unit exchanged through the fabric.
+ *
+ * The simulator models traffic at *burst* granularity: a burst is a
+ * train of back-to-back Ethernet frames belonging to one flow (e.g.
+ * one TSO segment, or one small control message).  Individual frames
+ * are never simulated as events — `frames` only feeds per-frame CPU
+ * cost formulas — which keeps event counts proportional to segments,
+ * not MTUs.
+ *
+ * The trailing fields (`kind`, `connToken`, `arg`) are owned by the
+ * transport layer; the fabric and NIC treat them as opaque.
+ */
+
+#ifndef IOAT_NET_BURST_HH
+#define IOAT_NET_BURST_HH
+
+#include <cstdint>
+
+namespace ioat::net {
+
+/** Identifies a node (one NIC) attached to the fabric. */
+using NodeId = std::uint32_t;
+
+inline constexpr NodeId kInvalidNode = ~NodeId{0};
+
+/** A train of frames from one flow, delivered as a unit. */
+struct Burst
+{
+    NodeId src = kInvalidNode;
+    NodeId dst = kInvalidNode;
+    /** Flow label: selects the NIC port (VLAN pairing) and RX queue. */
+    std::uint64_t flow = 0;
+    /** Total bytes on the wire (payload + per-frame headers). */
+    std::uint32_t wireBytes = 0;
+    /** Number of Ethernet frames in the train. */
+    std::uint32_t frames = 1;
+    /** Transport payload bytes carried. */
+    std::uint32_t payloadBytes = 0;
+
+    /** @name Transport-owned metadata (opaque to net/nic)
+     *  @{ */
+    std::uint32_t kind = 0;
+    std::uint64_t connToken = 0;
+    std::uint64_t arg = 0;
+    /** Application message header riding the first segment, if any. */
+    bool hasMeta = false;
+    std::uint64_t meta[5] = {};
+    /** @} */
+};
+
+} // namespace ioat::net
+
+#endif // IOAT_NET_BURST_HH

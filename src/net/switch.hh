@@ -1,0 +1,73 @@
+/**
+ * @file
+ * The cluster switch: routes bursts between attached devices.
+ *
+ * Models a non-blocking store-and-forward switch (the testbed's
+ * 24-port Netgear GigE switch): infinite backplane, fixed forwarding
+ * latency.  Link-level serialization happens in the NIC ports on both
+ * sides, so the switch itself only routes.
+ */
+
+#ifndef IOAT_NET_SWITCH_HH
+#define IOAT_NET_SWITCH_HH
+
+#include <functional>
+#include <vector>
+
+#include "net/burst.hh"
+#include "simcore/assert.hh"
+#include "simcore/sim.hh"
+
+namespace ioat::net {
+
+using sim::Simulation;
+using sim::Tick;
+
+/**
+ * Routes bursts to attached receivers after a fixed latency.
+ */
+class Switch
+{
+  public:
+    /** Receiver callback: invoked when a burst reaches the egress port. */
+    using RxHandler = std::function<void(const Burst &)>;
+
+    explicit Switch(Simulation &sim, Tick forward_latency = sim::nanoseconds(2000))
+        : sim_(sim), latency_(forward_latency)
+    {}
+
+    /** Attach a device; returns its NodeId. */
+    NodeId
+    attach(RxHandler handler)
+    {
+        ports_.push_back(std::move(handler));
+        return static_cast<NodeId>(ports_.size() - 1);
+    }
+
+    std::size_t attachedCount() const { return ports_.size(); }
+    Tick forwardLatency() const { return latency_; }
+
+    /**
+     * Accept a burst that finished serializing into the switch at the
+     * current simulated time; deliver it to the destination device
+     * after the forwarding latency.
+     */
+    void
+    forward(const Burst &burst)
+    {
+        sim::simAssert(burst.dst < ports_.size(),
+                       "burst addressed to unattached node");
+        sim_.queue().scheduleIn(latency_, [this, burst] {
+            ports_[burst.dst](burst);
+        });
+    }
+
+  private:
+    Simulation &sim_;
+    Tick latency_;
+    std::vector<RxHandler> ports_;
+};
+
+} // namespace ioat::net
+
+#endif // IOAT_NET_SWITCH_HH

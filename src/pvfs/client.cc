@@ -1,0 +1,291 @@
+/**
+ * @file
+ * PVFS client implementation.
+ */
+
+#include "pvfs/client.hh"
+
+#include "pvfs/protocol.hh"
+#include "simcore/sync.hh"
+
+namespace ioat::pvfs {
+
+using sim::Coro;
+using tcp::Connection;
+
+PvfsClient::PvfsClient(core::Node &node, const PvfsConfig &cfg,
+                       DaemonAddr mgr, std::vector<DaemonAddr> iods)
+    : node_(node), cfg_(cfg), mgrAddr_(mgr), iodAddrs_(std::move(iods)),
+      layout_(static_cast<unsigned>(iodAddrs_.size()), cfg.stripeSize),
+      mem_(node.host(), "pvfs.client")
+{}
+
+Coro<void>
+PvfsClient::connect()
+{
+    mgr_ = co_await node_.stack().connect(mgrAddr_.node, mgrAddr_.port);
+    iods_.clear();
+    for (const auto &addr : iodAddrs_) {
+        iods_.push_back(
+            co_await node_.stack().connect(addr.node, addr.port));
+    }
+}
+
+Coro<sock::Message>
+PvfsClient::mgrOp(const sock::Message &request)
+{
+    sim::simAssert(mgr_ != nullptr, "PvfsClient not connected");
+    co_await node_.cpu().compute(cfg_.clientRequestCost);
+    co_await sock::sendMessage(*mgr_, request);
+    auto reply = co_await sock::recvMessage(*mgr_);
+    sim::simAssert(reply.has_value(), "manager closed connection");
+    co_return *reply;
+}
+
+Coro<FileHandle>
+PvfsClient::create(std::uint64_t name_key)
+{
+    sock::Message req;
+    req.tag = static_cast<std::uint64_t>(PvfsTag::Create);
+    req.a = name_key;
+    const sock::Message reply = co_await mgrOp(req);
+    sim::simAssert(reply.tag == static_cast<std::uint64_t>(PvfsTag::OpOk),
+                   "create failed");
+    co_return reply.a;
+}
+
+Coro<FileHandle>
+PvfsClient::lookup(std::uint64_t name_key)
+{
+    sock::Message req;
+    req.tag = static_cast<std::uint64_t>(PvfsTag::Lookup);
+    req.a = name_key;
+    const sock::Message reply = co_await mgrOp(req);
+    if (reply.tag == static_cast<std::uint64_t>(PvfsTag::OpErr))
+        co_return kInvalidHandle;
+    co_return reply.a;
+}
+
+Coro<std::uint64_t>
+PvfsClient::fileSize(FileHandle h)
+{
+    sock::Message req;
+    req.tag = static_cast<std::uint64_t>(PvfsTag::GetSize);
+    req.a = h;
+    const sock::Message reply = co_await mgrOp(req);
+    sim::simAssert(reply.tag == static_cast<std::uint64_t>(PvfsTag::OpOk),
+                   "stat failed");
+    co_return reply.b;
+}
+
+Coro<void>
+PvfsClient::readChunk(const StripeChunk &chunk, FileHandle h)
+{
+    Connection *conn = iods_[chunk.server];
+    co_await node_.cpu().compute(cfg_.clientRequestCost);
+
+    sock::Message req;
+    req.tag = static_cast<std::uint64_t>(PvfsTag::Read);
+    req.a = h;
+    req.b = chunk.offset;
+    req.c = chunk.bytes;
+    co_await sock::sendMessage(*conn, req);
+
+    auto resp = co_await sock::recvMessage(*conn);
+    sim::simAssert(resp.has_value(), "iod closed mid-read");
+    sim::simAssert(resp->tag ==
+                       static_cast<std::uint64_t>(PvfsTag::ReadResp),
+                   "unexpected iod reply");
+    std::size_t got = 0;
+    while (got < resp->payloadBytes) {
+        const std::size_t n =
+            co_await conn->recv(resp->payloadBytes - got);
+        if (n == 0)
+            break;
+        got += n;
+        bytesRead_.inc(n); // fine-grained progress for benchmarks
+    }
+    sim::simAssert(got == chunk.bytes, "short PVFS read");
+}
+
+Coro<std::size_t>
+PvfsClient::read(FileHandle h, std::uint64_t offset, std::size_t bytes)
+{
+    sim::simAssert(!iods_.empty(), "PvfsClient not connected");
+    const auto chunks = layout_.split(offset, bytes);
+
+    // Issue one request per involved iod, all in parallel.
+    sim::WaitGroup wg(node_.simulation());
+    for (const auto &chunk : chunks) {
+        wg.add();
+        node_.simulation().spawn(
+            [](PvfsClient &self, StripeChunk ck, FileHandle fh,
+               sim::WaitGroup &w) -> Coro<void> {
+                co_await self.readChunk(ck, fh);
+                w.done();
+            }(*this, chunk, h, wg));
+    }
+    co_await wg.wait();
+    co_return bytes;
+}
+
+Coro<void>
+PvfsClient::writeChunk(const StripeChunk &chunk, FileHandle h)
+{
+    Connection *conn = iods_[chunk.server];
+    co_await node_.cpu().compute(cfg_.clientRequestCost);
+
+    sock::Message req;
+    req.tag = static_cast<std::uint64_t>(PvfsTag::Write);
+    req.a = h;
+    req.b = chunk.offset;
+    req.payloadBytes = chunk.bytes;
+    co_await sock::sendMessage(*conn, req);
+
+    auto ack = co_await sock::recvMessage(*conn);
+    sim::simAssert(ack.has_value(), "iod closed mid-write");
+    sim::simAssert(ack->tag ==
+                       static_cast<std::uint64_t>(PvfsTag::WriteAck),
+                   "unexpected iod reply");
+    bytesWritten_.inc(chunk.bytes);
+}
+
+Coro<std::size_t>
+PvfsClient::write(FileHandle h, std::uint64_t offset, std::size_t bytes)
+{
+    sim::simAssert(!iods_.empty(), "PvfsClient not connected");
+    const auto chunks = layout_.split(offset, bytes);
+
+    sim::WaitGroup wg(node_.simulation());
+    for (const auto &chunk : chunks) {
+        wg.add();
+        node_.simulation().spawn(
+            [](PvfsClient &self, StripeChunk ck, FileHandle fh,
+               sim::WaitGroup &w) -> Coro<void> {
+                co_await self.writeChunk(ck, fh);
+                w.done();
+            }(*this, chunk, h, wg));
+    }
+    co_await wg.wait();
+
+    // Update the manager's size metadata (out of the data path).
+    sock::Message ext;
+    ext.tag = static_cast<std::uint64_t>(PvfsTag::ExtendTo);
+    ext.a = h;
+    ext.b = offset + bytes;
+    const sock::Message reply = co_await mgrOp(ext);
+    sim::simAssert(reply.tag == static_cast<std::uint64_t>(PvfsTag::OpOk),
+                   "extend failed");
+
+    co_return bytes;
+}
+
+Coro<void>
+PvfsClient::readListChunk(const StridedChunk &chunk, FileHandle h)
+{
+    Connection *conn = iods_[chunk.server];
+    co_await node_.cpu().compute(cfg_.clientRequestCost +
+                                 cfg_.clientExtentCost * chunk.extents);
+
+    sock::Message req;
+    req.tag = static_cast<std::uint64_t>(PvfsTag::ReadList);
+    req.a = h;
+    req.b = chunk.extents;
+    req.c = chunk.bytes;
+    co_await sock::sendMessage(*conn, req);
+
+    auto resp = co_await sock::recvMessage(*conn);
+    sim::simAssert(resp.has_value(), "iod closed mid-read");
+    sim::simAssert(resp->tag ==
+                       static_cast<std::uint64_t>(PvfsTag::ReadResp),
+                   "unexpected iod reply");
+    std::size_t got = 0;
+    while (got < resp->payloadBytes) {
+        const std::size_t n =
+            co_await conn->recv(resp->payloadBytes - got);
+        if (n == 0)
+            break;
+        got += n;
+        bytesRead_.inc(n);
+    }
+    sim::simAssert(got == chunk.bytes, "short PVFS list read");
+}
+
+Coro<std::size_t>
+PvfsClient::readStrided(FileHandle h, std::uint64_t offset,
+                        std::size_t block, std::size_t stride,
+                        unsigned count)
+{
+    sim::simAssert(!iods_.empty(), "PvfsClient not connected");
+    const auto chunks =
+        layout_.splitStrided(offset, block, stride, count);
+
+    sim::WaitGroup wg(node_.simulation());
+    for (const auto &chunk : chunks) {
+        wg.add();
+        node_.simulation().spawn(
+            [](PvfsClient &self, StridedChunk ck, FileHandle fh,
+               sim::WaitGroup &w) -> Coro<void> {
+                co_await self.readListChunk(ck, fh);
+                w.done();
+            }(*this, chunk, h, wg));
+    }
+    co_await wg.wait();
+    co_return static_cast<std::size_t>(block) * count;
+}
+
+Coro<void>
+PvfsClient::writeListChunk(const StridedChunk &chunk, FileHandle h)
+{
+    Connection *conn = iods_[chunk.server];
+    co_await node_.cpu().compute(cfg_.clientRequestCost +
+                                 cfg_.clientExtentCost * chunk.extents);
+
+    sock::Message req;
+    req.tag = static_cast<std::uint64_t>(PvfsTag::WriteList);
+    req.a = h;
+    req.b = chunk.extents;
+    req.payloadBytes = chunk.bytes;
+    co_await sock::sendMessage(*conn, req);
+
+    auto ack = co_await sock::recvMessage(*conn);
+    sim::simAssert(ack.has_value(), "iod closed mid-write");
+    sim::simAssert(ack->tag ==
+                       static_cast<std::uint64_t>(PvfsTag::WriteAck),
+                   "unexpected iod reply");
+    bytesWritten_.inc(chunk.bytes);
+}
+
+Coro<std::size_t>
+PvfsClient::writeStrided(FileHandle h, std::uint64_t offset,
+                         std::size_t block, std::size_t stride,
+                         unsigned count)
+{
+    sim::simAssert(!iods_.empty(), "PvfsClient not connected");
+    const auto chunks =
+        layout_.splitStrided(offset, block, stride, count);
+
+    sim::WaitGroup wg(node_.simulation());
+    for (const auto &chunk : chunks) {
+        wg.add();
+        node_.simulation().spawn(
+            [](PvfsClient &self, StridedChunk ck, FileHandle fh,
+               sim::WaitGroup &w) -> Coro<void> {
+                co_await self.writeListChunk(ck, fh);
+                w.done();
+            }(*this, chunk, h, wg));
+    }
+    co_await wg.wait();
+
+    sock::Message ext;
+    ext.tag = static_cast<std::uint64_t>(PvfsTag::ExtendTo);
+    ext.a = h;
+    ext.b = offset + static_cast<std::uint64_t>(stride) * (count - 1) +
+            block;
+    const sock::Message reply = co_await mgrOp(ext);
+    sim::simAssert(reply.tag == static_cast<std::uint64_t>(PvfsTag::OpOk),
+                   "extend failed");
+    co_return static_cast<std::size_t>(block) * count;
+}
+
+} // namespace ioat::pvfs

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * PVFS client library (the native-API equivalent).
+ *
+ * One PvfsClient per compute process.  Reads and writes are striped
+ * per the layout and issued to all involved iods in parallel, with
+ * data flowing directly between iods and the compute node (the
+ * manager never touches the data path).
+ */
+
+#ifndef IOAT_PVFS_CLIENT_HH
+#define IOAT_PVFS_CLIENT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/app_memory.hh"
+#include "core/node.hh"
+#include "pvfs/config.hh"
+#include "pvfs/fs_state.hh"
+#include "pvfs/layout.hh"
+#include "simcore/stats.hh"
+#include "sock/message.hh"
+
+namespace ioat::pvfs {
+
+/** Network address of one daemon. */
+struct DaemonAddr
+{
+    net::NodeId node;
+    std::uint16_t port;
+};
+
+/**
+ * Client-side PVFS access.
+ */
+class PvfsClient
+{
+  public:
+    /**
+     * @param mgr metadata manager address
+     * @param iods I/O daemon addresses, in stripe order
+     */
+    PvfsClient(core::Node &node, const PvfsConfig &cfg, DaemonAddr mgr,
+               std::vector<DaemonAddr> iods);
+
+    /** Open connections to the manager and every iod. */
+    sim::Coro<void> connect();
+
+    /** @name Metadata operations (through the manager)
+     *  @{ */
+    sim::Coro<FileHandle> create(std::uint64_t name_key);
+    sim::Coro<FileHandle> lookup(std::uint64_t name_key);
+    sim::Coro<std::uint64_t> fileSize(FileHandle h);
+    /** @} */
+
+    /** @name Data operations (directly to the iods)
+     *  @{ */
+    /** Read [offset, offset+bytes); returns bytes transferred. */
+    sim::Coro<std::size_t> read(FileHandle h, std::uint64_t offset,
+                                std::size_t bytes);
+    /** Write [offset, offset+bytes); extends the file metadata. */
+    sim::Coro<std::size_t> write(FileHandle h, std::uint64_t offset,
+                                 std::size_t bytes);
+
+    /**
+     * Noncontiguous (strided/listio) read: `count` blocks of `block`
+     * bytes, the k-th at offset + k*stride.  One list request per
+     * involved iod (Ching et al.'s noncontiguous PVFS interface).
+     * @return total bytes transferred.
+     */
+    sim::Coro<std::size_t> readStrided(FileHandle h,
+                                       std::uint64_t offset,
+                                       std::size_t block,
+                                       std::size_t stride,
+                                       unsigned count);
+
+    /** Noncontiguous (strided/listio) write; extends metadata. */
+    sim::Coro<std::size_t> writeStrided(FileHandle h,
+                                        std::uint64_t offset,
+                                        std::size_t block,
+                                        std::size_t stride,
+                                        unsigned count);
+    /** @} */
+
+    const StripeLayout &layout() const { return layout_; }
+    std::uint64_t bytesRead() const { return bytesRead_.value(); }
+    std::uint64_t bytesWritten() const { return bytesWritten_.value(); }
+
+  private:
+    sim::Coro<void> readChunk(const StripeChunk &chunk, FileHandle h);
+    sim::Coro<void> writeChunk(const StripeChunk &chunk, FileHandle h);
+    sim::Coro<void> readListChunk(const StridedChunk &chunk,
+                                  FileHandle h);
+    sim::Coro<void> writeListChunk(const StridedChunk &chunk,
+                                   FileHandle h);
+    sim::Coro<sock::Message> mgrOp(const sock::Message &request);
+
+    core::Node &node_;
+    PvfsConfig cfg_;
+    DaemonAddr mgrAddr_;
+    std::vector<DaemonAddr> iodAddrs_;
+    StripeLayout layout_;
+    core::AppMemory mem_;
+
+    tcp::Connection *mgr_ = nullptr;
+    std::vector<tcp::Connection *> iods_;
+
+    sim::stats::Counter bytesRead_;
+    sim::stats::Counter bytesWritten_;
+};
+
+} // namespace ioat::pvfs
+
+#endif // IOAT_PVFS_CLIENT_HH

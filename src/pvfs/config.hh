@@ -1,0 +1,47 @@
+/**
+ * @file
+ * PVFS deployment configuration and cost model.
+ */
+
+#ifndef IOAT_PVFS_CONFIG_HH
+#define IOAT_PVFS_CONFIG_HH
+
+#include <cstddef>
+#include <cstdint>
+
+#include "simcore/types.hh"
+
+namespace ioat::pvfs {
+
+using sim::Tick;
+
+struct PvfsConfig
+{
+    /** Striping unit (PVFS default 64 KB). */
+    std::size_t stripeSize = 64 * 1024;
+    /** Number of I/O daemons. */
+    unsigned iodCount = 6;
+
+    /** @name Per-operation CPU costs
+     *  @{ */
+    /** Metadata manager op (open/lookup/create). */
+    Tick mgrOpCost = sim::microseconds(40);
+    /** I/O daemon request decode + job setup. */
+    Tick iodRequestCost = sim::microseconds(20);
+    /** Client-side request construction per I/O server. */
+    Tick clientRequestCost = sim::microseconds(8);
+    /** ramfs lookup per request (dentry + page refs). */
+    Tick ramfsLookupCost = sim::microseconds(5);
+    /** iod-side cost per gathered extent of a noncontiguous access. */
+    Tick iodExtentCost = sim::microseconds(3);
+    /** Client-side cost per extent when building a list request. */
+    Tick clientExtentCost = sim::microseconds(1);
+    /** @} */
+
+    std::uint16_t mgrPort = 3000;
+    std::uint16_t iodBasePort = 3100;
+};
+
+} // namespace ioat::pvfs
+
+#endif // IOAT_PVFS_CONFIG_HH

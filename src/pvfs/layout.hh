@@ -1,0 +1,154 @@
+/**
+ * @file
+ * PVFS striping layout (Carns et al., ALS 2000).
+ *
+ * Files are striped round-robin across N I/O servers in fixed-size
+ * stripe units.  `split()` maps a contiguous byte range of a file to
+ * the per-server byte counts — contiguous per server, so the client
+ * issues exactly one request per server holding data.
+ */
+
+#ifndef IOAT_PVFS_LAYOUT_HH
+#define IOAT_PVFS_LAYOUT_HH
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "simcore/assert.hh"
+
+namespace ioat::pvfs {
+
+/** One server's share of a striped range. */
+struct StripeChunk
+{
+    unsigned server;      ///< I/O server index 0..N-1
+    std::uint64_t offset; ///< byte offset within that server's stream
+    std::size_t bytes;    ///< contiguous bytes this server owns
+};
+
+/** One server's share of a strided (noncontiguous) access. */
+struct StridedChunk
+{
+    unsigned server;
+    std::size_t bytes;  ///< total bytes on this server
+    unsigned extents;   ///< separate extents the iod must gather
+};
+
+/**
+ * Round-robin striping over a fixed server count.
+ */
+class StripeLayout
+{
+  public:
+    StripeLayout(unsigned servers, std::size_t stripe_size)
+        : servers_(servers), stripe_(stripe_size)
+    {
+        sim::simAssert(servers > 0, "layout needs at least one server");
+        sim::simAssert(stripe_size > 0, "stripe size must be positive");
+    }
+
+    unsigned serverCount() const { return servers_; }
+    std::size_t stripeSize() const { return stripe_; }
+
+    /** Which server owns the stripe containing file offset @p off. */
+    unsigned
+    serverFor(std::uint64_t off) const
+    {
+        return static_cast<unsigned>((off / stripe_) % servers_);
+    }
+
+    /** Offset within the owning server's local stream. */
+    std::uint64_t
+    localOffset(std::uint64_t off) const
+    {
+        const std::uint64_t stripe_idx = off / stripe_;
+        const std::uint64_t local_stripe = stripe_idx / servers_;
+        return local_stripe * stripe_ + off % stripe_;
+    }
+
+    /**
+     * Split [offset, offset+bytes) into per-server chunks.  Only
+     * servers that own data appear; order is by server index.
+     */
+    std::vector<StripeChunk>
+    split(std::uint64_t offset, std::size_t bytes) const
+    {
+        std::vector<std::uint64_t> per_server(servers_, 0);
+        std::vector<std::uint64_t> first_local(
+            servers_, ~std::uint64_t{0});
+
+        std::uint64_t pos = offset;
+        std::size_t left = bytes;
+        while (left > 0) {
+            const std::size_t in_stripe =
+                static_cast<std::size_t>(stripe_ - pos % stripe_);
+            const std::size_t take = std::min(left, in_stripe);
+            const unsigned srv = serverFor(pos);
+            if (first_local[srv] == ~std::uint64_t{0})
+                first_local[srv] = localOffset(pos);
+            per_server[srv] += take;
+            pos += take;
+            left -= take;
+        }
+
+        std::vector<StripeChunk> out;
+        for (unsigned s = 0; s < servers_; ++s) {
+            if (per_server[s] > 0) {
+                out.push_back(StripeChunk{
+                    s, first_local[s],
+                    static_cast<std::size_t>(per_server[s])});
+            }
+        }
+        return out;
+    }
+
+    /**
+     * Split a strided (noncontiguous) access into per-server chunks.
+     *
+     * The region is `count` blocks of `block` bytes, the k-th block
+     * starting at `offset + k*stride` (PVFS's strided/listio pattern;
+     * the paper cites Ching et al., "Noncontiguous I/O through
+     * PVFS").  Per server we report total bytes and the number of
+     * separate extents, which drives per-extent request costs.
+     */
+    std::vector<StridedChunk>
+    splitStrided(std::uint64_t offset, std::size_t block,
+                 std::size_t stride, unsigned count) const
+    {
+        sim::simAssert(stride >= block,
+                       "stride must be at least the block size");
+        std::vector<std::uint64_t> bytes(servers_, 0);
+        std::vector<std::uint64_t> extents(servers_, 0);
+
+        for (unsigned k = 0; k < count; ++k) {
+            const std::uint64_t start = offset + k * stride;
+            for (const StripeChunk &c : split(start, block)) {
+                bytes[c.server] += c.bytes;
+                // Each block contributes at least one extent per
+                // server it touches; stripe crossings add more.
+                extents[c.server] +=
+                    (c.bytes + stripe_ - 1) / stripe_;
+            }
+        }
+
+        std::vector<StridedChunk> out;
+        for (unsigned s = 0; s < servers_; ++s) {
+            if (bytes[s] > 0) {
+                out.push_back(StridedChunk{
+                    s, static_cast<std::size_t>(bytes[s]),
+                    static_cast<unsigned>(extents[s])});
+            }
+        }
+        return out;
+    }
+
+  private:
+    unsigned servers_;
+    std::size_t stripe_;
+};
+
+} // namespace ioat::pvfs
+
+#endif // IOAT_PVFS_LAYOUT_HH

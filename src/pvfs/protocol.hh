@@ -1,0 +1,34 @@
+/**
+ * @file
+ * PVFS wire protocol tags (rides sock::Message).
+ */
+
+#ifndef IOAT_PVFS_PROTOCOL_HH
+#define IOAT_PVFS_PROTOCOL_HH
+
+#include <cstdint>
+
+namespace ioat::pvfs {
+
+enum class PvfsTag : std::uint64_t {
+    // Metadata manager ops
+    Lookup = 10,   ///< a = name key
+    Create = 11,   ///< a = name key
+    GetSize = 12,  ///< a = handle
+    ExtendTo = 13, ///< a = handle, b = new end offset
+    Truncate = 14, ///< a = handle, b = new size
+    OpOk = 15,     ///< a = handle, b = size
+    OpErr = 16,
+
+    // I/O daemon ops
+    Read = 20,     ///< a = handle, b = offset, c = bytes
+    ReadResp = 21, ///< payloadBytes = data
+    Write = 22,    ///< a = handle, b = offset, payloadBytes = data
+    WriteAck = 23, ///< a = handle
+    ReadList = 24, ///< a = handle, b = extents, c = total bytes
+    WriteList = 25,///< a = handle, b = extents, payloadBytes = data
+};
+
+} // namespace ioat::pvfs
+
+#endif // IOAT_PVFS_PROTOCOL_HH

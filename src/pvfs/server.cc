@@ -1,0 +1,207 @@
+/**
+ * @file
+ * PVFS daemons implementation.
+ */
+
+#include "pvfs/server.hh"
+
+#include "pvfs/protocol.hh"
+#include "sock/message.hh"
+
+namespace ioat::pvfs {
+
+using sim::Coro;
+using tcp::Connection;
+
+// --------------------------------------------------------------------
+// MetadataManager
+// --------------------------------------------------------------------
+
+MetadataManager::MetadataManager(core::Node &node, const PvfsConfig &cfg,
+                                 FsState &fs)
+    : node_(node), cfg_(cfg), fs_(fs)
+{}
+
+void
+MetadataManager::start()
+{
+    node_.simulation().spawn(acceptLoop());
+}
+
+Coro<void>
+MetadataManager::acceptLoop()
+{
+    auto &listener = node_.stack().listen(cfg_.mgrPort);
+    for (;;) {
+        Connection *conn = co_await listener.accept();
+        node_.simulation().spawn(serveConnection(conn));
+    }
+}
+
+Coro<void>
+MetadataManager::serveConnection(Connection *conn)
+{
+    for (;;) {
+        auto msg = co_await sock::recvMessage(*conn);
+        if (!msg.has_value())
+            co_return;
+
+        co_await node_.cpu().compute(cfg_.mgrOpCost);
+        ops_.inc();
+
+        sock::Message reply;
+        reply.tag = static_cast<std::uint64_t>(PvfsTag::OpOk);
+
+        switch (static_cast<PvfsTag>(msg->tag)) {
+          case PvfsTag::Create: {
+            const FileHandle h =
+                fs_.create("f" + std::to_string(msg->a));
+            reply.a = h;
+            reply.b = fs_.size(h);
+            break;
+          }
+          case PvfsTag::Lookup: {
+            const FileHandle h =
+                fs_.lookup("f" + std::to_string(msg->a));
+            if (h == kInvalidHandle) {
+                reply.tag = static_cast<std::uint64_t>(PvfsTag::OpErr);
+            } else {
+                reply.a = h;
+                reply.b = fs_.size(h);
+            }
+            break;
+          }
+          case PvfsTag::GetSize:
+            if (!fs_.valid(msg->a)) {
+                reply.tag = static_cast<std::uint64_t>(PvfsTag::OpErr);
+            } else {
+                reply.a = msg->a;
+                reply.b = fs_.size(msg->a);
+            }
+            break;
+          case PvfsTag::ExtendTo:
+            fs_.extendTo(msg->a, msg->b);
+            reply.a = msg->a;
+            reply.b = fs_.size(msg->a);
+            break;
+          case PvfsTag::Truncate:
+            fs_.truncate(msg->a, msg->b);
+            reply.a = msg->a;
+            reply.b = fs_.size(msg->a);
+            break;
+          default:
+            sim::panic("metadata manager got a non-metadata op");
+        }
+
+        co_await sock::sendMessage(*conn, reply);
+    }
+}
+
+// --------------------------------------------------------------------
+// IodServer
+// --------------------------------------------------------------------
+
+IodServer::IodServer(core::Node &node, const PvfsConfig &cfg,
+                     unsigned index)
+    : node_(node), cfg_(cfg), index_(index),
+      mem_(node.host(), "pvfs.iod" + std::to_string(index))
+{}
+
+void
+IodServer::start()
+{
+    node_.simulation().spawn(acceptLoop());
+}
+
+Coro<void>
+IodServer::acceptLoop()
+{
+    auto &listener = node_.stack().listen(port());
+    for (;;) {
+        Connection *conn = co_await listener.accept();
+        node_.simulation().spawn(serveConnection(conn));
+    }
+}
+
+Coro<void>
+IodServer::serveConnection(Connection *conn)
+{
+    for (;;) {
+        auto msg = co_await sock::recvMessage(*conn);
+        if (!msg.has_value())
+            co_return;
+
+        switch (static_cast<PvfsTag>(msg->tag)) {
+          case PvfsTag::Read: {
+            const std::size_t bytes = msg->c;
+            co_await node_.cpu().compute(cfg_.iodRequestCost +
+                                         cfg_.ramfsLookupCost);
+            // ramfs pages go straight out via sendfile: zero copy.
+            sock::Message resp;
+            resp.tag = static_cast<std::uint64_t>(PvfsTag::ReadResp);
+            resp.a = msg->a;
+            resp.payloadBytes = bytes;
+            co_await sock::sendMessage(
+                *conn, resp, tcp::SendOptions{.zeroCopy = true});
+            bytesRead_.inc(bytes);
+            break;
+          }
+          case PvfsTag::Write: {
+            const std::size_t bytes = msg->payloadBytes;
+            co_await node_.cpu().compute(cfg_.iodRequestCost +
+                                         cfg_.ramfsLookupCost);
+            const std::size_t got = co_await conn->recvAll(bytes);
+            sim::simAssert(got == bytes, "short PVFS write payload");
+            // Store into ramfs: one more copy into page memory (the
+            // pages are written once, not re-read, so they do not
+            // join the daemon's working set).
+            co_await mem_.streamCopy(bytes);
+            bytesWritten_.inc(bytes);
+
+            sock::Message ack;
+            ack.tag = static_cast<std::uint64_t>(PvfsTag::WriteAck);
+            ack.a = msg->a;
+            co_await sock::sendMessage(*conn, ack);
+            break;
+          }
+          case PvfsTag::ReadList: {
+            const std::size_t bytes = msg->c;
+            const auto extents = static_cast<unsigned>(msg->b);
+            // Gathering scattered extents costs per-extent CPU on
+            // top of the base request handling.
+            co_await node_.cpu().compute(cfg_.iodRequestCost +
+                                         cfg_.ramfsLookupCost +
+                                         cfg_.iodExtentCost * extents);
+            sock::Message resp;
+            resp.tag = static_cast<std::uint64_t>(PvfsTag::ReadResp);
+            resp.a = msg->a;
+            resp.payloadBytes = bytes;
+            co_await sock::sendMessage(
+                *conn, resp, tcp::SendOptions{.zeroCopy = true});
+            bytesRead_.inc(bytes);
+            break;
+          }
+          case PvfsTag::WriteList: {
+            const std::size_t bytes = msg->payloadBytes;
+            const auto extents = static_cast<unsigned>(msg->b);
+            co_await node_.cpu().compute(cfg_.iodRequestCost +
+                                         cfg_.ramfsLookupCost +
+                                         cfg_.iodExtentCost * extents);
+            const std::size_t got = co_await conn->recvAll(bytes);
+            sim::simAssert(got == bytes, "short PVFS list payload");
+            co_await mem_.streamCopy(bytes);
+            bytesWritten_.inc(bytes);
+
+            sock::Message ack;
+            ack.tag = static_cast<std::uint64_t>(PvfsTag::WriteAck);
+            ack.a = msg->a;
+            co_await sock::sendMessage(*conn, ack);
+            break;
+          }
+          default:
+            sim::panic("iod got a non-I/O op");
+        }
+    }
+}
+
+} // namespace ioat::pvfs

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * PVFS server daemons: the metadata manager and the I/O daemon (iod).
+ *
+ * Mirrors the paper's Fig. 2b: one manager provides a consistent
+ * namespace and handles metadata (it is *not* in the read/write data
+ * path); N iods store file stripes on their local file system — here
+ * ramfs, matching the paper's §6.1 choice to take disks out of the
+ * picture — and move data directly to/from compute nodes.
+ */
+
+#ifndef IOAT_PVFS_SERVER_HH
+#define IOAT_PVFS_SERVER_HH
+
+#include <cstdint>
+
+#include "core/app_memory.hh"
+#include "core/node.hh"
+#include "pvfs/config.hh"
+#include "pvfs/fs_state.hh"
+#include "simcore/stats.hh"
+
+namespace ioat::pvfs {
+
+/**
+ * The metadata manager daemon.
+ */
+class MetadataManager
+{
+  public:
+    MetadataManager(core::Node &node, const PvfsConfig &cfg,
+                    FsState &fs);
+
+    /** Begin accepting on cfg.mgrPort. */
+    void start();
+
+    std::uint64_t opsServed() const { return ops_.value(); }
+
+  private:
+    sim::Coro<void> acceptLoop();
+    sim::Coro<void> serveConnection(tcp::Connection *conn);
+
+    core::Node &node_;
+    PvfsConfig cfg_;
+    FsState &fs_;
+    sim::stats::Counter ops_;
+};
+
+/**
+ * One I/O daemon, serving its stripe of every file from ramfs.
+ */
+class IodServer
+{
+  public:
+    IodServer(core::Node &node, const PvfsConfig &cfg, unsigned index);
+
+    /** Begin accepting on cfg.iodBasePort + index. */
+    void start();
+
+    unsigned index() const { return index_; }
+    std::uint16_t port() const { return cfg_.iodBasePort + index_; }
+    std::uint64_t bytesRead() const { return bytesRead_.value(); }
+    std::uint64_t bytesWritten() const { return bytesWritten_.value(); }
+
+  private:
+    sim::Coro<void> acceptLoop();
+    sim::Coro<void> serveConnection(tcp::Connection *conn);
+
+    core::Node &node_;
+    PvfsConfig cfg_;
+    unsigned index_;
+    core::AppMemory mem_;
+    sim::stats::Counter bytesRead_;
+    sim::stats::Counter bytesWritten_;
+};
+
+} // namespace ioat::pvfs
+
+#endif // IOAT_PVFS_SERVER_HH

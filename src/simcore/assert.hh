@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Error-reporting helpers in the gem5 spirit.
+ *
+ * `panic()` is for conditions that indicate a bug in the simulator
+ * itself and aborts; `fatal()` is for user/configuration errors and
+ * exits cleanly. `simAssert()` is a always-on invariant check.
+ */
+
+#ifndef IOAT_SIMCORE_ASSERT_HH
+#define IOAT_SIMCORE_ASSERT_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace ioat::sim {
+
+/** Abort with a message: something that should never happen happened. */
+[[noreturn]] inline void
+panic(const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s\n", msg.c_str());
+    std::abort();
+}
+
+/** Exit with a message: the configuration or input is invalid. */
+[[noreturn]] inline void
+fatal(const std::string &msg)
+{
+    std::fprintf(stderr, "fatal: %s\n", msg.c_str());
+    std::exit(1);
+}
+
+/** Always-on invariant check (unlike <cassert>, survives NDEBUG). */
+inline void
+simAssert(bool cond, const char *what)
+{
+    if (!cond)
+        panic(std::string("assertion failed: ") + what);
+}
+
+} // namespace ioat::sim
+
+#endif // IOAT_SIMCORE_ASSERT_HH

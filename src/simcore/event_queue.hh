@@ -1,0 +1,149 @@
+/**
+ * @file
+ * The discrete-event queue at the heart of the simulator.
+ *
+ * Events are arbitrary callables scheduled at an absolute Tick.  Ties
+ * are broken by insertion order so simulations are fully deterministic.
+ * The queue is strictly single-threaded.
+ */
+
+#ifndef IOAT_SIMCORE_EVENT_QUEUE_HH
+#define IOAT_SIMCORE_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "simcore/assert.hh"
+#include "simcore/types.hh"
+
+namespace ioat::sim {
+
+/**
+ * A time-ordered queue of callbacks.
+ *
+ * `now()` only moves forward; scheduling in the past is a simulator
+ * bug and panics.
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time. */
+    Tick now() const { return now_; }
+
+    /** Schedule @p fn to run at absolute time @p when. */
+    void
+    schedule(Tick when, Callback fn)
+    {
+        simAssert(when >= now_, "event scheduled in the past");
+        heap_.push(Entry{when, nextSeq_++, std::move(fn)});
+    }
+
+    /** Schedule @p fn to run @p delay ticks from now. */
+    void
+    scheduleIn(Tick delay, Callback fn)
+    {
+        schedule(now_ + delay, std::move(fn));
+    }
+
+    /** Schedule @p fn at the current time (after already-queued ties). */
+    void post(Callback fn) { schedule(now_, std::move(fn)); }
+
+    bool empty() const { return heap_.empty(); }
+    std::size_t size() const { return heap_.size(); }
+
+    /** Time of the earliest pending event; kTickMax when empty. */
+    Tick
+    nextEventTick() const
+    {
+        return heap_.empty() ? kTickMax : heap_.top().when;
+    }
+
+    /**
+     * Run the single earliest event.
+     * @return true if an event ran, false if the queue was empty.
+     */
+    bool
+    runOne()
+    {
+        if (heap_.empty())
+            return false;
+        // Move the entry out before running: the callback may schedule.
+        Entry e = std::move(const_cast<Entry &>(heap_.top()));
+        heap_.pop();
+        now_ = e.when;
+        ++executed_;
+        e.fn();
+        return true;
+    }
+
+    /**
+     * Run events until the queue drains or @p limit events have run.
+     * @return number of events executed.
+     */
+    std::uint64_t
+    run(std::uint64_t limit = ~std::uint64_t{0})
+    {
+        std::uint64_t n = 0;
+        while (n < limit && runOne())
+            ++n;
+        return n;
+    }
+
+    /**
+     * Run all events with time <= @p until, then advance now() to
+     * @p until even if the queue drained earlier.
+     */
+    void
+    runUntil(Tick until)
+    {
+        while (!heap_.empty() && heap_.top().when <= until)
+            runOne();
+        if (until > now_)
+            now_ = until;
+    }
+
+    /** Run for @p duration ticks past the current time. */
+    void runFor(Tick duration) { runUntil(now_ + duration); }
+
+    /** Drop all pending events without running them. */
+    void
+    clear()
+    {
+        while (!heap_.empty())
+            heap_.pop();
+    }
+
+    /** Total number of events executed since construction. */
+    std::uint64_t executedEvents() const { return executed_; }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        std::uint64_t seq;
+        Callback fn;
+
+        bool
+        operator>(const Entry &o) const
+        {
+            return when != o.when ? when > o.when : seq > o.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+    Tick now_ = 0;
+    std::uint64_t nextSeq_ = 0;
+    std::uint64_t executed_ = 0;
+};
+
+} // namespace ioat::sim
+
+#endif // IOAT_SIMCORE_EVENT_QUEUE_HH

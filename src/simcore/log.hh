@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Minimal leveled logger stamped with simulated time.
+ *
+ * Logging is off (WARN) by default so benches stay quiet; tests and
+ * debugging sessions can raise the level per component or globally.
+ */
+
+#ifndef IOAT_SIMCORE_LOG_HH
+#define IOAT_SIMCORE_LOG_HH
+
+#include <cstdio>
+#include <string>
+
+#include "simcore/table.hh"
+#include "simcore/types.hh"
+
+namespace ioat::sim {
+
+enum class LogLevel { Trace = 0, Debug = 1, Info = 2, Warn = 3, Off = 4 };
+
+/** Global log threshold; messages below it are suppressed. */
+inline LogLevel &
+globalLogLevel()
+{
+    static LogLevel level = LogLevel::Warn;
+    return level;
+}
+
+/**
+ * Per-component logger. Cheap to copy; holds only a name pointer and
+ * an optional clock source for timestamps.
+ */
+class Logger
+{
+  public:
+    explicit Logger(std::string component, const Tick *clock = nullptr)
+        : component_(std::move(component)), clock_(clock)
+    {}
+
+    void
+    log(LogLevel level, const std::string &msg) const
+    {
+        if (level < globalLogLevel())
+            return;
+        const char *tag = "?";
+        switch (level) {
+          case LogLevel::Trace: tag = "TRACE"; break;
+          case LogLevel::Debug: tag = "DEBUG"; break;
+          case LogLevel::Info: tag = "INFO"; break;
+          case LogLevel::Warn: tag = "WARN"; break;
+          case LogLevel::Off: return;
+        }
+        if (clock_) {
+            std::fprintf(stderr, "[%12.3fus] %-5s %s: %s\n",
+                         toMicroseconds(*clock_), tag, component_.c_str(),
+                         msg.c_str());
+        } else {
+            std::fprintf(stderr, "%-5s %s: %s\n", tag, component_.c_str(),
+                         msg.c_str());
+        }
+    }
+
+    void trace(const std::string &m) const { log(LogLevel::Trace, m); }
+    void debug(const std::string &m) const { log(LogLevel::Debug, m); }
+    void info(const std::string &m) const { log(LogLevel::Info, m); }
+    void warn(const std::string &m) const { log(LogLevel::Warn, m); }
+
+  private:
+    std::string component_;
+    const Tick *clock_;
+};
+
+} // namespace ioat::sim
+
+#endif // IOAT_SIMCORE_LOG_HH

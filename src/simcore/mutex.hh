@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Awaitable mutual exclusion for simulated tasks, with an RAII guard.
+ *
+ * A thin wrapper over Semaphore(1) that adds lock-guard ergonomics
+ * and owner-error checking.  Used where simulated components protect
+ * multi-await critical sections (e.g. one writer per connection).
+ */
+
+#ifndef IOAT_SIMCORE_MUTEX_HH
+#define IOAT_SIMCORE_MUTEX_HH
+
+#include <optional>
+
+#include "simcore/assert.hh"
+#include "simcore/coro.hh"
+#include "simcore/sync.hh"
+
+namespace ioat::sim {
+
+/** FIFO mutex for coroutines. */
+class Mutex
+{
+  public:
+    explicit Mutex(Simulation &sim) : sem_(sim, 1) {}
+
+    /** RAII lock ownership; unlocks on destruction. */
+    class Guard
+    {
+      public:
+        Guard(Guard &&o) noexcept : mutex_(o.mutex_)
+        {
+            o.mutex_ = nullptr;
+        }
+
+        Guard &operator=(Guard &&) = delete;
+        Guard(const Guard &) = delete;
+        Guard &operator=(const Guard &) = delete;
+
+        ~Guard()
+        {
+            if (mutex_)
+                mutex_->unlock();
+        }
+
+      private:
+        friend class Mutex;
+        explicit Guard(Mutex *m) : mutex_(m) {}
+        Mutex *mutex_;
+    };
+
+    /** Awaitable: acquire the lock and get an RAII guard. */
+    Coro<Guard>
+    lock()
+    {
+        co_await sem_.acquire();
+        locked_ = true;
+        co_return Guard(this);
+    }
+
+    /** Non-blocking attempt; nullopt if contended. */
+    std::optional<Guard>
+    tryLock()
+    {
+        if (!sem_.tryAcquire())
+            return std::nullopt;
+        locked_ = true;
+        return Guard(this);
+    }
+
+    bool locked() const { return locked_; }
+
+  private:
+    void
+    unlock()
+    {
+        simAssert(locked_, "unlock of an unlocked Mutex");
+        locked_ = sem_.waiterCount() > 0; // hand-off keeps it locked
+        sem_.release();
+    }
+
+    Semaphore sem_;
+    bool locked_ = false;
+};
+
+} // namespace ioat::sim
+
+#endif // IOAT_SIMCORE_MUTEX_HH

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Deterministic random number generation and workload distributions.
+ *
+ * Uses xoshiro256++ seeded via splitmix64, so every experiment is
+ * reproducible from its seed.  Includes the Zipf distribution used by
+ * the paper's data-center traces (Breslau et al., INFOCOM'99).
+ */
+
+#ifndef IOAT_SIMCORE_RANDOM_HH
+#define IOAT_SIMCORE_RANDOM_HH
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "simcore/assert.hh"
+
+namespace ioat::sim {
+
+/** xoshiro256++ PRNG: fast, high-quality, deterministic. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL)
+    {
+        reseed(seed);
+    }
+
+    /** Re-initialize the state from a single seed word. */
+    void
+    reseed(std::uint64_t seed)
+    {
+        // splitmix64 expansion, per Vigna's recommendation.
+        for (auto &word : s_) {
+            seed += 0x9e3779b97f4a7c15ULL;
+            std::uint64_t z = seed;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+        const std::uint64_t t = s_[1] << 17;
+        s_[2] ^= s_[0];
+        s_[3] ^= s_[1];
+        s_[1] ^= s_[2];
+        s_[0] ^= s_[3];
+        s_[2] ^= t;
+        s_[3] = rotl(s_[3], 45);
+        return result;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::uint64_t
+    uniformInt(std::uint64_t lo, std::uint64_t hi)
+    {
+        simAssert(lo <= hi, "uniformInt: empty range");
+        const std::uint64_t span = hi - lo + 1;
+        if (span == 0) // full 64-bit range
+            return next();
+        return lo + next() % span;
+    }
+
+    /** Exponentially distributed value with the given mean. */
+    double
+    exponential(double mean)
+    {
+        double u = uniform();
+        // Guard against log(0).
+        if (u <= 0.0)
+            u = 0x1.0p-53;
+        return -mean * std::log(u);
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t s_[4] = {};
+};
+
+/**
+ * Zipf-like popularity distribution over ranks 1..n.
+ *
+ * P(rank = i) ∝ 1 / i^alpha.  Sampling is a binary search over the
+ * precomputed CDF, O(log n) per draw.
+ */
+class ZipfDistribution
+{
+  public:
+    /**
+     * @param n number of distinct items (>= 1)
+     * @param alpha skew; larger means more concentrated popularity
+     */
+    ZipfDistribution(std::size_t n, double alpha) : cdf_(n)
+    {
+        simAssert(n >= 1, "Zipf over empty set");
+        double sum = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+            sum += 1.0 / std::pow(static_cast<double>(i + 1), alpha);
+            cdf_[i] = sum;
+        }
+        for (auto &c : cdf_)
+            c /= sum;
+        cdf_.back() = 1.0; // guard against FP round-off
+    }
+
+    std::size_t size() const { return cdf_.size(); }
+
+    /** Draw a 0-based rank (0 is the most popular item). */
+    std::size_t
+    sample(Rng &rng) const
+    {
+        const double u = rng.uniform();
+        std::size_t lo = 0, hi = cdf_.size() - 1;
+        while (lo < hi) {
+            const std::size_t mid = (lo + hi) / 2;
+            if (cdf_[mid] < u)
+                lo = mid + 1;
+            else
+                hi = mid;
+        }
+        return lo;
+    }
+
+    /** Probability mass of a 0-based rank. */
+    double
+    pmf(std::size_t rank) const
+    {
+        simAssert(rank < cdf_.size(), "Zipf rank out of range");
+        return rank == 0 ? cdf_[0] : cdf_[rank] - cdf_[rank - 1];
+    }
+
+  private:
+    std::vector<double> cdf_;
+};
+
+} // namespace ioat::sim
+
+#endif // IOAT_SIMCORE_RANDOM_HH

@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Awaitable synchronization primitives for simulated tasks.
+ *
+ * All wakeups are posted through the event queue (never resumed
+ * inline), which keeps execution order deterministic and stack depth
+ * bounded regardless of how many tasks a single trigger releases.
+ */
+
+#ifndef IOAT_SIMCORE_SYNC_HH
+#define IOAT_SIMCORE_SYNC_HH
+
+#include <coroutine>
+#include <cstddef>
+#include <deque>
+
+#include "simcore/assert.hh"
+#include "simcore/sim.hh"
+
+namespace ioat::sim {
+
+/**
+ * A one-shot (optionally resettable) event flag.
+ *
+ * Waiters suspend until `trigger()`; once triggered, `wait()` is a
+ * no-op until `reset()`.
+ */
+class Event
+{
+  public:
+    explicit Event(Simulation &sim) : sim_(sim) {}
+
+    bool triggered() const { return triggered_; }
+
+    /** Release all current waiters and latch the flag. */
+    void
+    trigger()
+    {
+        triggered_ = true;
+        releaseAll();
+    }
+
+    /** Wake all current waiters without latching (condvar pulse). */
+    void
+    pulse()
+    {
+        releaseAll();
+    }
+
+    /** Clear the latch so future wait() calls block again. */
+    void reset() { triggered_ = false; }
+
+    /** Awaitable: suspend until the event is (or was) triggered. */
+    auto
+    wait()
+    {
+        struct Awaiter
+        {
+            Event &ev;
+
+            bool await_ready() const noexcept { return ev.triggered_; }
+
+            void
+            await_suspend(std::coroutine_handle<> h)
+            {
+                ev.waiters_.push_back(h);
+            }
+
+            void await_resume() const noexcept {}
+        };
+        return Awaiter{*this};
+    }
+
+    std::size_t waiterCount() const { return waiters_.size(); }
+
+  private:
+    void
+    releaseAll()
+    {
+        auto pending = std::move(waiters_);
+        waiters_.clear();
+        for (auto h : pending)
+            sim_.queue().post([h] { h.resume(); });
+    }
+
+    Simulation &sim_;
+    bool triggered_ = false;
+    std::deque<std::coroutine_handle<>> waiters_;
+};
+
+/**
+ * Counting semaphore with FIFO hand-off.
+ *
+ * `release()` passes the permit directly to the longest-waiting task,
+ * so acquisition order is strictly first-come first-served.
+ */
+class Semaphore
+{
+  public:
+    Semaphore(Simulation &sim, std::size_t permits)
+        : sim_(sim), permits_(permits)
+    {}
+
+    std::size_t available() const { return permits_; }
+    std::size_t waiterCount() const { return waiters_.size(); }
+
+    /** Awaitable: obtain one permit, waiting if none are free. */
+    auto
+    acquire()
+    {
+        struct Awaiter
+        {
+            Semaphore &sem;
+
+            bool
+            await_ready() noexcept
+            {
+                // Fast path: take a free permit immediately.
+                if (sem.waiters_.empty() && sem.permits_ > 0) {
+                    --sem.permits_;
+                    return true;
+                }
+                return false;
+            }
+
+            void
+            await_suspend(std::coroutine_handle<> h)
+            {
+                sem.waiters_.push_back(h);
+            }
+
+            // Slow path: release() handed its permit straight to us,
+            // so there is nothing left to account for here.
+            void await_resume() const noexcept {}
+        };
+        return Awaiter{*this};
+    }
+
+    /** Non-blocking acquire. @return true if a permit was taken. */
+    bool
+    tryAcquire()
+    {
+        if (waiters_.empty() && permits_ > 0) {
+            --permits_;
+            return true;
+        }
+        return false;
+    }
+
+    /**
+     * Return one permit.  If anyone is waiting the permit is handed
+     * directly to the longest waiter (it never becomes visible to
+     * tryAcquire), preserving FIFO order.
+     */
+    void
+    release()
+    {
+        if (!waiters_.empty()) {
+            auto h = waiters_.front();
+            waiters_.pop_front();
+            sim_.queue().post([h] { h.resume(); });
+        } else {
+            ++permits_;
+        }
+    }
+
+  private:
+    Simulation &sim_;
+    std::size_t permits_;
+    std::deque<std::coroutine_handle<>> waiters_;
+};
+
+/**
+ * Join-point for a dynamic set of tasks (Go-style wait group).
+ *
+ * The spawner calls add() per task; each task calls done(); a joiner
+ * awaits wait() which resumes once the count hits zero.
+ */
+class WaitGroup
+{
+  public:
+    explicit WaitGroup(Simulation &sim) : done_(sim) {}
+
+    void
+    add(std::size_t n = 1)
+    {
+        count_ += n;
+        if (count_ > 0)
+            done_.reset();
+    }
+
+    void
+    done()
+    {
+        simAssert(count_ > 0, "WaitGroup::done() without matching add()");
+        if (--count_ == 0)
+            done_.trigger();
+    }
+
+    std::size_t pending() const { return count_; }
+
+    /** Awaitable: resumes when the pending count reaches zero. */
+    auto
+    wait()
+    {
+        if (count_ == 0)
+            done_.trigger();
+        return done_.wait();
+    }
+
+  private:
+    std::size_t count_ = 0;
+    Event done_;
+};
+
+} // namespace ioat::sim
+
+#endif // IOAT_SIMCORE_SYNC_HH

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Timeout and timing combinators for simulated tasks.
+ *
+ * `withTimeout` races a coroutine against a deadline without
+ * cancelling it (the body keeps running; the caller just stops
+ * waiting) — the right semantics for timing out waits on shared
+ * state.  `Stopwatch` measures simulated elapsed time, and
+ * `everyUntil` drives fixed-rate periodic work.
+ */
+
+#ifndef IOAT_SIMCORE_TIMEOUT_HH
+#define IOAT_SIMCORE_TIMEOUT_HH
+
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "simcore/coro.hh"
+#include "simcore/sim.hh"
+#include "simcore/sync.hh"
+
+namespace ioat::sim {
+
+/**
+ * Await an event with a deadline.
+ *
+ * @return true if the event triggered before the deadline, false on
+ *         timeout (the waiter is released either way).
+ */
+inline Coro<bool>
+waitWithTimeout(Simulation &sim, Event &event, Tick timeout)
+{
+    if (event.triggered())
+        co_return true;
+
+    struct Shared
+    {
+        bool done = false;
+    };
+    auto state = std::make_shared<Shared>();
+    auto gate = std::make_shared<Event>(sim);
+
+    // Watcher: relay the event.
+    sim.spawn([](Event &ev, std::shared_ptr<Shared> st,
+                 std::shared_ptr<Event> g) -> Coro<void> {
+        co_await ev.wait();
+        if (!st->done) {
+            st->done = true;
+            g->trigger();
+        }
+    }(event, state, gate));
+    // Timer: relay the deadline.
+    sim.spawn([](Simulation &s, Tick d, std::shared_ptr<Shared> st,
+                 std::shared_ptr<Event> g) -> Coro<void> {
+        co_await s.delay(d);
+        if (!st->done) {
+            st->done = true;
+            g->trigger();
+        }
+    }(sim, timeout, state, gate));
+
+    co_await gate->wait();
+    co_return event.triggered();
+}
+
+/** Measures simulated elapsed time. */
+class Stopwatch
+{
+  public:
+    explicit Stopwatch(Simulation &sim) : sim_(sim), start_(sim.now()) {}
+
+    void restart() { start_ = sim_.now(); }
+    Tick elapsed() const { return sim_.now() - start_; }
+    double elapsedUs() const { return toMicroseconds(elapsed()); }
+
+  private:
+    Simulation &sim_;
+    Tick start_;
+};
+
+/**
+ * Run @p body every @p period until @p until (inclusive of the last
+ * tick at or before it).  Spawn the returned coroutine.
+ */
+inline Coro<void>
+everyUntil(Simulation &sim, Tick period, Tick until,
+           std::function<void()> body)
+{
+    simAssert(period > 0, "everyUntil needs a positive period");
+    while (sim.now() + period <= until) {
+        co_await sim.delay(period);
+        body();
+    }
+}
+
+} // namespace ioat::sim
+
+#endif // IOAT_SIMCORE_TIMEOUT_HH

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Chrome-trace (about:tracing / Perfetto) exporter for simulated
+ * activity.
+ *
+ * Components record complete events (name, category, start, duration,
+ * lane); `write()` emits the standard Trace Event JSON so a run can
+ * be inspected in any chrome://tracing-compatible viewer.  Tracing is
+ * opt-in per component (`setTracer`) and costs nothing when off.
+ */
+
+#ifndef IOAT_SIMCORE_TRACE_HH
+#define IOAT_SIMCORE_TRACE_HH
+
+#include <cstdint>
+#include <fstream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "simcore/assert.hh"
+#include "simcore/types.hh"
+
+namespace ioat::sim {
+
+/**
+ * Collects trace events and serializes them as Trace Event JSON.
+ */
+class TraceWriter
+{
+  public:
+    /** Lanes (chrome "tid") group related events in the viewer. */
+    struct Lanes
+    {
+        static constexpr int core0 = 0;   ///< CPU cores: 0..N-1
+        static constexpr int dma = 100;   ///< DMA engine channels
+        static constexpr int wire = 200;  ///< NIC ports
+    };
+
+    explicit TraceWriter(std::size_t reserve = 4096)
+    {
+        events_.reserve(reserve);
+    }
+
+    /** A span of simulated time ("X" complete event). */
+    void
+    complete(std::string name, const char *category, Tick start,
+             Tick duration, int lane)
+    {
+        events_.push_back(Event{std::move(name), category, start,
+                                duration, lane, false});
+    }
+
+    /** A point in simulated time ("i" instant event). */
+    void
+    instant(std::string name, const char *category, Tick when, int lane)
+    {
+        events_.push_back(
+            Event{std::move(name), category, when, 0, lane, true});
+    }
+
+    std::size_t eventCount() const { return events_.size(); }
+    void clear() { events_.clear(); }
+
+    /** Emit Trace Event JSON (array format). */
+    void
+    write(std::ostream &os) const
+    {
+        os << "[\n";
+        bool first = true;
+        for (const auto &e : events_) {
+            if (!first)
+                os << ",\n";
+            first = false;
+            os << "  {\"name\":\"" << escape(e.name) << "\",\"cat\":\""
+               << e.category << "\",\"ph\":\""
+               << (e.isInstant ? 'i' : 'X')
+               << "\",\"ts\":" << toMicroseconds(e.start);
+            if (!e.isInstant)
+                os << ",\"dur\":" << toMicroseconds(e.duration);
+            os << ",\"pid\":0,\"tid\":" << e.lane;
+            if (e.isInstant)
+                os << ",\"s\":\"t\"";
+            os << "}";
+        }
+        os << "\n]\n";
+    }
+
+    /** Convenience: write to a file. */
+    void
+    save(const std::string &path) const
+    {
+        std::ofstream out(path);
+        simAssert(out.good(), "cannot open trace file for writing");
+        write(out);
+    }
+
+  private:
+    struct Event
+    {
+        std::string name;
+        const char *category;
+        Tick start;
+        Tick duration;
+        int lane;
+        bool isInstant;
+    };
+
+    static std::string
+    escape(const std::string &s)
+    {
+        std::string out;
+        out.reserve(s.size());
+        for (char c : s) {
+            if (c == '"' || c == '\\')
+                out.push_back('\\');
+            out.push_back(c);
+        }
+        return out;
+    }
+
+    std::vector<Event> events_;
+};
+
+} // namespace ioat::sim
+
+#endif // IOAT_SIMCORE_TRACE_HH

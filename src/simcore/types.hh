@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Fundamental simulation types and unit helpers.
+ *
+ * The whole simulator measures time in integer nanoseconds (`Tick`).
+ * Helper functions build Tick values from human units and convert data
+ * rates; keeping them `constexpr` lets configuration tables live in
+ * headers without any runtime cost.
+ */
+
+#ifndef IOAT_SIMCORE_TYPES_HH
+#define IOAT_SIMCORE_TYPES_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ioat::sim {
+
+/** Simulated time in nanoseconds. */
+using Tick = std::uint64_t;
+
+/** A point in simulated time that compares larger than any real time. */
+inline constexpr Tick kTickMax = ~Tick{0};
+
+/** @name Time-unit constructors
+ *  @{ */
+constexpr Tick
+nanoseconds(std::uint64_t n)
+{
+    return n;
+}
+
+constexpr Tick
+microseconds(std::uint64_t n)
+{
+    return n * 1000;
+}
+
+constexpr Tick
+milliseconds(std::uint64_t n)
+{
+    return n * 1000 * 1000;
+}
+
+constexpr Tick
+seconds(std::uint64_t n)
+{
+    return n * 1000 * 1000 * 1000;
+}
+/** @} */
+
+/** Convert a tick count to (floating) seconds. */
+constexpr double
+toSeconds(Tick t)
+{
+    return static_cast<double>(t) * 1e-9;
+}
+
+/** Convert a tick count to (floating) microseconds. */
+constexpr double
+toMicroseconds(Tick t)
+{
+    return static_cast<double>(t) * 1e-3;
+}
+
+/** @name Size-unit constructors
+ *  @{ */
+constexpr std::size_t
+kib(std::size_t n)
+{
+    return n * 1024;
+}
+
+constexpr std::size_t
+mib(std::size_t n)
+{
+    return n * 1024 * 1024;
+}
+/** @} */
+
+/**
+ * A transfer rate expressed as bytes per simulated second.
+ *
+ * Stored as a double so sub-byte-per-tick rates (1 Gbps is only
+ * 0.125 bytes/ns) stay exact enough for the experiments.
+ */
+class Rate
+{
+  public:
+    constexpr Rate() : bytesPerSec_(0.0) {}
+
+    /** Build a rate from bits per second. */
+    static constexpr Rate
+    bitsPerSec(double bps)
+    {
+        return Rate(bps / 8.0);
+    }
+
+    /** Build a rate from bytes per second. */
+    static constexpr Rate
+    bytesPerSec(double value)
+    {
+        return Rate(value);
+    }
+
+    /** Build a rate from gigabits per second (network convention, 1e9). */
+    static constexpr Rate
+    gbps(double value)
+    {
+        return bitsPerSec(value * 1e9);
+    }
+
+    /** Build a rate from megabytes per second (storage convention, 1e6). */
+    static constexpr Rate
+    mbytesPerSec(double value)
+    {
+        return bytesPerSec(value * 1e6);
+    }
+
+    constexpr double bytesPerSecond() const { return bytesPerSec_; }
+    constexpr double bitsPerSecond() const { return bytesPerSec_ * 8.0; }
+
+    /** Time to move @p bytes at this rate, rounded up to a whole tick. */
+    constexpr Tick
+    transferTime(std::size_t bytes) const
+    {
+        if (bytesPerSec_ <= 0.0)
+            return 0;
+        double ns = static_cast<double>(bytes) / bytesPerSec_ * 1e9;
+        auto whole = static_cast<Tick>(ns);
+        return (static_cast<double>(whole) < ns) ? whole + 1 : whole;
+    }
+
+    constexpr bool valid() const { return bytesPerSec_ > 0.0; }
+
+  private:
+    constexpr explicit Rate(double bytes_per_sec)
+        : bytesPerSec_(bytes_per_sec)
+    {}
+
+    double bytesPerSec_;
+};
+
+/** Throughput of a byte count over a duration, in Mbps (1e6 bits). */
+constexpr double
+throughputMbps(std::size_t bytes, Tick duration)
+{
+    if (duration == 0)
+        return 0.0;
+    return static_cast<double>(bytes) * 8.0 / toSeconds(duration) / 1e6;
+}
+
+/** Throughput of a byte count over a duration, in MB/s (1e6 bytes). */
+constexpr double
+throughputMBps(std::size_t bytes, Tick duration)
+{
+    if (duration == 0)
+        return 0.0;
+    return static_cast<double>(bytes) / toSeconds(duration) / 1e6;
+}
+
+} // namespace ioat::sim
+
+#endif // IOAT_SIMCORE_TYPES_HH

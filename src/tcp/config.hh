@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Transport configuration: flow-control sizes, feature switches and
+ * the per-operation CPU cost table.
+ *
+ * The cost values are calibrated against the paper's Testbed 1 (dual
+ * dual-core 3.46 GHz Xeon, Linux 2.6, e1000-class NICs); see
+ * core/calibration.hh for the derivation of each number from the
+ * paper's figures.
+ */
+
+#ifndef IOAT_TCP_CONFIG_HH
+#define IOAT_TCP_CONFIG_HH
+
+#include <cstddef>
+
+#include "simcore/types.hh"
+
+namespace ioat::tcp {
+
+using sim::Tick;
+
+struct TcpConfig
+{
+    /** @name Flow control and segmentation
+     *  @{ */
+    /** Receiver kernel socket buffer = flow-control credit. */
+    std::size_t sockBuf = 256 * 1024;
+    /** Largest segment handed to the NIC in one burst. */
+    std::size_t maxSegment = 64 * 1024;
+    /** @} */
+
+    /** @name I/OAT receive-path features (paper §2.2)
+     *  @{ */
+    /** Offload kernel→user receive copies to the DMA engine. */
+    bool dmaCopyOffload = false;
+    /** NIC separates headers from payload (cache-locality feature). */
+    bool splitHeader = false;
+    /** Minimum receive copy size routed to the DMA engine. */
+    std::size_t dmaCopyBreak = 4096;
+    /** @} */
+
+    /** @name Sender-side CPU costs
+     *  @{ */
+    /** Entry/exit of a send syscall. */
+    Tick txSyscall = sim::nanoseconds(700);
+    /** Per-segment bookkeeping (skb alloc, descriptor, doorbell). */
+    Tick txPerSegment = sim::nanoseconds(500);
+    /** Per-frame segmentation work when the NIC lacks TSO. */
+    Tick txPerFrame = sim::nanoseconds(1200);
+    /** Fixed cost of a zero-copy (sendfile) segment. */
+    Tick txSendfileFixed = sim::nanoseconds(600);
+    /** Processing an incoming ACK/credit return. */
+    Tick txAckProcess = sim::nanoseconds(400);
+    /** @} */
+
+    /** @name Receiver-side CPU costs
+     *  @{ */
+    /** Interrupt entry/exit + NAPI scheduling, per interrupt. */
+    Tick rxIrqEntry = sim::nanoseconds(1800);
+    /** Soft-timer poll entry (piggybacks on existing kernel events). */
+    Tick rxPollEntry = sim::nanoseconds(300);
+    /** Driver ring processing per frame. */
+    Tick rxPerFrame = sim::nanoseconds(600);
+    /** TCP/IP protocol processing per frame, headers cache-hot. */
+    Tick rxProtoPerFrame = sim::nanoseconds(1400);
+    /** Extra proto multiplier when header lines all miss; applied as
+     *  1 + factor * (1 - residency)^2 (convex in pollution). */
+    double rxHdrMissFactor = 6.0;
+    /**
+     * Fraction of payload the CPU streams through cache during
+     * protocol processing when headers and data share buffers
+     * (i.e. when split-header is off).
+     */
+    double rxPayloadTouchFraction = 0.6;
+    /** Waking a blocked receiver. */
+    Tick rxWakeup = sim::nanoseconds(900);
+    /** Entry/exit of a recv syscall. */
+    Tick rxSyscall = sim::nanoseconds(700);
+    /** Building and sending a credit-return (ACK) packet. */
+    Tick ackGenCost = sim::nanoseconds(300);
+    /** @} */
+
+    /** @name Connection management
+     *  @{ */
+    /** Handshake CPU cost per endpoint. */
+    Tick connSetupCost = sim::microseconds(5);
+    /** Size of the header/metadata pool footprint (skbs, PCBs). */
+    std::size_t headerPoolBytes = 256 * 1024;
+    /** @} */
+};
+
+} // namespace ioat::tcp
+
+#endif // IOAT_TCP_CONFIG_HH

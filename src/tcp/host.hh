@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Bundle of one node's hardware models, as seen by the protocol stack.
+ *
+ * Construction/ownership lives in core::Node; the stack and the
+ * applications only ever borrow these references.
+ */
+
+#ifndef IOAT_TCP_HOST_HH
+#define IOAT_TCP_HOST_HH
+
+#include "cpu/cpu.hh"
+#include "dma/dma_engine.hh"
+#include "mem/cache_model.hh"
+#include "mem/copy_model.hh"
+#include "mem/memory_bus.hh"
+#include "mem/page_model.hh"
+#include "simcore/sim.hh"
+
+namespace ioat::tcp {
+
+/** Non-owning view of a node's hardware. */
+struct Host
+{
+    sim::Simulation &sim;
+    cpu::CpuSet &cpu;
+    mem::CacheModel &cache;
+    mem::CopyModel &copy;
+    mem::PageModel &pages;
+    mem::MemoryBus &bus;
+    /** Copy-offload engine; nullptr on platforms without I/OAT. */
+    dma::DmaEngine *dma = nullptr;
+};
+
+} // namespace ioat::tcp
+
+#endif // IOAT_TCP_HOST_HH

@@ -1,0 +1,446 @@
+/**
+ * @file
+ * TcpStack / Connection implementation.
+ */
+
+#include "tcp/stack.hh"
+
+#include <algorithm>
+
+#include "simcore/assert.hh"
+
+namespace ioat::tcp {
+
+// --------------------------------------------------------------------
+// Connection
+// --------------------------------------------------------------------
+
+Connection::Connection(TcpStack &stack, std::uint64_t local_token)
+    : stack_(stack), localToken_(local_token),
+      establishedEvt_(stack.host_.sim),
+      creditAvail_(stack.host_.sim),
+      rxReady_(stack.host_.sim)
+{}
+
+Coro<void>
+Connection::send(std::size_t bytes, SendOptions opts, const MsgMeta *meta)
+{
+    sim::simAssert(established_, "send on unestablished connection");
+    sim::simAssert(!localClosed_, "send after close");
+    auto &host = stack_.host_;
+    const TcpConfig &cfg = stack_.cfg_;
+
+    co_await host.cpu.compute(cfg.txSyscall);
+
+    std::size_t remaining = bytes;
+    while (remaining > 0) {
+        const std::size_t seg =
+            std::min({remaining, cfg.maxSegment, peerSockBuf_});
+
+        // Credit-based flow control against the peer's socket buffer.
+        while (credit_ < seg)
+            co_await creditAvail_.wait();
+        credit_ -= seg;
+
+        const std::uint32_t frames = stack_.nic_.framesFor(seg);
+        Tick cost = cfg.txPerSegment;
+        if (opts.zeroCopy) {
+            // sendfile(): the NIC reads page-cache pages directly.
+            cost += cfg.txSendfileFixed;
+        } else {
+            // Copy user buffer into kernel socket buffer.
+            const double res = host.cache.transientResidency(2 * seg);
+            cost += host.copy.copyTime(seg, res, host.bus.slowdown());
+            host.bus.consume(2 * seg);
+            stack_.noteStreamBytes(2 * seg);
+        }
+        if (!stack_.nic_.config().tso)
+            cost += cfg.txPerFrame * frames;
+        co_await host.cpu.compute(cost);
+
+        // NIC TX DMA reads the segment from memory.
+        host.bus.consume(seg);
+
+        Burst b;
+        b.dst = remoteNode_;
+        b.flow = flow_;
+        b.wireBytes = stack_.nic_.wireBytesFor(seg);
+        b.frames = frames;
+        b.payloadBytes = static_cast<std::uint32_t>(seg);
+        b.kind = static_cast<std::uint32_t>(BurstKind::Data);
+        b.connToken = remoteToken_;
+        if (meta && remaining == bytes) { // first segment carries meta
+            b.hasMeta = true;
+            for (int i = 0; i < 5; ++i)
+                b.meta[i] = meta->w[i];
+        }
+        stack_.nic_.transmit(b);
+
+        bytesSent_ += seg;
+        stack_.txPayload_.inc(seg);
+        remaining -= seg;
+    }
+}
+
+Coro<std::size_t>
+Connection::recv(std::size_t max_bytes)
+{
+    sim::simAssert(established_, "recv on unestablished connection");
+    sim::simAssert(max_bytes > 0, "recv of zero bytes");
+    auto &host = stack_.host_;
+    const TcpConfig &cfg = stack_.cfg_;
+
+    co_await host.cpu.compute(cfg.rxSyscall);
+
+    while (rxBuffered_ == 0 && !peerClosed_) {
+        rxWaiting_ = true;
+        co_await rxReady_.wait();
+    }
+    rxWaiting_ = false;
+
+    if (rxBuffered_ == 0)
+        co_return 0; // orderly EOF
+
+    const std::size_t n = std::min(max_bytes, rxBuffered_);
+    rxBuffered_ -= n;
+
+    co_await stack_.receiveCopy(n);
+
+    bytesReceived_ += n;
+    stack_.rxPayload_.inc(n);
+
+    // Return credit to the sender now that the socket buffer drained.
+    co_await host.cpu.compute(cfg.ackGenCost);
+    stack_.sendControl(remoteNode_, flow_, BurstKind::Ack, remoteToken_, n);
+    co_return n;
+}
+
+Coro<std::size_t>
+Connection::recvAll(std::size_t bytes)
+{
+    std::size_t got = 0;
+    while (got < bytes) {
+        const std::size_t n = co_await recv(bytes - got);
+        if (n == 0)
+            break;
+        got += n;
+    }
+    co_return got;
+}
+
+MsgMeta
+Connection::popMeta()
+{
+    sim::simAssert(!metaQueue_.empty(), "popMeta on empty meta queue");
+    MsgMeta m = metaQueue_.front();
+    metaQueue_.pop_front();
+    return m;
+}
+
+void
+Connection::close()
+{
+    if (localClosed_ || !established_)
+        return;
+    localClosed_ = true;
+    stack_.sendControl(remoteNode_, flow_, BurstKind::Fin, remoteToken_, 0);
+}
+
+// --------------------------------------------------------------------
+// Listener
+// --------------------------------------------------------------------
+
+Coro<Connection *>
+Listener::accept()
+{
+    auto conn = co_await pending_.recv();
+    sim::simAssert(conn.has_value(), "listener closed");
+    co_return *conn;
+}
+
+// --------------------------------------------------------------------
+// TcpStack
+// --------------------------------------------------------------------
+
+TcpStack::TcpStack(const Host &host, nic::Nic &nic, const TcpConfig &cfg)
+    : host_(host), nic_(nic), cfg_(cfg),
+      streamWindow_(host.sim, sim::microseconds(500))
+{
+    hdrPool_ = host_.cache.addFootprint(
+        "tcp.hdrPool", cfg_.headerPoolBytes,
+        /*protectedHot=*/cfg_.splitHeader);
+    netStream_ = host_.cache.addFootprint("tcp.netStream", 0);
+    nic_.setRxHandler([this](unsigned queue, std::vector<Burst> &&b) {
+        onRxBatch(queue, std::move(b));
+    });
+    for (unsigned q = 0; q < nic_.rxQueueCount(); ++q) {
+        rxChannels_.push_back(
+            std::make_unique<sim::Channel<std::vector<Burst>>>(
+                host_.sim));
+        host_.sim.spawn(softirqLoop(q));
+    }
+}
+
+TcpStack::~TcpStack()
+{
+    host_.cache.removeFootprint(hdrPool_);
+    host_.cache.removeFootprint(netStream_);
+}
+
+void
+TcpStack::noteStreamBytes(std::size_t bytes)
+{
+    streamWindow_.add(bytes);
+    host_.cache.resizeFootprint(
+        netStream_,
+        std::min<std::uint64_t>(streamWindow_.estimate(),
+                                4 * host_.cache.capacity()));
+}
+
+Connection *
+TcpStack::newConnection()
+{
+    const auto token = static_cast<std::uint64_t>(conns_.size());
+    conns_.push_back(
+        std::unique_ptr<Connection>(new Connection(*this, token)));
+    return conns_.back().get();
+}
+
+Connection *
+TcpStack::connFor(std::uint64_t token)
+{
+    sim::simAssert(token < conns_.size(), "bad connection token");
+    return conns_[token].get();
+}
+
+Coro<Connection *>
+TcpStack::connect(NodeId remote, std::uint16_t port)
+{
+    Connection *c = newConnection();
+    c->remoteNode_ = remote;
+    c->flow_ = nodeId() * 7919 + flowCounter_++;
+
+    co_await host_.cpu.compute(cfg_.connSetupCost);
+    // The SYN advertises our receive buffer; the peer's send credit
+    // is bounded by it (and vice versa via the SYN-ACK).
+    sendControl(remote, c->flow_, BurstKind::Syn, c->localToken_, port,
+                cfg_.sockBuf);
+    co_await c->establishedEvt_.wait();
+    co_return c;
+}
+
+Listener &
+TcpStack::listen(std::uint16_t port)
+{
+    auto it = listeners_.find(port);
+    if (it == listeners_.end()) {
+        it = listeners_
+                 .emplace(port, std::unique_ptr<Listener>(
+                                    new Listener(host_.sim)))
+                 .first;
+    }
+    return *it->second;
+}
+
+void
+TcpStack::sendControl(NodeId dst, std::uint64_t flow, BurstKind kind,
+                      std::uint64_t conn_token, std::uint64_t arg,
+                      std::uint64_t handshake_sockbuf)
+{
+    Burst b;
+    b.dst = dst;
+    b.flow = flow;
+    b.wireBytes = nic_.wireBytesFor(0);
+    b.frames = 1;
+    b.payloadBytes = 0;
+    b.kind = static_cast<std::uint32_t>(kind);
+    b.connToken = conn_token;
+    b.arg = arg;
+    if (handshake_sockbuf != 0) {
+        b.hasMeta = true;
+        b.meta[0] = handshake_sockbuf;
+    }
+    nic_.transmit(b);
+}
+
+int
+TcpStack::rxCoreFor(unsigned queue, std::uint64_t /*flow*/) const
+{
+    // Interrupts are affinitized per *adapter*: the testbed's three
+    // cards are dual-port and share one IRQ line each, so two
+    // consecutive ports' queues land on the same core.  Within one
+    // adapter, only the multiple-receive-queue feature spreads its
+    // queues over further cores (paper SS2.2.3: without it,
+    // "processing occurs on a single CPU, the CPU which handles the
+    // controller's interrupt").
+    if (nic_.config().rxQueuesPerPort > 1)
+        return static_cast<int>(queue % host_.cpu.coreCount());
+    return static_cast<int>((queue / 2) % host_.cpu.coreCount());
+}
+
+void
+TcpStack::onRxBatch(unsigned queue, std::vector<Burst> &&bursts)
+{
+    sim::simAssert(queue < rxChannels_.size(), "bad RX queue");
+    rxChannels_[queue]->push(std::move(bursts));
+}
+
+Coro<void>
+TcpStack::softirqLoop(unsigned queue)
+{
+    for (;;) {
+        auto batch = co_await rxChannels_[queue]->recv();
+        if (!batch.has_value())
+            co_return;
+        co_await processBatch(queue, std::move(*batch));
+    }
+}
+
+Coro<void>
+TcpStack::processBatch(unsigned queue, std::vector<Burst> bursts)
+{
+    const int core = rxCoreFor(queue, bursts.front().flow);
+
+    // NIC receive DMA deposited all of this into host memory.
+    std::size_t wire_total = 0;
+    for (const auto &b : bursts)
+        wire_total += b.wireBytes;
+    host_.bus.consume(wire_total);
+    const double bus_factor = host_.bus.slowdown();
+
+    // ---- pass 1: accumulate the CPU cost of this softirq batch ----
+    Tick cost =
+        nic_.pollingMode() ? cfg_.rxPollEntry : cfg_.rxIrqEntry;
+    for (const auto &b : bursts) {
+        cost += cfg_.rxPerFrame * b.frames;
+        switch (static_cast<BurstKind>(b.kind)) {
+          case BurstKind::Data: {
+            const double hdr_res =
+                cfg_.splitHeader ? 1.0 : host_.cache.residency(hdrPool_);
+            // Convex response: losing the last of the header pool's
+            // residency hurts much more than mild pressure (misses
+            // compound with DRAM queueing once the pool is evicted).
+            const double miss = 1.0 - hdr_res;
+            const double factor =
+                1.0 + cfg_.rxHdrMissFactor * miss * miss;
+            cost += static_cast<Tick>(
+                static_cast<double>(cfg_.rxProtoPerFrame) * b.frames *
+                factor);
+            if (!cfg_.splitHeader && cfg_.rxPayloadTouchFraction > 0.0) {
+                // Headers and payload share buffers: protocol work
+                // drags payload lines through the cache.
+                const auto touch = static_cast<std::size_t>(
+                    b.payloadBytes * cfg_.rxPayloadTouchFraction);
+                cost += host_.copy.touchTime(touch, hdr_res, bus_factor);
+                host_.bus.consume(touch);
+                noteStreamBytes(touch);
+            }
+            if (connFor(b.connToken)->rxWaiting_)
+                cost += cfg_.rxWakeup;
+            rxSegments_.inc();
+            break;
+          }
+          case BurstKind::Ack:
+            cost += cfg_.txAckProcess;
+            break;
+          case BurstKind::Syn:
+            cost += cfg_.connSetupCost;
+            break;
+          case BurstKind::SynAck:
+          case BurstKind::Fin:
+            cost += cfg_.txAckProcess;
+            break;
+        }
+    }
+
+    co_await host_.cpu.compute(cost, core, /*highPriority=*/true);
+
+    // ---- pass 2: apply protocol effects ----
+    for (const auto &b : bursts) {
+        switch (static_cast<BurstKind>(b.kind)) {
+          case BurstKind::Data: {
+            Connection *c = connFor(b.connToken);
+            c->rxBuffered_ += b.payloadBytes;
+            if (b.hasMeta) {
+                MsgMeta m;
+                for (int i = 0; i < 5; ++i)
+                    m.w[i] = b.meta[i];
+                c->metaQueue_.push_back(m);
+            }
+            c->rxReady_.pulse();
+            break;
+          }
+          case BurstKind::Ack: {
+            Connection *c = connFor(b.connToken);
+            c->credit_ += b.arg;
+            sim::simAssert(c->credit_ <= c->peerSockBuf_,
+                           "credit overflow (peer buffer accounting)");
+            c->creditAvail_.pulse();
+            break;
+          }
+          case BurstKind::Syn: {
+            const auto port = static_cast<std::uint16_t>(b.arg);
+            auto it = listeners_.find(port);
+            if (it == listeners_.end()) {
+                sim::fatal("connection attempt to port with no "
+                           "listener");
+            }
+            Connection *c = newConnection();
+            c->remoteNode_ = b.src;
+            c->remoteToken_ = b.connToken;
+            c->flow_ = b.flow;
+            c->peerSockBuf_ = b.hasMeta ? b.meta[0] : cfg_.sockBuf;
+            c->credit_ = c->peerSockBuf_;
+            c->established_ = true;
+            sendControl(b.src, b.flow, BurstKind::SynAck, b.connToken,
+                        c->localToken_, cfg_.sockBuf);
+            it->second->pending_.push(c);
+            break;
+          }
+          case BurstKind::SynAck: {
+            Connection *c = connFor(b.connToken);
+            c->remoteToken_ = b.arg;
+            c->peerSockBuf_ = b.hasMeta ? b.meta[0] : cfg_.sockBuf;
+            c->credit_ = c->peerSockBuf_;
+            c->established_ = true;
+            c->establishedEvt_.trigger();
+            break;
+          }
+          case BurstKind::Fin: {
+            Connection *c = connFor(b.connToken);
+            c->peerClosed_ = true;
+            c->rxReady_.pulse();
+            break;
+          }
+        }
+    }
+}
+
+Coro<void>
+TcpStack::receiveCopy(std::size_t bytes)
+{
+    if (cfg_.dmaCopyOffload && host_.dma && bytes >= cfg_.dmaCopyBreak) {
+        // I/OAT path: pin user pages, build descriptors, let the
+        // engine move the bytes while the CPU is free.
+        const Tick cpu_cost = host_.pages.pinCost(bytes) +
+                              host_.dma->submissionCost(bytes);
+        co_await host_.cpu.compute(cpu_cost);
+        host_.bus.consume(2 * bytes);
+        co_await host_.dma->transfer(bytes);
+        co_await host_.cpu.compute(host_.pages.unpinCost(bytes));
+        dmaCopies_.inc();
+    } else {
+        // Classic CPU copy.  The source (freshly DMA-written kernel
+        // buffer) is cold; destination residency depends on load.
+        const double res =
+            0.4 * host_.cache.transientResidency(bytes);
+        const Tick t =
+            host_.copy.copyTime(bytes, res, host_.bus.slowdown());
+        co_await host_.cpu.compute(t);
+        host_.bus.consume(2 * bytes);
+        noteStreamBytes(2 * bytes);
+        cpuCopies_.inc();
+    }
+}
+
+} // namespace ioat::tcp

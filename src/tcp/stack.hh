@@ -1,0 +1,264 @@
+/**
+ * @file
+ * The transport stack: connections, flow control and — critically —
+ * the sender/receiver CPU cost accounting the paper measures.
+ *
+ * Data is virtual (only byte counts move); what the stack simulates
+ * faithfully is *where time goes*: syscalls, per-frame protocol work,
+ * kernel↔user copies (CPU or I/OAT DMA engine), interrupts, wakeups,
+ * credit returns, and their interaction with the cache and memory-bus
+ * models.
+ *
+ * Flow control is credit-based: a sender may have at most the peer's
+ * socket-buffer size outstanding; credit returns when the receiving
+ * *application* drains bytes with recv(), which is what couples
+ * receiver CPU load to achieved bandwidth (the paper's central
+ * effect).
+ */
+
+#ifndef IOAT_TCP_STACK_HH
+#define IOAT_TCP_STACK_HH
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/rolling_bytes.hh"
+#include "net/burst.hh"
+#include "nic/nic.hh"
+#include "simcore/channel.hh"
+#include "simcore/coro.hh"
+#include "simcore/stats.hh"
+#include "simcore/sync.hh"
+#include "tcp/config.hh"
+#include "tcp/host.hh"
+
+namespace ioat::tcp {
+
+using net::Burst;
+using net::NodeId;
+using sim::Coro;
+using sim::Tick;
+
+class TcpStack;
+
+/** Transport-level packet types carried in Burst::kind. */
+enum class BurstKind : std::uint32_t {
+    Syn = 1,
+    SynAck = 2,
+    Data = 3,
+    Ack = 4, ///< credit return
+    Fin = 5,
+};
+
+/** Per-send options. */
+struct SendOptions
+{
+    /** sendfile()-style zero-copy: skip the user→kernel copy. */
+    bool zeroCopy = false;
+};
+
+/**
+ * Application metadata that rides in-band with a message's first
+ * segment.  Data content is virtual in this simulator (only byte
+ * counts move); this is how message-structured applications attach
+ * the few words of real information a request/response needs.
+ */
+struct MsgMeta
+{
+    std::uint64_t w[5] = {};
+};
+
+/**
+ * One established connection (single writer, single reader).
+ *
+ * Owned by its TcpStack; applications hold non-owning pointers.
+ */
+class Connection
+{
+  public:
+    /**
+     * Blocking send of @p bytes.  Returns when the last byte has been
+     * accepted by the NIC (credit may stall us on the peer's buffer).
+     *
+     * @param meta optional application header delivered to the
+     *        peer's metadata queue together with the first segment.
+     */
+    Coro<void> send(std::size_t bytes, SendOptions opts = {},
+                    const MsgMeta *meta = nullptr);
+
+    /** Pop the oldest delivered application header. */
+    MsgMeta popMeta();
+
+    /** Number of delivered-but-unpopped application headers. */
+    std::size_t metaAvailable() const { return metaQueue_.size(); }
+
+    /**
+     * Blocking receive: waits for data, drains up to @p max_bytes
+     * from the socket buffer (kernel→user copy happens here).
+     * @return bytes received; 0 means the peer closed.
+     */
+    Coro<std::size_t> recv(std::size_t max_bytes);
+
+    /** Receive exactly @p bytes (looping) unless the peer closes. */
+    Coro<std::size_t> recvAll(std::size_t bytes);
+
+    /** Half-close: peer's recv() returns 0 after draining. */
+    void close();
+
+    bool established() const { return established_; }
+    bool peerClosed() const { return peerClosed_; }
+    /** Peer receive-buffer size learned in the handshake. */
+    std::size_t peerSockBuf() const { return peerSockBuf_; }
+    std::size_t rxAvailable() const { return rxBuffered_; }
+    std::uint64_t flow() const { return flow_; }
+    NodeId remoteNode() const { return remoteNode_; }
+
+    std::uint64_t bytesSent() const { return bytesSent_; }
+    std::uint64_t bytesReceived() const { return bytesReceived_; }
+
+  private:
+    friend class TcpStack;
+
+    Connection(TcpStack &stack, std::uint64_t local_token);
+
+    TcpStack &stack_;
+    std::uint64_t localToken_;
+    std::uint64_t remoteToken_ = 0;
+    NodeId remoteNode_ = net::kInvalidNode;
+    std::uint64_t flow_ = 0;
+    bool established_ = false;
+    sim::Event establishedEvt_;
+
+    // --- sender state ---
+    std::size_t credit_ = 0;      ///< unused peer-buffer bytes
+    std::size_t peerSockBuf_ = 0; ///< learned during the handshake
+    sim::Event creditAvail_;
+
+    // --- receiver state ---
+    std::size_t rxBuffered_ = 0; ///< bytes in the kernel socket buffer
+    bool rxWaiting_ = false;     ///< a recv() is blocked on data
+    sim::Event rxReady_;
+    bool peerClosed_ = false;
+    bool localClosed_ = false;
+    std::deque<MsgMeta> metaQueue_; ///< delivered application headers
+
+    std::uint64_t bytesSent_ = 0;
+    std::uint64_t bytesReceived_ = 0;
+};
+
+/**
+ * Passive endpoint: a queue of connections accepted on a port.
+ */
+class Listener
+{
+  public:
+    /** Awaitable: next established connection on this port. */
+    Coro<Connection *> accept();
+
+  private:
+    friend class TcpStack;
+
+    explicit Listener(sim::Simulation &sim) : pending_(sim) {}
+
+    sim::Channel<Connection *> pending_;
+};
+
+/**
+ * One node's transport stack, bound to its NIC and hardware models.
+ */
+class TcpStack
+{
+  public:
+    TcpStack(const Host &host, nic::Nic &nic, const TcpConfig &cfg);
+    ~TcpStack();
+
+    TcpStack(const TcpStack &) = delete;
+    TcpStack &operator=(const TcpStack &) = delete;
+
+    /** Active open to (remote node, port). */
+    Coro<Connection *> connect(NodeId remote, std::uint16_t port);
+
+    /** Passive open; one listener per port. */
+    Listener &listen(std::uint16_t port);
+
+    const TcpConfig &config() const { return cfg_; }
+    const Host &host() const { return host_; }
+    nic::Nic &nicDev() { return nic_; }
+    NodeId nodeId() const { return nic_.id(); }
+
+    /** @name Stack-level statistics
+     *  @{ */
+    std::uint64_t txPayloadBytes() const { return txPayload_.value(); }
+    std::uint64_t rxPayloadBytes() const { return rxPayload_.value(); }
+    std::uint64_t rxSegments() const { return rxSegments_.value(); }
+    std::uint64_t dmaOffloadedCopies() const { return dmaCopies_.value(); }
+    std::uint64_t cpuCopies() const { return cpuCopies_.value(); }
+    /** @} */
+
+  private:
+    friend class Connection;
+
+    /** NIC interrupt entry point. */
+    void onRxBatch(unsigned queue, std::vector<Burst> &&bursts);
+
+    /**
+     * Per-queue softirq service loop (NAPI-style): batches of one RX
+     * queue are processed strictly in order, one at a time.
+     */
+    Coro<void> softirqLoop(unsigned queue);
+
+    /** Process one interrupt's worth of bursts. */
+    Coro<void> processBatch(unsigned queue, std::vector<Burst> bursts);
+
+    /** Core that services interrupts for a given flow's port. */
+    int rxCoreFor(unsigned queue, std::uint64_t flow) const;
+
+    /**
+     * Transmit a zero-payload control burst on a connection's flow.
+     * @param handshake_sockbuf nonzero on SYN/SYN-ACK: advertises the
+     *        local receive buffer to bound the peer's send credit.
+     */
+    void sendControl(NodeId dst, std::uint64_t flow, BurstKind kind,
+                     std::uint64_t conn_token, std::uint64_t arg,
+                     std::uint64_t handshake_sockbuf = 0);
+
+    /** Kernel→user copy inside recv() (CPU or DMA-engine path). */
+    Coro<void> receiveCopy(std::size_t bytes);
+
+    /** Record CPU-streamed payload bytes (cache-pollution tracking). */
+    void noteStreamBytes(std::size_t bytes);
+
+    Connection *newConnection();
+    Connection *connFor(std::uint64_t token);
+
+    Host host_;
+    nic::Nic &nic_;
+    TcpConfig cfg_;
+
+    std::vector<std::unique_ptr<Connection>> conns_;
+    std::unordered_map<std::uint16_t, std::unique_ptr<Listener>> listeners_;
+    std::uint64_t flowCounter_ = 0;
+
+    /** One pending-batch channel per RX queue (softirq mailboxes). */
+    std::vector<std::unique_ptr<sim::Channel<std::vector<Burst>>>>
+        rxChannels_;
+
+    /** Header/metadata pool footprint (protected iff split-header). */
+    mem::FootprintId hdrPool_;
+    /** Streaming payload footprint from recent CPU copies/touches. */
+    mem::FootprintId netStream_;
+    mem::RollingBytes streamWindow_;
+
+    sim::stats::Counter txPayload_;
+    sim::stats::Counter rxPayload_;
+    sim::stats::Counter rxSegments_;
+    sim::stats::Counter dmaCopies_;
+    sim::stats::Counter cpuCopies_;
+};
+
+} // namespace ioat::tcp
+
+#endif // IOAT_TCP_STACK_HH

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Tests for application working-set accounting (core::AppMemory) and
+ * its interaction with the cache and CPU models.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/app_memory.hh"
+#include "core/node.hh"
+#include "simcore/simcore.hh"
+
+namespace {
+
+using namespace ioat;
+using core::AppMemory;
+using core::IoatConfig;
+using core::Node;
+using core::NodeConfig;
+using sim::Coro;
+using sim::Simulation;
+using sim::Tick;
+
+struct Rig
+{
+    Simulation sim;
+    net::Switch fabric{sim};
+    Node node{sim, fabric, NodeConfig::server(IoatConfig::disabled())};
+};
+
+TEST(AppMemory, SmallWorkingSetStaysResident)
+{
+    Rig rig;
+    AppMemory mem(rig.node.host(), "test");
+    mem.reserve(sim::kib(256));
+    EXPECT_DOUBLE_EQ(mem.residency(), 1.0);
+}
+
+TEST(AppMemory, LargeWorkingSetLosesResidency)
+{
+    Rig rig;
+    AppMemory mem(rig.node.host(), "test");
+    mem.reserve(sim::mib(16)); // vs a 2 MB L2
+    EXPECT_LT(mem.residency(), 0.2);
+}
+
+TEST(AppMemory, ReserveAndReleaseAreSymmetric)
+{
+    Rig rig;
+    AppMemory mem(rig.node.host(), "test");
+    const double before = mem.residency();
+    mem.reserve(sim::mib(8));
+    EXPECT_LT(mem.residency(), before);
+    mem.release(sim::mib(8));
+    EXPECT_DOUBLE_EQ(mem.residency(), before);
+    EXPECT_EQ(mem.reservedBytes(), 0u);
+}
+
+TEST(AppMemory, ReleaseBelowZeroClamps)
+{
+    Rig rig;
+    AppMemory mem(rig.node.host(), "test");
+    mem.reserve(1000);
+    mem.release(5000);
+    EXPECT_EQ(mem.reservedBytes(), 0u);
+}
+
+TEST(AppMemory, SetReservedOverrides)
+{
+    Rig rig;
+    AppMemory mem(rig.node.host(), "test");
+    mem.reserve(sim::mib(1));
+    mem.setReserved(sim::mib(4));
+    EXPECT_EQ(mem.reservedBytes(), sim::mib(4));
+}
+
+TEST(AppMemory, TouchChargesCpu)
+{
+    Rig rig;
+    AppMemory mem(rig.node.host(), "test");
+    bool done = false;
+    rig.sim.spawn([](AppMemory &m, bool &f) -> Coro<void> {
+        co_await m.touch(sim::mib(1));
+        f = true;
+    }(mem, done));
+    rig.sim.run();
+    EXPECT_TRUE(done);
+    EXPECT_GT(rig.node.cpu().totalBusyTicks(), 0u);
+}
+
+TEST(AppMemory, PollutedTouchIsSlower)
+{
+    // Streaming over data is slower when the working set overflows
+    // the cache — the coupling behind Fig. 7b and Fig. 9.
+    auto run = [](std::size_t reserve_bytes) {
+        Rig rig;
+        AppMemory mem(rig.node.host(), "test");
+        mem.reserve(reserve_bytes);
+        rig.sim.spawn([](AppMemory &m) -> Coro<void> {
+            co_await m.touch(sim::mib(1));
+        }(mem));
+        rig.sim.run();
+        return rig.node.cpu().totalBusyTicks();
+    };
+    EXPECT_GT(run(sim::mib(32)), run(sim::kib(64)));
+}
+
+TEST(AppMemory, StreamCopyDoesNotGrowWorkingSet)
+{
+    Rig rig;
+    AppMemory mem(rig.node.host(), "test");
+    bool done = false;
+    rig.sim.spawn([](AppMemory &m, bool &f) -> Coro<void> {
+        co_await m.streamCopy(sim::mib(8));
+        f = true;
+    }(mem, done));
+    rig.sim.run();
+    EXPECT_TRUE(done);
+    // Unlike copyInto, streamCopy retains nothing.
+    EXPECT_DOUBLE_EQ(mem.residency(), 1.0);
+}
+
+TEST(AppMemory, CopyIntoGrowsWorkingSet)
+{
+    Rig rig;
+    AppMemory mem(rig.node.host(), "test");
+    rig.sim.spawn([](AppMemory &m) -> Coro<void> {
+        co_await m.copyInto(sim::mib(8));
+    }(mem));
+    rig.sim.run();
+    EXPECT_LT(mem.residency(), 1.0);
+}
+
+TEST(AppMemory, DestructionRemovesFootprint)
+{
+    Rig rig;
+    const std::size_t before = rig.node.cache().footprintCount();
+    {
+        AppMemory mem(rig.node.host(), "scoped");
+        EXPECT_EQ(rig.node.cache().footprintCount(), before + 1);
+    }
+    EXPECT_EQ(rig.node.cache().footprintCount(), before);
+}
+
+// Two components on one node compete for the same cache.
+TEST(AppMemory, ComponentsShareTheCache)
+{
+    Rig rig;
+    AppMemory a(rig.node.host(), "a");
+    AppMemory b(rig.node.host(), "b");
+    a.reserve(sim::mib(1));
+    EXPECT_DOUBLE_EQ(a.residency(), 1.0);
+    b.reserve(sim::mib(7));
+    EXPECT_LT(a.residency(), 1.0); // b's pressure evicts a
+}
+
+} // namespace

@@ -1,0 +1,246 @@
+/**
+ * @file
+ * Tests for the multi-tier data-center application: LRU cache,
+ * workloads, and end-to-end client→proxy→web-server request flow.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/testbed.hh"
+#include "datacenter/client.hh"
+#include "datacenter/lru_cache.hh"
+#include "datacenter/proxy.hh"
+#include "datacenter/web_server.hh"
+#include "datacenter/workload.hh"
+#include "simcore/simcore.hh"
+
+namespace {
+
+using namespace ioat;
+using core::IoatConfig;
+using sim::Simulation;
+
+// --------------------------------------------------------------------
+// LruCache
+// --------------------------------------------------------------------
+
+TEST(LruCache, BasicGetPut)
+{
+    dc::LruCache cache(10000);
+    EXPECT_EQ(cache.get(1), 0u);
+    cache.put(1, 4000);
+    EXPECT_EQ(cache.get(1), 4000u);
+    EXPECT_EQ(cache.usedBytes(), 4000u);
+}
+
+TEST(LruCache, EvictsLeastRecentlyUsed)
+{
+    dc::LruCache cache(10000);
+    cache.put(1, 4000);
+    cache.put(2, 4000);
+    EXPECT_EQ(cache.get(1), 4000u); // touch 1: now 2 is LRU
+    cache.put(3, 4000);             // evicts 2
+    EXPECT_EQ(cache.get(2), 0u);
+    EXPECT_EQ(cache.get(1), 4000u);
+    EXPECT_EQ(cache.get(3), 4000u);
+    EXPECT_LE(cache.usedBytes(), cache.capacity());
+}
+
+TEST(LruCache, ReinsertUpdatesSize)
+{
+    dc::LruCache cache(10000);
+    cache.put(1, 4000);
+    cache.put(1, 6000);
+    EXPECT_EQ(cache.get(1), 6000u);
+    EXPECT_EQ(cache.usedBytes(), 6000u);
+    EXPECT_EQ(cache.objectCount(), 1u);
+}
+
+TEST(LruCache, OversizedObjectIsNotCached)
+{
+    dc::LruCache cache(1000);
+    cache.put(1, 5000);
+    EXPECT_EQ(cache.get(1), 0u);
+    EXPECT_EQ(cache.usedBytes(), 0u);
+}
+
+TEST(LruCache, NeverExceedsCapacity)
+{
+    dc::LruCache cache(10000);
+    sim::Rng rng(3);
+    for (int i = 0; i < 1000; ++i) {
+        cache.put(rng.uniformInt(0, 99), rng.uniformInt(100, 3000));
+        EXPECT_LE(cache.usedBytes(), cache.capacity());
+    }
+}
+
+// --------------------------------------------------------------------
+// Workloads
+// --------------------------------------------------------------------
+
+TEST(Workload, SingleFileProducesFixedSizes)
+{
+    dc::SingleFileWorkload wl(4096, 1000);
+    sim::Rng rng(1);
+    for (int i = 0; i < 100; ++i) {
+        auto req = wl.next(rng);
+        EXPECT_EQ(req.bytes, 4096u);
+        EXPECT_LT(req.fileId, 1000u);
+    }
+}
+
+TEST(Workload, ZipfConcentratesOnPopularFiles)
+{
+    dc::ZipfWorkload hot(0.95, 1000, 8192);
+    dc::ZipfWorkload cold(0.5, 1000, 8192);
+    sim::Rng rng(7);
+    auto head_fraction = [&](dc::Workload &wl) {
+        sim::Rng r(7);
+        int head = 0;
+        for (int i = 0; i < 20000; ++i)
+            if (wl.next(r).fileId < 10)
+                ++head;
+        return head / 20000.0;
+    };
+    EXPECT_GT(head_fraction(hot), head_fraction(cold));
+}
+
+// --------------------------------------------------------------------
+// End-to-end data center
+// --------------------------------------------------------------------
+
+struct DcRig
+{
+    Simulation sim;
+    core::Testbed tb;
+    dc::DcConfig cfg;
+    dc::SingleFileWorkload workload;
+    dc::WebServer server;
+    dc::Proxy proxy;
+
+    explicit DcRig(IoatConfig features = IoatConfig::disabled(),
+                   std::size_t file_bytes = 4096)
+        : tb(sim,
+             core::TestbedConfig{
+                 .serverCount = 2,
+                 .serverConfig = core::NodeConfig::server(features),
+                 .clientCount = 4,
+             }),
+          workload(file_bytes, 1000),
+          server(tb.server(1), cfg, workload),
+          proxy(tb.server(0), cfg, tb.server(1).id())
+    {
+        server.start();
+        proxy.start();
+    }
+};
+
+TEST(DataCenter, RequestsFlowThroughBothTiers)
+{
+    DcRig rig;
+    dc::ClientFleet::Options opts;
+    opts.target = rig.tb.server(0).id();
+    opts.port = rig.cfg.proxyPort;
+    opts.threads = 8;
+    dc::ClientFleet fleet({&rig.tb.client(0), &rig.tb.client(1),
+                           &rig.tb.client(2), &rig.tb.client(3)},
+                          rig.workload, opts);
+    fleet.start();
+    rig.sim.runFor(sim::milliseconds(200));
+
+    EXPECT_GT(fleet.completed(), 100u);
+    // The proxy may be ahead of the clients by the in-flight window.
+    EXPECT_GE(rig.proxy.requestsServed(), fleet.completed());
+    EXPECT_LE(rig.proxy.requestsServed(), fleet.completed() + 8);
+    // Proxy forwarded misses to the web server.
+    EXPECT_GT(rig.server.requestsServed(), 0u);
+    EXPECT_GE(rig.proxy.cacheHits() + rig.proxy.cacheMisses(),
+              rig.proxy.requestsServed());
+    EXPECT_LE(rig.proxy.cacheHits() + rig.proxy.cacheMisses(),
+              rig.proxy.requestsServed() + 8);
+}
+
+TEST(DataCenter, CacheHitsAvoidBackendTraffic)
+{
+    // 1000 x 4 KB = 4 MB working set fits the 64 MB proxy cache, so
+    // after warmup nearly everything is a hit.
+    DcRig rig;
+    dc::ClientFleet::Options opts;
+    opts.target = rig.tb.server(0).id();
+    opts.port = rig.cfg.proxyPort;
+    opts.threads = 4;
+    dc::ClientFleet fleet({&rig.tb.client(0)}, rig.workload, opts);
+    fleet.start();
+    rig.sim.runFor(sim::milliseconds(500));
+
+    EXPECT_GT(rig.proxy.hitRate(), 0.5);
+    // Backend served ~one request per distinct file (concurrent
+    // misses on the same object may fetch it twice).
+    EXPECT_LE(rig.server.requestsServed(), 1000u + 4u);
+}
+
+TEST(DataCenter, LatencyIsMeasured)
+{
+    DcRig rig;
+    dc::ClientFleet::Options opts;
+    opts.target = rig.tb.server(0).id();
+    opts.port = rig.cfg.proxyPort;
+    opts.threads = 2;
+    dc::ClientFleet fleet({&rig.tb.client(0)}, rig.workload, opts);
+    fleet.start();
+    rig.sim.runFor(sim::milliseconds(100));
+
+    ASSERT_GT(fleet.latencyUs().count(), 0u);
+    // A 4 KB request over two GigE hops takes at least ~100 us and
+    // under load should stay below ~50 ms.
+    EXPECT_GT(fleet.latencyUs().min(), 100.0);
+    EXPECT_LT(fleet.latencyUs().mean(), 50000.0);
+}
+
+TEST(DataCenter, IoatServesAtLeastAsManyTransactions)
+{
+    auto run = [](IoatConfig features) {
+        DcRig rig(features, 8192);
+        dc::ClientFleet::Options opts;
+        opts.target = rig.tb.server(0).id();
+        opts.port = rig.cfg.proxyPort;
+        opts.threads = 32;
+        dc::ClientFleet fleet({&rig.tb.client(0), &rig.tb.client(1),
+                               &rig.tb.client(2), &rig.tb.client(3)},
+                              rig.workload, opts);
+        fleet.start();
+        rig.sim.runFor(sim::milliseconds(300));
+        return fleet.completed();
+    };
+    const auto non_ioat = run(IoatConfig::disabled());
+    const auto ioat = run(IoatConfig::enabled());
+    EXPECT_GE(ioat, non_ioat);
+}
+
+TEST(DataCenter, ZipfWorkloadHitRateTracksAlpha)
+{
+    auto run = [](double alpha) {
+        Simulation sim;
+        core::Testbed tb(sim, core::TestbedConfig{.serverCount = 2,
+                                                  .clientCount = 2});
+        dc::DcConfig cfg;
+        cfg.proxyCacheBytes = 8 * 1024 * 1024; // force misses
+        dc::ZipfWorkload wl(alpha, 20000, 8192);
+        dc::WebServer server(tb.server(1), cfg, wl);
+        dc::Proxy proxy(tb.server(0), cfg, tb.server(1).id());
+        server.start();
+        proxy.start();
+        dc::ClientFleet::Options opts;
+        opts.target = tb.server(0).id();
+        opts.port = cfg.proxyPort;
+        opts.threads = 8;
+        dc::ClientFleet fleet({&tb.client(0), &tb.client(1)}, wl, opts);
+        fleet.start();
+        sim.runFor(sim::milliseconds(400));
+        return proxy.hitRate();
+    };
+    // Higher temporal locality -> higher proxy hit rate.
+    EXPECT_GT(run(0.95), run(0.5));
+}
+
+} // namespace

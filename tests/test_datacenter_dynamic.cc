@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Tests for the dynamic-content tiers (application server + database).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/testbed.hh"
+#include "datacenter/app_server.hh"
+#include "datacenter/client.hh"
+#include "datacenter/workload.hh"
+#include "simcore/simcore.hh"
+#include "sock/message.hh"
+
+namespace {
+
+using namespace ioat;
+using core::IoatConfig;
+using sim::Coro;
+using sim::Simulation;
+
+struct DynRig
+{
+    Simulation sim;
+    core::Testbed tb;
+    dc::DcConfig http;
+    dc::DynConfig dyn;
+    dc::Database db;
+    dc::AppServer app;
+
+    explicit DynRig(IoatConfig features = IoatConfig::disabled())
+        : tb(sim,
+             core::TestbedConfig{
+                 .serverCount = 2,
+                 .serverConfig = core::NodeConfig::server(features),
+                 .clientCount = 2,
+             }),
+          db(tb.server(1), dyn),
+          app(tb.server(0), http, dyn, tb.server(1).id())
+    {
+        db.start();
+        app.start();
+    }
+};
+
+TEST(DynamicContent, RequestTriggersScriptAndQueries)
+{
+    DynRig rig;
+    bool done = false;
+    rig.sim.spawn([](DynRig &r, bool &f) -> Coro<void> {
+        tcp::Connection *c = co_await r.tb.client(0).stack().connect(
+            r.tb.server(0).id(), r.dyn.appPort);
+        sock::Message req;
+        req.tag = static_cast<std::uint64_t>(dc::DynTag::DynamicGet);
+        req.a = 42;
+        co_await sock::sendMessage(*c, req);
+        auto resp = co_await sock::recvMessageAndPayload(*c);
+        EXPECT_TRUE(resp.has_value());
+        if (resp) {
+            EXPECT_EQ(resp->payloadBytes, r.dyn.responseBytes);
+        }
+        f = true;
+    }(rig, done));
+    rig.sim.run();
+    EXPECT_TRUE(done);
+    EXPECT_EQ(rig.app.requestsServed(), 1u);
+    // Each dynamic request issues queriesPerRequest DB round trips.
+    EXPECT_EQ(rig.db.queriesServed(), rig.dyn.queriesPerRequest);
+}
+
+TEST(DynamicContent, PipelinedRequestsAllComplete)
+{
+    DynRig rig;
+    int done = 0;
+    for (int i = 0; i < 8; ++i) {
+        rig.sim.spawn([](DynRig &r, int &n, int id) -> Coro<void> {
+            tcp::Connection *c =
+                co_await r.tb.client(0).stack().connect(
+                    r.tb.server(0).id(), r.dyn.appPort);
+            for (int k = 0; k < 5; ++k) {
+                sock::Message req;
+                req.tag =
+                    static_cast<std::uint64_t>(dc::DynTag::DynamicGet);
+                req.a = static_cast<std::uint64_t>(id * 100 + k);
+                co_await sock::sendMessage(*c, req);
+                auto resp = co_await sock::recvMessageAndPayload(*c);
+                EXPECT_TRUE(resp.has_value());
+            }
+            ++n;
+        }(rig, done, i));
+    }
+    rig.sim.run();
+    EXPECT_EQ(done, 8);
+    EXPECT_EQ(rig.app.requestsServed(), 40u);
+    EXPECT_EQ(rig.db.queriesServed(),
+              40u * rig.dyn.queriesPerRequest);
+}
+
+TEST(DynamicContent, ClientFleetDrivesAppTier)
+{
+    DynRig rig;
+    dc::SingleFileWorkload wl(rig.dyn.responseBytes, 100);
+    dc::ClientFleet::Options opts;
+    opts.target = rig.tb.server(0).id();
+    opts.port = rig.dyn.appPort;
+    opts.threads = 8;
+    opts.requestTag = static_cast<std::uint64_t>(dc::DynTag::DynamicGet);
+    dc::ClientFleet fleet({&rig.tb.client(0), &rig.tb.client(1)}, wl,
+                          opts);
+    fleet.start();
+    rig.sim.runFor(sim::milliseconds(300));
+    EXPECT_GT(fleet.completed(), 50u);
+    EXPECT_GE(rig.app.requestsServed(), fleet.completed());
+}
+
+TEST(DynamicContent, ScriptCostDominatesLatency)
+{
+    // The app tier is compute-bound: per-request latency must exceed
+    // script + queries * (db cost + round trip).
+    DynRig rig;
+    sim::Tick latency = 0;
+    rig.sim.spawn([](DynRig &r, sim::Tick &out) -> Coro<void> {
+        tcp::Connection *c = co_await r.tb.client(0).stack().connect(
+            r.tb.server(0).id(), r.dyn.appPort);
+        const sim::Tick t0 = r.sim.now();
+        sock::Message req;
+        req.tag = static_cast<std::uint64_t>(dc::DynTag::DynamicGet);
+        co_await sock::sendMessage(*c, req);
+        (void)co_await sock::recvMessageAndPayload(*c);
+        out = r.sim.now() - t0;
+    }(rig, latency));
+    rig.sim.run();
+    EXPECT_GT(latency, rig.dyn.scriptCost +
+                           rig.dyn.queriesPerRequest *
+                               rig.dyn.dbQueryCost);
+}
+
+TEST(DynamicContent, IoatHelpsTheSaturatedAppTier)
+{
+    auto run = [](IoatConfig features) {
+        DynRig rig(features);
+        dc::SingleFileWorkload wl(rig.dyn.responseBytes, 100);
+        dc::ClientFleet::Options opts;
+        opts.target = rig.tb.server(0).id();
+        opts.port = rig.dyn.appPort;
+        opts.threads = 32;
+        opts.requestTag =
+            static_cast<std::uint64_t>(dc::DynTag::DynamicGet);
+        dc::ClientFleet fleet({&rig.tb.client(0), &rig.tb.client(1)},
+                              wl, opts);
+        fleet.start();
+        rig.sim.runFor(sim::milliseconds(400));
+        return fleet.completed();
+    };
+    EXPECT_GE(run(IoatConfig::enabled()),
+              run(IoatConfig::disabled()));
+}
+
+} // namespace

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Unit and property tests for the memory subsystem models.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/cache_model.hh"
+#include "mem/copy_model.hh"
+#include "mem/page_model.hh"
+#include "simcore/types.hh"
+
+namespace {
+
+using namespace ioat;
+using sim::kib;
+using sim::mib;
+using sim::Tick;
+
+// --------------------------------------------------------------------
+// CopyModel
+// --------------------------------------------------------------------
+
+TEST(CopyModel, HotIsFasterThanCold)
+{
+    mem::CopyModel cm;
+    for (std::size_t sz : {kib(1), kib(8), kib(64), mib(1)})
+        EXPECT_LT(cm.hotCopyTime(sz), cm.coldCopyTime(sz)) << sz;
+}
+
+TEST(CopyModel, ResidencyInterpolatesBetweenExtremes)
+{
+    mem::CopyModel cm;
+    const std::size_t sz = kib(64);
+    const Tick mid = cm.copyTime(sz, 0.5);
+    EXPECT_GT(mid, cm.hotCopyTime(sz));
+    EXPECT_LT(mid, cm.coldCopyTime(sz));
+}
+
+TEST(CopyModel, ResidencyIsClamped)
+{
+    mem::CopyModel cm;
+    EXPECT_EQ(cm.copyTime(kib(4), -1.0), cm.copyTime(kib(4), 0.0));
+    EXPECT_EQ(cm.copyTime(kib(4), 2.0), cm.copyTime(kib(4), 1.0));
+}
+
+TEST(CopyModel, TouchIsCheaperThanCopy)
+{
+    mem::CopyModel cm;
+    for (std::size_t sz : {kib(4), kib(64), mib(1)})
+        EXPECT_LT(cm.touchTime(sz, 0.0), cm.copyTime(sz, 0.0));
+}
+
+class CopyModelMonotonic : public ::testing::TestWithParam<double>
+{};
+
+TEST_P(CopyModelMonotonic, TimeGrowsWithSize)
+{
+    mem::CopyModel cm;
+    const double res = GetParam();
+    Tick prev = 0;
+    for (std::size_t sz = 1024; sz <= mib(8); sz *= 2) {
+        const Tick t = cm.copyTime(sz, res);
+        EXPECT_GT(t, prev);
+        prev = t;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Residencies, CopyModelMonotonic,
+                         ::testing::Values(0.0, 0.25, 0.5, 0.75, 1.0));
+
+TEST(CopyModel, CalibrationBallpark)
+{
+    // 64 KB cold copy at 1.5 GB/s should be ~44 us; hot at 4 GB/s ~16 us.
+    mem::CopyModel cm;
+    EXPECT_NEAR(sim::toMicroseconds(cm.coldCopyTime(kib(64))), 43.7, 2.0);
+    EXPECT_NEAR(sim::toMicroseconds(cm.hotCopyTime(kib(64))), 16.4, 2.0);
+}
+
+// --------------------------------------------------------------------
+// CacheModel
+// --------------------------------------------------------------------
+
+TEST(CacheModel, EverythingResidentWhenUnderCapacity)
+{
+    mem::CacheModel cache(mib(2));
+    auto a = cache.addFootprint("a", kib(512));
+    auto b = cache.addFootprint("b", kib(512));
+    EXPECT_DOUBLE_EQ(cache.residency(a), 1.0);
+    EXPECT_DOUBLE_EQ(cache.residency(b), 1.0);
+}
+
+TEST(CacheModel, OversubscriptionSharesProportionally)
+{
+    mem::CacheModel cache(mib(2));
+    auto a = cache.addFootprint("a", mib(2));
+    auto b = cache.addFootprint("b", mib(2));
+    // 4 MB of demand on a 2 MB cache -> each sees 50%.
+    EXPECT_DOUBLE_EQ(cache.residency(a), 0.5);
+    EXPECT_DOUBLE_EQ(cache.residency(b), 0.5);
+}
+
+TEST(CacheModel, ProtectedFootprintWinsCapacity)
+{
+    mem::CacheModel cache(mib(2));
+    auto hdrs = cache.addFootprint("headers", kib(64), /*protectedHot=*/true);
+    auto payload = cache.addFootprint("payload", mib(8));
+    // The protected header pool stays resident despite 8 MB streaming.
+    EXPECT_DOUBLE_EQ(cache.residency(hdrs), 1.0);
+    EXPECT_LT(cache.residency(payload), 0.3);
+}
+
+TEST(CacheModel, UnprotectedHeadersGetEvictedByStreaming)
+{
+    // Same scenario but headers not split out: they fight the stream.
+    mem::CacheModel cache(mib(2));
+    auto hdrs = cache.addFootprint("headers", kib(64), /*protectedHot=*/false);
+    cache.addFootprint("payload", mib(8));
+    EXPECT_LT(cache.residency(hdrs), 0.3);
+}
+
+TEST(CacheModel, ResizeChangesResidency)
+{
+    mem::CacheModel cache(mib(2));
+    auto a = cache.addFootprint("a", mib(1));
+    EXPECT_DOUBLE_EQ(cache.residency(a), 1.0);
+    cache.resizeFootprint(a, mib(4));
+    EXPECT_DOUBLE_EQ(cache.residency(a), 0.5);
+}
+
+TEST(CacheModel, RemoveFreesCapacity)
+{
+    mem::CacheModel cache(mib(2));
+    auto a = cache.addFootprint("a", mib(2));
+    auto b = cache.addFootprint("b", mib(2));
+    EXPECT_DOUBLE_EQ(cache.residency(a), 0.5);
+    cache.removeFootprint(b);
+    EXPECT_DOUBLE_EQ(cache.residency(a), 1.0);
+}
+
+TEST(CacheModel, TransientResidencyAccountsForLoad)
+{
+    mem::CacheModel cache(mib(2));
+    EXPECT_DOUBLE_EQ(cache.transientResidency(kib(64)), 1.0);
+    cache.addFootprint("busy", mib(4));
+    EXPECT_LT(cache.transientResidency(mib(1)), 0.5);
+}
+
+TEST(CacheModel, ZeroByteFootprintIsResident)
+{
+    mem::CacheModel cache(mib(2));
+    auto a = cache.addFootprint("empty", 0);
+    EXPECT_DOUBLE_EQ(cache.residency(a), 1.0);
+}
+
+class CacheOversubscribe : public ::testing::TestWithParam<std::size_t>
+{};
+
+TEST_P(CacheOversubscribe, ResidencyNeverExceedsOne)
+{
+    mem::CacheModel cache(mib(2));
+    auto id = cache.addFootprint("x", GetParam());
+    const double r = cache.residency(id);
+    EXPECT_GE(r, 0.0);
+    EXPECT_LE(r, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CacheOversubscribe,
+                         ::testing::Values(0, kib(1), mib(1), mib(2),
+                                           mib(3), mib(64)));
+
+// --------------------------------------------------------------------
+// PageModel
+// --------------------------------------------------------------------
+
+TEST(PageModel, PageCounts)
+{
+    mem::PageModel pm;
+    EXPECT_EQ(pm.pagesFor(0), 0u);
+    EXPECT_EQ(pm.pagesFor(1), 1u);
+    EXPECT_EQ(pm.pagesFor(4096), 1u);
+    EXPECT_EQ(pm.pagesFor(4097), 2u);
+    EXPECT_EQ(pm.pagesFor(kib(64)), 16u);
+}
+
+TEST(PageModel, PinCostScalesWithPages)
+{
+    mem::PageModel pm;
+    EXPECT_EQ(pm.pinCost(0), 0u);
+    const Tick one = pm.pinCost(kib(4));
+    const Tick many = pm.pinCost(kib(64));
+    EXPECT_GT(many, one);
+    // 16 pages vs 1 page differ by 15 per-page costs.
+    EXPECT_EQ(many - one, 15 * pm.config().pinPerPage);
+}
+
+TEST(PageModel, UnpinCheaperThanPin)
+{
+    mem::PageModel pm;
+    for (std::size_t sz : {kib(4), kib(64), mib(1)})
+        EXPECT_LT(pm.unpinCost(sz), pm.pinCost(sz));
+}
+
+// The paper's §7 caveat: pinning can exceed the copy saving for tiny
+// buffers.  Check the model exposes that regime.
+TEST(PageModel, PinningDominatesForTinyCopies)
+{
+    mem::PageModel pm;
+    mem::CopyModel cm;
+    // For a 1 KB buffer, pinning alone costs more than just copying.
+    EXPECT_GT(pm.pinCost(1024), cm.coldCopyTime(1024) / 2);
+}
+
+} // namespace

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Unit tests for the memory-bus contention model and the rolling byte
+ * window.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/memory_bus.hh"
+#include "mem/rolling_bytes.hh"
+#include "simcore/simcore.hh"
+
+namespace {
+
+using namespace ioat;
+using sim::Simulation;
+
+TEST(MemoryBus, IdleBusHasNoSlowdown)
+{
+    Simulation sim;
+    mem::MemoryBus bus(sim);
+    EXPECT_DOUBLE_EQ(bus.slowdown(), 1.0);
+    EXPECT_DOUBLE_EQ(bus.utilization(), 0.0);
+}
+
+TEST(MemoryBus, DemandUnderCapacityKeepsSlowdownAtOne)
+{
+    Simulation sim;
+    mem::MemoryBusConfig cfg;
+    cfg.capacity = sim::Rate::bytesPerSec(1e9);
+    cfg.window = sim::microseconds(200);
+    mem::MemoryBus bus(sim, cfg);
+    // 100 MB/s of traffic on a 1 GB/s bus.
+    for (int i = 0; i < 10; ++i) {
+        bus.consume(2000);
+        sim.runFor(sim::microseconds(20));
+    }
+    EXPECT_DOUBLE_EQ(bus.slowdown(), 1.0);
+    EXPECT_GT(bus.utilization(), 0.0);
+    EXPECT_LT(bus.utilization(), 0.5);
+}
+
+TEST(MemoryBus, OversubscriptionScalesLinearly)
+{
+    Simulation sim;
+    mem::MemoryBusConfig cfg;
+    cfg.capacity = sim::Rate::bytesPerSec(1e9);
+    cfg.window = sim::microseconds(200);
+    mem::MemoryBus bus(sim, cfg);
+    // 2 GB/s of demand on a 1 GB/s bus -> slowdown ~2.
+    for (int i = 0; i < 20; ++i) {
+        bus.consume(20000);
+        sim.runFor(sim::microseconds(10));
+    }
+    EXPECT_NEAR(bus.slowdown(), 2.0, 0.3);
+}
+
+TEST(MemoryBus, DemandDecaysAfterQuiet)
+{
+    Simulation sim;
+    mem::MemoryBus bus(sim);
+    bus.consume(1000000);
+    EXPECT_GT(bus.utilization(), 0.0);
+    sim.runFor(sim::milliseconds(10)); // several windows of silence
+    EXPECT_DOUBLE_EQ(bus.utilization(), 0.0);
+    EXPECT_DOUBLE_EQ(bus.slowdown(), 1.0);
+}
+
+TEST(MemoryBus, TotalBytesAccumulates)
+{
+    Simulation sim;
+    mem::MemoryBus bus(sim);
+    bus.consume(100);
+    sim.runFor(sim::seconds(1));
+    bus.consume(200);
+    EXPECT_EQ(bus.totalBytes(), 300u);
+}
+
+TEST(RollingBytes, EstimateTracksRecentWindow)
+{
+    Simulation sim;
+    mem::RollingBytes rb(sim, sim::milliseconds(1));
+    rb.add(1000);
+    EXPECT_EQ(rb.estimate(), 1000u);
+    sim.runFor(sim::microseconds(400));
+    rb.add(500);
+    EXPECT_EQ(rb.estimate(), 1500u);
+}
+
+TEST(RollingBytes, OldBytesAgeOut)
+{
+    Simulation sim;
+    mem::RollingBytes rb(sim, sim::milliseconds(1));
+    rb.add(1000);
+    sim.runFor(sim::milliseconds(5));
+    EXPECT_EQ(rb.estimate(), 0u);
+}
+
+TEST(RollingBytes, PartialAging)
+{
+    Simulation sim;
+    mem::RollingBytes rb(sim, sim::milliseconds(1));
+    rb.add(1000);
+    // After one half-window the bytes are in the "previous" bucket
+    // and still counted.
+    sim.runFor(sim::microseconds(600));
+    EXPECT_EQ(rb.estimate(), 1000u);
+    // After two half-windows they are gone.
+    sim.runFor(sim::microseconds(600));
+    EXPECT_EQ(rb.estimate(), 0u);
+}
+
+} // namespace

@@ -1,0 +1,288 @@
+/**
+ * @file
+ * Model-based randomized tests: drive components with long
+ * deterministic random operation sequences and compare against
+ * simple reference implementations (or check invariants after every
+ * step).  This is where subtle bookkeeping bugs go to die.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <list>
+#include <map>
+#include <vector>
+
+#include "cpu/cpu.hh"
+#include "datacenter/lru_cache.hh"
+#include "mem/cache_model.hh"
+#include "simcore/simcore.hh"
+
+namespace {
+
+using namespace ioat;
+using sim::Rng;
+using sim::Simulation;
+
+// --------------------------------------------------------------------
+// LruCache vs a straightforward reference
+// --------------------------------------------------------------------
+
+/** Obviously-correct LRU with byte capacity. */
+class RefLru
+{
+  public:
+    explicit RefLru(std::size_t cap) : cap_(cap) {}
+
+    std::size_t
+    get(std::uint64_t id)
+    {
+        auto it = std::find(order_.begin(), order_.end(), id);
+        if (it == order_.end())
+            return 0;
+        order_.erase(it);
+        order_.push_front(id);
+        return sizes_[id];
+    }
+
+    void
+    put(std::uint64_t id, std::size_t bytes)
+    {
+        if (bytes > cap_)
+            return;
+        auto it = std::find(order_.begin(), order_.end(), id);
+        if (it != order_.end()) {
+            used_ -= sizes_[id];
+            order_.erase(it);
+            sizes_.erase(id);
+        }
+        while (used_ + bytes > cap_ && !order_.empty()) {
+            const auto victim = order_.back();
+            order_.pop_back();
+            used_ -= sizes_[victim];
+            sizes_.erase(victim);
+        }
+        order_.push_front(id);
+        sizes_[id] = bytes;
+        used_ += bytes;
+    }
+
+    std::size_t used() const { return used_; }
+    std::size_t count() const { return order_.size(); }
+
+  private:
+    std::size_t cap_;
+    std::size_t used_ = 0;
+    std::list<std::uint64_t> order_;
+    std::map<std::uint64_t, std::size_t> sizes_;
+};
+
+TEST(ModelBased, LruCacheMatchesReferenceOverRandomOps)
+{
+    dc::LruCache dut(100000);
+    RefLru ref(100000);
+    Rng rng(2024);
+
+    for (int step = 0; step < 20000; ++step) {
+        const std::uint64_t id = rng.uniformInt(0, 60);
+        if (rng.uniform() < 0.5) {
+            const std::size_t bytes = rng.uniformInt(100, 30000);
+            dut.put(id, bytes);
+            ref.put(id, bytes);
+        } else {
+            ASSERT_EQ(dut.get(id), ref.get(id)) << "step " << step;
+        }
+        ASSERT_EQ(dut.usedBytes(), ref.used()) << "step " << step;
+        ASSERT_EQ(dut.objectCount(), ref.count()) << "step " << step;
+        ASSERT_LE(dut.usedBytes(), dut.capacity());
+    }
+}
+
+// --------------------------------------------------------------------
+// CacheModel invariants under random footprint churn
+// --------------------------------------------------------------------
+
+TEST(ModelBased, CacheModelInvariantsUnderChurn)
+{
+    mem::CacheModel cache(sim::mib(2));
+    Rng rng(7);
+    std::vector<mem::FootprintId> live;
+
+    for (int step = 0; step < 5000; ++step) {
+        const double action = rng.uniform();
+        if (action < 0.4 || live.empty()) {
+            live.push_back(cache.addFootprint(
+                "f", rng.uniformInt(0, sim::mib(4)),
+                rng.uniform() < 0.2));
+        } else if (action < 0.7) {
+            const auto idx = rng.uniformInt(0, live.size() - 1);
+            cache.resizeFootprint(live[idx],
+                                  rng.uniformInt(0, sim::mib(4)));
+        } else {
+            const auto idx = rng.uniformInt(0, live.size() - 1);
+            cache.removeFootprint(live[idx]);
+            live.erase(live.begin() + static_cast<long>(idx));
+        }
+
+        // Invariants: residencies in [0,1]; resident bytes never
+        // exceed capacity (within FP tolerance).
+        double resident_bytes = 0;
+        for (auto id : live) {
+            const double r = cache.residency(id);
+            ASSERT_GE(r, 0.0);
+            ASSERT_LE(r, 1.0);
+            resident_bytes +=
+                r * static_cast<double>(cache.footprintSize(id));
+        }
+        ASSERT_LE(resident_bytes,
+                  static_cast<double>(cache.capacity()) * 1.0001)
+            << "step " << step;
+    }
+}
+
+// --------------------------------------------------------------------
+// EventQueue ordering vs a sorted reference
+// --------------------------------------------------------------------
+
+TEST(ModelBased, EventQueueMatchesSortedReference)
+{
+    sim::EventQueue eq;
+    Rng rng(99);
+    std::vector<std::pair<sim::Tick, int>> expected;
+    std::vector<int> fired;
+
+    int seq = 0;
+    for (int i = 0; i < 2000; ++i) {
+        const sim::Tick when = rng.uniformInt(0, 10000);
+        const int id = seq++;
+        expected.emplace_back(when, id);
+        eq.schedule(when, [&fired, id] { fired.push_back(id); });
+    }
+    eq.run();
+
+    std::stable_sort(expected.begin(), expected.end(),
+                     [](const auto &a, const auto &b) {
+                         return a.first < b.first;
+                     });
+    ASSERT_EQ(fired.size(), expected.size());
+    for (std::size_t i = 0; i < fired.size(); ++i)
+        ASSERT_EQ(fired[i], expected[i].second) << "at " << i;
+}
+
+// --------------------------------------------------------------------
+// Semaphore: random hold times never break FIFO or the permit count
+// --------------------------------------------------------------------
+
+TEST(ModelBased, SemaphoreFifoUnderRandomHoldTimes)
+{
+    Simulation sim;
+    sim::Semaphore sem(sim, 3);
+    Rng rng(5);
+    std::vector<int> admitted;
+    int active = 0, max_active = 0;
+
+    for (int i = 0; i < 200; ++i) {
+        sim.spawn([](Simulation &s, sim::Semaphore &sm, Rng &r,
+                     std::vector<int> &adm, int &act, int &mx,
+                     int id) -> sim::Coro<void> {
+            co_await sm.acquire();
+            adm.push_back(id);
+            ++act;
+            mx = std::max(mx, act);
+            co_await s.delay(r.uniformInt(1, 50));
+            --act;
+            sm.release();
+        }(sim, sem, rng, admitted, active, max_active, i));
+    }
+    sim.run();
+
+    ASSERT_EQ(admitted.size(), 200u);
+    EXPECT_LE(max_active, 3);
+    EXPECT_EQ(sem.available(), 3u);
+    // All tasks queued at t=0, so admission order is spawn order.
+    for (int i = 0; i < 200; ++i)
+        ASSERT_EQ(admitted[static_cast<std::size_t>(i)], i);
+}
+
+// --------------------------------------------------------------------
+// Channel: random producers/consumers preserve per-producer order
+// --------------------------------------------------------------------
+
+TEST(ModelBased, ChannelPreservesPerProducerOrder)
+{
+    Simulation sim;
+    sim::Channel<std::pair<int, int>> ch(sim, 4);
+    Rng rng(11);
+    std::vector<std::vector<int>> seen(4);
+    int consumed = 0;
+
+    for (int p = 0; p < 4; ++p) {
+        sim.spawn([](Simulation &s,
+                     sim::Channel<std::pair<int, int>> &c, Rng &r,
+                     int producer) -> sim::Coro<void> {
+            for (int k = 0; k < 50; ++k) {
+                co_await s.delay(r.uniformInt(0, 20));
+                co_await c.send({producer, k});
+            }
+        }(sim, ch, rng, p));
+    }
+    for (int cns = 0; cns < 2; ++cns) {
+        sim.spawn([](sim::Channel<std::pair<int, int>> &c,
+                     std::vector<std::vector<int>> &out,
+                     int &n) -> sim::Coro<void> {
+            for (;;) {
+                auto v = co_await c.recv();
+                if (!v)
+                    co_return;
+                out[static_cast<std::size_t>(v->first)].push_back(
+                    v->second);
+                if (++n == 200)
+                    c.close();
+            }
+        }(ch, seen, consumed));
+    }
+    sim.run();
+
+    EXPECT_EQ(consumed, 200);
+    for (int p = 0; p < 4; ++p) {
+        ASSERT_EQ(seen[static_cast<std::size_t>(p)].size(), 50u);
+        for (int k = 0; k < 50; ++k)
+            ASSERT_EQ(seen[static_cast<std::size_t>(p)]
+                          [static_cast<std::size_t>(k)],
+                      k);
+    }
+}
+
+// --------------------------------------------------------------------
+// CPU model: random mixed workloads conserve work exactly
+// --------------------------------------------------------------------
+
+TEST(ModelBased, CpuConservesWorkUnderRandomMix)
+{
+    Simulation sim;
+    ioat::cpu::CpuSet cpus(sim, {.cores = 3});
+    Rng rng(31);
+    sim::Tick total = 0;
+    int done = 0;
+
+    for (int i = 0; i < 300; ++i) {
+        const sim::Tick dur = rng.uniformInt(1, 5000);
+        const int core = rng.uniform() < 0.3
+                             ? static_cast<int>(rng.uniformInt(0, 2))
+                             : ioat::cpu::CpuSet::kAnyCore;
+        const bool high = rng.uniform() < 0.2;
+        total += dur;
+        cpus.submit(dur, core, high, [&done] { ++done; });
+    }
+    sim.run();
+
+    EXPECT_EQ(done, 300);
+    EXPECT_EQ(cpus.totalBusyTicks(), total);
+    EXPECT_EQ(cpus.queuedWork(), 0u);
+    EXPECT_EQ(cpus.busyCores(), 0u);
+    // Makespan bounds: between total/3 and total.
+    EXPECT_GE(sim.now() * 3, total);
+    EXPECT_LE(sim.now(), total);
+}
+
+} // namespace

@@ -1,0 +1,241 @@
+/**
+ * @file
+ * Property-style parameterized tests over the transport stack:
+ * conservation, bounds and monotonicity invariants that must hold for
+ * every message size, feature set and port count.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/node.hh"
+#include "simcore/simcore.hh"
+
+namespace {
+
+using namespace ioat;
+using core::IoatConfig;
+using core::Node;
+using core::NodeConfig;
+using sim::Coro;
+using sim::Simulation;
+using sim::Tick;
+
+struct RunResult
+{
+    std::uint64_t rxPayload;
+    double rxMbps;
+    double serverCpu;
+    std::uint64_t interrupts;
+    std::uint64_t wireBytes;
+};
+
+RunResult
+runStreams(IoatConfig features, unsigned ports, unsigned streams,
+           std::size_t msg, Tick duration,
+           std::size_t sockbuf = 256 * 1024, bool tso = false,
+           std::size_t mtu = 1500, Tick coalesce = 0)
+{
+    Simulation sim;
+    net::Switch fabric(sim);
+    NodeConfig cfg = NodeConfig::server(features, ports);
+    cfg.tcp.sockBuf = sockbuf;
+    cfg.nic.tso = tso;
+    cfg.nic.mtu = mtu;
+    cfg.nic.coalesceDelay = coalesce;
+    Node client(sim, fabric, cfg);
+    Node server(sim, fabric, cfg);
+
+    sim.spawn([](Node &srv, std::size_t m, unsigned n) -> Coro<void> {
+        auto &listener = srv.stack().listen(5001);
+        for (unsigned i = 0; i < n; ++i) {
+            tcp::Connection *c = co_await listener.accept();
+            srv.simulation().spawn(
+                [](tcp::Connection *conn, std::size_t chunk)
+                    -> Coro<void> {
+                    for (;;) {
+                        if (co_await conn->recvAll(chunk) == 0)
+                            co_return;
+                    }
+                }(c, m));
+        }
+    }(server, msg, streams));
+    for (unsigned i = 0; i < streams; ++i) {
+        sim.spawn([](Node &cl, net::NodeId dst,
+                     std::size_t chunk) -> Coro<void> {
+            tcp::Connection *c = co_await cl.stack().connect(dst, 5001);
+            for (;;)
+                co_await c->send(chunk);
+        }(client, server.id(), msg));
+    }
+
+    sim.runFor(duration / 4);
+    server.cpu().resetUtilizationWindow();
+    const auto rx0 = server.stack().rxPayloadBytes();
+    const auto t0 = sim.now();
+    sim.runFor(duration);
+
+    RunResult r;
+    r.rxPayload = server.stack().rxPayloadBytes() - rx0;
+    r.rxMbps = sim::throughputMbps(r.rxPayload, sim.now() - t0);
+    r.serverCpu = server.cpu().utilization();
+    r.interrupts = server.nic().interrupts();
+    r.wireBytes = server.nic().rxWireBytes();
+    return r;
+}
+
+// ---------------------------------------------------------------
+// Sweep: sizes x features
+// ---------------------------------------------------------------
+
+class TcpSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, bool>>
+{};
+
+TEST_P(TcpSweep, ThroughputNeverExceedsWireCapacity)
+{
+    const auto [msg, ioat] = GetParam();
+    const auto r = runStreams(ioat ? IoatConfig::enabled()
+                                   : IoatConfig::disabled(),
+                              2, 2, msg, sim::milliseconds(100));
+    EXPECT_LE(r.rxMbps, 2000.0);
+    EXPECT_GT(r.rxPayload, 0u);
+}
+
+TEST_P(TcpSweep, WireBytesExceedPayloadByFrameOverheadOnly)
+{
+    const auto [msg, ioat] = GetParam();
+    const auto r = runStreams(ioat ? IoatConfig::enabled()
+                                   : IoatConfig::disabled(),
+                              1, 1, msg, sim::milliseconds(50));
+    // Wire bytes include control traffic and per-frame headers, but
+    // should stay within ~15% of the payload for data-heavy flows.
+    EXPECT_GT(r.wireBytes, r.rxPayload);
+    EXPECT_LT(static_cast<double>(r.wireBytes),
+              static_cast<double>(r.rxPayload) * 1.35 + 100000.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndFeatures, TcpSweep,
+    ::testing::Combine(::testing::Values(std::size_t{1024},
+                                         std::size_t{8192},
+                                         std::size_t{65536},
+                                         std::size_t{1} << 20),
+                       ::testing::Bool()));
+
+// ---------------------------------------------------------------
+// Feature invariants
+// ---------------------------------------------------------------
+
+class CpuBenefitSweep : public ::testing::TestWithParam<std::size_t>
+{};
+
+TEST_P(CpuBenefitSweep, IoatNeverUsesMoreReceiverCpu)
+{
+    const std::size_t msg = GetParam();
+    const auto non = runStreams(IoatConfig::disabled(), 2, 2, msg,
+                                sim::milliseconds(100));
+    const auto yes = runStreams(IoatConfig::enabled(), 2, 2, msg,
+                                sim::milliseconds(100));
+    EXPECT_LE(yes.serverCpu, non.serverCpu * 1.02 + 0.001) << msg;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CpuBenefitSweep,
+                         ::testing::Values(std::size_t{4096},
+                                           std::size_t{16384},
+                                           std::size_t{65536},
+                                           std::size_t{262144}));
+
+TEST(TcpProperties, MorePortsMoreAggregateBandwidth)
+{
+    double prev = 0.0;
+    for (unsigned ports : {1u, 2u, 4u}) {
+        const auto r =
+            runStreams(IoatConfig::disabled(), ports, ports, 65536,
+                       sim::milliseconds(100));
+        EXPECT_GT(r.rxMbps, prev);
+        prev = r.rxMbps;
+    }
+}
+
+TEST(TcpProperties, BiggerSocketBuffersDontHurtThroughput)
+{
+    const auto small = runStreams(IoatConfig::disabled(), 1, 1, 65536,
+                                  sim::milliseconds(100), 64 * 1024);
+    const auto big = runStreams(IoatConfig::disabled(), 1, 1, 65536,
+                                sim::milliseconds(100), 1024 * 1024);
+    EXPECT_GE(big.rxMbps, small.rxMbps * 0.99);
+}
+
+TEST(TcpProperties, TsoReducesReceiverVisibleNothingButSenderCpu)
+{
+    // TSO is sender-side: receiver CPU roughly unchanged, and
+    // throughput must not regress.
+    const auto no_tso =
+        runStreams(IoatConfig::disabled(), 2, 2, 65536,
+                   sim::milliseconds(100), 256 * 1024, false);
+    const auto tso = runStreams(IoatConfig::disabled(), 2, 2, 65536,
+                                sim::milliseconds(100), 256 * 1024,
+                                true);
+    EXPECT_GE(tso.rxMbps, no_tso.rxMbps * 0.99);
+}
+
+TEST(TcpProperties, JumboFramesReduceReceiverCpu)
+{
+    const auto std_mtu =
+        runStreams(IoatConfig::disabled(), 2, 2, 65536,
+                   sim::milliseconds(100), 256 * 1024, true, 1500);
+    const auto jumbo =
+        runStreams(IoatConfig::disabled(), 2, 2, 65536,
+                   sim::milliseconds(100), 256 * 1024, true, 2048);
+    EXPECT_LT(jumbo.serverCpu, std_mtu.serverCpu);
+}
+
+TEST(TcpProperties, CoalescingReducesInterrupts)
+{
+    const auto eager =
+        runStreams(IoatConfig::disabled(), 1, 1, 4096,
+                   sim::milliseconds(50), 256 * 1024, false, 1500, 0);
+    const auto coalesced = runStreams(
+        IoatConfig::disabled(), 1, 1, 4096, sim::milliseconds(50),
+        256 * 1024, false, 1500, sim::microseconds(100));
+    EXPECT_LT(coalesced.interrupts, eager.interrupts);
+}
+
+TEST(TcpProperties, DeterministicAcrossRuns)
+{
+    const auto a = runStreams(IoatConfig::enabled(), 3, 5, 16384,
+                              sim::milliseconds(80));
+    const auto b = runStreams(IoatConfig::enabled(), 3, 5, 16384,
+                              sim::milliseconds(80));
+    EXPECT_EQ(a.rxPayload, b.rxPayload);
+    EXPECT_DOUBLE_EQ(a.serverCpu, b.serverCpu);
+    EXPECT_EQ(a.interrupts, b.interrupts);
+}
+
+TEST(TcpProperties, PayloadConservedSenderToReceiver)
+{
+    Simulation sim;
+    net::Switch fabric(sim);
+    Node a(sim, fabric, NodeConfig::server(IoatConfig::enabled(), 2));
+    Node b(sim, fabric, NodeConfig::server(IoatConfig::enabled(), 2));
+    const std::size_t total = sim::mib(3);
+
+    sim.spawn([](Node &srv, std::size_t n) -> Coro<void> {
+        auto &l = srv.stack().listen(80);
+        tcp::Connection *c = co_await l.accept();
+        const std::size_t got = co_await c->recvAll(n);
+        EXPECT_EQ(got, n);
+    }(b, total));
+    sim.spawn([](Node &cl, net::NodeId dst, std::size_t n) -> Coro<void> {
+        tcp::Connection *c = co_await cl.stack().connect(dst, 80);
+        co_await c->send(n);
+    }(a, b.id(), total));
+    sim.run();
+
+    EXPECT_EQ(a.stack().txPayloadBytes(), total);
+    EXPECT_EQ(b.stack().rxPayloadBytes(), total);
+}
+
+} // namespace

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Tests for the chrome-trace exporter and its CPU/DMA integration.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/node.hh"
+#include "simcore/simcore.hh"
+
+namespace {
+
+using namespace ioat;
+using sim::Coro;
+using sim::Simulation;
+using sim::TraceWriter;
+
+TEST(Trace, EmitsWellFormedJson)
+{
+    TraceWriter tw;
+    tw.complete("work", "cpu", sim::microseconds(1),
+                sim::microseconds(2), 0);
+    tw.instant("irq", "nic", sim::microseconds(5), 1);
+    std::ostringstream os;
+    tw.write(os);
+    const std::string out = os.str();
+    EXPECT_EQ(out.front(), '[');
+    EXPECT_NE(out.find("\"name\":\"work\""), std::string::npos);
+    EXPECT_NE(out.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(out.find("\"ph\":\"i\""), std::string::npos);
+    EXPECT_NE(out.find("\"ts\":1"), std::string::npos);
+    EXPECT_NE(out.find("\"dur\":2"), std::string::npos);
+    EXPECT_EQ(tw.eventCount(), 2u);
+}
+
+TEST(Trace, EscapesSpecialCharacters)
+{
+    TraceWriter tw;
+    tw.complete("has\"quote\\slash", "cat", 0, 1, 0);
+    std::ostringstream os;
+    tw.write(os);
+    EXPECT_NE(os.str().find("has\\\"quote\\\\slash"), std::string::npos);
+}
+
+TEST(Trace, CpuRecordsWorkSpans)
+{
+    Simulation sim;
+    cpu::CpuSet cpu(sim, {.cores = 2});
+    TraceWriter tw;
+    cpu.setTracer(&tw);
+
+    cpu.submit(1000, cpu::CpuSet::kAnyCore, false, nullptr);
+    cpu.submit(500, cpu::CpuSet::kAnyCore, true, nullptr);
+    sim.run();
+
+    EXPECT_EQ(tw.eventCount(), 2u);
+    std::ostringstream os;
+    tw.write(os);
+    EXPECT_NE(os.str().find("\"name\":\"app\""), std::string::npos);
+    EXPECT_NE(os.str().find("\"name\":\"softirq\""), std::string::npos);
+}
+
+TEST(Trace, DmaRecordsTransferSpans)
+{
+    Simulation sim;
+    dma::DmaEngine eng(sim, {});
+    TraceWriter tw;
+    eng.setTracer(&tw);
+    eng.transferAsync(65536, nullptr);
+    sim.run();
+    EXPECT_EQ(tw.eventCount(), 1u);
+    std::ostringstream os;
+    tw.write(os);
+    EXPECT_NE(os.str().find("dma 65536B"), std::string::npos);
+    EXPECT_NE(os.str().find("\"tid\":100"), std::string::npos);
+}
+
+TEST(Trace, EndToEndRunProducesPlausibleTimeline)
+{
+    Simulation sim;
+    net::Switch fabric(sim);
+    core::Node a(sim, fabric,
+                 core::NodeConfig::server(core::IoatConfig::enabled()));
+    core::Node b(sim, fabric,
+                 core::NodeConfig::server(core::IoatConfig::enabled()));
+    TraceWriter tw;
+    b.cpu().setTracer(&tw);
+    b.dma()->setTracer(&tw);
+
+    sim.spawn([](core::Node &srv) -> Coro<void> {
+        auto &l = srv.stack().listen(80);
+        tcp::Connection *c = co_await l.accept();
+        co_await c->recvAll(sim::kib(256));
+    }(b));
+    sim.spawn([](core::Node &cl, net::NodeId dst) -> Coro<void> {
+        tcp::Connection *c = co_await cl.stack().connect(dst, 80);
+        co_await c->send(sim::kib(256));
+    }(a, b.id()));
+    sim.run();
+
+    // Both CPU work and DMA-engine spans show up.
+    std::ostringstream os;
+    tw.write(os);
+    EXPECT_GT(tw.eventCount(), 10u);
+    EXPECT_NE(os.str().find("softirq"), std::string::npos);
+    EXPECT_NE(os.str().find("dma "), std::string::npos);
+}
+
+TEST(Trace, ClearDropsEvents)
+{
+    TraceWriter tw;
+    tw.complete("x", "c", 0, 1, 0);
+    tw.clear();
+    EXPECT_EQ(tw.eventCount(), 0u);
+}
+
+} // namespace
