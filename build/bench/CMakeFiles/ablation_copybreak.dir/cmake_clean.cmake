@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_copybreak.dir/ablation_copybreak.cpp.o"
+  "CMakeFiles/ablation_copybreak.dir/ablation_copybreak.cpp.o.d"
+  "ablation_copybreak"
+  "ablation_copybreak.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_copybreak.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

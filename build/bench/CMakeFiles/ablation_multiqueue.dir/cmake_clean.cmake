@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_multiqueue.dir/ablation_multiqueue.cpp.o"
+  "CMakeFiles/ablation_multiqueue.dir/ablation_multiqueue.cpp.o.d"
+  "ablation_multiqueue"
+  "ablation_multiqueue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_multiqueue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

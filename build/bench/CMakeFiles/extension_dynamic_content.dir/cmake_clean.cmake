@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_dynamic_content.dir/extension_dynamic_content.cpp.o"
+  "CMakeFiles/extension_dynamic_content.dir/extension_dynamic_content.cpp.o.d"
+  "extension_dynamic_content"
+  "extension_dynamic_content.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_dynamic_content.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

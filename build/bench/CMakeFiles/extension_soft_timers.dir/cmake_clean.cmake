@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_soft_timers.dir/extension_soft_timers.cpp.o"
+  "CMakeFiles/extension_soft_timers.dir/extension_soft_timers.cpp.o.d"
+  "extension_soft_timers"
+  "extension_soft_timers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_soft_timers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

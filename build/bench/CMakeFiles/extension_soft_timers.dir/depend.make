@@ -1,0 +1,2 @@
+# Empty dependencies file for extension_soft_timers.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_multistream.dir/fig04_multistream.cpp.o"
+  "CMakeFiles/fig04_multistream.dir/fig04_multistream.cpp.o.d"
+  "fig04_multistream"
+  "fig04_multistream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_multistream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_sockopts.dir/fig05_sockopts.cpp.o"
+  "CMakeFiles/fig05_sockopts.dir/fig05_sockopts.cpp.o.d"
+  "fig05_sockopts"
+  "fig05_sockopts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_sockopts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_copy.dir/fig06_copy.cpp.o"
+  "CMakeFiles/fig06_copy.dir/fig06_copy.cpp.o.d"
+  "fig06_copy"
+  "fig06_copy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_copy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_splitup.dir/fig07_splitup.cpp.o"
+  "CMakeFiles/fig07_splitup.dir/fig07_splitup.cpp.o.d"
+  "fig07_splitup"
+  "fig07_splitup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_splitup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_datacenter_traces.dir/fig08_datacenter_traces.cpp.o"
+  "CMakeFiles/fig08_datacenter_traces.dir/fig08_datacenter_traces.cpp.o.d"
+  "fig08_datacenter_traces"
+  "fig08_datacenter_traces.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_datacenter_traces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

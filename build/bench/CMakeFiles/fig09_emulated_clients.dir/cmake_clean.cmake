@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_emulated_clients.dir/fig09_emulated_clients.cpp.o"
+  "CMakeFiles/fig09_emulated_clients.dir/fig09_emulated_clients.cpp.o.d"
+  "fig09_emulated_clients"
+  "fig09_emulated_clients.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_emulated_clients.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

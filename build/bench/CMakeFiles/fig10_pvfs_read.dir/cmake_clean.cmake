@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_pvfs_read.dir/fig10_pvfs_read.cpp.o"
+  "CMakeFiles/fig10_pvfs_read.dir/fig10_pvfs_read.cpp.o.d"
+  "fig10_pvfs_read"
+  "fig10_pvfs_read.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_pvfs_read.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_pvfs_write.dir/fig11_pvfs_write.cpp.o"
+  "CMakeFiles/fig11_pvfs_write.dir/fig11_pvfs_write.cpp.o.d"
+  "fig11_pvfs_write"
+  "fig11_pvfs_write.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_pvfs_write.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_pvfs_multistream.dir/fig12_pvfs_multistream.cpp.o"
+  "CMakeFiles/fig12_pvfs_multistream.dir/fig12_pvfs_multistream.cpp.o.d"
+  "fig12_pvfs_multistream"
+  "fig12_pvfs_multistream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_pvfs_multistream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

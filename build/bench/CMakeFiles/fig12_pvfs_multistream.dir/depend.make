@@ -1,0 +1,2 @@
+# Empty dependencies file for fig12_pvfs_multistream.
+# This may be replaced when dependencies are built.

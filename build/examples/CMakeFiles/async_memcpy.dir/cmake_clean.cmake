@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/async_memcpy.dir/async_memcpy.cpp.o"
+  "CMakeFiles/async_memcpy.dir/async_memcpy.cpp.o.d"
+  "async_memcpy"
+  "async_memcpy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/async_memcpy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

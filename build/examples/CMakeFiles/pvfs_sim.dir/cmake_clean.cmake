@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pvfs_sim.dir/pvfs_sim.cpp.o"
+  "CMakeFiles/pvfs_sim.dir/pvfs_sim.cpp.o.d"
+  "pvfs_sim"
+  "pvfs_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pvfs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ioat_cpu.dir/cpu.cc.o"
+  "CMakeFiles/ioat_cpu.dir/cpu.cc.o.d"
+  "libioat_cpu.a"
+  "libioat_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ioat_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libioat_cpu.a"
+)

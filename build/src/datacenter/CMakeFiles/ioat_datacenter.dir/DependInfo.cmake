@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datacenter/app_server.cc" "src/datacenter/CMakeFiles/ioat_datacenter.dir/app_server.cc.o" "gcc" "src/datacenter/CMakeFiles/ioat_datacenter.dir/app_server.cc.o.d"
+  "/root/repo/src/datacenter/client.cc" "src/datacenter/CMakeFiles/ioat_datacenter.dir/client.cc.o" "gcc" "src/datacenter/CMakeFiles/ioat_datacenter.dir/client.cc.o.d"
+  "/root/repo/src/datacenter/proxy.cc" "src/datacenter/CMakeFiles/ioat_datacenter.dir/proxy.cc.o" "gcc" "src/datacenter/CMakeFiles/ioat_datacenter.dir/proxy.cc.o.d"
+  "/root/repo/src/datacenter/web_server.cc" "src/datacenter/CMakeFiles/ioat_datacenter.dir/web_server.cc.o" "gcc" "src/datacenter/CMakeFiles/ioat_datacenter.dir/web_server.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tcp/CMakeFiles/ioat_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/ioat_cpu.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

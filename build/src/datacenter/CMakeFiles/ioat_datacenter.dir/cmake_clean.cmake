@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ioat_datacenter.dir/app_server.cc.o"
+  "CMakeFiles/ioat_datacenter.dir/app_server.cc.o.d"
+  "CMakeFiles/ioat_datacenter.dir/client.cc.o"
+  "CMakeFiles/ioat_datacenter.dir/client.cc.o.d"
+  "CMakeFiles/ioat_datacenter.dir/proxy.cc.o"
+  "CMakeFiles/ioat_datacenter.dir/proxy.cc.o.d"
+  "CMakeFiles/ioat_datacenter.dir/web_server.cc.o"
+  "CMakeFiles/ioat_datacenter.dir/web_server.cc.o.d"
+  "libioat_datacenter.a"
+  "libioat_datacenter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ioat_datacenter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

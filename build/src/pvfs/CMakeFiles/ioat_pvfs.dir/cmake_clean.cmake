@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ioat_pvfs.dir/client.cc.o"
+  "CMakeFiles/ioat_pvfs.dir/client.cc.o.d"
+  "CMakeFiles/ioat_pvfs.dir/server.cc.o"
+  "CMakeFiles/ioat_pvfs.dir/server.cc.o.d"
+  "libioat_pvfs.a"
+  "libioat_pvfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ioat_pvfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

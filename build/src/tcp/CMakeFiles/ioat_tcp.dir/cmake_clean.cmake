@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ioat_tcp.dir/stack.cc.o"
+  "CMakeFiles/ioat_tcp.dir/stack.cc.o.d"
+  "libioat_tcp.a"
+  "libioat_tcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ioat_tcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

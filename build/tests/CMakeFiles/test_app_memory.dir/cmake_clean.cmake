@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_app_memory.dir/test_app_memory.cc.o"
+  "CMakeFiles/test_app_memory.dir/test_app_memory.cc.o.d"
+  "test_app_memory"
+  "test_app_memory.pdb"
+  "test_app_memory[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_app_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_membus.dir/test_membus.cc.o"
+  "CMakeFiles/test_membus.dir/test_membus.cc.o.d"
+  "test_membus"
+  "test_membus.pdb"
+  "test_membus[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_membus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pvfs_extended.dir/test_pvfs_extended.cc.o"
+  "CMakeFiles/test_pvfs_extended.dir/test_pvfs_extended.cc.o.d"
+  "test_pvfs_extended"
+  "test_pvfs_extended.pdb"
+  "test_pvfs_extended[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pvfs_extended.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

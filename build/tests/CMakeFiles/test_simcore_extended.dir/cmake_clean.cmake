@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simcore_extended.dir/test_simcore_extended.cc.o"
+  "CMakeFiles/test_simcore_extended.dir/test_simcore_extended.cc.o.d"
+  "test_simcore_extended"
+  "test_simcore_extended.pdb"
+  "test_simcore_extended[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simcore_extended.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_simcore[1]_include.cmake")
+include("/root/repo/build/tests/test_mem[1]_include.cmake")
+include("/root/repo/build/tests/test_cpu[1]_include.cmake")
+include("/root/repo/build/tests/test_dma[1]_include.cmake")
+include("/root/repo/build/tests/test_net_nic[1]_include.cmake")
+include("/root/repo/build/tests/test_tcp[1]_include.cmake")
+include("/root/repo/build/tests/test_datacenter[1]_include.cmake")
+include("/root/repo/build/tests/test_pvfs[1]_include.cmake")
+include("/root/repo/build/tests/test_membus[1]_include.cmake")
+include("/root/repo/build/tests/test_app_memory[1]_include.cmake")
+include("/root/repo/build/tests/test_tcp_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_pvfs_extended[1]_include.cmake")
+include("/root/repo/build/tests/test_simcore_extended[1]_include.cmake")
+include("/root/repo/build/tests/test_datacenter_dynamic[1]_include.cmake")
+include("/root/repo/build/tests/test_trace[1]_include.cmake")
+include("/root/repo/build/tests/test_trace_workload[1]_include.cmake")
+include("/root/repo/build/tests/test_model_based[1]_include.cmake")
