@@ -49,10 +49,20 @@ ClientFleet::clientThread(core::Node &node, core::AppMemory &mem,
                           std::uint64_t seed)
 {
     sim::Rng rng(seed);
-    Connection *conn =
-        co_await node.stack().connect(opts_.target, opts_.port);
+    Connection *conn = co_await node.stack().connect(
+        opts_.target, opts_.port, opts_.requestTimeout);
 
     for (;;) {
+        if (conn == nullptr || !conn->usable()) {
+            // Dead connection (abort / server restart): back off and
+            // reopen, then resume the closed loop.
+            reconnects_.inc();
+            co_await node.simulation().delay(opts_.reconnectDelay);
+            conn = co_await node.stack().connect(
+                opts_.target, opts_.port, opts_.requestTimeout);
+            continue;
+        }
+
         const Request req = workload_.next(rng);
         const sim::Tick t0 = node.simulation().now();
 
@@ -64,10 +74,22 @@ ClientFleet::clientThread(core::Node &node, core::AppMemory &mem,
         get.b = req.bytes;
         co_await sock::sendMessage(*conn, get);
 
-        auto resp = co_await sock::recvMessage(*conn);
-        sim::simAssert(resp.has_value(), "server closed mid-request");
+        auto resp = co_await sock::recvMessageTimed(
+            *conn, opts_.requestTimeout);
+        if (!resp.has_value()) {
+            failures_.inc(); // timeout or server closed mid-request
+            continue;
+        }
+        if (resp->tag ==
+            static_cast<std::uint64_t>(HttpTag::ServiceUnavailable)) {
+            rejected_.inc(); // shed under overload / degradation
+            continue;
+        }
         const std::size_t got = co_await conn->recvAll(resp->payloadBytes);
-        sim::simAssert(got == resp->payloadBytes, "short response");
+        if (got != resp->payloadBytes) {
+            failures_.inc(); // truncated body
+            continue;
+        }
 
         if (opts_.touchPayload)
             co_await mem.touch(got);

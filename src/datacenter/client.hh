@@ -52,6 +52,14 @@ class ClientFleet
          *  concurrency). */
         std::size_t residentBytesPerThread = 0;
         std::uint64_t rngSeed = 1;
+        /** @name Fault tolerance (defaults off: seed behaviour)
+         *  @{ */
+        /** Per-request deadline; expiry aborts the connection and
+         *  the thread reconnects (0 = wait forever). */
+        sim::Tick requestTimeout = 0;
+        /** Pause before reconnecting a dead connection. */
+        sim::Tick reconnectDelay = sim::milliseconds(5);
+        /** @} */
     };
 
     ClientFleet(std::vector<core::Node *> nodes, Workload &workload,
@@ -70,6 +78,13 @@ class ClientFleet
     /** Response-latency summary (microseconds). */
     const sim::stats::Accumulator &latencyUs() const { return latency_; }
 
+    /** Requests that failed (timeout / server closed / short body). */
+    std::uint64_t failures() const { return failures_.value(); }
+    /** Requests answered with a 503 (shed by proxy or server). */
+    std::uint64_t rejected() const { return rejected_.value(); }
+    /** Reconnections after a dead connection. */
+    std::uint64_t reconnects() const { return reconnects_.value(); }
+
   private:
     sim::Coro<void> clientThread(core::Node &node, core::AppMemory &mem,
                                  std::uint64_t seed);
@@ -81,6 +96,9 @@ class ClientFleet
     std::vector<std::unique_ptr<core::AppMemory>> mems_;
     sim::stats::Counter completed_;
     sim::stats::Accumulator latency_;
+    sim::stats::Counter failures_;
+    sim::stats::Counter rejected_;
+    sim::stats::Counter reconnects_;
 };
 
 } // namespace ioat::dc

@@ -55,6 +55,23 @@ struct DcConfig
 
     std::uint16_t proxyPort = 8080;
     std::uint16_t serverPort = 8081;
+
+    /** @name Fault tolerance (defaults off: seed behaviour)
+     * With a nonzero `requestDeadline` the proxy puts a deadline on
+     * every backend exchange, retries on an alternate backend, and —
+     * when every backend attempt fails — degrades gracefully by
+     * serving a stale cached copy or shedding the request with a 503.
+     *  @{ */
+    /** Proxy-side deadline per backend exchange (0 = wait forever). */
+    Tick requestDeadline = 0;
+    /** Backend attempts per request (rotating over backends). */
+    unsigned backendRetries = 2;
+    /** Serve a stale cached object when all backends fail. */
+    bool serveStaleOnError = true;
+    /** Web-server concurrent-request cap; excess is shed with a 503
+     *  (0 = unbounded, the seed behaviour). */
+    unsigned maxInflight = 0;
+    /** @} */
 };
 
 } // namespace ioat::dc

@@ -1,27 +1,67 @@
 /**
  * @file
  * Proxy tier implementation.
+ *
+ * Fault handling: with a nonzero `DcConfig::requestDeadline` every
+ * backend exchange runs under a watchdog that aborts the pooled
+ * connection when the deadline expires; the request then retries on
+ * the next backend (rotating over `backends_`).  Pooled connections
+ * found dead are replaced in place.  When every attempt fails the
+ * proxy degrades gracefully: it serves a stale cached copy of the
+ * object if one is known, else sheds the request with a 503.  With
+ * the default config the event sequence is identical to the seed.
  */
 
 #include "datacenter/proxy.hh"
 
+#include <algorithm>
+
 #include "datacenter/web_server.hh"
-#include "sock/message.hh"
 
 namespace ioat::dc {
 
 using sim::Coro;
 using tcp::Connection;
 
-Proxy::Proxy(core::Node &node, const DcConfig &cfg, net::NodeId backend,
-             unsigned backend_conns)
-    : node_(node), cfg_(cfg), backend_(backend),
-      backendConns_(backend_conns), cache_(cfg.proxyCacheBytes),
-      mem_(node.host(), "dc.proxy"),
-      idleBackends_(node.simulation())
+namespace {
+
+/** Shared flag between a backend exchange and its watchdog. */
+struct OpWatch
 {
+    bool done = false;
+    bool fired = false;
+};
+
+Coro<void>
+armWatch(Connection &c, sim::Tick t, std::shared_ptr<OpWatch> w)
+{
+    co_await c.simulation().delay(t);
+    if (!w->done) {
+        w->fired = true;
+        c.abortLocal();
+    }
+}
+
+} // namespace
+
+Proxy::Proxy(core::Node &node, const DcConfig &cfg,
+             std::vector<net::NodeId> backends, unsigned backend_conns)
+    : node_(node), cfg_(cfg), backends_(std::move(backends)),
+      backendConns_(backend_conns), cache_(cfg.proxyCacheBytes),
+      mem_(node.host(), "dc.proxy")
+{
+    sim::simAssert(!backends_.empty(), "proxy needs a backend");
+    for (std::size_t i = 0; i < backends_.size(); ++i)
+        pools_.push_back(
+            std::make_unique<sim::Channel<Connection *>>(
+                node.simulation()));
     mem_.reserve(cfg_.appResidentBytes);
 }
+
+Proxy::Proxy(core::Node &node, const DcConfig &cfg, net::NodeId backend,
+             unsigned backend_conns)
+    : Proxy(node, cfg, std::vector<net::NodeId>{backend}, backend_conns)
+{}
 
 void
 Proxy::start()
@@ -33,10 +73,12 @@ Proxy::start()
 Coro<void>
 Proxy::openBackendPool()
 {
-    for (unsigned i = 0; i < backendConns_; ++i) {
-        Connection *conn =
-            co_await node_.stack().connect(backend_, cfg_.serverPort);
-        idleBackends_.push(conn);
+    for (std::size_t p = 0; p < backends_.size(); ++p) {
+        for (unsigned i = 0; i < backendConns_; ++i) {
+            Connection *conn = co_await node_.stack().connect(
+                backends_[p], cfg_.serverPort, cfg_.requestDeadline);
+            pools_[p]->push(conn);
+        }
     }
 }
 
@@ -48,6 +90,57 @@ Proxy::acceptLoop()
         Connection *conn = co_await listener.accept();
         node_.simulation().spawn(serveConnection(conn));
     }
+}
+
+Coro<std::optional<std::size_t>>
+Proxy::fetchOnce(unsigned pool_idx, const sock::Message &request)
+{
+    auto &pool = *pools_[pool_idx];
+    auto backend = co_await pool.recv();
+    sim::simAssert(backend.has_value(), "backend pool closed");
+    Connection *bc = *backend;
+
+    if (!bc->usable()) {
+        // The pooled connection died (abort / server crash): replace
+        // it in place so the pool population stays constant.
+        deadConns_.inc();
+        bc = co_await node_.stack().connect(
+            backends_[pool_idx], cfg_.serverPort, cfg_.requestDeadline);
+        if (bc == nullptr || !bc->usable()) {
+            if (bc != nullptr)
+                pool.push(bc);
+            co_return std::nullopt;
+        }
+    }
+
+    auto watch = std::make_shared<OpWatch>();
+    if (cfg_.requestDeadline > 0)
+        node_.simulation().spawn(
+            armWatch(*bc, cfg_.requestDeadline, watch));
+
+    co_await sock::sendMessage(*bc, request);
+    std::optional<sock::Message> resp;
+    if (!bc->aborted())
+        resp = co_await sock::recvMessage(*bc);
+    if (!resp) {
+        watch->done = true;
+        pool.push(bc);
+        co_return std::nullopt;
+    }
+    if (resp->tag ==
+        static_cast<std::uint64_t>(HttpTag::ServiceUnavailable)) {
+        // Backend shed the request; the connection is still good.
+        watch->done = true;
+        pool.push(bc);
+        co_return std::nullopt;
+    }
+    const std::size_t bytes = resp->payloadBytes;
+    const std::size_t got = co_await bc->recvAll(bytes);
+    watch->done = true;
+    pool.push(bc);
+    if (got != bytes)
+        co_return std::nullopt; // deadline / abort mid-payload
+    co_return bytes;
 }
 
 Coro<void>
@@ -70,30 +163,51 @@ Proxy::serveConnection(Connection *client)
             hits_.inc();
         } else {
             misses_.inc();
-            // Forward over a pooled persistent backend connection.
-            auto backend = co_await idleBackends_.recv();
-            sim::simAssert(backend.has_value(), "backend pool closed");
-            Connection *bc = *backend;
+            // Forward over a pooled persistent backend connection,
+            // rotating to the next backend on each failed attempt.
+            std::optional<std::size_t> fetched;
+            const unsigned tries = std::max(1u, cfg_.backendRetries);
+            for (unsigned a = 0; a < tries && !fetched; ++a) {
+                if (a > 0)
+                    retries_.inc();
+                fetched = co_await fetchOnce(
+                    a % static_cast<unsigned>(pools_.size()), *msg);
+            }
 
-            sock::Message fwd = *msg;
-            co_await sock::sendMessage(*bc, fwd);
-
-            auto resp = co_await sock::recvMessage(*bc);
-            sim::simAssert(resp.has_value(), "backend closed mid-request");
-            bytes = resp->payloadBytes;
-            const std::size_t got = co_await bc->recvAll(bytes);
-            sim::simAssert(got == bytes, "short backend response");
-            idleBackends_.push(bc);
-
-            // Stream the fetched object into the forwarding buffer
-            // (and, when caching, into the object cache).
-            if (cfg_.touchPayload)
-                co_await mem_.copyInto(bytes);
-            if (cfg_.proxyCachingEnabled) {
-                co_await node_.cpu().compute(cfg_.proxyCacheOpCost);
-                cache_.put(msg->a, bytes);
-                mem_.setReserved(cfg_.appResidentBytes +
-                                 cache_.usedBytes());
+            if (fetched) {
+                bytes = *fetched;
+                // Stream the fetched object into the forwarding
+                // buffer (and, when caching, into the object cache).
+                if (cfg_.touchPayload)
+                    co_await mem_.copyInto(bytes);
+                if (cfg_.proxyCachingEnabled) {
+                    co_await node_.cpu().compute(cfg_.proxyCacheOpCost);
+                    cache_.put(msg->a, bytes);
+                    mem_.setReserved(cfg_.appResidentBytes +
+                                     cache_.usedBytes());
+                } else if (cfg_.serveStaleOnError) {
+                    // Record the object size only (no simulated cache
+                    // residency) so degradation can serve it stale.
+                    cache_.put(msg->a, bytes);
+                }
+            } else {
+                // Every backend attempt failed: degrade gracefully.
+                const std::size_t stale = cfg_.serveStaleOnError
+                                              ? cache_.get(msg->a)
+                                              : 0;
+                if (stale != 0) {
+                    degraded_.inc();
+                    bytes = stale;
+                } else {
+                    shed_.inc();
+                    co_await node_.cpu().compute(cfg_.responseBuildCost);
+                    sock::Message busy;
+                    busy.tag = static_cast<std::uint64_t>(
+                        HttpTag::ServiceUnavailable);
+                    busy.a = msg->a;
+                    co_await sock::sendMessage(*client, busy);
+                    continue;
+                }
             }
         }
 

@@ -13,6 +13,9 @@
 #define IOAT_DATACENTER_PROXY_HH
 
 #include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
 
 #include "core/app_memory.hh"
 #include "core/node.hh"
@@ -20,6 +23,7 @@
 #include "datacenter/lru_cache.hh"
 #include "simcore/channel.hh"
 #include "simcore/stats.hh"
+#include "sock/message.hh"
 
 namespace ioat::dc {
 
@@ -30,18 +34,33 @@ class Proxy
 {
   public:
     /**
-     * @param backend node id of the web-server tier
-     * @param backend_conns persistent connections to keep open
+     * @param backends node ids of the web-server tier; request
+     *        retries rotate over them (failover)
+     * @param backend_conns persistent connections per backend
      */
+    Proxy(core::Node &node, const DcConfig &cfg,
+          std::vector<net::NodeId> backends,
+          unsigned backend_conns = 16);
+
+    /** Single-backend convenience (the seed topology). */
     Proxy(core::Node &node, const DcConfig &cfg, net::NodeId backend,
           unsigned backend_conns = 16);
 
-    /** Open the backend pool and begin accepting on cfg.proxyPort. */
+    /** Open the backend pools and begin accepting on cfg.proxyPort. */
     void start();
 
     std::uint64_t requestsServed() const { return served_.value(); }
     std::uint64_t cacheHits() const { return hits_.value(); }
     std::uint64_t cacheMisses() const { return misses_.value(); }
+    /** Backend exchanges retried (deadline / dead conn / 503). */
+    std::uint64_t backendRetries() const { return retries_.value(); }
+    /** Requests served from a stale cached copy after backend
+     *  failure (graceful degradation). */
+    std::uint64_t degradedHits() const { return degraded_.value(); }
+    /** Requests shed with a 503 (no backend, nothing cached). */
+    std::uint64_t requestsShed() const { return shed_.value(); }
+    /** Pooled backend connections found dead and replaced. */
+    std::uint64_t deadBackendConns() const { return deadConns_.value(); }
 
     double
     hitRate() const
@@ -56,18 +75,26 @@ class Proxy
     sim::Coro<void> openBackendPool();
     sim::Coro<void> acceptLoop();
     sim::Coro<void> serveConnection(tcp::Connection *client);
+    /** One backend exchange against pool @p pool_idx; nullopt on
+     *  deadline expiry, dead connection, or backend 503. */
+    sim::Coro<std::optional<std::size_t>>
+    fetchOnce(unsigned pool_idx, const sock::Message &request);
 
     core::Node &node_;
     DcConfig cfg_;
-    net::NodeId backend_;
+    std::vector<net::NodeId> backends_;
     unsigned backendConns_;
     LruCache cache_;
     core::AppMemory mem_;
-    /** Idle persistent backend connections. */
-    sim::Channel<tcp::Connection *> idleBackends_;
+    /** Idle persistent connections, one pool per backend. */
+    std::vector<std::unique_ptr<sim::Channel<tcp::Connection *>>> pools_;
     sim::stats::Counter served_;
     sim::stats::Counter hits_;
     sim::stats::Counter misses_;
+    sim::stats::Counter retries_;
+    sim::stats::Counter degraded_;
+    sim::stats::Counter shed_;
+    sim::stats::Counter deadConns_;
 };
 
 } // namespace ioat::dc

@@ -48,6 +48,19 @@ WebServer::serveConnection(Connection *conn)
         sim::simAssert(msg->tag == static_cast<std::uint64_t>(HttpTag::Get),
                        "web server expects GET");
 
+        // Overload control: past the inflight cap we answer with an
+        // immediate 503 instead of queueing (graceful degradation).
+        if (cfg_.maxInflight > 0 && inflight_ >= cfg_.maxInflight) {
+            shed_.inc();
+            sock::Message busy;
+            busy.tag =
+                static_cast<std::uint64_t>(HttpTag::ServiceUnavailable);
+            busy.a = msg->a;
+            co_await sock::sendMessage(*conn, busy);
+            continue;
+        }
+        ++inflight_;
+
         const std::size_t bytes = files_.fileSize(msg->a);
 
         // Request parsing, worker scheduling, VFS/page-cache lookup,
@@ -65,6 +78,7 @@ WebServer::serveConnection(Connection *conn)
         co_await sock::sendMessage(*conn, resp,
                                    tcp::SendOptions{.zeroCopy = true});
         served_.inc();
+        --inflight_;
     }
 }
 

@@ -22,6 +22,8 @@ namespace ioat::dc {
 enum class HttpTag : std::uint64_t {
     Get = 1,      ///< a = file id, b = expected size (client hint)
     Response = 2, ///< payloadBytes = file content
+    /** Overloaded/degraded: request shed, no payload (HTTP 503). */
+    ServiceUnavailable = 3,
 };
 
 /**
@@ -37,6 +39,8 @@ class WebServer
     void start();
 
     std::uint64_t requestsServed() const { return served_.value(); }
+    /** Requests shed with a 503 (maxInflight overload control). */
+    std::uint64_t requestsShed() const { return shed_.value(); }
 
   private:
     sim::Coro<void> acceptLoop();
@@ -47,6 +51,8 @@ class WebServer
     const Workload &files_;
     core::AppMemory mem_;
     sim::stats::Counter served_;
+    sim::stats::Counter shed_;
+    unsigned inflight_ = 0;
 };
 
 } // namespace ioat::dc

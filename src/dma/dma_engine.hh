@@ -22,9 +22,11 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 
 #include "mem/page_model.hh"
 #include "simcore/coro.hh"
+#include "simcore/fault.hh"
 #include "simcore/sim.hh"
 #include "simcore/stats.hh"
 #include "simcore/sync.hh"
@@ -82,6 +84,18 @@ class DmaEngine
 
     /** Attach a trace writer (nullptr = tracing off). */
     void setTracer(sim::TraceWriter *t) { tracer_ = t; }
+
+    /**
+     * Inject descriptor-completion faults from @p site_name: a "drop"
+     * decision is a completion error (the engine re-executes the
+     * descriptor), a "delay" decision is a channel stall.
+     */
+    void
+    setFaultInjector(sim::FaultInjector *injector,
+                     const std::string &site_name)
+    {
+        faultSite_ = injector ? &injector->site(site_name) : nullptr;
+    }
 
     /** Pages spanned by a transfer of @p bytes. */
     std::size_t
@@ -144,6 +158,23 @@ class DmaEngine
                                                channels_.available()));
         const Tick start = sim_.now();
         co_await sim_.delay(engineTime(bytes));
+        if (faultSite_) {
+            // Completion errors re-execute the descriptor; stalls hold
+            // the channel.  Bounded so p=1 can't loop forever.
+            for (unsigned retry = 0; retry < kMaxFaultRetries; ++retry) {
+                const sim::FaultDecision d = faultSite_->decide();
+                if (d.drop) {
+                    dmaErrors_.inc();
+                    co_await sim_.delay(engineTime(bytes));
+                    continue;
+                }
+                if (d.extraDelay > 0) {
+                    dmaStalls_.inc();
+                    co_await sim_.delay(d.extraDelay);
+                }
+                break;
+            }
+        }
         if (tracer_) {
             tracer_->complete("dma " + std::to_string(bytes) + "B",
                               "dma", start, sim_.now() - start,
@@ -168,6 +199,10 @@ class DmaEngine
      *  @{ */
     std::uint64_t completedTransfers() const { return transfers_.value(); }
     std::uint64_t bytesCopied() const { return bytesCopied_.value(); }
+    /** Injected descriptor completion errors (each re-executed). */
+    std::uint64_t dmaErrors() const { return dmaErrors_.value(); }
+    /** Injected channel stalls. */
+    std::uint64_t dmaStalls() const { return dmaStalls_.value(); }
     double
     averageBusyChannels() const
     {
@@ -184,12 +219,17 @@ class DmaEngine
             done();
     }
 
+    static constexpr unsigned kMaxFaultRetries = 8;
+
     Simulation &sim_;
     DmaConfig cfg_;
     sim::TraceWriter *tracer_ = nullptr;
+    sim::FaultSite *faultSite_ = nullptr;
     sim::Semaphore channels_;
     sim::stats::Counter transfers_;
     sim::stats::Counter bytesCopied_;
+    sim::stats::Counter dmaErrors_;
+    sim::stats::Counter dmaStalls_;
     sim::stats::TimeWeighted busySignal_{0.0};
 };
 

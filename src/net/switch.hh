@@ -6,16 +6,24 @@
  * 24-port Netgear GigE switch): infinite backplane, fixed forwarding
  * latency.  Link-level serialization happens in the NIC ports on both
  * sides, so the switch itself only routes.
+ *
+ * The switch is also the network's fault-injection point: with a
+ * `sim::FaultInjector` attached, every forwarded burst consults the
+ * per-egress-link fault site ("link.<dst>") for drop / duplicate /
+ * extra-delay faults, and deliveries to nodes inside a crash window
+ * are dropped.  Without an injector the routing path is untouched.
  */
 
 #ifndef IOAT_NET_SWITCH_HH
 #define IOAT_NET_SWITCH_HH
 
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "net/burst.hh"
 #include "simcore/assert.hh"
+#include "simcore/fault.hh"
 #include "simcore/sim.hh"
 
 namespace ioat::net {
@@ -44,8 +52,28 @@ class Switch
         return static_cast<NodeId>(ports_.size() - 1);
     }
 
+    /**
+     * Detach a device: its NodeId stays reserved, but bursts still in
+     * flight toward it (or addressed to it later) are dropped instead
+     * of invoking the stale handler.
+     */
+    void
+    detach(NodeId id)
+    {
+        sim::simAssert(id < ports_.size(), "detach of unattached node");
+        ports_[id] = nullptr;
+    }
+
     std::size_t attachedCount() const { return ports_.size(); }
     Tick forwardLatency() const { return latency_; }
+
+    /** Route every burst through @p injector (nullptr to disable). */
+    void
+    setFaultInjector(sim::FaultInjector *injector)
+    {
+        faults_ = injector;
+        linkSites_.clear();
+    }
 
     /**
      * Accept a burst that finished serializing into the switch at the
@@ -57,15 +85,83 @@ class Switch
     {
         sim::simAssert(burst.dst < ports_.size(),
                        "burst addressed to unattached node");
-        sim_.queue().scheduleIn(latency_, [this, burst] {
-            ports_[burst.dst](burst);
-        });
+        Tick latency = latency_;
+        if (faults_) {
+            // A burst leaving a node that crashed while it was
+            // serializing never makes it into the backplane.
+            if (faults_->nodeDown(burst.src, sim_.now())) {
+                faults_->noteOutageDrop(sim_.now());
+                return;
+            }
+            sim::FaultDecision d = linkSite(burst.dst).decide();
+            if (d.drop) {
+                traceFault("fault:drop link", burst.dst);
+                return;
+            }
+            if (d.extraDelay > 0) {
+                traceFault("fault:delay link", burst.dst);
+                latency += d.extraDelay;
+            }
+            if (d.duplicate) {
+                traceFault("fault:dup link", burst.dst);
+                sim_.queue().scheduleIn(latency, [this, burst] {
+                    deliver(burst);
+                });
+            }
+        }
+        sim_.queue().scheduleIn(latency, [this, burst] { deliver(burst); });
     }
 
+    /** @name Statistics
+     *  @{ */
+    /** Deliveries dropped because the destination had detached. */
+    std::uint64_t deadLetters() const { return deadLetters_.value(); }
+    /** @} */
+
   private:
+    /** Complete one delivery at the egress port. */
+    void
+    deliver(const Burst &burst)
+    {
+        // The destination may have detached or crashed while the
+        // burst was in flight; finish the drop here rather than
+        // invoking a dead handler.
+        if (!ports_[burst.dst]) {
+            deadLetters_.inc();
+            return;
+        }
+        if (faults_ && faults_->nodeDown(burst.dst, sim_.now())) {
+            faults_->noteOutageDrop(sim_.now());
+            return;
+        }
+        ports_[burst.dst](burst);
+    }
+
+    /** Per-egress-link fault site, created lazily and cached. */
+    sim::FaultSite &
+    linkSite(NodeId dst)
+    {
+        if (dst >= linkSites_.size())
+            linkSites_.resize(dst + 1, nullptr);
+        if (!linkSites_[dst])
+            linkSites_[dst] = &faults_->site("link." + std::to_string(dst));
+        return *linkSites_[dst];
+    }
+
+    void
+    traceFault(const char *what, NodeId dst)
+    {
+        if (sim::TraceWriter *tw = faults_->tracer())
+            tw->instant(std::string(what) + std::to_string(dst), "fault",
+                        sim_.now(), sim::TraceWriter::Lanes::fault);
+    }
+
     Simulation &sim_;
     Tick latency_;
     std::vector<RxHandler> ports_;
+    sim::FaultInjector *faults_ = nullptr;
+    std::vector<sim::FaultSite *> linkSites_;
+    sim::stats::Counter deadLetters_;
 };
 
 } // namespace ioat::net

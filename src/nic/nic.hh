@@ -73,6 +73,14 @@ struct NicConfig
      * bounded extra latency for near-zero notification cost.
      */
     Tick pollingPeriod = 0;
+    /**
+     * Descriptor slots per RX queue (0 = unbounded, the seed's
+     * idealized adapter).  When bounded, a burst completing into a
+     * full ring is a modeled overflow drop: counted, traced, and —
+     * with a loss-tolerant transport above — recovered by
+     * retransmission instead of being an impossible state.
+     */
+    unsigned rxRingSlots = 0;
 };
 
 /**
@@ -101,8 +109,28 @@ class Nic
         }
     }
 
+    ~Nic()
+    {
+        // In-flight bursts toward a destroyed adapter become switch
+        // dead letters instead of invoking a dangling handler.
+        fabric_.detach(id_);
+    }
+
+    Nic(const Nic &) = delete;
+    Nic &operator=(const Nic &) = delete;
+
     NodeId id() const { return id_; }
     const NicConfig &config() const { return cfg_; }
+
+    /** Inject RX-path faults from site "nic.<id>.rx" (nullptr = off). */
+    void
+    setFaultInjector(sim::FaultInjector *injector)
+    {
+        rxFaultSite_ = injector
+            ? &injector->site("nic." + std::to_string(id_) + ".rx")
+            : nullptr;
+        faults_ = injector;
+    }
 
     void setRxHandler(RxBatchHandler h) { rxHandler_ = std::move(h); }
 
@@ -192,6 +220,10 @@ class Nic
     std::uint64_t interrupts() const { return interrupts_.value(); }
     std::uint64_t softPolls() const { return polls_.value(); }
     std::uint64_t rxBursts() const { return rxBursts_.value(); }
+    /** Bursts dropped because an RX ring was full. */
+    std::uint64_t rxOverflowDrops() const { return rxOverflows_.value(); }
+    /** Bursts dropped by the injected NIC RX fault site. */
+    std::uint64_t rxFaultDrops() const { return rxFaultDrops_.value(); }
     /** @} */
 
   private:
@@ -217,9 +249,21 @@ class Nic
     void
     rxComplete(const Burst &burst)
     {
+        // Wire time was consumed either way; the drop happens at the
+        // descriptor ring, after the bits crossed the link.
         rxBytes_.inc(burst.wireBytes);
-        rxBursts_.inc();
         auto &q = rxQueues_[queueFor(burst.flow)];
+        if (cfg_.rxRingSlots > 0 && q.pending.size() >= cfg_.rxRingSlots) {
+            rxOverflows_.inc();
+            traceRxDrop("nic:rx-overflow");
+            return;
+        }
+        if (rxFaultSite_ && rxFaultSite_->decide().drop) {
+            rxFaultDrops_.inc();
+            traceRxDrop("nic:rx-fault-drop");
+            return;
+        }
+        rxBursts_.inc();
         q.pending.push_back(burst);
 
         if (cfg_.pollingPeriod > 0) {
@@ -271,6 +315,16 @@ class Nic
         });
     }
 
+    void
+    traceRxDrop(const char *what)
+    {
+        if (faults_) {
+            if (sim::TraceWriter *tw = faults_->tracer())
+                tw->instant(what, "fault", sim_.now(),
+                            sim::TraceWriter::Lanes::fault);
+        }
+    }
+
     Simulation &sim_;
     net::Switch &fabric_;
     NicConfig cfg_;
@@ -279,11 +333,15 @@ class Nic
     std::vector<Tick> txNextFree_;
     std::vector<Tick> rxNextFree_;
     std::vector<RxQueue> rxQueues_;
+    sim::FaultInjector *faults_ = nullptr;
+    sim::FaultSite *rxFaultSite_ = nullptr;
     sim::stats::Counter txBytes_;
     sim::stats::Counter rxBytes_;
     sim::stats::Counter interrupts_;
     sim::stats::Counter polls_;
     sim::stats::Counter rxBursts_;
+    sim::stats::Counter rxOverflows_;
+    sim::stats::Counter rxFaultDrops_;
 };
 
 } // namespace ioat::nic

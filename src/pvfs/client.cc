@@ -1,9 +1,21 @@
 /**
  * @file
  * PVFS client implementation.
+ *
+ * Fault handling: when `PvfsConfig::rpcTimeout` is nonzero every RPC
+ * (manager op or iod data op) runs under a watchdog that aborts the
+ * underlying connection when the deadline expires; the op then backs
+ * off, reconnects if the connection died, and retries up to
+ * `rpcMaxRetries` attempts before surfacing a typed PvfsErrc.  With
+ * the default `rpcTimeout == 0` the event sequence is identical to
+ * the lossless client (no watchdogs, no retries, no reconnects).
  */
 
 #include "pvfs/client.hh"
+
+#include <algorithm>
+#include <memory>
+#include <optional>
 
 #include "pvfs/protocol.hh"
 #include "simcore/sync.hh"
@@ -13,6 +25,33 @@ namespace ioat::pvfs {
 using sim::Coro;
 using tcp::Connection;
 
+namespace {
+
+/** Shared flag between an RPC attempt and its deadline watchdog. */
+struct OpWatch
+{
+    bool done = false;  ///< attempt finished; watchdog must not fire
+    bool fired = false; ///< watchdog aborted the connection
+};
+
+Coro<void>
+armWatch(Connection &c, sim::Tick t, std::shared_ptr<OpWatch> w)
+{
+    co_await c.simulation().delay(t);
+    if (!w->done) {
+        w->fired = true;
+        c.abortLocal();
+    }
+}
+
+constexpr std::uint64_t
+tag(PvfsTag t)
+{
+    return static_cast<std::uint64_t>(t);
+}
+
+} // namespace
+
 PvfsClient::PvfsClient(core::Node &node, const PvfsConfig &cfg,
                        DaemonAddr mgr, std::vector<DaemonAddr> iods)
     : node_(node), cfg_(cfg), mgrAddr_(mgr), iodAddrs_(std::move(iods)),
@@ -20,95 +59,202 @@ PvfsClient::PvfsClient(core::Node &node, const PvfsConfig &cfg,
       mem_(node.host(), "pvfs.client")
 {}
 
-Coro<void>
+Coro<PvfsErrc>
 PvfsClient::connect()
 {
-    mgr_ = co_await node_.stack().connect(mgrAddr_.node, mgrAddr_.port);
+    mgr_ = co_await node_.stack().connect(mgrAddr_.node, mgrAddr_.port,
+                                          connectDeadline());
+    if (mgr_ == nullptr || !mgr_->usable())
+        co_return PvfsErrc::ConnectFailed;
     iods_.clear();
     for (const auto &addr : iodAddrs_) {
-        iods_.push_back(
-            co_await node_.stack().connect(addr.node, addr.port));
+        Connection *c = co_await node_.stack().connect(
+            addr.node, addr.port, connectDeadline());
+        if (c == nullptr || !c->usable())
+            co_return PvfsErrc::ConnectFailed;
+        iods_.push_back(c);
     }
+    co_return PvfsErrc::Ok;
 }
 
-Coro<sock::Message>
+Coro<Connection *>
+PvfsClient::ensureMgr()
+{
+    if (mgr_ != nullptr && mgr_->usable())
+        co_return mgr_;
+    reconnects_.inc();
+    Connection *c = co_await node_.stack().connect(
+        mgrAddr_.node, mgrAddr_.port, connectDeadline());
+    if (c != nullptr && c->usable())
+        mgr_ = c;
+    co_return c;
+}
+
+Coro<Connection *>
+PvfsClient::ensureIod(unsigned server)
+{
+    Connection *c = iods_[server];
+    if (c != nullptr && c->usable())
+        co_return c;
+    reconnects_.inc();
+    c = co_await node_.stack().connect(iodAddrs_[server].node,
+                                       iodAddrs_[server].port,
+                                       connectDeadline());
+    if (c != nullptr && c->usable())
+        iods_[server] = c;
+    co_return c;
+}
+
+Coro<PvfsResult<sock::Message>>
 PvfsClient::mgrOp(const sock::Message &request)
 {
     sim::simAssert(mgr_ != nullptr, "PvfsClient not connected");
-    co_await node_.cpu().compute(cfg_.clientRequestCost);
-    co_await sock::sendMessage(*mgr_, request);
-    auto reply = co_await sock::recvMessage(*mgr_);
-    sim::simAssert(reply.has_value(), "manager closed connection");
-    co_return *reply;
+    PvfsErrc lastErr = PvfsErrc::ServerClosed;
+    const unsigned tries = std::max(1u, cfg_.rpcMaxRetries);
+    sim::Tick backoff = cfg_.rpcRetryBackoff;
+    for (unsigned attempt = 0; attempt < tries; ++attempt) {
+        if (attempt > 0) {
+            rpcRetries_.inc();
+            co_await node_.simulation().delay(backoff);
+            backoff *= 2;
+        }
+        Connection *conn = co_await ensureMgr();
+        if (conn == nullptr || !conn->usable()) {
+            lastErr = PvfsErrc::ConnectFailed;
+            continue;
+        }
+        auto watch = std::make_shared<OpWatch>();
+        if (cfg_.rpcTimeout > 0)
+            node_.simulation().spawn(
+                armWatch(*conn, cfg_.rpcTimeout, watch));
+
+        co_await node_.cpu().compute(cfg_.clientRequestCost);
+        co_await sock::sendMessage(*conn, request);
+        std::optional<sock::Message> reply;
+        if (!conn->aborted())
+            reply = co_await sock::recvMessage(*conn);
+        watch->done = true;
+        if (reply)
+            co_return PvfsResult<sock::Message>{*reply, PvfsErrc::Ok};
+        lastErr = watch->fired ? PvfsErrc::Timeout
+                               : PvfsErrc::ServerClosed;
+    }
+    rpcFailures_.inc();
+    co_return PvfsResult<sock::Message>{{}, lastErr};
 }
 
-Coro<FileHandle>
+Coro<PvfsResult<FileHandle>>
 PvfsClient::create(std::uint64_t name_key)
 {
     sock::Message req;
-    req.tag = static_cast<std::uint64_t>(PvfsTag::Create);
+    req.tag = tag(PvfsTag::Create);
     req.a = name_key;
-    const sock::Message reply = co_await mgrOp(req);
-    sim::simAssert(reply.tag == static_cast<std::uint64_t>(PvfsTag::OpOk),
-                   "create failed");
-    co_return reply.a;
+    const PvfsResult<sock::Message> reply = co_await mgrOp(req);
+    if (!reply.ok())
+        co_return PvfsResult<FileHandle>{kInvalidHandle, reply.err};
+    if (reply.value.tag != tag(PvfsTag::OpOk))
+        co_return PvfsResult<FileHandle>{kInvalidHandle,
+                                         PvfsErrc::Protocol};
+    co_return PvfsResult<FileHandle>{reply.value.a, PvfsErrc::Ok};
 }
 
-Coro<FileHandle>
+Coro<PvfsResult<FileHandle>>
 PvfsClient::lookup(std::uint64_t name_key)
 {
     sock::Message req;
-    req.tag = static_cast<std::uint64_t>(PvfsTag::Lookup);
+    req.tag = tag(PvfsTag::Lookup);
     req.a = name_key;
-    const sock::Message reply = co_await mgrOp(req);
-    if (reply.tag == static_cast<std::uint64_t>(PvfsTag::OpErr))
-        co_return kInvalidHandle;
-    co_return reply.a;
+    const PvfsResult<sock::Message> reply = co_await mgrOp(req);
+    if (!reply.ok())
+        co_return PvfsResult<FileHandle>{kInvalidHandle, reply.err};
+    if (reply.value.tag == tag(PvfsTag::OpErr)) {
+        // Name not found: a valid reply, not a transport failure.
+        co_return PvfsResult<FileHandle>{kInvalidHandle, PvfsErrc::Ok};
+    }
+    co_return PvfsResult<FileHandle>{reply.value.a, PvfsErrc::Ok};
 }
 
-Coro<std::uint64_t>
+Coro<PvfsResult<std::uint64_t>>
 PvfsClient::fileSize(FileHandle h)
 {
     sock::Message req;
-    req.tag = static_cast<std::uint64_t>(PvfsTag::GetSize);
+    req.tag = tag(PvfsTag::GetSize);
     req.a = h;
-    const sock::Message reply = co_await mgrOp(req);
-    sim::simAssert(reply.tag == static_cast<std::uint64_t>(PvfsTag::OpOk),
-                   "stat failed");
-    co_return reply.b;
+    const PvfsResult<sock::Message> reply = co_await mgrOp(req);
+    if (!reply.ok())
+        co_return PvfsResult<std::uint64_t>{0, reply.err};
+    if (reply.value.tag != tag(PvfsTag::OpOk))
+        co_return PvfsResult<std::uint64_t>{0, PvfsErrc::Protocol};
+    co_return PvfsResult<std::uint64_t>{reply.value.b, PvfsErrc::Ok};
 }
 
-Coro<void>
+Coro<PvfsErrc>
 PvfsClient::readChunk(const StripeChunk &chunk, FileHandle h)
 {
-    Connection *conn = iods_[chunk.server];
-    co_await node_.cpu().compute(cfg_.clientRequestCost);
+    PvfsErrc lastErr = PvfsErrc::ServerClosed;
+    const unsigned tries = std::max(1u, cfg_.rpcMaxRetries);
+    sim::Tick backoff = cfg_.rpcRetryBackoff;
+    for (unsigned attempt = 0; attempt < tries; ++attempt) {
+        if (attempt > 0) {
+            rpcRetries_.inc();
+            co_await node_.simulation().delay(backoff);
+            backoff *= 2;
+        }
+        Connection *conn = co_await ensureIod(chunk.server);
+        if (conn == nullptr || !conn->usable()) {
+            lastErr = PvfsErrc::ConnectFailed;
+            continue;
+        }
+        auto watch = std::make_shared<OpWatch>();
+        if (cfg_.rpcTimeout > 0)
+            node_.simulation().spawn(
+                armWatch(*conn, cfg_.rpcTimeout, watch));
 
-    sock::Message req;
-    req.tag = static_cast<std::uint64_t>(PvfsTag::Read);
-    req.a = h;
-    req.b = chunk.offset;
-    req.c = chunk.bytes;
-    co_await sock::sendMessage(*conn, req);
+        co_await node_.cpu().compute(cfg_.clientRequestCost);
+        sock::Message req;
+        req.tag = tag(PvfsTag::Read);
+        req.a = h;
+        req.b = chunk.offset;
+        req.c = chunk.bytes;
+        co_await sock::sendMessage(*conn, req);
 
-    auto resp = co_await sock::recvMessage(*conn);
-    sim::simAssert(resp.has_value(), "iod closed mid-read");
-    sim::simAssert(resp->tag ==
-                       static_cast<std::uint64_t>(PvfsTag::ReadResp),
-                   "unexpected iod reply");
-    std::size_t got = 0;
-    while (got < resp->payloadBytes) {
-        const std::size_t n =
-            co_await conn->recv(resp->payloadBytes - got);
-        if (n == 0)
-            break;
-        got += n;
-        bytesRead_.inc(n); // fine-grained progress for benchmarks
+        std::optional<sock::Message> resp;
+        if (!conn->aborted())
+            resp = co_await sock::recvMessage(*conn);
+        if (!resp) {
+            watch->done = true;
+            lastErr = watch->fired ? PvfsErrc::Timeout
+                                   : PvfsErrc::ServerClosed;
+            continue;
+        }
+        if (resp->tag != tag(PvfsTag::ReadResp)) {
+            watch->done = true;
+            lastErr = PvfsErrc::Protocol;
+            continue;
+        }
+        std::size_t got = 0;
+        while (got < resp->payloadBytes) {
+            const std::size_t n =
+                co_await conn->recv(resp->payloadBytes - got);
+            if (n == 0)
+                break;
+            got += n;
+            // Fine-grained progress for benchmarks.  A retried
+            // partial drain counts its delivered prefix twice; that
+            // only happens on the (rare, faulted) retry path.
+            bytesRead_.inc(n);
+        }
+        watch->done = true;
+        if (got == chunk.bytes)
+            co_return PvfsErrc::Ok;
+        lastErr = watch->fired ? PvfsErrc::Timeout
+                               : PvfsErrc::ServerClosed;
     }
-    sim::simAssert(got == chunk.bytes, "short PVFS read");
+    rpcFailures_.inc();
+    co_return lastErr;
 }
 
-Coro<std::size_t>
+Coro<PvfsResult<std::size_t>>
 PvfsClient::read(FileHandle h, std::uint64_t offset, std::size_t bytes)
 {
     sim::simAssert(!iods_.empty(), "PvfsClient not connected");
@@ -116,102 +262,188 @@ PvfsClient::read(FileHandle h, std::uint64_t offset, std::size_t bytes)
 
     // Issue one request per involved iod, all in parallel.
     sim::WaitGroup wg(node_.simulation());
-    for (const auto &chunk : chunks) {
+    std::vector<PvfsErrc> errs(chunks.size(), PvfsErrc::Ok);
+    for (std::size_t i = 0; i < chunks.size(); ++i) {
         wg.add();
         node_.simulation().spawn(
             [](PvfsClient &self, StripeChunk ck, FileHandle fh,
-               sim::WaitGroup &w) -> Coro<void> {
-                co_await self.readChunk(ck, fh);
+               sim::WaitGroup &w, PvfsErrc *slot) -> Coro<void> {
+                *slot = co_await self.readChunk(ck, fh);
                 w.done();
-            }(*this, chunk, h, wg));
+            }(*this, chunks[i], h, wg, &errs[i]));
     }
     co_await wg.wait();
-    co_return bytes;
+
+    std::size_t done = 0;
+    PvfsErrc err = PvfsErrc::Ok;
+    for (std::size_t i = 0; i < chunks.size(); ++i) {
+        if (errs[i] == PvfsErrc::Ok)
+            done += chunks[i].bytes;
+        else if (err == PvfsErrc::Ok)
+            err = errs[i];
+    }
+    co_return PvfsResult<std::size_t>{err == PvfsErrc::Ok ? bytes : done,
+                                      err};
 }
 
-Coro<void>
+Coro<PvfsErrc>
 PvfsClient::writeChunk(const StripeChunk &chunk, FileHandle h)
 {
-    Connection *conn = iods_[chunk.server];
-    co_await node_.cpu().compute(cfg_.clientRequestCost);
+    PvfsErrc lastErr = PvfsErrc::ServerClosed;
+    const unsigned tries = std::max(1u, cfg_.rpcMaxRetries);
+    sim::Tick backoff = cfg_.rpcRetryBackoff;
+    for (unsigned attempt = 0; attempt < tries; ++attempt) {
+        if (attempt > 0) {
+            rpcRetries_.inc();
+            co_await node_.simulation().delay(backoff);
+            backoff *= 2;
+        }
+        Connection *conn = co_await ensureIod(chunk.server);
+        if (conn == nullptr || !conn->usable()) {
+            lastErr = PvfsErrc::ConnectFailed;
+            continue;
+        }
+        auto watch = std::make_shared<OpWatch>();
+        if (cfg_.rpcTimeout > 0)
+            node_.simulation().spawn(
+                armWatch(*conn, cfg_.rpcTimeout, watch));
 
-    sock::Message req;
-    req.tag = static_cast<std::uint64_t>(PvfsTag::Write);
-    req.a = h;
-    req.b = chunk.offset;
-    req.payloadBytes = chunk.bytes;
-    co_await sock::sendMessage(*conn, req);
+        co_await node_.cpu().compute(cfg_.clientRequestCost);
+        sock::Message req;
+        req.tag = tag(PvfsTag::Write);
+        req.a = h;
+        req.b = chunk.offset;
+        req.payloadBytes = chunk.bytes;
+        co_await sock::sendMessage(*conn, req);
 
-    auto ack = co_await sock::recvMessage(*conn);
-    sim::simAssert(ack.has_value(), "iod closed mid-write");
-    sim::simAssert(ack->tag ==
-                       static_cast<std::uint64_t>(PvfsTag::WriteAck),
-                   "unexpected iod reply");
-    bytesWritten_.inc(chunk.bytes);
+        std::optional<sock::Message> ack;
+        if (!conn->aborted())
+            ack = co_await sock::recvMessage(*conn);
+        watch->done = true;
+        if (ack && ack->tag == tag(PvfsTag::WriteAck)) {
+            bytesWritten_.inc(chunk.bytes);
+            co_return PvfsErrc::Ok;
+        }
+        lastErr = !ack ? (watch->fired ? PvfsErrc::Timeout
+                                       : PvfsErrc::ServerClosed)
+                       : PvfsErrc::Protocol;
+    }
+    rpcFailures_.inc();
+    co_return lastErr;
 }
 
-Coro<std::size_t>
+Coro<PvfsResult<std::size_t>>
 PvfsClient::write(FileHandle h, std::uint64_t offset, std::size_t bytes)
 {
     sim::simAssert(!iods_.empty(), "PvfsClient not connected");
     const auto chunks = layout_.split(offset, bytes);
 
     sim::WaitGroup wg(node_.simulation());
-    for (const auto &chunk : chunks) {
+    std::vector<PvfsErrc> errs(chunks.size(), PvfsErrc::Ok);
+    for (std::size_t i = 0; i < chunks.size(); ++i) {
         wg.add();
         node_.simulation().spawn(
             [](PvfsClient &self, StripeChunk ck, FileHandle fh,
-               sim::WaitGroup &w) -> Coro<void> {
-                co_await self.writeChunk(ck, fh);
+               sim::WaitGroup &w, PvfsErrc *slot) -> Coro<void> {
+                *slot = co_await self.writeChunk(ck, fh);
                 w.done();
-            }(*this, chunk, h, wg));
+            }(*this, chunks[i], h, wg, &errs[i]));
     }
     co_await wg.wait();
 
+    std::size_t done = 0;
+    PvfsErrc err = PvfsErrc::Ok;
+    for (std::size_t i = 0; i < chunks.size(); ++i) {
+        if (errs[i] == PvfsErrc::Ok)
+            done += chunks[i].bytes;
+        else if (err == PvfsErrc::Ok)
+            err = errs[i];
+    }
+    if (err != PvfsErrc::Ok) {
+        // Do not extend metadata over holes left by failed writes.
+        co_return PvfsResult<std::size_t>{done, err};
+    }
+
     // Update the manager's size metadata (out of the data path).
     sock::Message ext;
-    ext.tag = static_cast<std::uint64_t>(PvfsTag::ExtendTo);
+    ext.tag = tag(PvfsTag::ExtendTo);
     ext.a = h;
     ext.b = offset + bytes;
-    const sock::Message reply = co_await mgrOp(ext);
-    sim::simAssert(reply.tag == static_cast<std::uint64_t>(PvfsTag::OpOk),
-                   "extend failed");
+    const PvfsResult<sock::Message> reply = co_await mgrOp(ext);
+    if (!reply.ok())
+        co_return PvfsResult<std::size_t>{done, reply.err};
+    if (reply.value.tag != tag(PvfsTag::OpOk))
+        co_return PvfsResult<std::size_t>{done, PvfsErrc::Protocol};
 
-    co_return bytes;
+    co_return PvfsResult<std::size_t>{bytes, PvfsErrc::Ok};
 }
 
-Coro<void>
+Coro<PvfsErrc>
 PvfsClient::readListChunk(const StridedChunk &chunk, FileHandle h)
 {
-    Connection *conn = iods_[chunk.server];
-    co_await node_.cpu().compute(cfg_.clientRequestCost +
-                                 cfg_.clientExtentCost * chunk.extents);
+    PvfsErrc lastErr = PvfsErrc::ServerClosed;
+    const unsigned tries = std::max(1u, cfg_.rpcMaxRetries);
+    sim::Tick backoff = cfg_.rpcRetryBackoff;
+    for (unsigned attempt = 0; attempt < tries; ++attempt) {
+        if (attempt > 0) {
+            rpcRetries_.inc();
+            co_await node_.simulation().delay(backoff);
+            backoff *= 2;
+        }
+        Connection *conn = co_await ensureIod(chunk.server);
+        if (conn == nullptr || !conn->usable()) {
+            lastErr = PvfsErrc::ConnectFailed;
+            continue;
+        }
+        auto watch = std::make_shared<OpWatch>();
+        if (cfg_.rpcTimeout > 0)
+            node_.simulation().spawn(
+                armWatch(*conn, cfg_.rpcTimeout, watch));
 
-    sock::Message req;
-    req.tag = static_cast<std::uint64_t>(PvfsTag::ReadList);
-    req.a = h;
-    req.b = chunk.extents;
-    req.c = chunk.bytes;
-    co_await sock::sendMessage(*conn, req);
+        co_await node_.cpu().compute(cfg_.clientRequestCost +
+                                     cfg_.clientExtentCost *
+                                         chunk.extents);
+        sock::Message req;
+        req.tag = tag(PvfsTag::ReadList);
+        req.a = h;
+        req.b = chunk.extents;
+        req.c = chunk.bytes;
+        co_await sock::sendMessage(*conn, req);
 
-    auto resp = co_await sock::recvMessage(*conn);
-    sim::simAssert(resp.has_value(), "iod closed mid-read");
-    sim::simAssert(resp->tag ==
-                       static_cast<std::uint64_t>(PvfsTag::ReadResp),
-                   "unexpected iod reply");
-    std::size_t got = 0;
-    while (got < resp->payloadBytes) {
-        const std::size_t n =
-            co_await conn->recv(resp->payloadBytes - got);
-        if (n == 0)
-            break;
-        got += n;
-        bytesRead_.inc(n);
+        std::optional<sock::Message> resp;
+        if (!conn->aborted())
+            resp = co_await sock::recvMessage(*conn);
+        if (!resp) {
+            watch->done = true;
+            lastErr = watch->fired ? PvfsErrc::Timeout
+                                   : PvfsErrc::ServerClosed;
+            continue;
+        }
+        if (resp->tag != tag(PvfsTag::ReadResp)) {
+            watch->done = true;
+            lastErr = PvfsErrc::Protocol;
+            continue;
+        }
+        std::size_t got = 0;
+        while (got < resp->payloadBytes) {
+            const std::size_t n =
+                co_await conn->recv(resp->payloadBytes - got);
+            if (n == 0)
+                break;
+            got += n;
+            bytesRead_.inc(n);
+        }
+        watch->done = true;
+        if (got == chunk.bytes)
+            co_return PvfsErrc::Ok;
+        lastErr = watch->fired ? PvfsErrc::Timeout
+                               : PvfsErrc::ServerClosed;
     }
-    sim::simAssert(got == chunk.bytes, "short PVFS list read");
+    rpcFailures_.inc();
+    co_return lastErr;
 }
 
-Coro<std::size_t>
+Coro<PvfsResult<std::size_t>>
 PvfsClient::readStrided(FileHandle h, std::uint64_t offset,
                         std::size_t block, std::size_t stride,
                         unsigned count)
@@ -221,42 +453,80 @@ PvfsClient::readStrided(FileHandle h, std::uint64_t offset,
         layout_.splitStrided(offset, block, stride, count);
 
     sim::WaitGroup wg(node_.simulation());
-    for (const auto &chunk : chunks) {
+    std::vector<PvfsErrc> errs(chunks.size(), PvfsErrc::Ok);
+    for (std::size_t i = 0; i < chunks.size(); ++i) {
         wg.add();
         node_.simulation().spawn(
             [](PvfsClient &self, StridedChunk ck, FileHandle fh,
-               sim::WaitGroup &w) -> Coro<void> {
-                co_await self.readListChunk(ck, fh);
+               sim::WaitGroup &w, PvfsErrc *slot) -> Coro<void> {
+                *slot = co_await self.readListChunk(ck, fh);
                 w.done();
-            }(*this, chunk, h, wg));
+            }(*this, chunks[i], h, wg, &errs[i]));
     }
     co_await wg.wait();
-    co_return static_cast<std::size_t>(block) * count;
+
+    const std::size_t total = static_cast<std::size_t>(block) * count;
+    std::size_t done = 0;
+    PvfsErrc err = PvfsErrc::Ok;
+    for (std::size_t i = 0; i < chunks.size(); ++i) {
+        if (errs[i] == PvfsErrc::Ok)
+            done += chunks[i].bytes;
+        else if (err == PvfsErrc::Ok)
+            err = errs[i];
+    }
+    co_return PvfsResult<std::size_t>{err == PvfsErrc::Ok ? total : done,
+                                      err};
 }
 
-Coro<void>
+Coro<PvfsErrc>
 PvfsClient::writeListChunk(const StridedChunk &chunk, FileHandle h)
 {
-    Connection *conn = iods_[chunk.server];
-    co_await node_.cpu().compute(cfg_.clientRequestCost +
-                                 cfg_.clientExtentCost * chunk.extents);
+    PvfsErrc lastErr = PvfsErrc::ServerClosed;
+    const unsigned tries = std::max(1u, cfg_.rpcMaxRetries);
+    sim::Tick backoff = cfg_.rpcRetryBackoff;
+    for (unsigned attempt = 0; attempt < tries; ++attempt) {
+        if (attempt > 0) {
+            rpcRetries_.inc();
+            co_await node_.simulation().delay(backoff);
+            backoff *= 2;
+        }
+        Connection *conn = co_await ensureIod(chunk.server);
+        if (conn == nullptr || !conn->usable()) {
+            lastErr = PvfsErrc::ConnectFailed;
+            continue;
+        }
+        auto watch = std::make_shared<OpWatch>();
+        if (cfg_.rpcTimeout > 0)
+            node_.simulation().spawn(
+                armWatch(*conn, cfg_.rpcTimeout, watch));
 
-    sock::Message req;
-    req.tag = static_cast<std::uint64_t>(PvfsTag::WriteList);
-    req.a = h;
-    req.b = chunk.extents;
-    req.payloadBytes = chunk.bytes;
-    co_await sock::sendMessage(*conn, req);
+        co_await node_.cpu().compute(cfg_.clientRequestCost +
+                                     cfg_.clientExtentCost *
+                                         chunk.extents);
+        sock::Message req;
+        req.tag = tag(PvfsTag::WriteList);
+        req.a = h;
+        req.b = chunk.extents;
+        req.payloadBytes = chunk.bytes;
+        co_await sock::sendMessage(*conn, req);
 
-    auto ack = co_await sock::recvMessage(*conn);
-    sim::simAssert(ack.has_value(), "iod closed mid-write");
-    sim::simAssert(ack->tag ==
-                       static_cast<std::uint64_t>(PvfsTag::WriteAck),
-                   "unexpected iod reply");
-    bytesWritten_.inc(chunk.bytes);
+        std::optional<sock::Message> ack;
+        if (!conn->aborted())
+            ack = co_await sock::recvMessage(*conn);
+        watch->done = true;
+        if (ack && ack->tag == tag(PvfsTag::WriteAck)) {
+            bytesWritten_.inc(chunk.bytes);
+            co_return PvfsErrc::Ok;
+        }
+        lastErr = !ack ? (watch->fired ? PvfsErrc::Timeout
+                                       : PvfsErrc::ServerClosed)
+                       : PvfsErrc::Protocol;
+    }
+    rpcFailures_.inc();
+    co_return lastErr;
 }
 
-Coro<std::size_t>
+Coro<PvfsResult<std::size_t>>
 PvfsClient::writeStrided(FileHandle h, std::uint64_t offset,
                          std::size_t block, std::size_t stride,
                          unsigned count)
@@ -266,26 +536,41 @@ PvfsClient::writeStrided(FileHandle h, std::uint64_t offset,
         layout_.splitStrided(offset, block, stride, count);
 
     sim::WaitGroup wg(node_.simulation());
-    for (const auto &chunk : chunks) {
+    std::vector<PvfsErrc> errs(chunks.size(), PvfsErrc::Ok);
+    for (std::size_t i = 0; i < chunks.size(); ++i) {
         wg.add();
         node_.simulation().spawn(
             [](PvfsClient &self, StridedChunk ck, FileHandle fh,
-               sim::WaitGroup &w) -> Coro<void> {
-                co_await self.writeListChunk(ck, fh);
+               sim::WaitGroup &w, PvfsErrc *slot) -> Coro<void> {
+                *slot = co_await self.writeListChunk(ck, fh);
                 w.done();
-            }(*this, chunk, h, wg));
+            }(*this, chunks[i], h, wg, &errs[i]));
     }
     co_await wg.wait();
 
+    const std::size_t total = static_cast<std::size_t>(block) * count;
+    std::size_t done = 0;
+    PvfsErrc err = PvfsErrc::Ok;
+    for (std::size_t i = 0; i < chunks.size(); ++i) {
+        if (errs[i] == PvfsErrc::Ok)
+            done += chunks[i].bytes;
+        else if (err == PvfsErrc::Ok)
+            err = errs[i];
+    }
+    if (err != PvfsErrc::Ok)
+        co_return PvfsResult<std::size_t>{done, err};
+
     sock::Message ext;
-    ext.tag = static_cast<std::uint64_t>(PvfsTag::ExtendTo);
+    ext.tag = tag(PvfsTag::ExtendTo);
     ext.a = h;
     ext.b = offset + static_cast<std::uint64_t>(stride) * (count - 1) +
             block;
-    const sock::Message reply = co_await mgrOp(ext);
-    sim::simAssert(reply.tag == static_cast<std::uint64_t>(PvfsTag::OpOk),
-                   "extend failed");
-    co_return static_cast<std::size_t>(block) * count;
+    const PvfsResult<sock::Message> reply = co_await mgrOp(ext);
+    if (!reply.ok())
+        co_return PvfsResult<std::size_t>{done, reply.err};
+    if (reply.value.tag != tag(PvfsTag::OpOk))
+        co_return PvfsResult<std::size_t>{done, PvfsErrc::Protocol};
+    co_return PvfsResult<std::size_t>{total, PvfsErrc::Ok};
 }
 
 } // namespace ioat::pvfs

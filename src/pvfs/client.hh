@@ -31,6 +31,29 @@ struct DaemonAddr
     std::uint16_t port;
 };
 
+/** Typed PVFS operation failures (a dead server degrades the mount). */
+enum class PvfsErrc {
+    Ok = 0,
+    Timeout,       ///< RPC deadline expired (after retries)
+    ServerClosed,  ///< daemon closed / transport aborted mid-op
+    ConnectFailed, ///< could not (re)connect to the daemon
+    Protocol,      ///< unexpected reply tag or short transfer
+};
+
+/**
+ * Operation result: a value plus a PvfsErrc.  Implicitly converts to
+ * the value so success-path call sites read like the plain API.
+ */
+template <typename T>
+struct PvfsResult
+{
+    T value{};
+    PvfsErrc err = PvfsErrc::Ok;
+
+    bool ok() const { return err == PvfsErrc::Ok; }
+    operator T() const { return value; }
+};
+
 /**
  * Client-side PVFS access.
  */
@@ -45,23 +68,25 @@ class PvfsClient
                std::vector<DaemonAddr> iods);
 
     /** Open connections to the manager and every iod. */
-    sim::Coro<void> connect();
+    sim::Coro<PvfsErrc> connect();
 
     /** @name Metadata operations (through the manager)
      *  @{ */
-    sim::Coro<FileHandle> create(std::uint64_t name_key);
-    sim::Coro<FileHandle> lookup(std::uint64_t name_key);
-    sim::Coro<std::uint64_t> fileSize(FileHandle h);
+    sim::Coro<PvfsResult<FileHandle>> create(std::uint64_t name_key);
+    sim::Coro<PvfsResult<FileHandle>> lookup(std::uint64_t name_key);
+    sim::Coro<PvfsResult<std::uint64_t>> fileSize(FileHandle h);
     /** @} */
 
     /** @name Data operations (directly to the iods)
      *  @{ */
     /** Read [offset, offset+bytes); returns bytes transferred. */
-    sim::Coro<std::size_t> read(FileHandle h, std::uint64_t offset,
-                                std::size_t bytes);
+    sim::Coro<PvfsResult<std::size_t>> read(FileHandle h,
+                                            std::uint64_t offset,
+                                            std::size_t bytes);
     /** Write [offset, offset+bytes); extends the file metadata. */
-    sim::Coro<std::size_t> write(FileHandle h, std::uint64_t offset,
-                                 std::size_t bytes);
+    sim::Coro<PvfsResult<std::size_t>> write(FileHandle h,
+                                             std::uint64_t offset,
+                                             std::size_t bytes);
 
     /**
      * Noncontiguous (strided/listio) read: `count` blocks of `block`
@@ -69,32 +94,50 @@ class PvfsClient
      * involved iod (Ching et al.'s noncontiguous PVFS interface).
      * @return total bytes transferred.
      */
-    sim::Coro<std::size_t> readStrided(FileHandle h,
-                                       std::uint64_t offset,
-                                       std::size_t block,
-                                       std::size_t stride,
-                                       unsigned count);
+    sim::Coro<PvfsResult<std::size_t>> readStrided(FileHandle h,
+                                                   std::uint64_t offset,
+                                                   std::size_t block,
+                                                   std::size_t stride,
+                                                   unsigned count);
 
     /** Noncontiguous (strided/listio) write; extends metadata. */
-    sim::Coro<std::size_t> writeStrided(FileHandle h,
-                                        std::uint64_t offset,
-                                        std::size_t block,
-                                        std::size_t stride,
-                                        unsigned count);
+    sim::Coro<PvfsResult<std::size_t>> writeStrided(FileHandle h,
+                                                    std::uint64_t offset,
+                                                    std::size_t block,
+                                                    std::size_t stride,
+                                                    unsigned count);
     /** @} */
 
     const StripeLayout &layout() const { return layout_; }
     std::uint64_t bytesRead() const { return bytesRead_.value(); }
     std::uint64_t bytesWritten() const { return bytesWritten_.value(); }
+    /** RPC attempts beyond the first (timeouts / dead conns). */
+    std::uint64_t rpcRetries() const { return rpcRetries_.value(); }
+    /** Reconnections performed on the retry path. */
+    std::uint64_t reconnects() const { return reconnects_.value(); }
+    /** Operations that failed even after retries. */
+    std::uint64_t rpcFailures() const { return rpcFailures_.value(); }
 
   private:
-    sim::Coro<void> readChunk(const StripeChunk &chunk, FileHandle h);
-    sim::Coro<void> writeChunk(const StripeChunk &chunk, FileHandle h);
-    sim::Coro<void> readListChunk(const StridedChunk &chunk,
-                                  FileHandle h);
-    sim::Coro<void> writeListChunk(const StridedChunk &chunk,
+    sim::Coro<PvfsErrc> readChunk(const StripeChunk &chunk, FileHandle h);
+    sim::Coro<PvfsErrc> writeChunk(const StripeChunk &chunk,
                                    FileHandle h);
-    sim::Coro<sock::Message> mgrOp(const sock::Message &request);
+    sim::Coro<PvfsErrc> readListChunk(const StridedChunk &chunk,
+                                      FileHandle h);
+    sim::Coro<PvfsErrc> writeListChunk(const StridedChunk &chunk,
+                                       FileHandle h);
+    sim::Coro<PvfsResult<sock::Message>> mgrOp(
+        const sock::Message &request);
+
+    /** Usable manager connection, reconnecting if needed. */
+    sim::Coro<tcp::Connection *> ensureMgr();
+    /** Usable connection to iod @p server, reconnecting if needed. */
+    sim::Coro<tcp::Connection *> ensureIod(unsigned server);
+    /** Reconnect deadline (0 when fault handling is off). */
+    sim::Tick connectDeadline() const
+    {
+        return cfg_.rpcTimeout > 0 ? cfg_.connectTimeout : 0;
+    }
 
     core::Node &node_;
     PvfsConfig cfg_;
@@ -108,6 +151,9 @@ class PvfsClient
 
     sim::stats::Counter bytesRead_;
     sim::stats::Counter bytesWritten_;
+    sim::stats::Counter rpcRetries_;
+    sim::stats::Counter reconnects_;
+    sim::stats::Counter rpcFailures_;
 };
 
 } // namespace ioat::pvfs

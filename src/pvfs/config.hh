@@ -40,6 +40,22 @@ struct PvfsConfig
 
     std::uint16_t mgrPort = 3000;
     std::uint16_t iodBasePort = 3100;
+
+    /** @name Loss tolerance (defaults off: seed behaviour)
+     * With a nonzero `rpcTimeout`, every manager/iod RPC gets a
+     * deadline; an expired deadline aborts the stuck connection and
+     * the op retries (reconnecting) with exponential backoff up to
+     * `rpcMaxRetries` attempts before surfacing a typed error.
+     *  @{ */
+    /** Per-RPC deadline (0 = wait forever, the seed behaviour). */
+    Tick rpcTimeout = 0;
+    /** Attempts per RPC (first try + retries) before giving up. */
+    unsigned rpcMaxRetries = 3;
+    /** Delay before the first retry; doubled each further retry. */
+    Tick rpcRetryBackoff = sim::milliseconds(2);
+    /** Deadline for each reconnect attempt on the retry path. */
+    Tick connectTimeout = sim::milliseconds(20);
+    /** @} */
 };
 
 } // namespace ioat::pvfs

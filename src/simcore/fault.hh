@@ -1,0 +1,274 @@
+/**
+ * @file
+ * Deterministic fault-injection framework.
+ *
+ * A `FaultInjector` owns a seeded fault plan for a whole simulation.
+ * Components pull per-site decision streams from it: each named site
+ * (a switch link, a NIC RX path, a DMA engine, ...) gets its own
+ * `FaultSite` whose PRNG is derived from the global seed and the site
+ * name, so the fault schedule at one site is a pure function of
+ * (seed, site name, number of decisions taken there).  Adding or
+ * removing sites never perturbs the streams of the others, and the
+ * same seed replays the exact same schedule.
+ *
+ * Two kinds of fault are modeled:
+ *  - probabilistic per-unit faults (drop / duplicate / extra delay),
+ *    decided by `FaultSite::decide()`;
+ *  - scheduled whole-node outage windows (pause, crash, restart),
+ *    queried with `nodeDown()` — delivery to (or from) a down node is
+ *    the injection point for crash semantics.
+ *
+ * Everything is observable: per-site counters, aggregate counters,
+ * optional trace instants, and `registerStats()` for end-of-run dumps.
+ */
+
+#ifndef IOAT_SIMCORE_FAULT_HH
+#define IOAT_SIMCORE_FAULT_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "simcore/random.hh"
+#include "simcore/stats.hh"
+#include "simcore/trace.hh"
+#include "simcore/types.hh"
+
+namespace ioat::sim {
+
+/** Probabilistic fault mix for one site (probabilities sum to <= 1). */
+struct FaultSiteConfig
+{
+    double dropProb = 0.0;  ///< unit vanishes
+    double dupProb = 0.0;   ///< unit delivered twice
+    double delayProb = 0.0; ///< unit delivered late by delayTicks
+    Tick delayTicks = 0;    ///< extra latency applied on a delay fault
+};
+
+/** What the injector decided for one unit of work at a site. */
+struct FaultDecision
+{
+    bool drop = false;
+    bool duplicate = false;
+    Tick extraDelay = 0;
+};
+
+/** A scheduled whole-node outage window [start, end). */
+struct OutageWindow
+{
+    std::uint32_t node = 0;
+    Tick start = 0;
+    Tick end = kTickMax; ///< kTickMax = permanent crash
+};
+
+class FaultInjector;
+
+/**
+ * One named fault-injection point with its own deterministic
+ * decision stream and counters.
+ */
+class FaultSite
+{
+  public:
+    const std::string &name() const { return name_; }
+    const FaultSiteConfig &config() const { return cfg_; }
+    void configure(const FaultSiteConfig &cfg) { cfg_ = cfg; }
+
+    /**
+     * Decide the fate of the next unit of work at this site.  Exactly
+     * one PRNG draw per call, so the stream stays aligned across runs
+     * even when the configured probabilities differ.
+     */
+    FaultDecision decide(); // defined after FaultInjector
+
+    /** @name Per-site counters
+     *  @{ */
+    std::uint64_t decisions() const { return decisions_.value(); }
+    std::uint64_t drops() const { return drops_.value(); }
+    std::uint64_t dups() const { return dups_.value(); }
+    std::uint64_t delays() const { return delays_.value(); }
+    /** @} */
+
+  private:
+    friend class FaultInjector;
+
+    FaultSite(FaultInjector &parent, std::string name, std::uint64_t seed,
+              const FaultSiteConfig &cfg)
+        : parent_(parent), name_(std::move(name)), rng_(seed), cfg_(cfg)
+    {}
+
+    FaultInjector &parent_;
+    std::string name_;
+    Rng rng_;
+    FaultSiteConfig cfg_;
+    stats::Counter decisions_;
+    stats::Counter drops_;
+    stats::Counter dups_;
+    stats::Counter delays_;
+};
+
+/**
+ * The simulation-wide fault plan: site registry, outage schedule,
+ * aggregate counters, optional tracing.
+ */
+class FaultInjector
+{
+  public:
+    explicit FaultInjector(std::uint64_t seed = 1) : seed_(seed) {}
+
+    FaultInjector(const FaultInjector &) = delete;
+    FaultInjector &operator=(const FaultInjector &) = delete;
+
+    std::uint64_t seed() const { return seed_; }
+
+    /**
+     * Default config applied to sites created on demand (handy for
+     * "uniform loss on every link" sweeps).  Affects only sites
+     * created after the call.
+     */
+    void setDefaultConfig(const FaultSiteConfig &cfg) { defaultCfg_ = cfg; }
+
+    /** Get or create the site named @p name. */
+    FaultSite &
+    site(const std::string &name)
+    {
+        auto it = sites_.find(name);
+        if (it == sites_.end()) {
+            it = sites_
+                     .emplace(name, std::unique_ptr<FaultSite>(new FaultSite(
+                                        *this, name, siteSeed(name),
+                                        defaultCfg_)))
+                     .first;
+        }
+        return *it->second;
+    }
+
+    /** Get or create the site named @p name and (re)configure it. */
+    FaultSite &
+    site(const std::string &name, const FaultSiteConfig &cfg)
+    {
+        FaultSite &s = site(name);
+        s.configure(cfg);
+        return s;
+    }
+
+    /** @name Scheduled node outages
+     *  @{ */
+
+    /** Take @p node down over [start, end); end defaults to forever. */
+    void
+    addOutage(std::uint32_t node, Tick start, Tick end = kTickMax)
+    {
+        outages_.push_back(OutageWindow{node, start, end});
+    }
+
+    /** Is @p node inside any of its outage windows at @p now? */
+    bool
+    nodeDown(std::uint32_t node, Tick now) const
+    {
+        for (const auto &w : outages_)
+            if (w.node == node && now >= w.start && now < w.end)
+                return true;
+        return false;
+    }
+
+    /** Record a delivery dropped because an endpoint was down. */
+    void
+    noteOutageDrop(Tick now)
+    {
+        outageDrops_.inc();
+        if (trace_)
+            trace_->instant("fault:outage-drop", "fault", now,
+                            TraceWriter::Lanes::fault);
+    }
+    /** @} */
+
+    /** Emit fault instants into @p tw (injected vs recovered audit). */
+    void setTracer(TraceWriter *tw) { trace_ = tw; }
+    TraceWriter *tracer() const { return trace_; }
+
+    /** @name Aggregate counters (sum over all sites + outages)
+     *  @{ */
+    std::uint64_t totalDrops() const { return drops_.value(); }
+    std::uint64_t totalDups() const { return dups_.value(); }
+    std::uint64_t totalDelays() const { return delays_.value(); }
+    std::uint64_t outageDrops() const { return outageDrops_.value(); }
+    /** @} */
+
+    /** Register every counter under "fault." in @p reg. */
+    void
+    registerStats(stats::Registry &reg) const
+    {
+        reg.addCounter("fault.drops", drops_, "bursts dropped by injector");
+        reg.addCounter("fault.dups", dups_, "bursts duplicated by injector");
+        reg.addCounter("fault.delays", delays_, "bursts delayed by injector");
+        reg.addCounter("fault.outageDrops", outageDrops_,
+                       "deliveries dropped at crashed nodes");
+        for (const auto &[name, s] : sites_) {
+            reg.addCounter("fault." + name + ".drops", s->drops_);
+            reg.addCounter("fault." + name + ".dups", s->dups_);
+            reg.addCounter("fault." + name + ".delays", s->delays_);
+        }
+    }
+
+  private:
+    friend class FaultSite;
+
+    /** Per-site seed: mix the site name into the global seed. */
+    std::uint64_t
+    siteSeed(const std::string &name) const
+    {
+        // FNV-1a over the name, then xor into the plan seed.
+        std::uint64_t h = 0xcbf29ce484222325ULL;
+        for (unsigned char c : name) {
+            h ^= c;
+            h *= 0x100000001b3ULL;
+        }
+        return seed_ ^ h;
+    }
+
+    std::uint64_t seed_;
+    FaultSiteConfig defaultCfg_;
+    // std::map: deterministic iteration order for stats registration.
+    std::map<std::string, std::unique_ptr<FaultSite>> sites_;
+    std::vector<OutageWindow> outages_;
+    TraceWriter *trace_ = nullptr;
+    stats::Counter drops_;
+    stats::Counter dups_;
+    stats::Counter delays_;
+    stats::Counter outageDrops_;
+};
+
+inline FaultDecision
+FaultSite::decide()
+{
+    decisions_.inc();
+    FaultDecision d;
+    const double sum = cfg_.dropProb + cfg_.dupProb + cfg_.delayProb;
+    if (sum <= 0.0) {
+        // Keep the stream aligned even for a currently-clean site.
+        (void)rng_.uniform();
+        return d;
+    }
+    const double u = rng_.uniform();
+    if (u < cfg_.dropProb) {
+        d.drop = true;
+        drops_.inc();
+        parent_.drops_.inc();
+    } else if (u < cfg_.dropProb + cfg_.dupProb) {
+        d.duplicate = true;
+        dups_.inc();
+        parent_.dups_.inc();
+    } else if (u < sum) {
+        d.extraDelay = cfg_.delayTicks;
+        delays_.inc();
+        parent_.delays_.inc();
+    }
+    return d;
+}
+
+} // namespace ioat::sim
+
+#endif // IOAT_SIMCORE_FAULT_HH

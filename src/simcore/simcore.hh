@@ -10,6 +10,7 @@
 #include "simcore/channel.hh"
 #include "simcore/coro.hh"
 #include "simcore/event_queue.hh"
+#include "simcore/fault.hh"
 #include "simcore/log.hh"
 #include "simcore/mutex.hh"
 #include "simcore/random.hh"

@@ -35,6 +35,7 @@ class TraceWriter
         static constexpr int core0 = 0;   ///< CPU cores: 0..N-1
         static constexpr int dma = 100;   ///< DMA engine channels
         static constexpr int wire = 200;  ///< NIC ports
+        static constexpr int fault = 300; ///< injected faults / recovery
     };
 
     explicit TraceWriter(std::size_t reserve = 4096)

@@ -8,12 +8,18 @@
  * the header's fields ride the transport's in-band metadata channel
  * while the byte counts move through the normal send/recv path, so
  * all CPU/NIC/cache costs are charged exactly as for opaque data.
+ *
+ * Failure handling: a connection that closes or aborts mid-message
+ * yields std::nullopt (never an assert), and `recvMessageTimed` adds
+ * a deadline by aborting the underlying connection when it expires —
+ * the simulated equivalent of closing a stuck socket.
  */
 
 #ifndef IOAT_SOCK_MESSAGE_HH
 #define IOAT_SOCK_MESSAGE_HH
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 
 #include "simcore/coro.hh"
@@ -24,6 +30,14 @@ namespace ioat::sock {
 using sim::Coro;
 using tcp::Connection;
 using tcp::SendOptions;
+
+/** Outcome of a timed message exchange. */
+enum class MsgStatus {
+    Ok,      ///< message delivered
+    Eof,     ///< peer closed in an orderly way
+    Timeout, ///< deadline expired; the connection was aborted
+    Aborted, ///< transport failed (retry exhaustion / local abort)
+};
 
 /** Wire size of a message header. */
 inline constexpr std::size_t kMessageHeaderBytes = 64;
@@ -69,10 +83,10 @@ inline Coro<std::optional<Message>>
 recvMessage(Connection &conn)
 {
     const std::size_t got = co_await conn.recvAll(kMessageHeaderBytes);
-    if (got == 0)
+    if (got != kMessageHeaderBytes || conn.metaAvailable() == 0) {
+        // Orderly EOF, or a close/abort truncated the header.
         co_return std::nullopt;
-    sim::simAssert(got == kMessageHeaderBytes,
-                   "truncated message header");
+    }
     const tcp::MsgMeta meta = conn.popMeta();
     Message msg;
     msg.tag = meta.w[0];
@@ -90,8 +104,56 @@ recvMessageAndPayload(Connection &conn)
     auto msg = co_await recvMessage(conn);
     if (msg && msg->payloadBytes > 0) {
         const std::size_t got = co_await conn.recvAll(msg->payloadBytes);
-        sim::simAssert(got == msg->payloadBytes,
-                       "connection closed mid-payload");
+        if (got != msg->payloadBytes)
+            co_return std::nullopt; // closed/aborted mid-payload
+    }
+    co_return msg;
+}
+
+/**
+ * Receive the next message with a deadline.
+ *
+ * If the deadline expires first, the connection is locally aborted
+ * (releasing the blocked read) and std::nullopt is returned with
+ * @p status (when given) set to MsgStatus::Timeout.  A @p timeout of
+ * 0 means no deadline.
+ */
+inline Coro<std::optional<Message>>
+recvMessageTimed(Connection &conn, sim::Tick timeout,
+                 MsgStatus *status = nullptr)
+{
+    if (timeout == 0) {
+        auto msg = co_await recvMessage(conn);
+        if (status)
+            *status = msg             ? MsgStatus::Ok
+                      : conn.aborted() ? MsgStatus::Aborted
+                                       : MsgStatus::Eof;
+        co_return msg;
+    }
+
+    struct Watch
+    {
+        bool done = false;
+        bool fired = false;
+    };
+    auto watch = std::make_shared<Watch>();
+    conn.simulation().spawn(
+        [](Connection &c, sim::Tick t,
+           std::shared_ptr<Watch> w) -> Coro<void> {
+            co_await c.simulation().delay(t);
+            if (!w->done) {
+                w->fired = true;
+                c.abortLocal();
+            }
+        }(conn, timeout, watch));
+
+    auto msg = co_await recvMessage(conn);
+    watch->done = true;
+    if (status) {
+        *status = msg            ? MsgStatus::Ok
+                  : watch->fired ? MsgStatus::Timeout
+                  : conn.aborted() ? MsgStatus::Aborted
+                                   : MsgStatus::Eof;
     }
     co_return msg;
 }

@@ -88,6 +88,33 @@ struct TcpConfig
     /** Size of the header/metadata pool footprint (skbs, PCBs). */
     std::size_t headerPoolBytes = 256 * 1024;
     /** @} */
+
+    /** @name Loss tolerance
+     * The paper's testbed is lossless, so everything here defaults to
+     * off and the fast path stays bit-identical to the seed model.
+     * With `reliable` on, data segments carry stream sequence numbers,
+     * the receiver acks cumulatively, and a per-connection RTO timer
+     * (exponential backoff) drives go-back-N retransmission; credit
+     * returns become cumulative so a lost ack can never wedge the
+     * window, and a persist probe re-solicits credit when starved.
+     *  @{ */
+    /** Master gate: sequence/ack tracking + RTO retransmission. */
+    bool reliable = false;
+    /** Initial retransmission timeout. */
+    Tick rtoInitial = sim::milliseconds(3);
+    /** Ceiling for the exponential RTO backoff. */
+    Tick rtoMax = sim::milliseconds(200);
+    /** RTO expiries without ack progress before the connection aborts. */
+    unsigned maxRetransmits = 8;
+    /** Probe period while blocked on (possibly lost) credit returns. */
+    Tick persistTimeout = sim::milliseconds(10);
+    /** Initial SYN retransmission timeout (also backed off). */
+    Tick synRetryTimeout = sim::milliseconds(5);
+    /** SYN (re)transmissions before an active open aborts. */
+    unsigned maxSynRetries = 5;
+    /** CPU cost to rebuild and requeue one retransmitted segment. */
+    Tick retransmitCost = sim::nanoseconds(2000);
+    /** @} */
 };
 
 } // namespace ioat::tcp

@@ -8,6 +8,7 @@
 #include <algorithm>
 
 #include "simcore/assert.hh"
+#include "simcore/timeout.hh"
 
 namespace ioat::tcp {
 
@@ -19,12 +20,22 @@ Connection::Connection(TcpStack &stack, std::uint64_t local_token)
     : stack_(stack), localToken_(local_token),
       establishedEvt_(stack.host_.sim),
       creditAvail_(stack.host_.sim),
-      rxReady_(stack.host_.sim)
+      rxReady_(stack.host_.sim),
+      txActivity_(stack.host_.sim),
+      ackProgress_(stack.host_.sim)
 {}
+
+sim::Simulation &
+Connection::simulation()
+{
+    return stack_.host_.sim;
+}
 
 Coro<void>
 Connection::send(std::size_t bytes, SendOptions opts, const MsgMeta *meta)
 {
+    if (aborted_)
+        co_return; // typed failure visible through aborted()
     sim::simAssert(established_, "send on unestablished connection");
     sim::simAssert(!localClosed_, "send after close");
     auto &host = stack_.host_;
@@ -38,8 +49,25 @@ Connection::send(std::size_t bytes, SendOptions opts, const MsgMeta *meta)
             std::min({remaining, cfg.maxSegment, peerSockBuf_});
 
         // Credit-based flow control against the peer's socket buffer.
-        while (credit_ < seg)
-            co_await creditAvail_.wait();
+        if (cfg.reliable) {
+            // A lost credit return must not wedge the window: probe
+            // the receiver for a fresh cumulative ack while starved.
+            while (credit_ < seg && !aborted_) {
+                const bool woke = co_await sim::waitWithTimeout(
+                    host.sim, creditAvail_, cfg.persistTimeout);
+                if (!woke && credit_ < seg && !aborted_) {
+                    stack_.winProbes_.inc();
+                    stack_.sendControl(remoteNode_, flow_,
+                                       BurstKind::WinProbe, remoteToken_,
+                                       0);
+                }
+            }
+        } else {
+            while (credit_ < seg && !aborted_)
+                co_await creditAvail_.wait();
+        }
+        if (aborted_)
+            co_return;
         credit_ -= seg;
 
         const std::uint32_t frames = stack_.nic_.framesFor(seg);
@@ -74,6 +102,18 @@ Connection::send(std::size_t bytes, SendOptions opts, const MsgMeta *meta)
             for (int i = 0; i < 5; ++i)
                 b.meta[i] = meta->w[i];
         }
+        if (cfg.reliable) {
+            b.arg = sndNxt_; // stream offset of the segment's first byte
+            TxSegment txSeg;
+            txSeg.seq = sndNxt_;
+            txSeg.payload = static_cast<std::uint32_t>(seg);
+            txSeg.hasMeta = b.hasMeta;
+            for (int i = 0; i < 5; ++i)
+                txSeg.meta[i] = b.meta[i];
+            retransQ_.push_back(txSeg);
+            sndNxt_ += seg;
+            txActivity_.trigger(); // arm the RTO loop
+        }
         stack_.nic_.transmit(b);
 
         bytesSent_ += seg;
@@ -85,6 +125,8 @@ Connection::send(std::size_t bytes, SendOptions opts, const MsgMeta *meta)
 Coro<std::size_t>
 Connection::recv(std::size_t max_bytes)
 {
+    if (aborted_ && rxBuffered_ == 0)
+        co_return 0; // failed connection reads as EOF
     sim::simAssert(established_, "recv on unestablished connection");
     sim::simAssert(max_bytes > 0, "recv of zero bytes");
     auto &host = stack_.host_;
@@ -108,10 +150,17 @@ Connection::recv(std::size_t max_bytes)
 
     bytesReceived_ += n;
     stack_.rxPayload_.inc(n);
+    drainedTotal_ += n;
+
+    if (aborted_)
+        co_return n; // no point acking a dead peer
 
     // Return credit to the sender now that the socket buffer drained.
+    // Reliable mode acks the cumulative drained total so a lost
+    // return only delays (never loses) credit.
     co_await host.cpu.compute(cfg.ackGenCost);
-    stack_.sendControl(remoteNode_, flow_, BurstKind::Ack, remoteToken_, n);
+    stack_.sendControl(remoteNode_, flow_, BurstKind::Ack, remoteToken_,
+                       cfg.reliable ? drainedTotal_ : n);
     co_return n;
 }
 
@@ -140,10 +189,18 @@ Connection::popMeta()
 void
 Connection::close()
 {
-    if (localClosed_ || !established_)
+    if (localClosed_ || !established_ || aborted_)
         return;
     localClosed_ = true;
     stack_.sendControl(remoteNode_, flow_, BurstKind::Fin, remoteToken_, 0);
+    if (stack_.cfg_.reliable)
+        txActivity_.trigger(); // let the RTO loop notice and wind down
+}
+
+void
+Connection::abortLocal()
+{
+    stack_.abortConnection(*this);
 }
 
 // --------------------------------------------------------------------
@@ -203,6 +260,8 @@ TcpStack::newConnection()
     const auto token = static_cast<std::uint64_t>(conns_.size());
     conns_.push_back(
         std::unique_ptr<Connection>(new Connection(*this, token)));
+    if (cfg_.reliable)
+        host_.sim.spawn(rtoLoop(token));
     return conns_.back().get();
 }
 
@@ -213,8 +272,92 @@ TcpStack::connFor(std::uint64_t token)
     return conns_[token].get();
 }
 
+void
+TcpStack::abortConnection(Connection &c)
+{
+    if (c.aborted_)
+        return;
+    c.aborted_ = true;
+    aborts_.inc();
+    // Release every blocked waiter: connectors, senders, receivers,
+    // and the RTO loop all re-check aborted_ once woken.
+    c.peerClosed_ = true; // recv() drains what's left, then EOF
+    c.establishedEvt_.trigger();
+    c.creditAvail_.pulse();
+    c.rxReady_.pulse();
+    c.ackProgress_.trigger();
+    c.txActivity_.trigger();
+}
+
+Coro<void>
+TcpStack::rtoLoop(std::uint64_t token)
+{
+    Connection *c = connFor(token);
+    Tick rto = cfg_.rtoInitial;
+    unsigned attempts = 0;
+    for (;;) {
+        if (c->aborted_)
+            co_return;
+        if (c->retransQ_.empty()) {
+            if (c->localClosed_)
+                co_return; // closed and fully acked: wind down
+            c->txActivity_.reset();
+            if (c->retransQ_.empty() && !c->localClosed_ && !c->aborted_)
+                co_await c->txActivity_.wait();
+            rto = cfg_.rtoInitial;
+            attempts = 0;
+            continue;
+        }
+        const std::uint64_t una = c->sndUna_;
+        c->ackProgress_.reset();
+        co_await sim::waitWithTimeout(host_.sim, c->ackProgress_, rto);
+        if (c->aborted_)
+            co_return;
+        if (c->sndUna_ > una || c->retransQ_.empty()) {
+            // Ack progress: back off resets.
+            rto = cfg_.rtoInitial;
+            attempts = 0;
+            continue;
+        }
+        // RTO expired with no progress: go-back-N resend of the
+        // oldest segment, exponential backoff, bounded attempts.
+        if (++attempts > cfg_.maxRetransmits) {
+            abortConnection(*c);
+            co_return;
+        }
+        retransmits_.inc();
+        host_.sim.spawn(retransmitTask(token, c->retransQ_.front()));
+        rto = std::min(rto * 2, cfg_.rtoMax);
+    }
+}
+
+Coro<void>
+TcpStack::retransmitTask(std::uint64_t token, TxSegment seg)
+{
+    Connection *c = connFor(token);
+    co_await host_.cpu.compute(cfg_.retransmitCost + cfg_.txPerSegment);
+    if (c->aborted_)
+        co_return;
+    host_.bus.consume(seg.payload);
+    Burst b;
+    b.dst = c->remoteNode_;
+    b.flow = c->flow_;
+    b.wireBytes = nic_.wireBytesFor(seg.payload);
+    b.frames = nic_.framesFor(seg.payload);
+    b.payloadBytes = seg.payload;
+    b.kind = static_cast<std::uint32_t>(BurstKind::Data);
+    b.connToken = c->remoteToken_;
+    b.arg = seg.seq;
+    if (seg.hasMeta) {
+        b.hasMeta = true;
+        for (int i = 0; i < 5; ++i)
+            b.meta[i] = seg.meta[i];
+    }
+    nic_.transmit(b);
+}
+
 Coro<Connection *>
-TcpStack::connect(NodeId remote, std::uint16_t port)
+TcpStack::connect(NodeId remote, std::uint16_t port, Tick timeout)
 {
     Connection *c = newConnection();
     c->remoteNode_ = remote;
@@ -223,9 +366,31 @@ TcpStack::connect(NodeId remote, std::uint16_t port)
     co_await host_.cpu.compute(cfg_.connSetupCost);
     // The SYN advertises our receive buffer; the peer's send credit
     // is bounded by it (and vice versa via the SYN-ACK).
-    sendControl(remote, c->flow_, BurstKind::Syn, c->localToken_, port,
-                cfg_.sockBuf);
-    co_await c->establishedEvt_.wait();
+    if (!cfg_.reliable && timeout == 0) {
+        sendControl(remote, c->flow_, BurstKind::Syn, c->localToken_,
+                    port, cfg_.sockBuf);
+        co_await c->establishedEvt_.wait();
+        co_return c;
+    }
+
+    // Bounded open: retry the SYN with backoff (reliable mode), or
+    // give the single attempt a deadline (explicit timeout).  Either
+    // way an unreachable peer yields an aborted() connection, not a
+    // hang.
+    Tick rto = cfg_.reliable ? cfg_.synRetryTimeout : timeout;
+    const unsigned tries = cfg_.reliable ? cfg_.maxSynRetries : 1;
+    for (unsigned attempt = 0; attempt < tries; ++attempt) {
+        if (attempt > 0)
+            synRetries_.inc();
+        sendControl(remote, c->flow_, BurstKind::Syn, c->localToken_,
+                    port, cfg_.sockBuf);
+        co_await sim::waitWithTimeout(host_.sim, c->establishedEvt_, rto);
+        if (c->established_ || c->aborted_)
+            break;
+        rto = std::min(rto * 2, cfg_.rtoMax);
+    }
+    if (!c->established_ && !c->aborted_)
+        abortConnection(*c);
     co_return c;
 }
 
@@ -337,6 +502,8 @@ TcpStack::processBatch(unsigned queue, std::vector<Burst> bursts)
             }
             if (connFor(b.connToken)->rxWaiting_)
                 cost += cfg_.rxWakeup;
+            if (cfg_.reliable)
+                cost += cfg_.ackGenCost; // cumulative DataAck per burst
             rxSegments_.inc();
             break;
           }
@@ -348,6 +515,8 @@ TcpStack::processBatch(unsigned queue, std::vector<Burst> bursts)
             break;
           case BurstKind::SynAck:
           case BurstKind::Fin:
+          case BurstKind::DataAck:
+          case BurstKind::WinProbe:
             cost += cfg_.txAckProcess;
             break;
         }
@@ -360,22 +529,87 @@ TcpStack::processBatch(unsigned queue, std::vector<Burst> bursts)
         switch (static_cast<BurstKind>(b.kind)) {
           case BurstKind::Data: {
             Connection *c = connFor(b.connToken);
-            c->rxBuffered_ += b.payloadBytes;
-            if (b.hasMeta) {
-                MsgMeta m;
-                for (int i = 0; i < 5; ++i)
-                    m.w[i] = b.meta[i];
-                c->metaQueue_.push_back(m);
+            if (c->aborted_)
+                break; // late segment for a dead connection
+            if (!cfg_.reliable) {
+                c->rxBuffered_ += b.payloadBytes;
+                if (b.hasMeta) {
+                    MsgMeta m;
+                    for (int i = 0; i < 5; ++i)
+                        m.w[i] = b.meta[i];
+                    c->metaQueue_.push_back(m);
+                }
+                c->rxReady_.pulse();
+                break;
             }
-            c->rxReady_.pulse();
+            // Go-back-N receiver: accept only the in-order segment;
+            // every arrival re-acks the cumulative high-water mark.
+            const std::uint64_t seq = b.arg;
+            if (seq == c->rcvNxt_) {
+                c->rcvNxt_ += b.payloadBytes;
+                c->rxBuffered_ += b.payloadBytes;
+                if (b.hasMeta) {
+                    MsgMeta m;
+                    for (int i = 0; i < 5; ++i)
+                        m.w[i] = b.meta[i];
+                    c->metaQueue_.push_back(m);
+                }
+                c->rxReady_.pulse();
+            } else if (seq < c->rcvNxt_) {
+                rxDups_.inc(); // retransmit of delivered data
+            } else {
+                rxOoo_.inc(); // gap: discard, sender will resend
+            }
+            sendControl(b.src, b.flow, BurstKind::DataAck,
+                        c->remoteToken_, c->rcvNxt_);
             break;
           }
           case BurstKind::Ack: {
             Connection *c = connFor(b.connToken);
-            c->credit_ += b.arg;
-            sim::simAssert(c->credit_ <= c->peerSockBuf_,
-                           "credit overflow (peer buffer accounting)");
-            c->creditAvail_.pulse();
+            if (c->aborted_)
+                break;
+            if (!cfg_.reliable) {
+                c->credit_ += b.arg;
+                sim::simAssert(c->credit_ <= c->peerSockBuf_,
+                               "credit overflow (peer buffer accounting)");
+                c->creditAvail_.pulse();
+                break;
+            }
+            // Cumulative credit: arg is the peer's drained total, so
+            // a lost return is healed by any later one.
+            if (b.arg > c->peerDrained_) {
+                c->peerDrained_ = b.arg;
+                const std::uint64_t inflight =
+                    c->sndNxt_ - c->peerDrained_;
+                c->credit_ = c->peerSockBuf_ > inflight
+                                 ? c->peerSockBuf_ - inflight
+                                 : 0;
+                c->creditAvail_.pulse();
+            }
+            break;
+          }
+          case BurstKind::DataAck: {
+            Connection *c = connFor(b.connToken);
+            if (c->aborted_)
+                break;
+            if (b.arg > c->sndUna_) {
+                c->sndUna_ = b.arg;
+                while (!c->retransQ_.empty() &&
+                       c->retransQ_.front().seq +
+                               c->retransQ_.front().payload <=
+                           b.arg)
+                    c->retransQ_.pop_front();
+                c->ackProgress_.trigger();
+            }
+            break;
+          }
+          case BurstKind::WinProbe: {
+            Connection *c = connFor(b.connToken);
+            if (c->aborted_)
+                break;
+            // Re-solicited credit return (reliable mode only).
+            sendControl(b.src, b.flow, BurstKind::Ack, c->remoteToken_,
+                        c->drainedTotal_);
             break;
           }
           case BurstKind::Syn: {
@@ -385,7 +619,21 @@ TcpStack::processBatch(unsigned queue, std::vector<Burst> bursts)
                 sim::fatal("connection attempt to port with no "
                            "listener");
             }
+            // A retransmitted SYN must not spawn a second server-side
+            // connection: resend the (possibly lost) SYN-ACK instead.
+            const auto key = std::make_pair(
+                static_cast<std::uint64_t>(b.src), b.flow);
+            auto seen = synSeen_.find(key);
+            if (seen != synSeen_.end()) {
+                Connection *c = connFor(seen->second);
+                if (!c->aborted_)
+                    sendControl(b.src, b.flow, BurstKind::SynAck,
+                                b.connToken, c->localToken_,
+                                cfg_.sockBuf);
+                break;
+            }
             Connection *c = newConnection();
+            synSeen_[key] = c->localToken_;
             c->remoteNode_ = b.src;
             c->remoteToken_ = b.connToken;
             c->flow_ = b.flow;
@@ -399,6 +647,8 @@ TcpStack::processBatch(unsigned queue, std::vector<Burst> bursts)
           }
           case BurstKind::SynAck: {
             Connection *c = connFor(b.connToken);
+            if (c->established_ || c->aborted_)
+                break; // duplicate SYN-ACK, or we already gave up
             c->remoteToken_ = b.arg;
             c->peerSockBuf_ = b.hasMeta ? b.meta[0] : cfg_.sockBuf;
             c->credit_ = c->peerSockBuf_;

@@ -21,8 +21,10 @@
 
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <memory>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "mem/rolling_bytes.hh"
@@ -51,6 +53,20 @@ enum class BurstKind : std::uint32_t {
     Data = 3,
     Ack = 4, ///< credit return
     Fin = 5,
+    DataAck = 6,  ///< cumulative sequence ack (reliable mode)
+    WinProbe = 7, ///< persist probe re-soliciting a credit return
+};
+
+/**
+ * Sender-side copy of one in-flight data segment, kept until it is
+ * cumulatively acked so an RTO can rebuild and resend it.
+ */
+struct TxSegment
+{
+    std::uint64_t seq = 0;      ///< stream offset of the first byte
+    std::uint32_t payload = 0;  ///< segment payload bytes
+    bool hasMeta = false;       ///< first segment of a message
+    std::uint64_t meta[5] = {};
 };
 
 /** Per-send options. */
@@ -108,7 +124,24 @@ class Connection
     /** Half-close: peer's recv() returns 0 after draining. */
     void close();
 
+    /**
+     * Locally abort the connection (the simulated equivalent of
+     * closing a stuck socket): blocked send()/recv() callers are
+     * released, recv() returns 0, later send()s are no-ops, and
+     * `aborted()` reports the typed failure.  Also how the stack
+     * surfaces retry exhaustion instead of hanging.
+     */
+    void abortLocal();
+
     bool established() const { return established_; }
+    /** True once the connection failed (RTO exhaustion or abortLocal). */
+    bool aborted() const { return aborted_; }
+    /** Established, not aborted, peer still open: safe to use. */
+    bool
+    usable() const
+    {
+        return established_ && !aborted_ && !peerClosed_;
+    }
     bool peerClosed() const { return peerClosed_; }
     /** Peer receive-buffer size learned in the handshake. */
     std::size_t peerSockBuf() const { return peerSockBuf_; }
@@ -118,6 +151,9 @@ class Connection
 
     std::uint64_t bytesSent() const { return bytesSent_; }
     std::uint64_t bytesReceived() const { return bytesReceived_; }
+
+    /** The simulation this connection's stack runs in. */
+    sim::Simulation &simulation();
 
   private:
     friend class TcpStack;
@@ -144,6 +180,17 @@ class Connection
     bool peerClosed_ = false;
     bool localClosed_ = false;
     std::deque<MsgMeta> metaQueue_; ///< delivered application headers
+
+    // --- loss tolerance (live only with TcpConfig::reliable) ---
+    bool aborted_ = false;
+    std::uint64_t sndNxt_ = 0;       ///< next stream offset to send
+    std::uint64_t sndUna_ = 0;       ///< oldest unacked stream offset
+    std::uint64_t peerDrained_ = 0;  ///< cumulative bytes peer app drained
+    std::uint64_t rcvNxt_ = 0;       ///< next expected stream offset
+    std::uint64_t drainedTotal_ = 0; ///< cumulative bytes our app drained
+    std::deque<TxSegment> retransQ_; ///< sent-but-unacked segments
+    sim::Event txActivity_;          ///< retransQ went non-empty / closed
+    sim::Event ackProgress_;         ///< sndUna_ advanced (or abort)
 
     std::uint64_t bytesSent_ = 0;
     std::uint64_t bytesReceived_ = 0;
@@ -178,8 +225,17 @@ class TcpStack
     TcpStack(const TcpStack &) = delete;
     TcpStack &operator=(const TcpStack &) = delete;
 
-    /** Active open to (remote node, port). */
-    Coro<Connection *> connect(NodeId remote, std::uint16_t port);
+    /**
+     * Active open to (remote node, port).
+     *
+     * With `TcpConfig::reliable`, the SYN is retried with backoff and
+     * the returned connection may come back `aborted()` instead of
+     * hanging when the peer is unreachable.  A nonzero @p timeout
+     * bounds the wait the same way for non-reliable stacks (0 = wait
+     * forever, the seed behaviour).
+     */
+    Coro<Connection *> connect(NodeId remote, std::uint16_t port,
+                               Tick timeout = 0);
 
     /** Passive open; one listener per port. */
     Listener &listen(std::uint16_t port);
@@ -196,6 +252,18 @@ class TcpStack
     std::uint64_t rxSegments() const { return rxSegments_.value(); }
     std::uint64_t dmaOffloadedCopies() const { return dmaCopies_.value(); }
     std::uint64_t cpuCopies() const { return cpuCopies_.value(); }
+    /** Data segments resent by the RTO path. */
+    std::uint64_t retransmits() const { return retransmits_.value(); }
+    /** Received data segments below rcvNxt (already-delivered dups). */
+    std::uint64_t rxDuplicateSegments() const { return rxDups_.value(); }
+    /** Received data segments beyond rcvNxt (go-back-N discards). */
+    std::uint64_t rxOutOfOrderDrops() const { return rxOoo_.value(); }
+    /** Persist probes sent while credit-starved. */
+    std::uint64_t windowProbes() const { return winProbes_.value(); }
+    /** SYN retransmissions during active opens. */
+    std::uint64_t synRetries() const { return synRetries_.value(); }
+    /** Connections that gave up after retry exhaustion. */
+    std::uint64_t abortedConnections() const { return aborts_.value(); }
     /** @} */
 
   private:
@@ -231,6 +299,16 @@ class TcpStack
     /** Record CPU-streamed payload bytes (cache-pollution tracking). */
     void noteStreamBytes(std::size_t bytes);
 
+    /** @name Loss-tolerance machinery (reliable mode only)
+     *  @{ */
+    /** Per-connection retransmission timer (spawned when reliable). */
+    Coro<void> rtoLoop(std::uint64_t token);
+    /** Rebuild and resend the oldest unacked segment. */
+    Coro<void> retransmitTask(std::uint64_t token, TxSegment seg);
+    /** Mark @p c failed and release every blocked waiter on it. */
+    void abortConnection(Connection &c);
+    /** @} */
+
     Connection *newConnection();
     Connection *connFor(std::uint64_t token);
 
@@ -241,6 +319,9 @@ class TcpStack
     std::vector<std::unique_ptr<Connection>> conns_;
     std::unordered_map<std::uint16_t, std::unique_ptr<Listener>> listeners_;
     std::uint64_t flowCounter_ = 0;
+    /** (src node, flow) → local token: dedups retransmitted SYNs. */
+    std::map<std::pair<std::uint64_t, std::uint64_t>, std::uint64_t>
+        synSeen_;
 
     /** One pending-batch channel per RX queue (softirq mailboxes). */
     std::vector<std::unique_ptr<sim::Channel<std::vector<Burst>>>>
@@ -257,6 +338,12 @@ class TcpStack
     sim::stats::Counter rxSegments_;
     sim::stats::Counter dmaCopies_;
     sim::stats::Counter cpuCopies_;
+    sim::stats::Counter retransmits_;
+    sim::stats::Counter rxDups_;
+    sim::stats::Counter rxOoo_;
+    sim::stats::Counter winProbes_;
+    sim::stats::Counter synRetries_;
+    sim::stats::Counter aborts_;
 };
 
 } // namespace ioat::tcp
