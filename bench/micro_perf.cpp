@@ -6,16 +6,25 @@
  * fast enough for the full sweeps.
  */
 
+#include <memory>
+#include <vector>
+
 #include <benchmark/benchmark.h>
 
 #include "core/calibration.hh"
+#include "core/node.hh"
 #include "dma/dma_engine.hh"
 #include "mem/copy_model.hh"
+#include "net/switch.hh"
 #include "simcore/simcore.hh"
+#include "tcp/stack.hh"
 
 namespace {
 
 using namespace ioat;
+using core::IoatConfig;
+using core::Node;
+using core::NodeConfig;
 using sim::Coro;
 using sim::Simulation;
 
@@ -107,6 +116,85 @@ BM_DmaEngineTransferSim(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * 64);
 }
 BENCHMARK(BM_DmaEngineTransferSim);
+
+// ---- TCP stream workloads ------------------------------------------
+//
+// End-to-end hot-path throughput: full nodes (NIC + stack + CPU model)
+// streaming 64K chunks.  items/sec in the report is simulator
+// *events/sec* — the headline number for comparing event-loop and
+// stack changes across trees.  The cluster variant carries the large
+// event population (64 concurrent flows plus their RTO bookkeeping)
+// where calendar-queue behaviour dominates heap behaviour.
+
+Coro<void>
+perfSinkLoop(Node &node, std::uint16_t port, std::size_t chunk)
+{
+    auto &listener = node.stack().listen(port);
+    for (;;) {
+        tcp::Connection *c = co_await listener.accept();
+        node.simulation().spawn(
+            [](tcp::Connection *conn, std::size_t ck) -> Coro<void> {
+                for (;;) {
+                    const std::size_t got = co_await conn->recvAll(ck);
+                    if (got == 0)
+                        co_return;
+                }
+            }(c, chunk));
+    }
+}
+
+Coro<void>
+perfSenderLoop(Node &node, net::NodeId dst, std::uint16_t port,
+               std::size_t chunk)
+{
+    tcp::Connection *c = co_await node.stack().connect(dst, port);
+    for (;;)
+        co_await c->send(chunk);
+}
+
+std::uint64_t
+runStreamWorkload(unsigned senderNodes, unsigned flowsPerNode,
+                  sim::Tick duration)
+{
+    Simulation sim;
+    net::Switch fabric(sim, sim::nanoseconds(2000));
+    const NodeConfig cfg = NodeConfig::server(IoatConfig::disabled(), 1);
+    Node sink(sim, fabric, cfg);
+    std::vector<std::unique_ptr<Node>> senders;
+    for (unsigned i = 0; i < senderNodes; ++i)
+        senders.push_back(std::make_unique<Node>(sim, fabric, cfg));
+
+    const std::size_t chunk = 64 * 1024;
+    for (unsigned p = 0; p < senderNodes * flowsPerNode; ++p)
+        sim.spawn(perfSinkLoop(sink, 5001 + p, chunk));
+    for (unsigned i = 0; i < senderNodes; ++i)
+        for (unsigned f = 0; f < flowsPerNode; ++f)
+            sim.spawn(perfSenderLoop(*senders[i], sink.id(),
+                                     5001 + i * flowsPerNode + f, chunk));
+    sim.runFor(duration);
+    return sim.queue().executedEvents();
+}
+
+void
+BM_TcpStream2Node(benchmark::State &state)
+{
+    std::uint64_t events = 0;
+    for (auto _ : state)
+        events += runStreamWorkload(1, 1, sim::milliseconds(200));
+    state.SetItemsProcessed(static_cast<std::int64_t>(events));
+}
+BENCHMARK(BM_TcpStream2Node)->Unit(benchmark::kMillisecond);
+
+void
+BM_TcpStreamCluster(benchmark::State &state)
+{
+    // 16 sender nodes x 4 flows: the scale_cluster regime.
+    std::uint64_t events = 0;
+    for (auto _ : state)
+        events += runStreamWorkload(16, 4, sim::milliseconds(50));
+    state.SetItemsProcessed(static_cast<std::int64_t>(events));
+}
+BENCHMARK(BM_TcpStreamCluster)->Unit(benchmark::kMillisecond);
 
 } // namespace
 

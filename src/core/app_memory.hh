@@ -36,6 +36,7 @@ class AppMemory
         : host_(host), window_(host.sim, window)
     {
         footprint_ = host_.cache.addFootprint(std::move(name), 0);
+        footprintSize_ = host_.cache.sizeSlot(footprint_);
     }
 
     ~AppMemory() { host_.cache.removeFootprint(footprint_); }
@@ -145,13 +146,14 @@ class AppMemory
     {
         const std::uint64_t transient = std::min<std::uint64_t>(
             window_.estimate(), 8 * host_.cache.capacity());
-        host_.cache.resizeFootprint(footprint_,
-                                    persistent_ + transient);
+        *footprintSize_ =
+            static_cast<std::size_t>(persistent_ + transient);
     }
 
     tcp::Host host_;
     mem::RollingBytes window_;
     mem::FootprintId footprint_;
+    std::size_t *footprintSize_ = nullptr;
     std::uint64_t persistent_ = 0;
 };
 

@@ -19,7 +19,7 @@ CpuSet::CpuSet(Simulation &sim, const CpuConfig &cfg)
 
 void
 CpuSet::submit(Tick duration, int core, bool highPriority,
-               std::function<void()> done)
+               sim::SmallFn done)
 {
     sim::simAssert(core == kAnyCore ||
                        (core >= 0 &&
@@ -58,17 +58,16 @@ CpuSet::startOn(unsigned core_idx, WorkItem item)
     c.busy = true;
     c.runStart = sim_.now();
     c.runLabel = item.label;
+    // Park the completion on the core rather than in the finish
+    // event's capture: the event then captures two words instead of a
+    // whole SmallFn, keeping it inside the queue's inline budget.
+    c.done = std::move(item.done);
     ++busyCount_;
     busySignal_.update(sim_.now(), static_cast<double>(busyCount_));
     totalBusy_ += item.duration;
 
-    sim_.queue().scheduleIn(
-        item.duration,
-        [this, core_idx, done = std::move(item.done)]() mutable {
-            finishOn(core_idx);
-            if (done)
-                done();
-        });
+    sim_.queue().scheduleIn(item.duration,
+                            [this, core_idx] { finishOn(core_idx); });
 }
 
 void
@@ -87,6 +86,11 @@ CpuSet::finishOn(unsigned core_idx)
     busySignal_.update(sim_.now(), static_cast<double>(busyCount_));
     completed_.inc();
 
+    // The next item's startOn overwrites c.done, so move ours out
+    // before dispatching; it still runs after the dispatch, exactly
+    // as when the finish event carried it.
+    sim::SmallFn done = std::move(c.done);
+
     // Interrupt-class work first (FIFO within each class), pinned
     // work ahead of the global pool.
     auto take = [&](std::deque<WorkItem> &q) {
@@ -102,6 +106,9 @@ CpuSet::finishOn(unsigned core_idx)
         take(c.queue);
     else if (!globalQueue_.empty())
         take(globalQueue_);
+
+    if (done)
+        done();
 }
 
 int

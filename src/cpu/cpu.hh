@@ -20,13 +20,13 @@
 #include <coroutine>
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <vector>
 
 #include <algorithm>
 
 #include "simcore/coro.hh"
 #include "simcore/sim.hh"
+#include "simcore/smallfn.hh"
 #include "simcore/trace.hh"
 #include "simcore/stats.hh"
 
@@ -96,26 +96,54 @@ class CpuSet
      * Awaitable: occupy one core for @p duration, in preemption-
      * quantum slices unless @p highPriority.
      *
+     * Not a coroutine: slicing is driven by a small state machine on
+     * the awaiter itself, so one compute() costs no frame allocation
+     * no matter how many slices it splits into.
+     *
      * @param duration CPU time to consume
      * @param core specific core id, or kAnyCore
      * @param highPriority queue ahead of normal work (interrupts);
      *        runs as one unsliced item
      */
-    sim::Coro<void>
+    auto
     compute(Tick duration, int core = kAnyCore, bool highPriority = false)
     {
-        if (duration == 0)
-            co_return;
-        if (highPriority || duration <= quantum_) {
-            co_await computeChunk(duration, core, highPriority);
-            co_return;
-        }
-        Tick left = duration;
-        while (left > 0) {
-            const Tick slice = std::min(left, quantum_);
-            co_await computeChunk(slice, core, false);
-            left -= slice;
-        }
+        struct Awaiter
+        {
+            CpuSet &cpu;
+            Tick left;
+            int core;
+            bool highPriority;
+            std::coroutine_handle<> waiter = nullptr;
+
+            bool await_ready() const noexcept { return left == 0; }
+
+            void
+            await_suspend(std::coroutine_handle<> h)
+            {
+                waiter = h;
+                startNext();
+            }
+
+            /** Submit the next slice; resubmits from its completion. */
+            void
+            startNext()
+            {
+                const Tick slice = highPriority
+                                       ? left
+                                       : std::min(left, cpu.quantum_);
+                left -= slice;
+                cpu.submit(slice, core, highPriority, [this] {
+                    if (left > 0)
+                        startNext();
+                    else
+                        waiter.resume();
+                });
+            }
+
+            void await_resume() const noexcept {}
+        };
+        return Awaiter{*this, duration, core, highPriority};
     }
 
     /**
@@ -123,7 +151,7 @@ class CpuSet
      * callbacks).  @p done runs when the work completes.
      */
     void submit(Tick duration, int core, bool highPriority,
-                std::function<void()> done);
+                sim::SmallFn done);
 
     /** Busy-core average over the current window, as a fraction 0..1. */
     double utilization() const;
@@ -147,7 +175,7 @@ class CpuSet
     struct WorkItem
     {
         Tick duration;
-        std::function<void()> done;
+        sim::SmallFn done;
         const char *label = "app";
     };
 
@@ -156,6 +184,7 @@ class CpuSet
         bool busy = false;
         Tick runStart = 0;            ///< for tracing
         const char *runLabel = "app"; ///< for tracing
+        sim::SmallFn done;          ///< completion of the running item
         std::deque<WorkItem> high;  ///< pinned interrupt-class work
         std::deque<WorkItem> queue; ///< pinned normal work
     };

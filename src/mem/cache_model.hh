@@ -77,6 +77,19 @@ class CacheModel
         footprints_.erase(id);
     }
 
+    /**
+     * Stable pointer to a footprint's size for hot per-segment resize
+     * paths (the map is node-based, so the pointer survives rehash).
+     * Valid until the footprint is removed.
+     */
+    std::size_t *
+    sizeSlot(FootprintId id)
+    {
+        auto it = footprints_.find(id);
+        sim::simAssert(it != footprints_.end(), "unknown footprint");
+        return &it->second.bytes;
+    }
+
     std::size_t
     footprintSize(FootprintId id) const
     {

@@ -27,6 +27,7 @@
 #include "net/burst.hh"
 #include "net/switch.hh"
 #include "simcore/assert.hh"
+#include "simcore/pool.hh"
 #include "simcore/sim.hh"
 #include "simcore/stats.hh"
 #include "simcore/types.hh"
@@ -213,6 +214,17 @@ class Nic
     /** True when notifications come from soft-timer polls. */
     bool pollingMode() const { return cfg_.pollingPeriod > 0; }
 
+    /**
+     * Return a drained RX batch vector so its capacity is reused by a
+     * future interrupt instead of reallocated per batch.  Optional —
+     * an unreturned batch is simply freed.
+     */
+    void
+    recycleBatch(std::vector<Burst> &&batch)
+    {
+        batchPool_.release(std::move(batch));
+    }
+
     /** @name Statistics
      *  @{ */
     std::uint64_t txWireBytes() const { return txBytes_.value(); }
@@ -293,7 +305,7 @@ class Nic
             return;
         interrupts_.inc();
         std::vector<Burst> batch = std::move(q.pending);
-        q.pending.clear();
+        q.pending = batchPool_.acquire();
         if (rxHandler_)
             rxHandler_(queue, std::move(batch));
     }
@@ -307,7 +319,7 @@ class Nic
             if (!q.pending.empty()) {
                 polls_.inc();
                 std::vector<Burst> batch = std::move(q.pending);
-                q.pending.clear();
+                q.pending = batchPool_.acquire();
                 if (rxHandler_)
                     rxHandler_(queue, std::move(batch));
             }
@@ -333,6 +345,7 @@ class Nic
     std::vector<Tick> txNextFree_;
     std::vector<Tick> rxNextFree_;
     std::vector<RxQueue> rxQueues_;
+    sim::VectorPool<Burst> batchPool_;
     sim::FaultInjector *faults_ = nullptr;
     sim::FaultSite *rxFaultSite_ = nullptr;
     sim::stats::Counter txBytes_;

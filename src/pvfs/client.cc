@@ -19,6 +19,7 @@
 
 #include "pvfs/protocol.hh"
 #include "simcore/sync.hh"
+#include "simcore/timeout.hh"
 
 namespace ioat::pvfs {
 
@@ -27,22 +28,32 @@ using tcp::Connection;
 
 namespace {
 
-/** Shared flag between an RPC attempt and its deadline watchdog. */
+/**
+ * Deadline guard for one RPC attempt.
+ *
+ * A cancellable timer-wheel entry instead of a detached delay
+ * coroutine: finish() (or scope exit) revokes the deadline outright,
+ * so an answered RPC leaves nothing behind in the event queue.
+ */
 struct OpWatch
 {
-    bool done = false;  ///< attempt finished; watchdog must not fire
+    sim::Watchdog dog;
     bool fired = false; ///< watchdog aborted the connection
-};
 
-Coro<void>
-armWatch(Connection &c, sim::Tick t, std::shared_ptr<OpWatch> w)
-{
-    co_await c.simulation().delay(t);
-    if (!w->done) {
-        w->fired = true;
-        c.abortLocal();
+    explicit OpWatch(sim::Simulation &s) : dog(s) {}
+
+    void
+    arm(Connection &c, sim::Tick t)
+    {
+        dog.arm(t, [this, conn = &c] {
+            fired = true;
+            conn->abortLocal();
+        });
     }
-}
+
+    /** The attempt concluded; the deadline must not fire. */
+    void finish() { dog.cancel(); }
+};
 
 constexpr std::uint64_t
 tag(PvfsTag t)
@@ -123,20 +134,19 @@ PvfsClient::mgrOp(const sock::Message &request)
             lastErr = PvfsErrc::ConnectFailed;
             continue;
         }
-        auto watch = std::make_shared<OpWatch>();
+        OpWatch watch(node_.simulation());
         if (cfg_.rpcTimeout > 0)
-            node_.simulation().spawn(
-                armWatch(*conn, cfg_.rpcTimeout, watch));
+            watch.arm(*conn, cfg_.rpcTimeout);
 
         co_await node_.cpu().compute(cfg_.clientRequestCost);
         co_await sock::sendMessage(*conn, request);
         std::optional<sock::Message> reply;
         if (!conn->aborted())
             reply = co_await sock::recvMessage(*conn);
-        watch->done = true;
+        watch.finish();
         if (reply)
             co_return PvfsResult<sock::Message>{*reply, PvfsErrc::Ok};
-        lastErr = watch->fired ? PvfsErrc::Timeout
+        lastErr = watch.fired ? PvfsErrc::Timeout
                                : PvfsErrc::ServerClosed;
     }
     rpcFailures_.inc();
@@ -205,10 +215,9 @@ PvfsClient::readChunk(const StripeChunk &chunk, FileHandle h)
             lastErr = PvfsErrc::ConnectFailed;
             continue;
         }
-        auto watch = std::make_shared<OpWatch>();
+        OpWatch watch(node_.simulation());
         if (cfg_.rpcTimeout > 0)
-            node_.simulation().spawn(
-                armWatch(*conn, cfg_.rpcTimeout, watch));
+            watch.arm(*conn, cfg_.rpcTimeout);
 
         co_await node_.cpu().compute(cfg_.clientRequestCost);
         sock::Message req;
@@ -222,13 +231,13 @@ PvfsClient::readChunk(const StripeChunk &chunk, FileHandle h)
         if (!conn->aborted())
             resp = co_await sock::recvMessage(*conn);
         if (!resp) {
-            watch->done = true;
-            lastErr = watch->fired ? PvfsErrc::Timeout
+            watch.finish();
+            lastErr = watch.fired ? PvfsErrc::Timeout
                                    : PvfsErrc::ServerClosed;
             continue;
         }
         if (resp->tag != tag(PvfsTag::ReadResp)) {
-            watch->done = true;
+            watch.finish();
             lastErr = PvfsErrc::Protocol;
             continue;
         }
@@ -244,10 +253,10 @@ PvfsClient::readChunk(const StripeChunk &chunk, FileHandle h)
             // only happens on the (rare, faulted) retry path.
             bytesRead_.inc(n);
         }
-        watch->done = true;
+        watch.finish();
         if (got == chunk.bytes)
             co_return PvfsErrc::Ok;
-        lastErr = watch->fired ? PvfsErrc::Timeout
+        lastErr = watch.fired ? PvfsErrc::Timeout
                                : PvfsErrc::ServerClosed;
     }
     rpcFailures_.inc();
@@ -303,10 +312,9 @@ PvfsClient::writeChunk(const StripeChunk &chunk, FileHandle h)
             lastErr = PvfsErrc::ConnectFailed;
             continue;
         }
-        auto watch = std::make_shared<OpWatch>();
+        OpWatch watch(node_.simulation());
         if (cfg_.rpcTimeout > 0)
-            node_.simulation().spawn(
-                armWatch(*conn, cfg_.rpcTimeout, watch));
+            watch.arm(*conn, cfg_.rpcTimeout);
 
         co_await node_.cpu().compute(cfg_.clientRequestCost);
         sock::Message req;
@@ -319,12 +327,12 @@ PvfsClient::writeChunk(const StripeChunk &chunk, FileHandle h)
         std::optional<sock::Message> ack;
         if (!conn->aborted())
             ack = co_await sock::recvMessage(*conn);
-        watch->done = true;
+        watch.finish();
         if (ack && ack->tag == tag(PvfsTag::WriteAck)) {
             bytesWritten_.inc(chunk.bytes);
             co_return PvfsErrc::Ok;
         }
-        lastErr = !ack ? (watch->fired ? PvfsErrc::Timeout
+        lastErr = !ack ? (watch.fired ? PvfsErrc::Timeout
                                        : PvfsErrc::ServerClosed)
                        : PvfsErrc::Protocol;
     }
@@ -395,10 +403,9 @@ PvfsClient::readListChunk(const StridedChunk &chunk, FileHandle h)
             lastErr = PvfsErrc::ConnectFailed;
             continue;
         }
-        auto watch = std::make_shared<OpWatch>();
+        OpWatch watch(node_.simulation());
         if (cfg_.rpcTimeout > 0)
-            node_.simulation().spawn(
-                armWatch(*conn, cfg_.rpcTimeout, watch));
+            watch.arm(*conn, cfg_.rpcTimeout);
 
         co_await node_.cpu().compute(cfg_.clientRequestCost +
                                      cfg_.clientExtentCost *
@@ -414,13 +421,13 @@ PvfsClient::readListChunk(const StridedChunk &chunk, FileHandle h)
         if (!conn->aborted())
             resp = co_await sock::recvMessage(*conn);
         if (!resp) {
-            watch->done = true;
-            lastErr = watch->fired ? PvfsErrc::Timeout
+            watch.finish();
+            lastErr = watch.fired ? PvfsErrc::Timeout
                                    : PvfsErrc::ServerClosed;
             continue;
         }
         if (resp->tag != tag(PvfsTag::ReadResp)) {
-            watch->done = true;
+            watch.finish();
             lastErr = PvfsErrc::Protocol;
             continue;
         }
@@ -433,10 +440,10 @@ PvfsClient::readListChunk(const StridedChunk &chunk, FileHandle h)
             got += n;
             bytesRead_.inc(n);
         }
-        watch->done = true;
+        watch.finish();
         if (got == chunk.bytes)
             co_return PvfsErrc::Ok;
-        lastErr = watch->fired ? PvfsErrc::Timeout
+        lastErr = watch.fired ? PvfsErrc::Timeout
                                : PvfsErrc::ServerClosed;
     }
     rpcFailures_.inc();
@@ -495,10 +502,9 @@ PvfsClient::writeListChunk(const StridedChunk &chunk, FileHandle h)
             lastErr = PvfsErrc::ConnectFailed;
             continue;
         }
-        auto watch = std::make_shared<OpWatch>();
+        OpWatch watch(node_.simulation());
         if (cfg_.rpcTimeout > 0)
-            node_.simulation().spawn(
-                armWatch(*conn, cfg_.rpcTimeout, watch));
+            watch.arm(*conn, cfg_.rpcTimeout);
 
         co_await node_.cpu().compute(cfg_.clientRequestCost +
                                      cfg_.clientExtentCost *
@@ -513,12 +519,12 @@ PvfsClient::writeListChunk(const StridedChunk &chunk, FileHandle h)
         std::optional<sock::Message> ack;
         if (!conn->aborted())
             ack = co_await sock::recvMessage(*conn);
-        watch->done = true;
+        watch.finish();
         if (ack && ack->tag == tag(PvfsTag::WriteAck)) {
             bytesWritten_.inc(chunk.bytes);
             co_return PvfsErrc::Ok;
         }
-        lastErr = !ack ? (watch->fired ? PvfsErrc::Timeout
+        lastErr = !ack ? (watch.fired ? PvfsErrc::Timeout
                                        : PvfsErrc::ServerClosed)
                        : PvfsErrc::Protocol;
     }

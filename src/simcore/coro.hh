@@ -16,7 +16,9 @@
 #define IOAT_SIMCORE_CORO_HH
 
 #include <coroutine>
+#include <cstddef>
 #include <exception>
+#include <new>
 #include <optional>
 #include <utility>
 
@@ -29,11 +31,74 @@ class Coro;
 
 namespace detail {
 
+/**
+ * Size-bucketed free-list recycler for coroutine frames.
+ *
+ * Simulated activities allocate a frame per send/recv/compute call;
+ * recycling them through 64-byte size classes turns that steady-state
+ * malloc/free churn into two pointer moves.  The simulator is single-
+ * threaded, so the free lists need no locking.  Oversized frames fall
+ * through to the global allocator.
+ */
+class FrameArena
+{
+  public:
+    static void *
+    allocate(std::size_t n)
+    {
+        const std::size_t b = bucket(n);
+        if (b < kBuckets && free_[b] != nullptr) {
+            void *p = free_[b];
+            free_[b] = *static_cast<void **>(p);
+            return p;
+        }
+        if (b < kBuckets)
+            return ::operator new((b + 1) * kGranule);
+        return ::operator new(n);
+    }
+
+    static void
+    deallocate(void *p, std::size_t n)
+    {
+        const std::size_t b = bucket(n);
+        if (b < kBuckets) {
+            *static_cast<void **>(p) = free_[b];
+            free_[b] = p;
+            return;
+        }
+        ::operator delete(p);
+    }
+
+  private:
+    static constexpr std::size_t kGranule = 64;
+    static constexpr std::size_t kBuckets = 16; ///< recycle up to 1 KiB
+
+    static std::size_t
+    bucket(std::size_t n)
+    {
+        return n == 0 ? 0 : (n - 1) / kGranule;
+    }
+
+    inline static void *free_[kBuckets] = {};
+};
+
 /** Shared promise behaviour: remember who awaits us, resume them last. */
 struct PromiseBase
 {
     std::coroutine_handle<> continuation;
     std::exception_ptr exception;
+
+    static void *
+    operator new(std::size_t n)
+    {
+        return FrameArena::allocate(n);
+    }
+
+    static void
+    operator delete(void *p, std::size_t n)
+    {
+        FrameArena::deallocate(p, n);
+    }
 
     struct FinalAwaiter
     {

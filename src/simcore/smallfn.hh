@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Small-buffer move-only callable for event-queue hot paths.
+ *
+ * `std::function` heap-allocates any capture larger than two words,
+ * which on the event-queue hot path means one malloc/free per
+ * scheduled burst (a NIC transmit captures a ~96-byte net::Burst by
+ * value).  SmallFn keeps captures up to `kInlineBytes` inline in the
+ * event node itself — nodes come from the queue's arena, so the
+ * common case schedules with zero heap traffic.  Oversized captures
+ * still work (they fall back to one heap cell), they just lose the
+ * fast path.
+ */
+
+#ifndef IOAT_SIMCORE_SMALLFN_HH
+#define IOAT_SIMCORE_SMALLFN_HH
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace ioat::sim {
+
+/**
+ * Move-only `void()` callable with inline storage.
+ *
+ * Unlike `std::function` it is not copyable and never type-erases
+ * through a separate heap control block for small captures; the
+ * dispatch table is one static pointer per lambda type.
+ */
+class SmallFn
+{
+  public:
+    /** Inline capture capacity: fits [this + net::Burst] captures. */
+    static constexpr std::size_t kInlineBytes = 120;
+
+    SmallFn() = default;
+
+    /** Matches std::function: a null callable is simply empty. */
+    SmallFn(std::nullptr_t) {}
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, SmallFn>>>
+    SmallFn(F &&fn)
+    {
+        emplace(std::forward<F>(fn));
+    }
+
+    SmallFn(SmallFn &&o) noexcept { moveFrom(o); }
+
+    SmallFn &
+    operator=(SmallFn &&o) noexcept
+    {
+        if (this != &o) {
+            reset();
+            moveFrom(o);
+        }
+        return *this;
+    }
+
+    SmallFn(const SmallFn &) = delete;
+    SmallFn &operator=(const SmallFn &) = delete;
+
+    ~SmallFn() { reset(); }
+
+    explicit operator bool() const { return ops_ != nullptr; }
+
+    /** Destroy the held callable (if any). */
+    void
+    reset()
+    {
+        if (ops_) {
+            ops_->destroy(&buf_);
+            ops_ = nullptr;
+        }
+    }
+
+    /** Construct a callable in place, destroying any previous one. */
+    template <typename F>
+    void
+    emplace(F &&fn)
+    {
+        using Fn = std::decay_t<F>;
+        reset();
+        if constexpr (sizeof(Fn) <= kInlineBytes &&
+                      alignof(Fn) <= alignof(std::max_align_t)) {
+            ::new (static_cast<void *>(&buf_)) Fn(std::forward<F>(fn));
+            ops_ = &inlineOps<Fn>;
+        } else {
+            *reinterpret_cast<void **>(&buf_) =
+                new Fn(std::forward<F>(fn));
+            ops_ = &boxedOps<Fn>;
+        }
+    }
+
+    /** Invoke.  Undefined when empty (callers check or know). */
+    void operator()() { ops_->call(&buf_); }
+
+  private:
+    struct Ops
+    {
+        void (*call)(void *);
+        void (*destroy)(void *);
+        void (*move)(void *dst, void *src);
+    };
+
+    template <typename Fn>
+    static constexpr Ops inlineOps = {
+        [](void *p) { (*std::launder(reinterpret_cast<Fn *>(p)))(); },
+        [](void *p) { std::launder(reinterpret_cast<Fn *>(p))->~Fn(); },
+        [](void *dst, void *src) {
+            Fn *s = std::launder(reinterpret_cast<Fn *>(src));
+            ::new (dst) Fn(std::move(*s));
+            s->~Fn();
+        },
+    };
+
+    template <typename Fn>
+    static constexpr Ops boxedOps = {
+        [](void *p) { (**reinterpret_cast<Fn **>(p))(); },
+        [](void *p) { delete *reinterpret_cast<Fn **>(p); },
+        [](void *dst, void *src) {
+            *reinterpret_cast<Fn **>(dst) =
+                *reinterpret_cast<Fn **>(src);
+        },
+    };
+
+    void
+    moveFrom(SmallFn &o)
+    {
+        ops_ = o.ops_;
+        if (ops_) {
+            ops_->move(&buf_, &o.buf_);
+            o.ops_ = nullptr;
+        }
+    }
+
+    const Ops *ops_ = nullptr;
+    alignas(std::max_align_t) std::byte buf_[kInlineBytes];
+};
+
+} // namespace ioat::sim
+
+#endif // IOAT_SIMCORE_SMALLFN_HH

@@ -13,6 +13,7 @@
 #include <coroutine>
 #include <cstddef>
 #include <deque>
+#include <vector>
 
 #include "simcore/assert.hh"
 #include "simcore/sim.hh"
@@ -24,10 +25,25 @@ namespace ioat::sim {
  *
  * Waiters suspend until `trigger()`; once triggered, `wait()` is a
  * no-op until `reset()`.
+ *
+ * Waiters may attach a deadline (see `waitWithTimeout` in
+ * timeout.hh): such a waiter carries a `TimedTag` linking it to a
+ * cancellable event-queue timer.  Whichever side fires first —
+ * release or timer — synchronously detaches the other, so a timed
+ * waiter resumes exactly once.
  */
 class Event
 {
   public:
+    /**
+     * Links a timed waiter to its deadline timer.  Owned by the
+     * awaiter object (stable address on the coroutine frame).
+     */
+    struct TimedTag
+    {
+        EventQueue::TimerHandle timer;
+    };
+
     explicit Event(Simulation &sim) : sim_(sim) {}
 
     bool triggered() const { return triggered_; }
@@ -63,7 +79,7 @@ class Event
             void
             await_suspend(std::coroutine_handle<> h)
             {
-                ev.waiters_.push_back(h);
+                ev.addWaiter(h);
             }
 
             void await_resume() const noexcept {}
@@ -71,21 +87,56 @@ class Event
         return Awaiter{*this};
     }
 
+    /** Park a coroutine, optionally tagged as a timed wait. */
+    void
+    addWaiter(std::coroutine_handle<> h, TimedTag *tag = nullptr)
+    {
+        waiters_.push_back(Waiter{h, tag});
+    }
+
+    /**
+     * Detach a timed waiter whose deadline fired first.
+     * @return true if the waiter was still parked (caller resumes it).
+     */
+    bool
+    removeWaiter(const TimedTag *tag)
+    {
+        for (std::size_t i = 0; i < waiters_.size(); ++i) {
+            if (waiters_[i].tag == tag) {
+                waiters_.erase(waiters_.begin() +
+                               static_cast<std::ptrdiff_t>(i));
+                return true;
+            }
+        }
+        return false;
+    }
+
     std::size_t waiterCount() const { return waiters_.size(); }
 
   private:
+    struct Waiter
+    {
+        std::coroutine_handle<> h;
+        TimedTag *tag;
+    };
+
     void
     releaseAll()
     {
-        auto pending = std::move(waiters_);
+        // post() only enqueues (no user code runs here), so iterating
+        // in place is safe and the vector keeps its capacity — no
+        // per-release allocation.
+        for (const Waiter &w : waiters_) {
+            if (w.tag != nullptr)
+                sim_.queue().cancel(w.tag->timer);
+            sim_.queue().post([h = w.h] { h.resume(); });
+        }
         waiters_.clear();
-        for (auto h : pending)
-            sim_.queue().post([h] { h.resume(); });
     }
 
     Simulation &sim_;
     bool triggered_ = false;
-    std::deque<std::coroutine_handle<>> waiters_;
+    std::vector<Waiter> waiters_;
 };
 
 /**

@@ -23,46 +23,97 @@
 namespace ioat::sim {
 
 /**
+ * Awaitable that races an Event against a deadline.
+ *
+ * Entirely allocation-free: the awaiter parks on the event's waiter
+ * list with a `TimedTag` and arms one cancellable timer.  If the
+ * event releases first, the release synchronously cancels the timer;
+ * if the timer fires first, it synchronously detaches the waiter —
+ * either way the coroutine resumes exactly once.
+ *
+ * `co_await` yields true if the event triggered before the deadline,
+ * false on timeout or pulse-wake (matching `Event::triggered()` at
+ * resume time).
+ */
+class EventTimedWait : private Event::TimedTag
+{
+  public:
+    EventTimedWait(Simulation &sim, Event &event, Tick timeout)
+        : sim_(sim), event_(event), timeout_(timeout)
+    {}
+
+    EventTimedWait(const EventTimedWait &) = delete;
+    EventTimedWait &operator=(const EventTimedWait &) = delete;
+
+    bool await_ready() const noexcept { return event_.triggered(); }
+
+    void
+    await_suspend(std::coroutine_handle<> h)
+    {
+        timer = sim_.queue().scheduleIn(timeout_, [this, h] {
+            // Deadline fired first: detach from the event and resume.
+            // (If a release beat us to this tick it cancelled the
+            // timer, so reaching here means we are still parked.)
+            const bool parked = event_.removeWaiter(this);
+            simAssert(parked, "timed waiter fired but was not parked");
+            h.resume();
+        });
+        event_.addWaiter(h, this);
+    }
+
+    /** @return whether the event (ever) triggered, i.e. not a timeout. */
+    bool await_resume() const noexcept { return event_.triggered(); }
+
+  private:
+    Simulation &sim_;
+    Event &event_;
+    Tick timeout_;
+};
+
+/**
  * Await an event with a deadline.
  *
  * @return true if the event triggered before the deadline, false on
  *         timeout (the waiter is released either way).
  */
-inline Coro<bool>
+inline EventTimedWait
 waitWithTimeout(Simulation &sim, Event &event, Tick timeout)
 {
-    if (event.triggered())
-        co_return true;
-
-    struct Shared
-    {
-        bool done = false;
-    };
-    auto state = std::make_shared<Shared>();
-    auto gate = std::make_shared<Event>(sim);
-
-    // Watcher: relay the event.
-    sim.spawn([](Event &ev, std::shared_ptr<Shared> st,
-                 std::shared_ptr<Event> g) -> Coro<void> {
-        co_await ev.wait();
-        if (!st->done) {
-            st->done = true;
-            g->trigger();
-        }
-    }(event, state, gate));
-    // Timer: relay the deadline.
-    sim.spawn([](Simulation &s, Tick d, std::shared_ptr<Shared> st,
-                 std::shared_ptr<Event> g) -> Coro<void> {
-        co_await s.delay(d);
-        if (!st->done) {
-            st->done = true;
-            g->trigger();
-        }
-    }(sim, timeout, state, gate));
-
-    co_await gate->wait();
-    co_return event.triggered();
+    return EventTimedWait(sim, event, timeout);
 }
+
+/**
+ * One-shot re-armable deadline timer for non-coroutine contexts
+ * (RPC watchdogs).  `arm()` replaces any pending deadline; `cancel()`
+ * revokes it; the destructor cancels, so a Watchdog member can never
+ * fire into a destroyed object.
+ */
+class Watchdog
+{
+  public:
+    explicit Watchdog(Simulation &sim) : sim_(sim) {}
+
+    Watchdog(const Watchdog &) = delete;
+    Watchdog &operator=(const Watchdog &) = delete;
+
+    ~Watchdog() { cancel(); }
+
+    /** Schedule @p fn to run in @p delay ticks, replacing any pending arm. */
+    template <typename F>
+    void
+    arm(Tick delay, F &&fn)
+    {
+        cancel();
+        timer_ = sim_.queue().scheduleIn(delay, std::forward<F>(fn));
+    }
+
+    /** Revoke the pending deadline (no-op when idle or already fired). */
+    void cancel() { sim_.queue().cancel(timer_); }
+
+  private:
+    Simulation &sim_;
+    EventQueue::TimerHandle timer_;
+};
 
 /** Measures simulated elapsed time. */
 class Stopwatch

@@ -21,6 +21,7 @@ Connection::Connection(TcpStack &stack, std::uint64_t local_token)
       establishedEvt_(stack.host_.sim),
       creditAvail_(stack.host_.sim),
       rxReady_(stack.host_.sim),
+      retransQ_(stack.txSegPool_),
       txActivity_(stack.host_.sim),
       ackProgress_(stack.host_.sim)
 {}
@@ -227,6 +228,7 @@ TcpStack::TcpStack(const Host &host, nic::Nic &nic, const TcpConfig &cfg)
         "tcp.hdrPool", cfg_.headerPoolBytes,
         /*protectedHot=*/cfg_.splitHeader);
     netStream_ = host_.cache.addFootprint("tcp.netStream", 0);
+    netStreamSize_ = host_.cache.sizeSlot(netStream_);
     nic_.setRxHandler([this](unsigned queue, std::vector<Burst> &&b) {
         onRxBatch(queue, std::move(b));
     });
@@ -248,8 +250,7 @@ void
 TcpStack::noteStreamBytes(std::size_t bytes)
 {
     streamWindow_.add(bytes);
-    host_.cache.resizeFootprint(
-        netStream_,
+    *netStreamSize_ = static_cast<std::size_t>(
         std::min<std::uint64_t>(streamWindow_.estimate(),
                                 4 * host_.cache.capacity()));
 }
@@ -664,6 +665,11 @@ TcpStack::processBatch(unsigned queue, std::vector<Burst> bursts)
           }
         }
     }
+
+    // Hand the drained batch vector back to the NIC so the next
+    // interrupt reuses its capacity.
+    bursts.clear();
+    nic_.recycleBatch(std::move(bursts));
 }
 
 Coro<void>

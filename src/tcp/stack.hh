@@ -32,6 +32,7 @@
 #include "nic/nic.hh"
 #include "simcore/channel.hh"
 #include "simcore/coro.hh"
+#include "simcore/pool.hh"
 #include "simcore/stats.hh"
 #include "simcore/sync.hh"
 #include "tcp/config.hh"
@@ -188,7 +189,8 @@ class Connection
     std::uint64_t peerDrained_ = 0;  ///< cumulative bytes peer app drained
     std::uint64_t rcvNxt_ = 0;       ///< next expected stream offset
     std::uint64_t drainedTotal_ = 0; ///< cumulative bytes our app drained
-    std::deque<TxSegment> retransQ_; ///< sent-but-unacked segments
+    /** Sent-but-unacked segments; nodes come from the stack's arena. */
+    sim::PooledFifo<TxSegment> retransQ_;
     sim::Event txActivity_;          ///< retransQ went non-empty / closed
     sim::Event ackProgress_;         ///< sndUna_ advanced (or abort)
 
@@ -316,6 +318,12 @@ class TcpStack
     nic::Nic &nic_;
     TcpConfig cfg_;
 
+    /**
+     * Shared arena for every connection's retransmission queue —
+     * declared before conns_ so it outlives the queues built on it.
+     */
+    sim::PooledFifo<TxSegment>::NodePool txSegPool_;
+
     std::vector<std::unique_ptr<Connection>> conns_;
     std::unordered_map<std::uint16_t, std::unique_ptr<Listener>> listeners_;
     std::uint64_t flowCounter_ = 0;
@@ -331,6 +339,8 @@ class TcpStack
     mem::FootprintId hdrPool_;
     /** Streaming payload footprint from recent CPU copies/touches. */
     mem::FootprintId netStream_;
+    /** Cached size slot: noteStreamBytes runs per segment. */
+    std::size_t *netStreamSize_ = nullptr;
     mem::RollingBytes streamWindow_;
 
     sim::stats::Counter txPayload_;

@@ -779,4 +779,152 @@ TEST(DatacenterFaults, WebServerShedsPastInflightCap)
     EXPECT_GT(fleet.completed(), 0u);
 }
 
+// --------------------------------------------------------------------
+// Exact timer-firing ticks
+//
+// The RTO and watchdog machinery moved onto the event queue's timer
+// wheel; these tests pin the exact ticks retry timers fire at, so a
+// queue or timeout refactor that shifts retry timelines by even one
+// tick fails loudly rather than silently changing every fault run.
+// --------------------------------------------------------------------
+
+/**
+ * Measured firing schedule for the RTO test below.  These are golden
+ * values: re-pin them (and investigate!) if a change moves them.
+ */
+constexpr Tick kRtoFirstFireTick = 6002736;
+
+/**
+ * Run single events until @p value changes; returns the exact tick of
+ * the event that changed it (0 if nothing changed by @p limit).
+ */
+template <typename Fn>
+Tick
+flipTick(Simulation &sim, Fn value, Tick limit)
+{
+    const auto before = value();
+    while (value() == before) {
+        if (sim.queue().nextEventTick() > limit)
+            return 0;
+        sim.queue().runOne();
+    }
+    return sim.now();
+}
+
+TEST(TimerTicks, RtoBackoffFiresAtExactTicks)
+{
+    Simulation sim;
+    net::Switch fabric(sim, sim::nanoseconds(2000));
+    FaultInjector faults(11);
+    fabric.setFaultInjector(&faults);
+    Node a(sim, fabric, reliableNode()); // rtoInitial=1ms, 3 retries
+    Node b(sim, fabric, reliableNode());
+
+    sim.spawn(sinkLoop(b, 5001, 1024));
+    tcp::Connection *conn = nullptr;
+    sim.spawn([](Node &n, net::NodeId dst,
+                 tcp::Connection *&out) -> Coro<void> {
+        out = co_await n.stack().connect(dst, 5001);
+    }(a, b.id(), conn));
+    sim.runUntil(sim::milliseconds(5));
+    ASSERT_NE(conn, nullptr);
+
+    // Cut both directions at exactly 5 ms, then send one chunk.  The
+    // first transmission leaves at 5 ms + send-path CPU costs; every
+    // copy is lost, so the retry timeline is driven purely by the RTO
+    // timer: rtoInitial after the first tx, then doubling.
+    faults.site("link." + std::to_string(a.id()), {1.0, 0.0, 0.0, 0});
+    faults.site("link." + std::to_string(b.id()), {1.0, 0.0, 0.0, 0});
+    sim.spawn([](tcp::Connection *c) -> Coro<void> {
+        co_await c->send(1024);
+    }(conn));
+
+    auto retrans = [&a] { return a.stack().retransmits(); };
+    auto aborts = [&a] { return a.stack().abortedConnections(); };
+    const Tick limit = sim::milliseconds(40);
+
+    const Tick f1 = flipTick(sim, retrans, limit);
+    const Tick f2 = flipTick(sim, retrans, limit);
+    const Tick f3 = flipTick(sim, retrans, limit);
+    const Tick fa = flipTick(sim, aborts, limit);
+
+    // Exponential backoff, to the tick: 2x then 2x again, and the
+    // exhaustion abort exactly one further doubled RTO after the last
+    // retry.  These deltas are independent of send-path CPU costs.
+    ASSERT_NE(f1, Tick{0});
+    EXPECT_EQ(f2 - f1, sim::milliseconds(2));
+    EXPECT_EQ(f3 - f2, sim::milliseconds(4));
+    EXPECT_EQ(fa - f3, sim::milliseconds(8));
+
+    // Absolute anchor: first RTO fires exactly rtoInitial after the
+    // armed retransmission round begins.  The measured schedule is a
+    // golden value; a refactor that shifts when timers are armed (or
+    // how `now` advances) moves it.
+    EXPECT_EQ(f1, kRtoFirstFireTick);
+}
+
+TEST(TimerTicks, PvfsWatchdogFiresAtExactTick)
+{
+    Simulation sim;
+    core::TestbedConfig tbCfg;
+    tbCfg.serverCount = 2;
+    tbCfg.serverConfig = NodeConfig::server(IoatConfig::disabled(), 6);
+    tbCfg.serverConfig.tcp.reliable = true;
+    tbCfg.serverConfig.tcp.rtoInitial = sim::milliseconds(1);
+    tbCfg.serverConfig.tcp.maxRetransmits = 8;
+    core::Testbed tb(sim, tbCfg);
+
+    FaultInjector faults(31);
+    tb.fabric().setFaultInjector(&faults);
+
+    pvfs::PvfsConfig cfg;
+    cfg.iodCount = 1;
+    cfg.rpcTimeout = sim::milliseconds(2);
+    cfg.rpcMaxRetries = 1;
+    cfg.rpcRetryBackoff = sim::milliseconds(1);
+    cfg.connectTimeout = sim::milliseconds(5);
+
+    pvfs::FsState fs;
+    pvfs::MetadataManager mgr(tb.server(0), cfg, fs);
+    mgr.start();
+    pvfs::IodServer iod(tb.server(0), cfg, 0);
+    iod.start();
+    const pvfs::FileHandle h = fs.create("f0");
+    fs.extendTo(h, 64 * 1024);
+
+    // Server 0 drops off the network at 10 ms; the client connects
+    // and warms up before that, then issues a read at exactly 15 ms.
+    // The read's first RPC can make no progress, so its watchdog must
+    // fire exactly rpcTimeout after the deadline was armed.
+    faults.addOutage(tb.server(0).id(), sim::milliseconds(10),
+                     sim::milliseconds(200));
+
+    pvfs::PvfsClient client(tb.server(1), cfg,
+                            {tb.server(0).id(), cfg.mgrPort},
+                            {{tb.server(0).id(), iod.port()}});
+    bool done = false;
+    sim.spawn([](Simulation &s, pvfs::PvfsClient &cl,
+                 pvfs::FileHandle fh, bool &d) -> Coro<void> {
+        co_await cl.connect();
+        co_await s.waitUntil(sim::milliseconds(15));
+        const auto r = co_await cl.read(fh, 0, 64 * 1024);
+        (void)r;
+        d = true;
+    }(sim, client, h, done));
+
+    sim.runUntil(sim::milliseconds(15));
+    auto aborts = [&tb] {
+        return tb.server(1).stack().abortedConnections();
+    };
+    const Tick fw = flipTick(sim, aborts, sim::milliseconds(40));
+
+    // The op is issued at 15 ms sharp (waitUntil), its deadline armed
+    // in the same tick (Watchdog::arm runs before the first await of
+    // the attempt), so the abort lands at exactly 15 ms + rpcTimeout.
+    EXPECT_EQ(fw, sim::milliseconds(15) + cfg.rpcTimeout);
+
+    sim.runFor(sim::milliseconds(100));
+    EXPECT_TRUE(done);
+}
+
 } // namespace

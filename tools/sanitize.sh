@@ -1,0 +1,23 @@
+#!/bin/sh
+# Build the whole tree with ASan+UBSan and run the test suite under it.
+#
+# Usage: tools/sanitize.sh [ctest args...]
+#   tools/sanitize.sh                 # full suite
+#   tools/sanitize.sh -L golden       # just the golden determinism tests
+#
+# The sanitized build lives in build-san/, separate from the normal
+# build/ so the two can coexist.  Any sanitizer report is fatal
+# (-fno-sanitize-recover=all), so a clean run means a clean tree.
+set -eu
+
+repo=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build="$repo/build-san"
+
+cmake -B "$build" -S "$repo" -DIOAT_SANITIZE=ON
+cmake --build "$build" -j "$(nproc)"
+
+# abort_on_error makes ASan failures exit non-zero even inside gtest
+# death tests; detect_leaks catches arena/free-list bookkeeping bugs.
+ASAN_OPTIONS="${ASAN_OPTIONS:-abort_on_error=1:detect_leaks=1}" \
+UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1}" \
+    ctest --test-dir "$build" --output-on-failure -j "$(nproc)" "$@"
