@@ -100,7 +100,7 @@ class Meter
 
   private:
     Simulation &sim_;
-    Tick windowStart_ = 0;
+    Tick windowStart_{};
 };
 
 /** Relative benefit (b - a) / b as the paper defines it (§4). */

@@ -50,8 +50,8 @@ main()
                                 ? std::to_string(sz / (1024 * 1024)) + "M"
                                 : std::to_string(sz / 1024) + "K";
         t.addRow({label,
-                  num(sim::toMicroseconds(copies.hotCopyTime(sz)), 1),
-                  num(sim::toMicroseconds(copies.coldCopyTime(sz)), 1),
+                  num(sim::toMicroseconds(copies.hotCopyTime(sim::Bytes{sz})), 1),
+                  num(sim::toMicroseconds(copies.coldCopyTime(sim::Bytes{sz})), 1),
                   num(sim::toMicroseconds(engine.syncCopyTime(sz)), 1),
                   num(sim::toMicroseconds(engine.submissionCost(sz)), 1),
                   pct(engine.overlapFraction(sz), 0)});

@@ -50,8 +50,8 @@ BM_CoroutineSpawnResume(benchmark::State &state)
         Simulation sim;
         for (int i = 0; i < 100; ++i) {
             sim.spawn([](Simulation &s) -> Coro<void> {
-                co_await s.delay(1);
-                co_await s.delay(1);
+                co_await s.delay(ioat::sim::Tick{1});
+                co_await s.delay(ioat::sim::Tick{1});
             }(sim));
         }
         sim.run();
@@ -69,7 +69,7 @@ BM_SemaphoreHandoff(benchmark::State &state)
         for (int i = 0; i < 100; ++i) {
             sim.spawn([](Simulation &s, sim::Semaphore &sm) -> Coro<void> {
                 co_await sm.acquire();
-                co_await s.delay(1);
+                co_await s.delay(ioat::sim::Tick{1});
                 sm.release();
             }(sim, sem));
         }
@@ -85,7 +85,7 @@ BM_CopyModelEvaluate(benchmark::State &state)
     mem::CopyModel cm(core::calibration::serverCopy());
     std::size_t sz = 1024;
     for (auto _ : state) {
-        benchmark::DoNotOptimize(cm.copyTime(sz, 0.5, 1.2));
+        benchmark::DoNotOptimize(cm.copyTime(ioat::sim::Bytes{sz}, 0.5, 1.2));
         sz = sz < (1u << 20) ? sz * 2 : 1024;
     }
     state.SetItemsProcessed(state.iterations());
@@ -166,11 +166,13 @@ runStreamWorkload(unsigned senderNodes, unsigned flowsPerNode,
 
     const std::size_t chunk = 64 * 1024;
     for (unsigned p = 0; p < senderNodes * flowsPerNode; ++p)
-        sim.spawn(perfSinkLoop(sink, 5001 + p, chunk));
+        sim.spawn(perfSinkLoop(sink, static_cast<std::uint16_t>(5001 + p), chunk));
     for (unsigned i = 0; i < senderNodes; ++i)
         for (unsigned f = 0; f < flowsPerNode; ++f)
-            sim.spawn(perfSenderLoop(*senders[i], sink.id(),
-                                     5001 + i * flowsPerNode + f, chunk));
+            sim.spawn(perfSenderLoop(
+                *senders[i], sink.id(),
+                static_cast<std::uint16_t>(5001 + i * flowsPerNode + f),
+                chunk));
     sim.runFor(duration);
     return sim.queue().executedEvents();
 }

@@ -43,8 +43,8 @@ demo(Simulation &sim, core::Node &node, AsyncMemcpy &amc)
     std::printf("  serial     : %7.0f us\n", sim::toMicroseconds(serial));
     std::printf("  overlapped : %7.0f us  (%.0f%% of serial)\n\n",
                 sim::toMicroseconds(overlapped),
-                100.0 * static_cast<double>(overlapped) /
-                    static_cast<double>(serial));
+                100.0 * static_cast<double>(overlapped.count()) /
+                    static_cast<double>(serial.count()));
 }
 
 } // namespace

@@ -101,10 +101,11 @@ class AppMemory
     {
         const double res = residency();
         const Tick t =
-            host_.copy.touchTime(bytes, res, host_.bus.slowdown());
+            host_.copy.touchTime(sim::Bytes{bytes}, res,
+                                 host_.bus.slowdown());
         noteBuffer(bytes);
-        host_.bus.consume(static_cast<std::size_t>(
-            static_cast<double>(bytes) * (1.0 - res)));
+        host_.bus.consume(sim::Bytes{static_cast<std::size_t>(
+            static_cast<double>(bytes) * (1.0 - res))});
         co_await host_.cpu.compute(t);
     }
 
@@ -118,9 +119,10 @@ class AppMemory
     {
         const double res = residency();
         const Tick t =
-            host_.copy.copyTime(bytes, res, host_.bus.slowdown());
-        host_.bus.consume(static_cast<std::size_t>(
-            static_cast<double>(2 * bytes) * (1.0 - res)));
+            host_.copy.copyTime(sim::Bytes{bytes}, res,
+                                host_.bus.slowdown());
+        host_.bus.consume(sim::Bytes{static_cast<std::size_t>(
+            static_cast<double>(2 * bytes) * (1.0 - res))});
         co_await host_.cpu.compute(t);
     }
 
@@ -133,10 +135,11 @@ class AppMemory
     {
         const double res = residency();
         const Tick t =
-            host_.copy.copyTime(bytes, res, host_.bus.slowdown());
+            host_.copy.copyTime(sim::Bytes{bytes}, res,
+                                host_.bus.slowdown());
         noteBuffer(bytes);
-        host_.bus.consume(static_cast<std::size_t>(
-            static_cast<double>(2 * bytes) * (1.0 - res)));
+        host_.bus.consume(sim::Bytes{static_cast<std::size_t>(
+            static_cast<double>(2 * bytes) * (1.0 - res))});
         co_await host_.cpu.compute(t);
     }
 

@@ -76,7 +76,7 @@ class AsyncMemcpy
                               2 * host_.pages.pinCost(bytes) +
                               host_.dma->submissionCost(bytes);
         co_await host_.cpu.compute(cpu_cost);
-        host_.bus.consume(2 * bytes);
+        host_.bus.consume(sim::Bytes{2 * bytes});
 
         Op op(host_.sim, bytes);
         auto done = op.done_;
@@ -113,7 +113,8 @@ class AsyncMemcpy
                                  2 * host_.pages.pinCost(bytes) +
                                  host_.dma->submissionCost(bytes) +
                                  2 * host_.pages.unpinCost(bytes);
-        return offload_cpu < host_.copy.copyTime(bytes, residency);
+        return offload_cpu <
+               host_.copy.copyTime(sim::Bytes{bytes}, residency);
     }
 
     /** Smallest power-of-two size for which offload is profitable. */

@@ -121,7 +121,7 @@ serverNic(unsigned ports = 6)
     cfg.tso = false;          // Fig. 5 enables this as "Case 3"
     cfg.splitHeader = false;  // set by IoatConfig
     cfg.rxQueuesPerPort = 1;
-    cfg.coalesceDelay = 0;    // Fig. 5 enables this as "Case 5"
+    cfg.coalesceDelay = sim::Tick{0};    // Fig. 5 enables this as "Case 5"
     cfg.coalesceMaxBursts = 32;
     return cfg;
 }

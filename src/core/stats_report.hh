@@ -23,10 +23,10 @@ namespace ioat::core {
 /** One node's counters at a point in simulated time. */
 struct NodeSnapshot
 {
-    sim::Tick when = 0;
+    sim::Tick when{};
 
     // CPU
-    sim::Tick cpuBusyTicks = 0;
+    sim::Tick cpuBusyTicks{};
     std::uint64_t cpuWorkItems = 0;
 
     // NIC
@@ -99,10 +99,10 @@ struct NodeSnapshot
     double
     cpuUtilization(unsigned cores) const
     {
-        if (when == 0 || cores == 0)
+        if (when == sim::Tick{0} || cores == 0)
             return 0.0;
-        return static_cast<double>(cpuBusyTicks) /
-               (static_cast<double>(when) * cores);
+        return static_cast<double>(cpuBusyTicks.count()) /
+               (static_cast<double>(when.count()) * cores);
     }
 
     double rxMbps() const { return sim::throughputMbps(rxPayload, when); }

@@ -13,7 +13,7 @@ CpuSet::CpuSet(Simulation &sim, const CpuConfig &cfg)
     : sim_(sim), quantum_(cfg.preemptionQuantum), cores_(cfg.cores)
 {
     sim::simAssert(cfg.cores > 0, "CpuSet needs at least one core");
-    sim::simAssert(cfg.preemptionQuantum > 0,
+    sim::simAssert(cfg.preemptionQuantum > Tick{0},
                    "preemption quantum must be positive");
 }
 

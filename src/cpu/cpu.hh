@@ -78,7 +78,7 @@ class CpuSet
             int core;
             bool highPriority;
 
-            bool await_ready() const noexcept { return duration == 0; }
+            bool await_ready() const noexcept { return duration == Tick{0}; }
 
             void
             await_suspend(std::coroutine_handle<> h)
@@ -116,7 +116,7 @@ class CpuSet
             bool highPriority;
             std::coroutine_handle<> waiter = nullptr;
 
-            bool await_ready() const noexcept { return left == 0; }
+            bool await_ready() const noexcept { return left == Tick{0}; }
 
             void
             await_suspend(std::coroutine_handle<> h)
@@ -134,7 +134,7 @@ class CpuSet
                                        : std::min(left, cpu.quantum_);
                 left -= slice;
                 cpu.submit(slice, core, highPriority, [this] {
-                    if (left > 0)
+                    if (left > Tick{0})
                         startNext();
                     else
                         waiter.resume();
@@ -182,7 +182,7 @@ class CpuSet
     struct Core
     {
         bool busy = false;
-        Tick runStart = 0;            ///< for tracing
+        Tick runStart{};              ///< for tracing
         const char *runLabel = "app"; ///< for tracing
         sim::SmallFn done;          ///< completion of the running item
         std::deque<WorkItem> high;  ///< pinned interrupt-class work
@@ -200,7 +200,7 @@ class CpuSet
     std::deque<WorkItem> globalHigh_;  ///< interrupt-class, any core
     std::deque<WorkItem> globalQueue_; ///< normal work for any core
     unsigned busyCount_ = 0;
-    Tick totalBusy_ = 0;
+    Tick totalBusy_{};
     sim::stats::TimeWeighted busySignal_{0.0};
     sim::stats::Counter completed_;
 };

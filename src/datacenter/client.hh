@@ -56,7 +56,7 @@ class ClientFleet
          *  @{ */
         /** Per-request deadline; expiry aborts the connection and
          *  the thread reconnects (0 = wait forever). */
-        sim::Tick requestTimeout = 0;
+        sim::Tick requestTimeout{};
         /** Pause before reconnecting a dead connection. */
         sim::Tick reconnectDelay = sim::milliseconds(5);
         /** @} */

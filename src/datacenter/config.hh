@@ -63,7 +63,7 @@ struct DcConfig
      * serving a stale cached copy or shedding the request with a 503.
      *  @{ */
     /** Proxy-side deadline per backend exchange (0 = wait forever). */
-    Tick requestDeadline = 0;
+    Tick requestDeadline{};
     /** Backend attempts per request (rotating over backends). */
     unsigned backendRetries = 2;
     /** Serve a stale cached object when all backends fail. */

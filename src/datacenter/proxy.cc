@@ -114,7 +114,7 @@ Proxy::fetchOnce(unsigned pool_idx, const sock::Message &request)
     }
 
     auto watch = std::make_shared<OpWatch>();
-    if (cfg_.requestDeadline > 0)
+    if (cfg_.requestDeadline > sim::Tick{0})
         node_.simulation().spawn(
             armWatch(*bc, cfg_.requestDeadline, watch));
 

@@ -138,10 +138,11 @@ class DmaEngine
     double
     overlapFraction(std::size_t bytes) const
     {
-        const double total = static_cast<double>(syncCopyTime(bytes));
+        const double total =
+            static_cast<double>(syncCopyTime(bytes).count());
         if (total <= 0.0)
             return 0.0;
-        return static_cast<double>(engineTime(bytes)) / total;
+        return static_cast<double>(engineTime(bytes).count()) / total;
     }
 
     /**
@@ -168,7 +169,7 @@ class DmaEngine
                     co_await sim_.delay(engineTime(bytes));
                     continue;
                 }
-                if (d.extraDelay > 0) {
+                if (d.extraDelay > sim::Tick{0}) {
                     dmaStalls_.inc();
                     co_await sim_.delay(d.extraDelay);
                 }

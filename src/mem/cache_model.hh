@@ -20,7 +20,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
-#include <unordered_map>
+#include <map>
 
 #include "simcore/assert.hh"
 
@@ -79,7 +79,7 @@ class CacheModel
 
     /**
      * Stable pointer to a footprint's size for hot per-segment resize
-     * paths (the map is node-based, so the pointer survives rehash).
+     * paths (the map is node-based, so the pointer stays valid).
      * Valid until the footprint is removed.
      */
     std::size_t *
@@ -189,7 +189,7 @@ class CacheModel
 
     std::size_t capacity_;
     FootprintId nextId_ = 1;
-    std::unordered_map<FootprintId, Footprint> footprints_;
+    std::map<FootprintId, Footprint> footprints_;
 };
 
 } // namespace ioat::mem

@@ -20,16 +20,17 @@
 
 namespace ioat::mem {
 
-using sim::Rate;
+using sim::Bytes;
+using sim::BytesPerSec;
 using sim::Tick;
 
 /** Tunable parameters of the copy model (see core/calibration.hh). */
 struct CopyModelConfig
 {
     /** memcpy throughput with both buffers L2-resident. */
-    Rate hotRate = Rate::bytesPerSec(4.0e9);
+    BytesPerSec hotRate = BytesPerSec::bytesPerSec(4.0e9);
     /** memcpy throughput when the copy streams from/to DRAM. */
-    Rate coldRate = Rate::bytesPerSec(1.5e9);
+    BytesPerSec coldRate = BytesPerSec::bytesPerSec(1.5e9);
     /** Fixed per-call overhead (call, alignment setup). */
     Tick callOverhead = sim::nanoseconds(80);
 };
@@ -59,7 +60,7 @@ class CopyModel
      *        unaffected by bus contention.
      */
     Tick
-    copyTime(std::size_t bytes, double residency = 0.0,
+    copyTime(Bytes bytes, double residency = 0.0,
              double busFactor = 1.0) const
     {
         return cfg_.callOverhead + blendedTime(bytes, residency, busFactor);
@@ -67,7 +68,7 @@ class CopyModel
 
     /** Time for the CPU to stream-read @p bytes (checksum, parse...). */
     Tick
-    touchTime(std::size_t bytes, double residency = 0.0,
+    touchTime(Bytes bytes, double residency = 0.0,
               double busFactor = 1.0) const
     {
         // Touching costs roughly half a copy (one stream, not two).
@@ -76,14 +77,14 @@ class CopyModel
     }
 
     /** Fully cache-resident copy time (Fig. 6 "copy-cache"). */
-    Tick hotCopyTime(std::size_t bytes) const { return copyTime(bytes, 1.0); }
+    Tick hotCopyTime(Bytes bytes) const { return copyTime(bytes, 1.0); }
 
     /** Fully memory-bound copy time (Fig. 6 "copy-nocache"). */
-    Tick coldCopyTime(std::size_t bytes) const { return copyTime(bytes, 0.0); }
+    Tick coldCopyTime(Bytes bytes) const { return copyTime(bytes, 0.0); }
 
   private:
     Tick
-    blendedTime(std::size_t bytes, double residency,
+    blendedTime(Bytes bytes, double residency,
                 double busFactor = 1.0) const
     {
         if (residency < 0.0)
@@ -93,11 +94,11 @@ class CopyModel
         if (busFactor < 1.0)
             busFactor = 1.0;
         const double hot_ns =
-            static_cast<double>(cfg_.hotRate.transferTime(bytes));
+            static_cast<double>(cfg_.hotRate.transferTime(bytes).count());
         const double cold_ns =
-            static_cast<double>(cfg_.coldRate.transferTime(bytes));
-        return static_cast<Tick>(residency * hot_ns +
-                                 (1.0 - residency) * cold_ns * busFactor);
+            static_cast<double>(cfg_.coldRate.transferTime(bytes).count());
+        return sim::ticksFromDouble(residency * hot_ns +
+                                (1.0 - residency) * cold_ns * busFactor);
     }
 
     CopyModelConfig cfg_;

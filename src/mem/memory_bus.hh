@@ -27,14 +27,15 @@
 
 namespace ioat::mem {
 
-using sim::Rate;
+using sim::Bytes;
+using sim::BytesPerSec;
 using sim::Simulation;
 using sim::Tick;
 
 struct MemoryBusConfig
 {
     /** Achievable aggregate memory bandwidth. */
-    Rate capacity = Rate::bytesPerSec(3.2e9);
+    BytesPerSec capacity = BytesPerSec::bytesPerSec(3.2e9);
     /** Demand-estimation window (two half-window buckets). */
     Tick window = sim::microseconds(200);
 };
@@ -50,18 +51,18 @@ class MemoryBus
     {
         sim::simAssert(cfg_.capacity.valid(),
                        "memory bus capacity must be positive");
-        sim::simAssert(half_ > 0, "memory bus window too small");
+        sim::simAssert(half_ > Tick{0}, "memory bus window too small");
     }
 
     const MemoryBusConfig &config() const { return cfg_; }
 
     /** Report @p bytes moved across the memory interface. */
     void
-    consume(std::size_t bytes)
+    consume(Bytes bytes)
     {
         rotate();
-        current_ += bytes;
-        total_ += bytes;
+        current_ += bytes.count();
+        total_ += bytes.count();
     }
 
     /** Estimated demand in bytes/second over the recent window. */
@@ -119,7 +120,7 @@ class MemoryBus
     Simulation &sim_;
     MemoryBusConfig cfg_;
     Tick half_;
-    Tick bucketStart_ = 0;
+    Tick bucketStart_{};
     std::uint64_t current_ = 0;
     std::uint64_t previous_ = 0;
     std::uint64_t total_ = 0;

@@ -55,7 +55,7 @@ class PageModel
     pinCost(std::size_t bytes) const
     {
         if (bytes == 0)
-            return 0;
+            return Tick{0};
         return cfg_.pinCallOverhead + cfg_.pinPerPage * pagesFor(bytes);
     }
 
@@ -64,7 +64,7 @@ class PageModel
     unpinCost(std::size_t bytes) const
     {
         if (bytes == 0)
-            return 0;
+            return Tick{0};
         return cfg_.unpinPerPage * pagesFor(bytes);
     }
 

@@ -27,7 +27,7 @@ class RollingBytes
     RollingBytes(Simulation &sim, Tick window)
         : sim_(sim), half_(window / 2)
     {
-        sim::simAssert(half_ > 0, "RollingBytes window too small");
+        sim::simAssert(half_ > Tick{0}, "RollingBytes window too small");
     }
 
     void
@@ -63,7 +63,7 @@ class RollingBytes
 
     Simulation &sim_;
     Tick half_;
-    Tick bucketStart_ = 0;
+    Tick bucketStart_{};
     std::uint64_t current_ = 0;
     std::uint64_t previous_ = 0;
 };

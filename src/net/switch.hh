@@ -98,7 +98,7 @@ class Switch
                 traceFault("fault:drop link", burst.dst);
                 return;
             }
-            if (d.extraDelay > 0) {
+            if (d.extraDelay > sim::Tick{0}) {
                 traceFault("fault:delay link", burst.dst);
                 latency += d.extraDelay;
             }

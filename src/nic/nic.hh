@@ -36,7 +36,8 @@ namespace ioat::nic {
 
 using net::Burst;
 using net::NodeId;
-using sim::Rate;
+using sim::Bytes;
+using sim::BytesPerSec;
 using sim::Simulation;
 using sim::Tick;
 
@@ -44,7 +45,7 @@ using sim::Tick;
 struct NicConfig
 {
     unsigned ports = 1;
-    Rate portRate = Rate::gbps(1.0);
+    BytesPerSec portRate = BytesPerSec::gbps(1.0);
     /** Maximum transmission unit (payload per frame). */
     std::size_t mtu = 1500;
     /** Per-frame wire overhead: headers, CRC, preamble, IFG. */
@@ -63,7 +64,7 @@ struct NicConfig
      */
     unsigned rxQueuesPerPort = 1;
     /** Wait this long after first packet before interrupting (0 = off). */
-    Tick coalesceDelay = 0;
+    Tick coalesceDelay{};
     /** Interrupt immediately once this many bursts are pending. */
     unsigned coalesceMaxBursts = 32;
     /**
@@ -73,7 +74,7 @@ struct NicConfig
      * co-exist with I/OAT) drains each queue every period, trading
      * bounded extra latency for near-zero notification cost.
      */
-    Tick pollingPeriod = 0;
+    Tick pollingPeriod{};
     /**
      * Descriptor slots per RX queue (0 = unbounded, the seed's
      * idealized adapter).  When bounded, a burst completing into a
@@ -96,7 +97,7 @@ class Nic
 
     Nic(Simulation &sim, net::Switch &fabric, const NicConfig &cfg)
         : sim_(sim), fabric_(fabric), cfg_(cfg),
-          txNextFree_(cfg.ports, 0), rxNextFree_(cfg.ports, 0),
+          txNextFree_(cfg.ports, Tick{0}), rxNextFree_(cfg.ports, Tick{0}),
           rxQueues_(cfg.ports * cfg.rxQueuesPerPort)
     {
         sim::simAssert(cfg.ports > 0, "NIC needs at least one port");
@@ -104,7 +105,7 @@ class Nic
                        "NIC needs at least one RX queue per port");
         sim::simAssert(cfg.mtu > 0, "NIC MTU must be positive");
         id_ = fabric_.attach([this](const Burst &b) { ingress(b); });
-        if (cfg_.pollingPeriod > 0) {
+        if (cfg_.pollingPeriod > Tick{0}) {
             for (unsigned q = 0; q < rxQueueCount(); ++q)
                 schedulePoll(q);
         }
@@ -167,25 +168,25 @@ class Nic
 
     /** Frames needed to carry @p payload bytes at the current MTU. */
     std::uint32_t
-    framesFor(std::size_t payload) const
+    framesFor(Bytes payload) const
     {
-        if (payload == 0)
+        if (payload == Bytes{0})
             return 1; // pure control packet
-        return static_cast<std::uint32_t>((payload + cfg_.mtu - 1) /
-                                          cfg_.mtu);
+        return static_cast<std::uint32_t>(
+            (payload.count() + cfg_.mtu - 1) / cfg_.mtu);
     }
 
     /** Wire bytes for @p payload, including per-frame overheads. */
-    std::uint32_t
-    wireBytesFor(std::size_t payload) const
+    Bytes
+    wireBytesFor(Bytes payload) const
     {
-        return static_cast<std::uint32_t>(
-            payload + framesFor(payload) * cfg_.frameOverhead);
+        return payload +
+               Bytes{framesFor(payload) * cfg_.frameOverhead};
     }
 
     /** Serialization time of @p wire_bytes on one port. */
     Tick
-    wireTime(std::size_t wire_bytes) const
+    wireTime(Bytes wire_bytes) const
     {
         return cfg_.portRate.transferTime(wire_bytes);
     }
@@ -199,7 +200,7 @@ class Nic
     {
         burst.src = id_;
         const unsigned port = portFor(burst.flow);
-        const Tick tx_time = wireTime(burst.wireBytes);
+        const Tick tx_time = wireTime(Bytes{burst.wireBytes});
         const Tick start = std::max(sim_.now(), txNextFree_[port]);
         const Tick depart = start + tx_time;
         txNextFree_[port] = depart;
@@ -212,7 +213,7 @@ class Nic
     }
 
     /** True when notifications come from soft-timer polls. */
-    bool pollingMode() const { return cfg_.pollingPeriod > 0; }
+    bool pollingMode() const { return cfg_.pollingPeriod > Tick{0}; }
 
     /**
      * Return a drained RX batch vector so its capacity is reused by a
@@ -250,7 +251,7 @@ class Nic
     ingress(const Burst &burst)
     {
         const unsigned port = portFor(burst.flow);
-        const Tick rx_time = wireTime(burst.wireBytes);
+        const Tick rx_time = wireTime(Bytes{burst.wireBytes});
         const Tick start = std::max(sim_.now(), rxNextFree_[port]);
         const Tick done = start + rx_time;
         rxNextFree_[port] = done;
@@ -278,7 +279,7 @@ class Nic
         rxBursts_.inc();
         q.pending.push_back(burst);
 
-        if (cfg_.pollingPeriod > 0) {
+        if (cfg_.pollingPeriod > Tick{0}) {
             // Soft-timer mode: the periodic poll will pick it up.
             return;
         }

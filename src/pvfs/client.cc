@@ -135,7 +135,7 @@ PvfsClient::mgrOp(const sock::Message &request)
             continue;
         }
         OpWatch watch(node_.simulation());
-        if (cfg_.rpcTimeout > 0)
+        if (cfg_.rpcTimeout > sim::Tick{0})
             watch.arm(*conn, cfg_.rpcTimeout);
 
         co_await node_.cpu().compute(cfg_.clientRequestCost);
@@ -216,7 +216,7 @@ PvfsClient::readChunk(const StripeChunk &chunk, FileHandle h)
             continue;
         }
         OpWatch watch(node_.simulation());
-        if (cfg_.rpcTimeout > 0)
+        if (cfg_.rpcTimeout > sim::Tick{0})
             watch.arm(*conn, cfg_.rpcTimeout);
 
         co_await node_.cpu().compute(cfg_.clientRequestCost);
@@ -313,7 +313,7 @@ PvfsClient::writeChunk(const StripeChunk &chunk, FileHandle h)
             continue;
         }
         OpWatch watch(node_.simulation());
-        if (cfg_.rpcTimeout > 0)
+        if (cfg_.rpcTimeout > sim::Tick{0})
             watch.arm(*conn, cfg_.rpcTimeout);
 
         co_await node_.cpu().compute(cfg_.clientRequestCost);
@@ -404,7 +404,7 @@ PvfsClient::readListChunk(const StridedChunk &chunk, FileHandle h)
             continue;
         }
         OpWatch watch(node_.simulation());
-        if (cfg_.rpcTimeout > 0)
+        if (cfg_.rpcTimeout > sim::Tick{0})
             watch.arm(*conn, cfg_.rpcTimeout);
 
         co_await node_.cpu().compute(cfg_.clientRequestCost +
@@ -503,7 +503,7 @@ PvfsClient::writeListChunk(const StridedChunk &chunk, FileHandle h)
             continue;
         }
         OpWatch watch(node_.simulation());
-        if (cfg_.rpcTimeout > 0)
+        if (cfg_.rpcTimeout > sim::Tick{0})
             watch.arm(*conn, cfg_.rpcTimeout);
 
         co_await node_.cpu().compute(cfg_.clientRequestCost +

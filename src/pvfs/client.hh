@@ -136,7 +136,8 @@ class PvfsClient
     /** Reconnect deadline (0 when fault handling is off). */
     sim::Tick connectDeadline() const
     {
-        return cfg_.rpcTimeout > 0 ? cfg_.connectTimeout : 0;
+        return cfg_.rpcTimeout > sim::Tick{0} ? cfg_.connectTimeout
+                                              : sim::Tick{0};
     }
 
     core::Node &node_;

@@ -48,7 +48,7 @@ struct PvfsConfig
      * `rpcMaxRetries` attempts before surfacing a typed error.
      *  @{ */
     /** Per-RPC deadline (0 = wait forever, the seed behaviour). */
-    Tick rpcTimeout = 0;
+    Tick rpcTimeout{};
     /** Attempts per RPC (first try + retries) before giving up. */
     unsigned rpcMaxRetries = 3;
     /** Delay before the first retry; doubled each further retry. */

@@ -58,7 +58,10 @@ class IodServer
     void start();
 
     unsigned index() const { return index_; }
-    std::uint16_t port() const { return cfg_.iodBasePort + index_; }
+    std::uint16_t port() const
+    {
+        return static_cast<std::uint16_t>(cfg_.iodBasePort + index_);
+    }
     std::uint64_t bytesRead() const { return bytesRead_.value(); }
     std::uint64_t bytesWritten() const { return bytesWritten_.value(); }
 

@@ -88,6 +88,7 @@ class EventQueue
     {
         clear();
         for (Node *chunk : chunks_)
+            // simlint: allow(raw-new) node-arena chunk teardown
             delete[] chunk;
     }
 
@@ -140,23 +141,24 @@ class EventQueue
             return false;
         }
         h = TimerHandle();
+        const std::uint64_t w = n->when.count();
         switch (n->where) {
           case Where::L0:
-            listRemove(l0_[n->when & kL0Mask], n);
-            if (l0_[n->when & kL0Mask].head == nullptr)
-                l0Clear(static_cast<unsigned>(n->when & kL0Mask));
+            listRemove(l0_[w & kL0Mask], n);
+            if (l0_[w & kL0Mask].head == nullptr)
+                l0Clear(static_cast<unsigned>(w & kL0Mask));
             --l0Count_;
             break;
           case Where::L1:
-            listRemove(l1_[(n->when >> kL0Bits) & kLvlMask], n);
-            if (l1_[(n->when >> kL0Bits) & kLvlMask].head == nullptr)
-                bmClear(l1Bits_, (n->when >> kL0Bits) & kLvlMask);
+            listRemove(l1_[(w >> kL0Bits) & kLvlMask], n);
+            if (l1_[(w >> kL0Bits) & kLvlMask].head == nullptr)
+                bmClear(l1Bits_, (w >> kL0Bits) & kLvlMask);
             --l1Count_;
             break;
           case Where::L2:
-            listRemove(l2_[(n->when >> kL1Shift) & kLvlMask], n);
-            if (l2_[(n->when >> kL1Shift) & kLvlMask].head == nullptr)
-                bmClear(l2Bits_, (n->when >> kL1Shift) & kLvlMask);
+            listRemove(l2_[(w >> kL1Shift) & kLvlMask], n);
+            if (l2_[(w >> kL1Shift) & kLvlMask].head == nullptr)
+                bmClear(l2Bits_, (w >> kL1Shift) & kLvlMask);
             --l2Count_;
             break;
           case Where::Heap:
@@ -184,7 +186,7 @@ class EventQueue
     nextEventTick() const
     {
         if (l0Count_ > 0)
-            return (now_ & ~kL0Mask) | l0First();
+            return Tick{(now_.count() & ~kL0Mask) | l0First()};
         if (l1Count_ > 0)
             return listMinWhen(l1_[bmFirst(l1Bits_)]);
         if (l2Count_ > 0)
@@ -243,7 +245,7 @@ class EventQueue
             // occupancy bitmap, skipping the generic peek-then-pop.
             if (l0Count_ > 0) {
                 const unsigned idx = l0First();
-                const Tick when = (now_ & ~kL0Mask) | idx;
+                const Tick when{(now_.count() & ~kL0Mask) | idx};
                 if (when > until)
                     break;
                 Node *n = l0_[idx].head;
@@ -309,7 +311,8 @@ class EventQueue
     /** @name Geometry
      *  @{ */
     static constexpr unsigned kL0Bits = 12; ///< 4096 one-tick buckets
-    static constexpr Tick kL0Mask = (Tick{1} << kL0Bits) - 1;
+    static constexpr std::uint64_t kL0Mask =
+        (std::uint64_t{1} << kL0Bits) - 1;
     static constexpr unsigned kLvlBits = 8; ///< 256 buckets per level
     static constexpr unsigned kLvlMask = (1u << kLvlBits) - 1;
     static constexpr unsigned kL1Shift = kL0Bits + kLvlBits;  ///< 20
@@ -327,7 +330,7 @@ class EventQueue
 
     struct Node
     {
-        Tick when = 0;
+        Tick when{};
         std::uint64_t seq = 0;
         Node *prev = nullptr;
         Node *next = nullptr;
@@ -358,6 +361,7 @@ class EventQueue
     allocNode()
     {
         if (freeHead_ == nullptr) {
+            // simlint: allow(raw-new) this IS the node arena
             Node *chunk = new Node[kChunkNodes];
             chunks_.push_back(chunk);
             for (std::size_t i = kChunkNodes; i-- > 0;) {
@@ -494,21 +498,22 @@ class EventQueue
     void
     place(Node *n)
     {
-        const Tick when = n->when;
-        if ((when >> kL0Bits) == (now_ >> kL0Bits)) {
+        const std::uint64_t when = n->when.count();
+        const std::uint64_t nw = now_.count();
+        if ((when >> kL0Bits) == (nw >> kL0Bits)) {
             n->where = Where::L0;
             const auto idx = static_cast<unsigned>(when & kL0Mask);
             listAppend(l0_[idx], n);
             l0Set(idx);
             ++l0Count_;
-        } else if ((when >> kL1Shift) == (now_ >> kL1Shift)) {
+        } else if ((when >> kL1Shift) == (nw >> kL1Shift)) {
             n->where = Where::L1;
             const auto idx =
                 static_cast<unsigned>((when >> kL0Bits) & kLvlMask);
             listAppend(l1_[idx], n);
             bmSet(l1Bits_, idx);
             ++l1Count_;
-        } else if ((when >> kL2Shift) == (now_ >> kL2Shift)) {
+        } else if ((when >> kL2Shift) == (nw >> kL2Shift)) {
             n->where = Where::L2;
             const auto idx =
                 static_cast<unsigned>((when >> kL1Shift) & kLvlMask);
@@ -532,7 +537,8 @@ class EventQueue
         while (n != nullptr) {
             Node *next = n->next;
             n->where = Where::L0;
-            const auto slot = static_cast<unsigned>(n->when & kL0Mask);
+            const auto slot =
+                static_cast<unsigned>(n->when.count() & kL0Mask);
             listAppend(l0_[slot], n);
             l0Set(slot);
             --l1Count_;
@@ -551,8 +557,8 @@ class EventQueue
         while (n != nullptr) {
             Node *next = n->next;
             n->where = Where::L1;
-            const auto slot =
-                static_cast<unsigned>((n->when >> kL0Bits) & kLvlMask);
+            const auto slot = static_cast<unsigned>(
+                (n->when.count() >> kL0Bits) & kLvlMask);
             listAppend(l1_[slot], n);
             bmSet(l1Bits_, slot);
             --l2Count_;
@@ -582,7 +588,7 @@ class EventQueue
         purgeDeadHeapTops();
         if (heap_.empty())
             return;
-        const Tick round = heap_.top()->when >> kL2Shift;
+        const std::uint64_t round = heap_.top()->when.count() >> kL2Shift;
         while (!heap_.empty()) {
             Node *n = heap_.top();
             if (n->where == Where::HeapDead) {
@@ -590,13 +596,13 @@ class EventQueue
                 freeNode(n);
                 continue;
             }
-            if ((n->when >> kL2Shift) != round)
+            if ((n->when.count() >> kL2Shift) != round)
                 break;
             heap_.pop();
             --heapLive_;
             n->where = Where::L2;
-            const auto slot =
-                static_cast<unsigned>((n->when >> kL1Shift) & kLvlMask);
+            const auto slot = static_cast<unsigned>(
+                (n->when.count() >> kL1Shift) & kLvlMask);
             listAppend(l2_[slot], n);
             bmSet(l2Bits_, slot);
             ++l2Count_;
@@ -646,15 +652,16 @@ class EventQueue
         if (heapLive_ > 0) {
             purgeDeadHeapTops();
             if (!heap_.empty() &&
-                (heap_.top()->when >> kL2Shift) == (now_ >> kL2Shift))
+                (heap_.top()->when.count() >> kL2Shift) ==
+                    (now_.count() >> kL2Shift))
                 refillFromHeap();
         }
-        const auto c =
-            static_cast<unsigned>((now_ >> kL1Shift) & kLvlMask);
+        const auto c = static_cast<unsigned>(
+            (now_.count() >> kL1Shift) & kLvlMask);
         if (l2_[c].head != nullptr)
             cascadeL2(c);
-        const auto b =
-            static_cast<unsigned>((now_ >> kL0Bits) & kLvlMask);
+        const auto b = static_cast<unsigned>(
+            (now_.count() >> kL0Bits) & kLvlMask);
         if (l1_[b].head != nullptr)
             cascadeL1(b);
     }
@@ -680,7 +687,7 @@ class EventQueue
     std::vector<Node *> chunks_;
     mutable Node *freeHead_ = nullptr;
 
-    Tick now_ = 0;
+    Tick now_{};
     std::uint64_t nextSeq_ = 0;
     std::uint64_t executed_ = 0;
     std::size_t size_ = 0;

@@ -44,7 +44,7 @@ struct FaultSiteConfig
     double dropProb = 0.0;  ///< unit vanishes
     double dupProb = 0.0;   ///< unit delivered twice
     double delayProb = 0.0; ///< unit delivered late by delayTicks
-    Tick delayTicks = 0;    ///< extra latency applied on a delay fault
+    Tick delayTicks{};    ///< extra latency applied on a delay fault
 };
 
 /** What the injector decided for one unit of work at a site. */
@@ -52,14 +52,14 @@ struct FaultDecision
 {
     bool drop = false;
     bool duplicate = false;
-    Tick extraDelay = 0;
+    Tick extraDelay{};
 };
 
 /** A scheduled whole-node outage window [start, end). */
 struct OutageWindow
 {
     std::uint32_t node = 0;
-    Tick start = 0;
+    Tick start{};
     Tick end = kTickMax; ///< kTickMax = permanent crash
 };
 
@@ -91,13 +91,21 @@ class FaultSite
     std::uint64_t delays() const { return delays_.value(); }
     /** @} */
 
-  private:
-    friend class FaultInjector;
+    /** Passkey: only FaultInjector can mint one, so sites are
+     *  injector-owned while std::make_unique does the allocation. */
+    class Key
+    {
+        friend class FaultInjector;
+        Key() = default;
+    };
 
-    FaultSite(FaultInjector &parent, std::string name, std::uint64_t seed,
-              const FaultSiteConfig &cfg)
+    FaultSite(Key, FaultInjector &parent, std::string name,
+              std::uint64_t seed, const FaultSiteConfig &cfg)
         : parent_(parent), name_(std::move(name)), rng_(seed), cfg_(cfg)
     {}
+
+  private:
+    friend class FaultInjector;
 
     FaultInjector &parent_;
     std::string name_;
@@ -137,9 +145,9 @@ class FaultInjector
         auto it = sites_.find(name);
         if (it == sites_.end()) {
             it = sites_
-                     .emplace(name, std::unique_ptr<FaultSite>(new FaultSite(
-                                        *this, name, siteSeed(name),
-                                        defaultCfg_)))
+                     .emplace(name, std::make_unique<FaultSite>(
+                                        FaultSite::Key{}, *this, name,
+                                        siteSeed(name), defaultCfg_))
                      .first;
         }
         return *it->second;

@@ -10,11 +10,12 @@
 #ifndef IOAT_SIMCORE_SIM_HH
 #define IOAT_SIMCORE_SIM_HH
 
+#include <algorithm>
 #include <coroutine>
 #include <cstdint>
 #include <exception>
 #include <string>
-#include <unordered_set>
+#include <vector>
 
 #include "simcore/assert.hh"
 #include "simcore/coro.hh"
@@ -47,6 +48,7 @@ class Simulation
         eq_.clear();
         // Destroying a root frame cascades into every child Coro it
         // owns, so this releases the entire suspended task tree.
+        // Spawn order, so teardown is independent of pointer values.
         auto roots = std::move(roots_);
         roots_.clear();
         for (void *addr : roots) {
@@ -71,7 +73,7 @@ class Simulation
         RootTask task = runRoot(std::move(body));
         auto h = task.handle;
         h.promise().sim = this;
-        roots_.insert(h.address());
+        roots_.push_back(h.address());
         eq_.post([h] { h.resume(); });
     }
 
@@ -101,7 +103,7 @@ class Simulation
     auto
     waitUntil(Tick when)
     {
-        return delay(when > now() ? when - now() : 0);
+        return delay(when > now() ? when - now() : Tick{0});
     }
 
     /** @name Event-loop drivers (see EventQueue)
@@ -144,7 +146,9 @@ class Simulation
             void
             await_suspend(std::coroutine_handle<RootPromise> h) const noexcept
             {
-                h.promise().sim->roots_.erase(h.address());
+                auto &roots = h.promise().sim->roots_;
+                roots.erase(std::find(roots.begin(), roots.end(),
+                                      h.address()));
                 h.destroy();
             }
 
@@ -175,7 +179,7 @@ class Simulation
     }
 
     EventQueue eq_;
-    std::unordered_set<void *> roots_;
+    std::vector<void *> roots_;
 };
 
 } // namespace ioat::sim

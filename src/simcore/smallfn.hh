@@ -90,6 +90,7 @@ class SmallFn
             ops_ = &inlineOps<Fn>;
         } else {
             *reinterpret_cast<void **>(&buf_) =
+                // simlint: allow(raw-new) oversized-callable fallback
                 new Fn(std::forward<F>(fn));
             ops_ = &boxedOps<Fn>;
         }
@@ -120,6 +121,7 @@ class SmallFn
     template <typename Fn>
     static constexpr Ops boxedOps = {
         [](void *p) { (**reinterpret_cast<Fn **>(p))(); },
+        // simlint: allow(raw-new) oversized-callable fallback
         [](void *p) { delete *reinterpret_cast<Fn **>(p); },
         [](void *dst, void *src) {
             *reinterpret_cast<Fn **>(dst) =

@@ -98,7 +98,7 @@ class TimeWeighted
     update(Tick now, double new_value)
     {
         simAssert(now >= lastChange_, "TimeWeighted time went backwards");
-        area_ += value_ * static_cast<double>(now - lastChange_);
+        area_ += value_ * static_cast<double>((now - lastChange_).count());
         lastChange_ = now;
         value_ = new_value;
     }
@@ -112,8 +112,8 @@ class TimeWeighted
         if (now <= windowStart_)
             return value_;
         const double total =
-            area_ + value_ * static_cast<double>(now - lastChange_);
-        return total / static_cast<double>(now - windowStart_);
+            area_ + value_ * static_cast<double>((now - lastChange_).count());
+        return total / static_cast<double>((now - windowStart_).count());
     }
 
     /** Restart the averaging window at @p now, keeping the level. */
@@ -128,8 +128,8 @@ class TimeWeighted
   private:
     double value_;
     double area_ = 0.0;
-    Tick windowStart_ = 0;
-    Tick lastChange_ = 0;
+    Tick windowStart_{};
+    Tick lastChange_{};
 };
 
 /** Power-of-two bucketed histogram (bucket i covers [2^i, 2^(i+1))). */

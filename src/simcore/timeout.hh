@@ -138,7 +138,7 @@ inline Coro<void>
 everyUntil(Simulation &sim, Tick period, Tick until,
            std::function<void()> body)
 {
-    simAssert(period > 0, "everyUntil needs a positive period");
+    simAssert(period > Tick{0}, "everyUntil needs a positive period");
     while (sim.now() + period <= until) {
         co_await sim.delay(period);
         body();

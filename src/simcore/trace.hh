@@ -57,7 +57,7 @@ class TraceWriter
     instant(std::string name, const char *category, Tick when, int lane)
     {
         events_.push_back(
-            Event{std::move(name), category, when, 0, lane, true});
+            Event{std::move(name), category, when, Tick{0}, lane, true});
     }
 
     std::size_t eventCount() const { return events_.size(); }

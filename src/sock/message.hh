@@ -122,7 +122,7 @@ inline Coro<std::optional<Message>>
 recvMessageTimed(Connection &conn, sim::Tick timeout,
                  MsgStatus *status = nullptr)
 {
-    if (timeout == 0) {
+    if (timeout == sim::Tick{0}) {
         auto msg = co_await recvMessage(conn);
         if (status)
             *status = msg             ? MsgStatus::Ok

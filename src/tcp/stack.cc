@@ -16,7 +16,7 @@ namespace ioat::tcp {
 // Connection
 // --------------------------------------------------------------------
 
-Connection::Connection(TcpStack &stack, std::uint64_t local_token)
+Connection::Connection(Key, TcpStack &stack, std::uint64_t local_token)
     : stack_(stack), localToken_(local_token),
       establishedEvt_(stack.host_.sim),
       creditAvail_(stack.host_.sim),
@@ -71,7 +71,8 @@ Connection::send(std::size_t bytes, SendOptions opts, const MsgMeta *meta)
             co_return;
         credit_ -= seg;
 
-        const std::uint32_t frames = stack_.nic_.framesFor(seg);
+        const std::uint32_t frames =
+            stack_.nic_.framesFor(sim::Bytes{seg});
         Tick cost = cfg.txPerSegment;
         if (opts.zeroCopy) {
             // sendfile(): the NIC reads page-cache pages directly.
@@ -79,21 +80,23 @@ Connection::send(std::size_t bytes, SendOptions opts, const MsgMeta *meta)
         } else {
             // Copy user buffer into kernel socket buffer.
             const double res = host.cache.transientResidency(2 * seg);
-            cost += host.copy.copyTime(seg, res, host.bus.slowdown());
-            host.bus.consume(2 * seg);
-            stack_.noteStreamBytes(2 * seg);
+            cost += host.copy.copyTime(sim::Bytes{seg}, res,
+                                       host.bus.slowdown());
+            host.bus.consume(sim::Bytes{2 * seg});
+            stack_.noteStreamBytes(sim::Bytes{2 * seg});
         }
         if (!stack_.nic_.config().tso)
             cost += cfg.txPerFrame * frames;
         co_await host.cpu.compute(cost);
 
         // NIC TX DMA reads the segment from memory.
-        host.bus.consume(seg);
+        host.bus.consume(sim::Bytes{seg});
 
         Burst b;
         b.dst = remoteNode_;
         b.flow = flow_;
-        b.wireBytes = stack_.nic_.wireBytesFor(seg);
+        b.wireBytes = static_cast<std::uint32_t>(
+            stack_.nic_.wireBytesFor(sim::Bytes{seg}).count());
         b.frames = frames;
         b.payloadBytes = static_cast<std::uint32_t>(seg);
         b.kind = static_cast<std::uint32_t>(BurstKind::Data);
@@ -147,7 +150,7 @@ Connection::recv(std::size_t max_bytes)
     const std::size_t n = std::min(max_bytes, rxBuffered_);
     rxBuffered_ -= n;
 
-    co_await stack_.receiveCopy(n);
+    co_await stack_.receiveCopy(sim::Bytes{n});
 
     bytesReceived_ += n;
     stack_.rxPayload_.inc(n);
@@ -247,9 +250,9 @@ TcpStack::~TcpStack()
 }
 
 void
-TcpStack::noteStreamBytes(std::size_t bytes)
+TcpStack::noteStreamBytes(sim::Bytes bytes)
 {
-    streamWindow_.add(bytes);
+    streamWindow_.add(bytes.count());
     *netStreamSize_ = static_cast<std::size_t>(
         std::min<std::uint64_t>(streamWindow_.estimate(),
                                 4 * host_.cache.capacity()));
@@ -260,7 +263,7 @@ TcpStack::newConnection()
 {
     const auto token = static_cast<std::uint64_t>(conns_.size());
     conns_.push_back(
-        std::unique_ptr<Connection>(new Connection(*this, token)));
+        std::make_unique<Connection>(Connection::Key{}, *this, token));
     if (cfg_.reliable)
         host_.sim.spawn(rtoLoop(token));
     return conns_.back().get();
@@ -339,12 +342,13 @@ TcpStack::retransmitTask(std::uint64_t token, TxSegment seg)
     co_await host_.cpu.compute(cfg_.retransmitCost + cfg_.txPerSegment);
     if (c->aborted_)
         co_return;
-    host_.bus.consume(seg.payload);
+    host_.bus.consume(sim::Bytes{seg.payload});
     Burst b;
     b.dst = c->remoteNode_;
     b.flow = c->flow_;
-    b.wireBytes = nic_.wireBytesFor(seg.payload);
-    b.frames = nic_.framesFor(seg.payload);
+    b.wireBytes = static_cast<std::uint32_t>(
+        nic_.wireBytesFor(sim::Bytes{seg.payload}).count());
+    b.frames = nic_.framesFor(sim::Bytes{seg.payload});
     b.payloadBytes = seg.payload;
     b.kind = static_cast<std::uint32_t>(BurstKind::Data);
     b.connToken = c->remoteToken_;
@@ -367,7 +371,7 @@ TcpStack::connect(NodeId remote, std::uint16_t port, Tick timeout)
     co_await host_.cpu.compute(cfg_.connSetupCost);
     // The SYN advertises our receive buffer; the peer's send credit
     // is bounded by it (and vice versa via the SYN-ACK).
-    if (!cfg_.reliable && timeout == 0) {
+    if (!cfg_.reliable && timeout == Tick{0}) {
         sendControl(remote, c->flow_, BurstKind::Syn, c->localToken_,
                     port, cfg_.sockBuf);
         co_await c->establishedEvt_.wait();
@@ -401,8 +405,8 @@ TcpStack::listen(std::uint16_t port)
     auto it = listeners_.find(port);
     if (it == listeners_.end()) {
         it = listeners_
-                 .emplace(port, std::unique_ptr<Listener>(
-                                    new Listener(host_.sim)))
+                 .emplace(port, std::make_unique<Listener>(
+                                    Listener::Key{}, host_.sim))
                  .first;
     }
     return *it->second;
@@ -416,7 +420,8 @@ TcpStack::sendControl(NodeId dst, std::uint64_t flow, BurstKind kind,
     Burst b;
     b.dst = dst;
     b.flow = flow;
-    b.wireBytes = nic_.wireBytesFor(0);
+    b.wireBytes = static_cast<std::uint32_t>(
+        nic_.wireBytesFor(sim::Bytes{0}).count());
     b.frames = 1;
     b.payloadBytes = 0;
     b.kind = static_cast<std::uint32_t>(kind);
@@ -471,7 +476,7 @@ TcpStack::processBatch(unsigned queue, std::vector<Burst> bursts)
     std::size_t wire_total = 0;
     for (const auto &b : bursts)
         wire_total += b.wireBytes;
-    host_.bus.consume(wire_total);
+    host_.bus.consume(sim::Bytes{wire_total});
     const double bus_factor = host_.bus.slowdown();
 
     // ---- pass 1: accumulate the CPU cost of this softirq batch ----
@@ -489,17 +494,18 @@ TcpStack::processBatch(unsigned queue, std::vector<Burst> bursts)
             const double miss = 1.0 - hdr_res;
             const double factor =
                 1.0 + cfg_.rxHdrMissFactor * miss * miss;
-            cost += static_cast<Tick>(
-                static_cast<double>(cfg_.rxProtoPerFrame) * b.frames *
-                factor);
+            cost += sim::ticksFromDouble(
+                static_cast<double>(cfg_.rxProtoPerFrame.count()) *
+                b.frames * factor);
             if (!cfg_.splitHeader && cfg_.rxPayloadTouchFraction > 0.0) {
                 // Headers and payload share buffers: protocol work
                 // drags payload lines through the cache.
                 const auto touch = static_cast<std::size_t>(
                     b.payloadBytes * cfg_.rxPayloadTouchFraction);
-                cost += host_.copy.touchTime(touch, hdr_res, bus_factor);
-                host_.bus.consume(touch);
-                noteStreamBytes(touch);
+                cost += host_.copy.touchTime(sim::Bytes{touch},
+                                             hdr_res, bus_factor);
+                host_.bus.consume(sim::Bytes{touch});
+                noteStreamBytes(sim::Bytes{touch});
             }
             if (connFor(b.connToken)->rxWaiting_)
                 cost += cfg_.rxWakeup;
@@ -673,23 +679,24 @@ TcpStack::processBatch(unsigned queue, std::vector<Burst> bursts)
 }
 
 Coro<void>
-TcpStack::receiveCopy(std::size_t bytes)
+TcpStack::receiveCopy(sim::Bytes bytes)
 {
-    if (cfg_.dmaCopyOffload && host_.dma && bytes >= cfg_.dmaCopyBreak) {
+    const std::size_t n = bytes.count();
+    if (cfg_.dmaCopyOffload && host_.dma && n >= cfg_.dmaCopyBreak) {
         // I/OAT path: pin user pages, build descriptors, let the
         // engine move the bytes while the CPU is free.
-        const Tick cpu_cost = host_.pages.pinCost(bytes) +
-                              host_.dma->submissionCost(bytes);
+        const Tick cpu_cost = host_.pages.pinCost(n) +
+                              host_.dma->submissionCost(n);
         co_await host_.cpu.compute(cpu_cost);
         host_.bus.consume(2 * bytes);
-        co_await host_.dma->transfer(bytes);
-        co_await host_.cpu.compute(host_.pages.unpinCost(bytes));
+        co_await host_.dma->transfer(n);
+        co_await host_.cpu.compute(host_.pages.unpinCost(n));
         dmaCopies_.inc();
     } else {
         // Classic CPU copy.  The source (freshly DMA-written kernel
         // buffer) is cold; destination residency depends on load.
         const double res =
-            0.4 * host_.cache.transientResidency(bytes);
+            0.4 * host_.cache.transientResidency(n);
         const Tick t =
             host_.copy.copyTime(bytes, res, host_.bus.slowdown());
         co_await host_.cpu.compute(t);

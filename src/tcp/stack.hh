@@ -156,10 +156,18 @@ class Connection
     /** The simulation this connection's stack runs in. */
     sim::Simulation &simulation();
 
+    /** Passkey: only TcpStack can mint one, so construction stays
+     *  stack-owned while std::make_unique does the allocation. */
+    class Key
+    {
+        friend class TcpStack;
+        Key() = default;
+    };
+
+    Connection(Key, TcpStack &stack, std::uint64_t local_token);
+
   private:
     friend class TcpStack;
-
-    Connection(TcpStack &stack, std::uint64_t local_token);
 
     TcpStack &stack_;
     std::uint64_t localToken_;
@@ -207,10 +215,17 @@ class Listener
     /** Awaitable: next established connection on this port. */
     Coro<Connection *> accept();
 
+    /** Passkey: see Connection::Key. */
+    class Key
+    {
+        friend class TcpStack;
+        Key() = default;
+    };
+
+    Listener(Key, sim::Simulation &sim) : pending_(sim) {}
+
   private:
     friend class TcpStack;
-
-    explicit Listener(sim::Simulation &sim) : pending_(sim) {}
 
     sim::Channel<Connection *> pending_;
 };
@@ -237,7 +252,7 @@ class TcpStack
      * forever, the seed behaviour).
      */
     Coro<Connection *> connect(NodeId remote, std::uint16_t port,
-                               Tick timeout = 0);
+                               Tick timeout = Tick{0});
 
     /** Passive open; one listener per port. */
     Listener &listen(std::uint16_t port);
@@ -296,10 +311,10 @@ class TcpStack
                      std::uint64_t handshake_sockbuf = 0);
 
     /** Kernel→user copy inside recv() (CPU or DMA-engine path). */
-    Coro<void> receiveCopy(std::size_t bytes);
+    Coro<void> receiveCopy(sim::Bytes bytes);
 
     /** Record CPU-streamed payload bytes (cache-pollution tracking). */
-    void noteStreamBytes(std::size_t bytes);
+    void noteStreamBytes(sim::Bytes bytes);
 
     /** @name Loss-tolerance machinery (reliable mode only)
      *  @{ */

@@ -1,0 +1,11 @@
+// MUST NOT COMPILE: adding bytes to nanoseconds is a unit error.
+#include "simcore/types.hh"
+
+int
+main()
+{
+    ioat::sim::Bytes b{1500};
+    ioat::sim::Tick t{1000};
+    auto x = t + b;
+    return static_cast<int>(x.count());
+}

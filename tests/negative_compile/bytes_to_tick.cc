@@ -1,0 +1,11 @@
+// MUST NOT COMPILE: bytes are not nanoseconds; converting needs a
+// rate (BytesPerSec::transferTime).
+#include "simcore/types.hh"
+
+int
+main()
+{
+    ioat::sim::Bytes b{1500};
+    ioat::sim::Tick t = b;
+    return static_cast<int>(t.count());
+}

@@ -1,0 +1,15 @@
+// MUST COMPILE: positive control for the negative-compile harness.
+// If this fails, the harness (include path, standard flag) is broken
+// and the WILL_FAIL results of its siblings are meaningless.
+#include "simcore/types.hh"
+
+int
+main()
+{
+    using namespace ioat::sim;
+    Tick t = microseconds(5) + Tick{300} * 2;
+    t += nanoseconds(1);
+    Bytes b = kibibytes(64) + Bytes{12};
+    const Tick xfer = BytesPerSec::gbps(1.0).transferTime(b);
+    return static_cast<int>((t + xfer).count() % 2 + b.count() % 2);
+}

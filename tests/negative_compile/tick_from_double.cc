@@ -1,0 +1,10 @@
+// MUST NOT COMPILE: float->Tick truncation must go through the one
+// audited door, sim::ticksFromDouble().
+#include "simcore/types.hh"
+
+int
+main()
+{
+    ioat::sim::Tick t{1.5};
+    return static_cast<int>(t.count());
+}

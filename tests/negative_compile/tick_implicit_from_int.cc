@@ -1,0 +1,10 @@
+// MUST NOT COMPILE: Tick construction is explicit; a bare integer is
+// not a duration.
+#include "simcore/types.hh"
+
+int
+main()
+{
+    ioat::sim::Tick t = 1000;
+    return static_cast<int>(t.count());
+}

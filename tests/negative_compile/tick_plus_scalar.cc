@@ -1,0 +1,11 @@
+// MUST NOT COMPILE: tick + raw scalar is a unit error; only
+// tick + tick and tick * scalar are meaningful.
+#include "simcore/types.hh"
+
+int
+main()
+{
+    ioat::sim::Tick t{1000};
+    t = t + 5;
+    return static_cast<int>(t.count());
+}

@@ -1,0 +1,11 @@
+// MUST NOT COMPILE: scaling a Tick by a float silently truncates;
+// use sim::ticksFromDouble on an explicit double expression instead.
+#include "simcore/types.hh"
+
+int
+main()
+{
+    ioat::sim::Tick t{1000};
+    auto scaled = t * 1.5;
+    return static_cast<int>(scaled.count());
+}

@@ -1,0 +1,12 @@
+// MUST NOT COMPILE: tick * tick would be ns^2 — dimensionally
+// meaningless in the simulator.
+#include "simcore/types.hh"
+
+int
+main()
+{
+    ioat::sim::Tick a{10};
+    ioat::sim::Tick b{20};
+    auto c = a * b;
+    return static_cast<int>(c.count());
+}

@@ -85,7 +85,7 @@ TEST(AppMemory, TouchChargesCpu)
     }(mem, done));
     rig.sim.run();
     EXPECT_TRUE(done);
-    EXPECT_GT(rig.node.cpu().totalBusyTicks(), 0u);
+    EXPECT_GT(rig.node.cpu().totalBusyTicks(), ioat::sim::Tick{0});
 }
 
 TEST(AppMemory, PollutedTouchIsSlower)

@@ -22,13 +22,13 @@ TEST(Cpu, SingleItemOccupiesOneCore)
     bool done = false;
     sim.spawn([](Simulation &s, cpu::CpuSet &c, bool &f) -> Coro<void> {
         (void)s;
-        co_await c.compute(1000);
+        co_await c.compute(ioat::sim::Tick{1000});
         f = true;
     }(sim, cpu, done));
     sim.run();
     EXPECT_TRUE(done);
-    EXPECT_EQ(sim.now(), 1000u);
-    EXPECT_EQ(cpu.totalBusyTicks(), 1000u);
+    EXPECT_EQ(sim.now(), ioat::sim::Tick{1000});
+    EXPECT_EQ(cpu.totalBusyTicks(), ioat::sim::Tick{1000});
 }
 
 TEST(Cpu, ParallelWorkUsesAllCores)
@@ -38,14 +38,14 @@ TEST(Cpu, ParallelWorkUsesAllCores)
     int done = 0;
     for (int i = 0; i < 4; ++i) {
         sim.spawn([](cpu::CpuSet &c, int &n) -> Coro<void> {
-            co_await c.compute(1000);
+            co_await c.compute(ioat::sim::Tick{1000});
             ++n;
         }(cpu, done));
     }
     sim.run();
     EXPECT_EQ(done, 4);
     // 4 items on 4 cores run fully in parallel.
-    EXPECT_EQ(sim.now(), 1000u);
+    EXPECT_EQ(sim.now(), ioat::sim::Tick{1000});
 }
 
 TEST(Cpu, ExcessWorkQueuesFifo)
@@ -56,13 +56,13 @@ TEST(Cpu, ExcessWorkQueuesFifo)
     for (int i = 0; i < 6; ++i) {
         sim.spawn([](cpu::CpuSet &c, std::vector<int> &ord,
                      int id) -> Coro<void> {
-            co_await c.compute(100);
+            co_await c.compute(ioat::sim::Tick{100});
             ord.push_back(id);
         }(cpu, order, i));
     }
     sim.run();
     // 6 items, 2 cores, 100 each -> 300 ticks; completion in pairs.
-    EXPECT_EQ(sim.now(), 300u);
+    EXPECT_EQ(sim.now(), ioat::sim::Tick{300});
     EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5}));
 }
 
@@ -71,10 +71,10 @@ TEST(Cpu, UtilizationFullWhenSaturated)
     Simulation sim;
     cpu::CpuSet cpu(sim, {.cores = 2});
     for (int i = 0; i < 8; ++i)
-        cpu.submit(1000, cpu::CpuSet::kAnyCore, false, nullptr);
+        cpu.submit(ioat::sim::Tick{1000}, cpu::CpuSet::kAnyCore, false, nullptr);
     sim.run();
     // 8 items of 1000 on 2 cores -> busy the whole 4000 ticks.
-    EXPECT_EQ(sim.now(), 4000u);
+    EXPECT_EQ(sim.now(), ioat::sim::Tick{4000});
     EXPECT_NEAR(cpu.utilization(), 1.0, 1e-9);
 }
 
@@ -82,7 +82,7 @@ TEST(Cpu, UtilizationHalfWhenOneOfTwoCoresBusy)
 {
     Simulation sim;
     cpu::CpuSet cpu(sim, {.cores = 2});
-    cpu.submit(1000, cpu::CpuSet::kAnyCore, false, nullptr);
+    cpu.submit(ioat::sim::Tick{1000}, cpu::CpuSet::kAnyCore, false, nullptr);
     sim.run();
     EXPECT_NEAR(cpu.utilization(), 0.5, 1e-9);
 }
@@ -91,11 +91,11 @@ TEST(Cpu, UtilizationWindowReset)
 {
     Simulation sim;
     cpu::CpuSet cpu(sim, {.cores = 1});
-    cpu.submit(1000, cpu::CpuSet::kAnyCore, false, nullptr);
+    cpu.submit(ioat::sim::Tick{1000}, cpu::CpuSet::kAnyCore, false, nullptr);
     sim.run();
     EXPECT_NEAR(cpu.utilization(), 1.0, 1e-9);
     cpu.resetUtilizationWindow();
-    sim.runFor(1000); // idle
+    sim.runFor(ioat::sim::Tick{1000}); // idle
     EXPECT_NEAR(cpu.utilization(), 0.0, 1e-9);
 }
 
@@ -105,12 +105,12 @@ TEST(Cpu, PinnedWorkSerializesOnOneCore)
     cpu::CpuSet cpu(sim, {.cores = 4});
     int done = 0;
     for (int i = 0; i < 4; ++i) {
-        cpu.submit(1000, /*core=*/0, false, [&done] { ++done; });
+        cpu.submit(ioat::sim::Tick{1000}, /*core=*/0, false, [&done] { ++done; });
     }
     sim.run();
     EXPECT_EQ(done, 4);
     // All pinned to core 0: strictly serial despite 4 cores.
-    EXPECT_EQ(sim.now(), 4000u);
+    EXPECT_EQ(sim.now(), ioat::sim::Tick{4000});
 }
 
 TEST(Cpu, HighPriorityJumpsTheQueue)
@@ -119,10 +119,10 @@ TEST(Cpu, HighPriorityJumpsTheQueue)
     cpu::CpuSet cpu(sim, {.cores = 1});
     std::vector<int> order;
     // Occupy the core, then queue: low(1), low(2), high(3).
-    cpu.submit(100, 0, false, [&] { order.push_back(0); });
-    cpu.submit(100, 0, false, [&] { order.push_back(1); });
-    cpu.submit(100, 0, false, [&] { order.push_back(2); });
-    cpu.submit(100, 0, true, [&] { order.push_back(3); });
+    cpu.submit(ioat::sim::Tick{100}, 0, false, [&] { order.push_back(0); });
+    cpu.submit(ioat::sim::Tick{100}, 0, false, [&] { order.push_back(1); });
+    cpu.submit(ioat::sim::Tick{100}, 0, false, [&] { order.push_back(2); });
+    cpu.submit(ioat::sim::Tick{100}, 0, true, [&] { order.push_back(3); });
     sim.run();
     EXPECT_EQ(order, (std::vector<int>{0, 3, 1, 2}));
 }
@@ -133,21 +133,21 @@ TEST(Cpu, ZeroDurationComputeIsFree)
     cpu::CpuSet cpu(sim, {.cores = 1});
     bool done = false;
     sim.spawn([](cpu::CpuSet &c, bool &f) -> Coro<void> {
-        co_await c.compute(0);
+        co_await c.compute(ioat::sim::Tick{0});
         f = true;
     }(cpu, done));
     sim.run();
     EXPECT_TRUE(done);
-    EXPECT_EQ(cpu.totalBusyTicks(), 0u);
+    EXPECT_EQ(cpu.totalBusyTicks(), ioat::sim::Tick{0});
 }
 
 TEST(Cpu, QueuedWorkCountsPending)
 {
     Simulation sim;
     cpu::CpuSet cpu(sim, {.cores = 1});
-    cpu.submit(100, cpu::CpuSet::kAnyCore, false, nullptr);
-    cpu.submit(100, cpu::CpuSet::kAnyCore, false, nullptr);
-    cpu.submit(100, 0, false, nullptr);
+    cpu.submit(ioat::sim::Tick{100}, cpu::CpuSet::kAnyCore, false, nullptr);
+    cpu.submit(ioat::sim::Tick{100}, cpu::CpuSet::kAnyCore, false, nullptr);
+    cpu.submit(ioat::sim::Tick{100}, 0, false, nullptr);
     EXPECT_EQ(cpu.busyCores(), 1u);
     EXPECT_EQ(cpu.queuedWork(), 2u);
     sim.run();
@@ -166,7 +166,7 @@ TEST_P(CpuWorkConservation, MakespanAtLeastTotalOverCores)
     const auto [cores, tasks] = GetParam();
     Simulation sim;
     cpu::CpuSet cpu(sim, {.cores = cores});
-    const Tick per = 997;
+    const Tick per{997};
     for (unsigned i = 0; i < tasks; ++i)
         cpu.submit(per, cpu::CpuSet::kAnyCore, false, nullptr);
     sim.run();

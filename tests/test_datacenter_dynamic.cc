@@ -118,7 +118,7 @@ TEST(DynamicContent, ScriptCostDominatesLatency)
     // The app tier is compute-bound: per-request latency must exceed
     // script + queries * (db cost + round trip).
     DynRig rig;
-    sim::Tick latency = 0;
+    sim::Tick latency{};
     rig.sim.spawn([](DynRig &r, sim::Tick &out) -> Coro<void> {
         tcp::Connection *c = co_await r.tb.client(0).stack().connect(
             r.tb.server(0).id(), r.dyn.appPort);

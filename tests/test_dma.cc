@@ -93,9 +93,12 @@ TEST(Dma, BeatsColdCopyAbove8K)
     Simulation sim;
     dma::DmaEngine eng(sim, {});
     mem::CopyModel cm;
-    EXPECT_GE(eng.syncCopyTime(kib(4)), cm.coldCopyTime(kib(4)));
-    EXPECT_LT(eng.syncCopyTime(kib(16)), cm.coldCopyTime(kib(16)));
-    EXPECT_LT(eng.syncCopyTime(kib(64)), cm.coldCopyTime(kib(64)));
+    EXPECT_GE(eng.syncCopyTime(kib(4)),
+              cm.coldCopyTime(sim::kibibytes(4)));
+    EXPECT_LT(eng.syncCopyTime(kib(16)),
+              cm.coldCopyTime(sim::kibibytes(16)));
+    EXPECT_LT(eng.syncCopyTime(kib(64)),
+              cm.coldCopyTime(sim::kibibytes(64)));
 }
 
 TEST(Dma, LosesToHotCopyButSubmissionIsCheaper)
@@ -107,8 +110,8 @@ TEST(Dma, LosesToHotCopyButSubmissionIsCheaper)
     dma::DmaEngine eng(sim, {});
     mem::CopyModel cm;
     for (std::size_t sz : {kib(16), kib(64)}) {
-        EXPECT_GT(eng.syncCopyTime(sz), cm.hotCopyTime(sz)) << sz;
-        EXPECT_LT(eng.submissionCost(sz), cm.hotCopyTime(sz)) << sz;
+        EXPECT_GT(eng.syncCopyTime(sz), cm.hotCopyTime(sim::Bytes{sz})) << sz;
+        EXPECT_LT(eng.submissionCost(sz), cm.hotCopyTime(sim::Bytes{sz})) << sz;
     }
 }
 

@@ -83,16 +83,18 @@ randomDelay(std::mt19937_64 &rng)
 {
     switch (rng() % 5) {
       case 0:
-        return 0; // same-tick post
+        return Tick{0}; // same-tick post
       case 1:
-        return rng() % 4096; // L0 window
+        return Tick{rng() % 4096}; // L0 window
       case 2:
-        return 4096 + rng() % ((Tick{1} << 20) - 4096); // L1
+        return Tick{4096 + rng() % ((std::uint64_t{1} << 20) - 4096)}; // L1
       case 3:
-        return (Tick{1} << 20) + rng() % ((Tick{1} << 28) -
-                                          (Tick{1} << 20)); // L2
+        return Tick{(std::uint64_t{1} << 20) +
+                    rng() % ((std::uint64_t{1} << 28) -
+                             (std::uint64_t{1} << 20))}; // L2
       default:
-        return (Tick{1} << 28) + rng() % (Tick{1} << 34); // heap
+        return Tick{(std::uint64_t{1} << 28) +
+                    rng() % (std::uint64_t{1} << 34)}; // heap
     }
 }
 
@@ -168,10 +170,10 @@ TEST(EventQueueProperty, SameTickFifoAcrossAllLevels)
     const Tick base = q.now();
     const std::vector<Tick> ticks = {
         base,                      // immediate
-        base + 100,                // L0
-        base + 5000,               // L1
-        base + (Tick{1} << 21),    // L2
-        base + (Tick{1} << 29),    // overflow heap
+        base + Tick{100},          // L0
+        base + Tick{5000},         // L1
+        base + Tick{std::uint64_t{1} << 21}, // L2
+        base + Tick{std::uint64_t{1} << 29}, // overflow heap
     };
     std::vector<std::pair<Tick, int>> expected;
     std::vector<std::pair<Tick, int>> got;
@@ -204,7 +206,7 @@ TEST(EventQueueProperty, ReentrantSchedulingKeepsOrder)
     std::function<void(int, int)> fire = [&](int id, int depth) {
         fired.push_back(id);
         if (depth < 3) {
-            const Tick when = q.now() + rng() % 3000;
+            const Tick when = q.now() + Tick{rng() % 3000};
             const int child = nextId++;
             q.schedule(when,
                        [&fire, child, depth] { fire(child, depth + 1); });
@@ -212,7 +214,7 @@ TEST(EventQueueProperty, ReentrantSchedulingKeepsOrder)
         }
     };
     for (int i = 0; i < 50; ++i) {
-        const Tick when = q.now() + rng() % 2000;
+        const Tick when = q.now() + Tick{rng() % 2000};
         const int id = nextId++;
         q.schedule(when, [&fire, id] { fire(id, 0); });
         model.schedule(when, id);
@@ -229,13 +231,13 @@ TEST(EventQueueProperty, CancelledHandleIsInertAfterFire)
 {
     EventQueue q;
     int calls = 0;
-    auto h = q.scheduleIn(10, [&calls] { ++calls; });
+    auto h = q.scheduleIn(ioat::sim::Tick{10}, [&calls] { ++calls; });
     q.run();
     ASSERT_EQ(1, calls);
     // The event fired; cancelling its stale handle must be a no-op
     // even though the node slot may have been recycled since.
     EXPECT_FALSE(q.cancel(h));
-    auto h2 = q.scheduleIn(5, [&calls] { ++calls; });
+    auto h2 = q.scheduleIn(ioat::sim::Tick{5}, [&calls] { ++calls; });
     EXPECT_FALSE(q.cancel(h));  // doubly stale
     EXPECT_TRUE(q.cancel(h2));  // fresh handle still works
     EXPECT_FALSE(q.cancel(h2)); // but only once
@@ -253,9 +255,10 @@ TEST(EventQueueProperty, OverflowSpillPreservesOrderAcrossRounds)
     std::vector<int> fired;
     std::mt19937_64 rng(1717);
     for (int i = 0; i < 300; ++i) {
-        const Tick round = 1 + rng() % 5;
-        const Tick when =
-            q.now() + round * (Tick{1} << 28) + rng() % 1000;
+        const std::uint64_t round = 1 + rng() % 5;
+        const Tick when = q.now() +
+                          round * Tick{std::uint64_t{1} << 28} +
+                          Tick{rng() % 1000};
         q.schedule(when, [&fired, i] { fired.push_back(i); });
         model.schedule(when, i);
     }
@@ -273,13 +276,14 @@ TEST(EventQueueProperty, RunUntilAcrossEmptyWindowsThenSchedule)
     EventQueue q;
     std::vector<int> fired;
     // Parked while far away: lives in L1/L2 at schedule time.
-    q.schedule(q.now() + 6000, [&fired] { fired.push_back(1); });
-    q.schedule(q.now() + (Tick{1} << 22), [&fired] { fired.push_back(2); });
+    q.schedule(q.now() + Tick{6000}, [&fired] { fired.push_back(1); });
+    q.schedule(q.now() + Tick{std::uint64_t{1} << 22},
+               [&fired] { fired.push_back(2); });
     // Jump to just before the first event, crossing the L0 window.
-    q.runUntil(q.now() + 5990);
+    q.runUntil(q.now() + Tick{5990});
     ASSERT_TRUE(fired.empty());
     // Now schedule something *earlier* than the parked event.
-    q.schedule(q.now() + 5, [&fired] { fired.push_back(0); });
+    q.schedule(q.now() + Tick{5}, [&fired] { fired.push_back(0); });
     q.run();
     ASSERT_EQ((std::vector<int>{0, 1, 2}), fired);
     ASSERT_TRUE(q.empty());

@@ -53,7 +53,7 @@ decisionTrace(std::uint64_t seed, const std::string &site,
     std::vector<int> out;
     for (int i = 0; i < n; ++i) {
         const sim::FaultDecision d = s.decide();
-        out.push_back(d.drop ? 1 : d.duplicate ? 2 : d.extraDelay ? 3 : 0);
+        out.push_back(d.drop ? 1 : d.duplicate ? 2 : d.extraDelay > sim::Tick{0} ? 3 : 0);
     }
     return out;
 }
@@ -73,8 +73,8 @@ TEST(FaultSite, DeterministicReplay)
 TEST(FaultSite, CertainOutcomesAndCounters)
 {
     FaultInjector inj(3);
-    auto &drops = inj.site("d", {1.0, 0.0, 0.0, 0});
-    auto &dups = inj.site("u", {0.0, 1.0, 0.0, 0});
+    auto &drops = inj.site("d", {1.0, 0.0, 0.0, sim::Tick{0}});
+    auto &dups = inj.site("u", {0.0, 1.0, 0.0, sim::Tick{0}});
     auto &delays =
         inj.site("l", {0.0, 0.0, 1.0, sim::microseconds(5)});
     auto &clean = inj.site("c");
@@ -83,7 +83,7 @@ TEST(FaultSite, CertainOutcomesAndCounters)
         EXPECT_TRUE(dups.decide().duplicate);
         EXPECT_EQ(delays.decide().extraDelay, sim::microseconds(5));
         const sim::FaultDecision d = clean.decide();
-        EXPECT_FALSE(d.drop || d.duplicate || d.extraDelay > 0);
+        EXPECT_FALSE(d.drop || d.duplicate || d.extraDelay > sim::Tick{0});
     }
     EXPECT_EQ(drops.drops(), 10u);
     EXPECT_EQ(dups.dups(), 10u);
@@ -129,13 +129,13 @@ TEST(SwitchFaults, DropDupAndDelaySemantics)
     b.dst = dst;
     b.wireBytes = 100;
 
-    site.configure({1.0, 0.0, 0.0, 0});
+    site.configure({1.0, 0.0, 0.0, sim::Tick{0}});
     sw.forward(b);
     sim.runFor(sim::microseconds(1));
     EXPECT_TRUE(arrivals.empty());
     EXPECT_EQ(site.drops(), 1u);
 
-    site.configure({0.0, 1.0, 0.0, 0});
+    site.configure({0.0, 1.0, 0.0, sim::Tick{0}});
     const Tick t_dup = sim.now();
     sw.forward(b);
     sim.runFor(sim::microseconds(1));
@@ -187,7 +187,7 @@ TEST(SwitchFaults, CrashedDestinationDropsDelivery)
 
     FaultInjector inj(1);
     sw.setFaultInjector(&inj);
-    inj.addOutage(dst, 0);
+    inj.addOutage(dst, sim::Tick{0});
 
     net::Burst b;
     b.src = src;
@@ -209,7 +209,7 @@ TEST(DmaFaults, CompletionErrorsAreBoundedAndCounted)
     dma::DmaEngine eng(sim, dma::DmaConfig{});
     FaultInjector inj(1);
     eng.setFaultInjector(&inj, "dma.0");
-    inj.site("dma.0", {1.0, 0.0, 0.0, 0}); // every completion errors
+    inj.site("dma.0", {1.0, 0.0, 0.0, sim::Tick{0}}); // every completion errors
     sim.spawn(eng.transfer(4096));
     sim.runFor(sim::milliseconds(1));
     // p=1 exhausts the retry bound but the transfer still lands.
@@ -224,7 +224,7 @@ TEST(DmaFaults, StallDelaysCompletion)
     FaultInjector inj(1);
     eng.setFaultInjector(&inj, "dma.0");
     inj.site("dma.0", {0.0, 0.0, 1.0, sim::microseconds(50)});
-    Tick done = 0;
+    Tick done{};
     eng.transferAsync(4096, [&] { done = sim.now(); });
     sim.runFor(sim::milliseconds(1));
     EXPECT_EQ(eng.dmaStalls(), 1u);
@@ -295,8 +295,8 @@ TEST(TcpFaults, RtoBackoffDoublesAndExhaustionAborts)
     // Cut both directions, then send once: every (re)transmission is
     // lost, so the RTO path must fire at 1, 1+2, 1+2+4 ms and abort
     // after the configured three retries.
-    faults.site("link." + std::to_string(a.id()), {1.0, 0.0, 0.0, 0});
-    faults.site("link." + std::to_string(b.id()), {1.0, 0.0, 0.0, 0});
+    faults.site("link." + std::to_string(a.id()), {1.0, 0.0, 0.0, sim::Tick{0}});
+    faults.site("link." + std::to_string(b.id()), {1.0, 0.0, 0.0, sim::Tick{0}});
     sim.spawn([](tcp::Connection *c) -> Coro<void> {
         co_await c->send(1024);
     }(conn));
@@ -319,7 +319,7 @@ TEST(TcpFaults, UnreachablePeerAbortsConnectInsteadOfHanging)
     Simulation sim;
     net::Switch fabric(sim, sim::nanoseconds(2000));
     FaultInjector faults(11);
-    faults.setDefaultConfig({1.0, 0.0, 0.0, 0}); // all links dead
+    faults.setDefaultConfig({1.0, 0.0, 0.0, sim::Tick{0}}); // all links dead
     fabric.setFaultInjector(&faults);
     Node a(sim, fabric, reliableNode());
     Node b(sim, fabric, reliableNode());
@@ -372,7 +372,7 @@ TEST(TcpFaults, NicRxFaultDropsRecovered)
     Node b(sim, fabric, reliableNode());
     b.nic().setFaultInjector(&faults);
     faults.site("nic." + std::to_string(b.id()) + ".rx",
-                {0.2, 0.0, 0.0, 0});
+                {0.2, 0.0, 0.0, sim::Tick{0}});
 
     const std::size_t chunk = 64 * 1024;
     const unsigned count = 64;
@@ -668,7 +668,7 @@ TEST(DatacenterFaults, ProxyFailsOverToAlternateBackend)
 
     // Backend 0 is dead the whole run; every request must succeed via
     // backend 1.
-    faults.addOutage(backend0.id(), 0);
+    faults.addOutage(backend0.id(), sim::Tick{0});
     sim.runFor(sim::milliseconds(200));
 
     EXPECT_GT(fleet.completed(), 0u);
@@ -742,7 +742,7 @@ TEST(DatacenterFaults, ShedsWith503WhenNothingIsCached)
     dc::ClientFleet fleet({&clientNode}, wl, opts);
     fleet.start();
 
-    faults.addOutage(backendNode.id(), 0); // dead from the start
+    faults.addOutage(backendNode.id(), sim::Tick{0}); // dead from the start
     sim.runFor(sim::milliseconds(150));
 
     EXPECT_GT(proxy.requestsShed(), 0u);
@@ -792,7 +792,7 @@ TEST(DatacenterFaults, WebServerShedsPastInflightCap)
  * Measured firing schedule for the RTO test below.  These are golden
  * values: re-pin them (and investigate!) if a change moves them.
  */
-constexpr Tick kRtoFirstFireTick = 6002736;
+constexpr Tick kRtoFirstFireTick{6002736};
 
 /**
  * Run single events until @p value changes; returns the exact tick of
@@ -805,7 +805,7 @@ flipTick(Simulation &sim, Fn value, Tick limit)
     const auto before = value();
     while (value() == before) {
         if (sim.queue().nextEventTick() > limit)
-            return 0;
+            return Tick{0};
         sim.queue().runOne();
     }
     return sim.now();
@@ -833,8 +833,8 @@ TEST(TimerTicks, RtoBackoffFiresAtExactTicks)
     // first transmission leaves at 5 ms + send-path CPU costs; every
     // copy is lost, so the retry timeline is driven purely by the RTO
     // timer: rtoInitial after the first tx, then doubling.
-    faults.site("link." + std::to_string(a.id()), {1.0, 0.0, 0.0, 0});
-    faults.site("link." + std::to_string(b.id()), {1.0, 0.0, 0.0, 0});
+    faults.site("link." + std::to_string(a.id()), {1.0, 0.0, 0.0, sim::Tick{0}});
+    faults.site("link." + std::to_string(b.id()), {1.0, 0.0, 0.0, sim::Tick{0}});
     sim.spawn([](tcp::Connection *c) -> Coro<void> {
         co_await c->send(1024);
     }(conn));

@@ -24,14 +24,16 @@ using sim::Tick;
 TEST(CopyModel, HotIsFasterThanCold)
 {
     mem::CopyModel cm;
-    for (std::size_t sz : {kib(1), kib(8), kib(64), mib(1)})
-        EXPECT_LT(cm.hotCopyTime(sz), cm.coldCopyTime(sz)) << sz;
+    for (auto sz : {sim::kibibytes(1), sim::kibibytes(8),
+                    sim::kibibytes(64), sim::mebibytes(1)})
+        EXPECT_LT(cm.hotCopyTime(sz), cm.coldCopyTime(sz))
+            << sz.count();
 }
 
 TEST(CopyModel, ResidencyInterpolatesBetweenExtremes)
 {
     mem::CopyModel cm;
-    const std::size_t sz = kib(64);
+    const sim::Bytes sz = sim::kibibytes(64);
     const Tick mid = cm.copyTime(sz, 0.5);
     EXPECT_GT(mid, cm.hotCopyTime(sz));
     EXPECT_LT(mid, cm.coldCopyTime(sz));
@@ -40,14 +42,17 @@ TEST(CopyModel, ResidencyInterpolatesBetweenExtremes)
 TEST(CopyModel, ResidencyIsClamped)
 {
     mem::CopyModel cm;
-    EXPECT_EQ(cm.copyTime(kib(4), -1.0), cm.copyTime(kib(4), 0.0));
-    EXPECT_EQ(cm.copyTime(kib(4), 2.0), cm.copyTime(kib(4), 1.0));
+    EXPECT_EQ(cm.copyTime(sim::kibibytes(4), -1.0),
+              cm.copyTime(sim::kibibytes(4), 0.0));
+    EXPECT_EQ(cm.copyTime(sim::kibibytes(4), 2.0),
+              cm.copyTime(sim::kibibytes(4), 1.0));
 }
 
 TEST(CopyModel, TouchIsCheaperThanCopy)
 {
     mem::CopyModel cm;
-    for (std::size_t sz : {kib(4), kib(64), mib(1)})
+    for (auto sz : {sim::kibibytes(4), sim::kibibytes(64),
+                    sim::mebibytes(1)})
         EXPECT_LT(cm.touchTime(sz, 0.0), cm.copyTime(sz, 0.0));
 }
 
@@ -58,9 +63,9 @@ TEST_P(CopyModelMonotonic, TimeGrowsWithSize)
 {
     mem::CopyModel cm;
     const double res = GetParam();
-    Tick prev = 0;
+    Tick prev{};
     for (std::size_t sz = 1024; sz <= mib(8); sz *= 2) {
-        const Tick t = cm.copyTime(sz, res);
+        const Tick t = cm.copyTime(sim::Bytes{sz}, res);
         EXPECT_GT(t, prev);
         prev = t;
     }
@@ -73,8 +78,10 @@ TEST(CopyModel, CalibrationBallpark)
 {
     // 64 KB cold copy at 1.5 GB/s should be ~44 us; hot at 4 GB/s ~16 us.
     mem::CopyModel cm;
-    EXPECT_NEAR(sim::toMicroseconds(cm.coldCopyTime(kib(64))), 43.7, 2.0);
-    EXPECT_NEAR(sim::toMicroseconds(cm.hotCopyTime(kib(64))), 16.4, 2.0);
+    EXPECT_NEAR(sim::toMicroseconds(cm.coldCopyTime(sim::kibibytes(64))),
+                43.7, 2.0);
+    EXPECT_NEAR(sim::toMicroseconds(cm.hotCopyTime(sim::kibibytes(64))),
+                16.4, 2.0);
 }
 
 // --------------------------------------------------------------------
@@ -186,7 +193,7 @@ TEST(PageModel, PageCounts)
 TEST(PageModel, PinCostScalesWithPages)
 {
     mem::PageModel pm;
-    EXPECT_EQ(pm.pinCost(0), 0u);
+    EXPECT_EQ(pm.pinCost(0).count(), 0u);
     const Tick one = pm.pinCost(kib(4));
     const Tick many = pm.pinCost(kib(64));
     EXPECT_GT(many, one);
@@ -208,7 +215,7 @@ TEST(PageModel, PinningDominatesForTinyCopies)
     mem::PageModel pm;
     mem::CopyModel cm;
     // For a 1 KB buffer, pinning alone costs more than just copying.
-    EXPECT_GT(pm.pinCost(1024), cm.coldCopyTime(1024) / 2);
+    EXPECT_GT(pm.pinCost(1024), cm.coldCopyTime(sim::Bytes{1024}) / 2);
 }
 
 } // namespace

@@ -32,7 +32,7 @@ TEST(MemoryBus, DemandUnderCapacityKeepsSlowdownAtOne)
     mem::MemoryBus bus(sim, cfg);
     // 100 MB/s of traffic on a 1 GB/s bus.
     for (int i = 0; i < 10; ++i) {
-        bus.consume(2000);
+        bus.consume(sim::Bytes{2000});
         sim.runFor(sim::microseconds(20));
     }
     EXPECT_DOUBLE_EQ(bus.slowdown(), 1.0);
@@ -49,7 +49,7 @@ TEST(MemoryBus, OversubscriptionScalesLinearly)
     mem::MemoryBus bus(sim, cfg);
     // 2 GB/s of demand on a 1 GB/s bus -> slowdown ~2.
     for (int i = 0; i < 20; ++i) {
-        bus.consume(20000);
+        bus.consume(sim::Bytes{20000});
         sim.runFor(sim::microseconds(10));
     }
     EXPECT_NEAR(bus.slowdown(), 2.0, 0.3);
@@ -59,7 +59,7 @@ TEST(MemoryBus, DemandDecaysAfterQuiet)
 {
     Simulation sim;
     mem::MemoryBus bus(sim);
-    bus.consume(1000000);
+    bus.consume(sim::Bytes{1000000});
     EXPECT_GT(bus.utilization(), 0.0);
     sim.runFor(sim::milliseconds(10)); // several windows of silence
     EXPECT_DOUBLE_EQ(bus.utilization(), 0.0);
@@ -70,9 +70,9 @@ TEST(MemoryBus, TotalBytesAccumulates)
 {
     Simulation sim;
     mem::MemoryBus bus(sim);
-    bus.consume(100);
+    bus.consume(sim::Bytes{100});
     sim.runFor(sim::seconds(1));
-    bus.consume(200);
+    bus.consume(sim::Bytes{200});
     EXPECT_EQ(bus.totalBytes(), 300u);
 }
 

@@ -153,7 +153,7 @@ TEST(ModelBased, EventQueueMatchesSortedReference)
 
     int seq = 0;
     for (int i = 0; i < 2000; ++i) {
-        const sim::Tick when = rng.uniformInt(0, 10000);
+        const sim::Tick when{rng.uniformInt(0, 10000)};
         const int id = seq++;
         expected.emplace_back(when, id);
         eq.schedule(when, [&fired, id] { fired.push_back(id); });
@@ -189,7 +189,7 @@ TEST(ModelBased, SemaphoreFifoUnderRandomHoldTimes)
             adm.push_back(id);
             ++act;
             mx = std::max(mx, act);
-            co_await s.delay(r.uniformInt(1, 50));
+            co_await s.delay(sim::Tick{r.uniformInt(1, 50)});
             --act;
             sm.release();
         }(sim, sem, rng, admitted, active, max_active, i));
@@ -221,7 +221,7 @@ TEST(ModelBased, ChannelPreservesPerProducerOrder)
                      sim::Channel<std::pair<int, int>> &c, Rng &r,
                      int producer) -> sim::Coro<void> {
             for (int k = 0; k < 50; ++k) {
-                co_await s.delay(r.uniformInt(0, 20));
+                co_await s.delay(sim::Tick{r.uniformInt(0, 20)});
                 co_await c.send({producer, k});
             }
         }(sim, ch, rng, p));
@@ -262,11 +262,11 @@ TEST(ModelBased, CpuConservesWorkUnderRandomMix)
     Simulation sim;
     ioat::cpu::CpuSet cpus(sim, {.cores = 3});
     Rng rng(31);
-    sim::Tick total = 0;
+    sim::Tick total{};
     int done = 0;
 
     for (int i = 0; i < 300; ++i) {
-        const sim::Tick dur = rng.uniformInt(1, 5000);
+        const sim::Tick dur{rng.uniformInt(1, 5000)};
         const int core = rng.uniform() < 0.3
                              ? static_cast<int>(rng.uniformInt(0, 2))
                              : ioat::cpu::CpuSet::kAnyCore;

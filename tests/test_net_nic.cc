@@ -47,21 +47,23 @@ dataBurst(net::NodeId dst, std::uint64_t flow, std::uint32_t payload,
     b.dst = dst;
     b.flow = flow;
     b.payloadBytes = payload;
-    b.frames = src_nic.framesFor(payload);
-    b.wireBytes = src_nic.wireBytesFor(payload);
+    b.frames = src_nic.framesFor(sim::Bytes{payload});
+    b.wireBytes = static_cast<std::uint32_t>(
+        src_nic.wireBytesFor(sim::Bytes{payload}).count());
     return b;
 }
 
 TEST(Nic, FrameMath)
 {
     TwoNodes t;
-    EXPECT_EQ(t.a.framesFor(0), 1u);
-    EXPECT_EQ(t.a.framesFor(1), 1u);
-    EXPECT_EQ(t.a.framesFor(1500), 1u);
-    EXPECT_EQ(t.a.framesFor(1501), 2u);
-    EXPECT_EQ(t.a.framesFor(65536), 44u);
-    EXPECT_EQ(t.a.wireBytesFor(1500), 1500u + 58u);
-    EXPECT_EQ(t.a.wireBytesFor(3000), 3000u + 2 * 58u);
+    EXPECT_EQ(t.a.framesFor(sim::Bytes{0}), 1u);
+    EXPECT_EQ(t.a.framesFor(sim::Bytes{1}), 1u);
+    EXPECT_EQ(t.a.framesFor(sim::Bytes{1500}), 1u);
+    EXPECT_EQ(t.a.framesFor(sim::Bytes{1501}), 2u);
+    EXPECT_EQ(t.a.framesFor(sim::Bytes{65536}), 44u);
+    EXPECT_EQ(t.a.wireBytesFor(sim::Bytes{1500}), sim::Bytes{1500 + 58});
+    EXPECT_EQ(t.a.wireBytesFor(sim::Bytes{3000}),
+              sim::Bytes{3000 + 2 * 58});
 }
 
 TEST(Nic, JumboFramesReduceFrameCount)
@@ -71,7 +73,7 @@ TEST(Nic, JumboFramesReduceFrameCount)
     auto cfg = gigePorts(1);
     cfg.mtu = 2048; // Fig. 5 Case 4
     nic::Nic n(sim, fabric, cfg);
-    EXPECT_EQ(n.framesFor(65536), 32u);
+    EXPECT_EQ(n.framesFor(sim::Bytes{65536}), 32u);
 }
 
 TEST(NicSwitch, DeliversBurstToDestination)
@@ -88,8 +90,8 @@ TEST(NicSwitch, DeliversBurstToDestination)
     EXPECT_EQ(got[0].src, t.a.id());
     EXPECT_EQ(got[0].payloadBytes, 1500u);
     // Wire time = 1558 B at 1 Gbps = 12464 ns each hop + 2000 switch.
-    const Tick wire = t.a.wireTime(t.a.wireBytesFor(1500));
-    EXPECT_EQ(t.sim.now(), 2 * wire + 2000);
+    const Tick wire = t.a.wireTime(t.a.wireBytesFor(sim::Bytes{1500}));
+    EXPECT_EQ(t.sim.now(), 2 * wire + sim::Tick{2000});
 }
 
 TEST(NicSwitch, SerializationLimitsPortThroughput)
@@ -114,7 +116,7 @@ TEST(NicSwitch, SerializationLimitsPortThroughput)
 TEST(NicSwitch, MultiplePortsCarryTrafficInParallel)
 {
     TwoNodes t(4);
-    Tick last = 0;
+    Tick last{};
     t.b.setRxHandler([&](unsigned, std::vector<Burst> &&) {
         last = t.sim.now();
     });
@@ -122,8 +124,8 @@ TEST(NicSwitch, MultiplePortsCarryTrafficInParallel)
     for (std::uint64_t f = 0; f < 4; ++f)
         t.a.transmit(dataBurst(t.b.id(), f, 65536, t.a));
     t.sim.run();
-    const Tick wire = t.a.wireTime(t.a.wireBytesFor(65536));
-    EXPECT_EQ(last, 2 * wire + 2000); // not 4x: parallel ports
+    const Tick wire = t.a.wireTime(t.a.wireBytesFor(sim::Bytes{65536}));
+    EXPECT_EQ(last, 2 * wire + sim::Tick{2000}); // not 4x: parallel ports
 }
 
 TEST(Nic, FlowsPinToPortsRoundRobin)
@@ -192,7 +194,7 @@ TEST(Nic, NoCoalescingInterruptsPerArrival)
     // Spaced-out bursts: each its own interrupt.
     for (int i = 0; i < 4; ++i) {
         sim.queue().schedule(
-            static_cast<Tick>(i) * sim::milliseconds(1), [&, i] {
+            static_cast<unsigned>(i) * sim::milliseconds(1), [&, i] {
                 sender.transmit(dataBurst(receiver.id(), 0, 512, sender));
             });
     }
@@ -229,8 +231,10 @@ TEST(Nic, TrafficCounters)
     t.b.setRxHandler([](unsigned, std::vector<Burst> &&) {});
     t.a.transmit(dataBurst(t.b.id(), 0, 1500, t.a));
     t.sim.run();
-    EXPECT_EQ(t.a.txWireBytes(), t.a.wireBytesFor(1500));
-    EXPECT_EQ(t.b.rxWireBytes(), t.a.wireBytesFor(1500));
+    EXPECT_EQ(t.a.txWireBytes(),
+              t.a.wireBytesFor(sim::Bytes{1500}).count());
+    EXPECT_EQ(t.b.rxWireBytes(),
+              t.a.wireBytesFor(sim::Bytes{1500}).count());
     EXPECT_EQ(t.b.rxBursts(), 1u);
 }
 
@@ -265,13 +269,14 @@ TEST(Nic, PollingAddsBoundedLatency)
     cfg.pollingPeriod = sim::microseconds(100);
     nic::Nic receiver(sim, fabric, cfg);
 
-    Tick delivered = 0;
+    Tick delivered{};
     receiver.setRxHandler([&](unsigned, std::vector<Burst> &&) {
         delivered = sim.now();
     });
     sender.transmit(dataBurst(receiver.id(), 0, 512, sender));
     sim.runFor(sim::milliseconds(1));
-    const Tick wire = 2 * sender.wireTime(sender.wireBytesFor(512)) +
+    const Tick wire =
+        2 * sender.wireTime(sender.wireBytesFor(sim::Bytes{512})) +
                       fabric.forwardLatency();
     EXPECT_GE(delivered, wire);
     // At most one polling period after arrival.

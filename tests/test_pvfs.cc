@@ -299,7 +299,7 @@ TEST(Pvfs, IoatReducesReadCycleTime)
         pvfs::PvfsClient client(
             rig.tb.server(1), rig.cfg,
             {rig.tb.server(0).id(), rig.cfg.mgrPort}, rig.iodAddrs());
-        sim::Tick elapsed = 0;
+        sim::Tick elapsed{};
         rig.sim.spawn([](PvfsRig &r, pvfs::PvfsClient &c,
                          sim::Tick &out) -> Coro<void> {
             co_await c.connect();

@@ -23,12 +23,12 @@ TEST(EventQueue, RunsEventsInTimeOrder)
 {
     EventQueue eq;
     std::vector<int> order;
-    eq.schedule(30, [&] { order.push_back(3); });
-    eq.schedule(10, [&] { order.push_back(1); });
-    eq.schedule(20, [&] { order.push_back(2); });
+    eq.schedule(ioat::sim::Tick{30}, [&] { order.push_back(3); });
+    eq.schedule(ioat::sim::Tick{10}, [&] { order.push_back(1); });
+    eq.schedule(ioat::sim::Tick{20}, [&] { order.push_back(2); });
     eq.run();
     EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
-    EXPECT_EQ(eq.now(), 30u);
+    EXPECT_EQ(eq.now(), ioat::sim::Tick{30});
 }
 
 TEST(EventQueue, TiesBreakByInsertionOrder)
@@ -36,7 +36,7 @@ TEST(EventQueue, TiesBreakByInsertionOrder)
     EventQueue eq;
     std::vector<int> order;
     for (int i = 0; i < 16; ++i)
-        eq.schedule(5, [&order, i] { order.push_back(i); });
+        eq.schedule(ioat::sim::Tick{5}, [&order, i] { order.push_back(i); });
     eq.run();
     for (int i = 0; i < 16; ++i)
         EXPECT_EQ(order[i], i);
@@ -46,31 +46,31 @@ TEST(EventQueue, EventsMayScheduleMoreEvents)
 {
     EventQueue eq;
     int fired = 0;
-    eq.schedule(1, [&] {
+    eq.schedule(ioat::sim::Tick{1}, [&] {
         ++fired;
-        eq.scheduleIn(1, [&] { ++fired; });
+        eq.scheduleIn(ioat::sim::Tick{1}, [&] { ++fired; });
     });
     eq.run();
     EXPECT_EQ(fired, 2);
-    EXPECT_EQ(eq.now(), 2u);
+    EXPECT_EQ(eq.now(), ioat::sim::Tick{2});
 }
 
 TEST(EventQueue, RunUntilAdvancesTimeEvenWhenEmpty)
 {
     EventQueue eq;
-    eq.runUntil(1000);
-    EXPECT_EQ(eq.now(), 1000u);
+    eq.runUntil(ioat::sim::Tick{1000});
+    EXPECT_EQ(eq.now(), ioat::sim::Tick{1000});
 }
 
 TEST(EventQueue, RunUntilStopsAtBoundary)
 {
     EventQueue eq;
     int fired = 0;
-    eq.schedule(10, [&] { ++fired; });
-    eq.schedule(20, [&] { ++fired; });
-    eq.runUntil(15);
+    eq.schedule(ioat::sim::Tick{10}, [&] { ++fired; });
+    eq.schedule(ioat::sim::Tick{20}, [&] { ++fired; });
+    eq.runUntil(ioat::sim::Tick{15});
     EXPECT_EQ(fired, 1);
-    EXPECT_EQ(eq.now(), 15u);
+    EXPECT_EQ(eq.now(), ioat::sim::Tick{15});
     eq.run();
     EXPECT_EQ(fired, 2);
 }
@@ -78,9 +78,9 @@ TEST(EventQueue, RunUntilStopsAtBoundary)
 TEST(EventQueueDeathTest, SchedulingInThePastPanics)
 {
     EventQueue eq;
-    eq.schedule(10, [] {});
+    eq.schedule(ioat::sim::Tick{10}, [] {});
     eq.run();
-    EXPECT_DEATH(eq.schedule(5, [] {}), "past");
+    EXPECT_DEATH(eq.schedule(ioat::sim::Tick{5}, [] {}), "past");
 }
 
 // --------------------------------------------------------------------
@@ -92,13 +92,13 @@ TEST(Coro, SpawnedTaskRunsAndCompletes)
     Simulation sim;
     bool ran = false;
     sim.spawn([](Simulation &s, bool &flag) -> Coro<void> {
-        co_await s.delay(100);
+        co_await s.delay(ioat::sim::Tick{100});
         flag = true;
     }(sim, ran));
     EXPECT_FALSE(ran);
     sim.run();
     EXPECT_TRUE(ran);
-    EXPECT_EQ(sim.now(), 100u);
+    EXPECT_EQ(sim.now(), ioat::sim::Tick{100});
     EXPECT_EQ(sim.liveRootTasks(), 0u);
 }
 
@@ -112,7 +112,7 @@ TEST(Coro, NestedAwaitPropagatesValues)
         static Coro<int>
         inner(Simulation &s)
         {
-            co_await s.delay(5);
+            co_await s.delay(ioat::sim::Tick{5});
             co_return 21;
         }
 
@@ -128,7 +128,7 @@ TEST(Coro, NestedAwaitPropagatesValues)
     sim.spawn(Helper::outer(sim, result));
     sim.run();
     EXPECT_EQ(result, 42);
-    EXPECT_EQ(sim.now(), 10u);
+    EXPECT_EQ(sim.now(), ioat::sim::Tick{10});
 }
 
 TEST(Coro, ExceptionsPropagateThroughAwait)
@@ -141,7 +141,7 @@ TEST(Coro, ExceptionsPropagateThroughAwait)
         static Coro<int>
         thrower(Simulation &s)
         {
-            co_await s.delay(1);
+            co_await s.delay(ioat::sim::Tick{1});
             throw std::runtime_error("boom");
         }
 
@@ -240,7 +240,7 @@ TEST(Sync, SemaphoreLimitsConcurrency)
             co_await sm.acquire();
             ++act;
             mx = std::max(mx, act);
-            co_await s.delay(10);
+            co_await s.delay(ioat::sim::Tick{10});
             --act;
             ++done;
             sm.release();
@@ -250,7 +250,7 @@ TEST(Sync, SemaphoreLimitsConcurrency)
     EXPECT_EQ(completed, 6);
     EXPECT_EQ(max_active, 2);
     // 6 tasks, 2 at a time, 10 ticks each -> 30 ticks total.
-    EXPECT_EQ(sim.now(), 30u);
+    EXPECT_EQ(sim.now(), ioat::sim::Tick{30});
     EXPECT_EQ(sem.available(), 2u);
 }
 
@@ -308,7 +308,7 @@ TEST(Sync, WaitGroupJoinsDynamicTasks)
 
     sim.run();
     EXPECT_TRUE(joined);
-    EXPECT_EQ(sim.now(), 50u);
+    EXPECT_EQ(sim.now(), ioat::sim::Tick{50});
 }
 
 TEST(Sync, WaitGroupWithNoTasksReturnsImmediately)
@@ -500,19 +500,19 @@ TEST(Stats, AccumulatorBasics)
 TEST(Stats, TimeWeightedAverage)
 {
     stats::TimeWeighted tw(0.0);
-    tw.update(10, 1.0); // 0 for [0,10)
-    tw.update(30, 0.0); // 1 for [10,30)
+    tw.update(ioat::sim::Tick{10}, 1.0); // 0 for [0,10)
+    tw.update(ioat::sim::Tick{30}, 0.0); // 1 for [10,30)
     // average over [0,40): (0*10 + 1*20 + 0*10)/40 = 0.5
-    EXPECT_DOUBLE_EQ(tw.average(40), 0.5);
+    EXPECT_DOUBLE_EQ(tw.average(ioat::sim::Tick{40}), 0.5);
 }
 
 TEST(Stats, TimeWeightedWindowReset)
 {
     stats::TimeWeighted tw(2.0);
-    tw.update(10, 4.0);
-    tw.resetWindow(10);
+    tw.update(ioat::sim::Tick{10}, 4.0);
+    tw.resetWindow(ioat::sim::Tick{10});
     // After reset, only post-reset signal counts: 4.0 everywhere.
-    EXPECT_DOUBLE_EQ(tw.average(20), 4.0);
+    EXPECT_DOUBLE_EQ(tw.average(ioat::sim::Tick{20}), 4.0);
 }
 
 TEST(Stats, Log2HistogramBuckets)
@@ -534,9 +534,9 @@ TEST(Stats, Log2HistogramBuckets)
 
 TEST(Types, UnitConstructors)
 {
-    EXPECT_EQ(microseconds(1), 1000u);
-    EXPECT_EQ(milliseconds(1), 1000000u);
-    EXPECT_EQ(seconds(1), 1000000000u);
+    EXPECT_EQ(microseconds(1).count(), 1000u);
+    EXPECT_EQ(milliseconds(1).count(), 1000000u);
+    EXPECT_EQ(seconds(1).count(), 1000000000u);
     EXPECT_EQ(kib(4), 4096u);
     EXPECT_EQ(mib(2), 2u * 1024 * 1024);
 }
@@ -545,10 +545,10 @@ TEST(Types, RateTransferTime)
 {
     // 1 Gbps = 0.125 B/ns -> 1500 bytes = 12000 ns.
     auto r = Rate::gbps(1.0);
-    EXPECT_EQ(r.transferTime(1500), 12000u);
+    EXPECT_EQ(r.transferTime(1500).count(), 12000u);
     // 1 GB/s -> 1 byte per ns.
     auto r2 = Rate::bytesPerSec(1e9);
-    EXPECT_EQ(r2.transferTime(4096), 4096u);
+    EXPECT_EQ(r2.transferTime(4096).count(), 4096u);
 }
 
 TEST(Types, ThroughputHelpers)

@@ -32,7 +32,7 @@ TEST(Mutex, ProvidesMutualExclusion)
             auto guard = co_await m.lock();
             ++in;
             mx = std::max(mx, in);
-            co_await s.delay(10);
+            co_await s.delay(ioat::sim::Tick{10});
             --in;
             ++dn;
         }(sim, mu, inside, max_inside, done));
@@ -40,7 +40,7 @@ TEST(Mutex, ProvidesMutualExclusion)
     sim.run();
     EXPECT_EQ(done, 5);
     EXPECT_EQ(max_inside, 1);
-    EXPECT_EQ(sim.now(), 50u);
+    EXPECT_EQ(sim.now(), ioat::sim::Tick{50});
     EXPECT_FALSE(mu.locked());
 }
 
@@ -53,7 +53,7 @@ TEST(Mutex, TryLockFailsWhileHeld)
         auto guard = co_await m.lock();
         EXPECT_FALSE(m.tryLock().has_value());
         obs = true;
-        co_await s.delay(1);
+        co_await s.delay(ioat::sim::Tick{1});
     }(sim, mu, observed_contended));
     sim.run();
     EXPECT_TRUE(observed_contended);
@@ -120,11 +120,11 @@ TEST(Timeout, AlreadyTriggeredReturnsImmediately)
     ev.trigger();
     bool result = false;
     sim.spawn([](Simulation &s, sim::Event &e, bool &r) -> Coro<void> {
-        r = co_await sim::waitWithTimeout(s, e, 1);
+        r = co_await sim::waitWithTimeout(s, e, sim::Tick{1});
     }(sim, ev, result));
     sim.run();
     EXPECT_TRUE(result);
-    EXPECT_EQ(sim.now(), 0u);
+    EXPECT_EQ(sim.now(), ioat::sim::Tick{0});
 }
 
 TEST(Stopwatch, MeasuresSimulatedTime)
@@ -135,7 +135,7 @@ TEST(Stopwatch, MeasuresSimulatedTime)
     EXPECT_EQ(sw.elapsed(), sim::microseconds(250));
     EXPECT_DOUBLE_EQ(sw.elapsedUs(), 250.0);
     sw.restart();
-    EXPECT_EQ(sw.elapsed(), 0u);
+    EXPECT_EQ(sw.elapsed(), ioat::sim::Tick{0});
 }
 
 TEST(EveryUntil, FiresAtFixedRate)
@@ -187,7 +187,7 @@ TEST(StatsReport, SnapshotDeltasMatchActivity)
     EXPECT_GT(d.rxSegments, 0u);
     EXPECT_GT(d.interrupts, 0u);
     EXPECT_GT(d.dmaCopies, 0u);
-    EXPECT_GT(d.cpuBusyTicks, 0u);
+    EXPECT_GT(d.cpuBusyTicks, sim::Tick{0});
     // Rates derived from the delta are sane.
     EXPECT_GT(d.rxMbps(), 500.0);
     EXPECT_LT(d.rxMbps(), 1000.0);

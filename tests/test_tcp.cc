@@ -372,7 +372,7 @@ TEST(AsyncMemcpy, CopyCompletesAndChargesCpu)
     }(amc, done));
     sim.run();
     EXPECT_TRUE(done);
-    EXPECT_GT(n.cpu().totalBusyTicks(), 0u);
+    EXPECT_GT(n.cpu().totalBusyTicks(), ioat::sim::Tick{0});
     EXPECT_EQ(n.dma()->bytesCopied(), sim::mib(1));
 }
 
@@ -382,7 +382,7 @@ TEST(AsyncMemcpy, SubmitOverlapsWithComputation)
     net::Switch fabric(sim);
     Node n(sim, fabric, NodeConfig::server(IoatConfig::enabled()));
     core::AsyncMemcpy amc(n.host());
-    Tick serial = 0, overlapped = 0;
+    Tick serial{}, overlapped{};
     sim.spawn([](Simulation &s, core::AsyncMemcpy &a, Node &node,
                  Tick &ser, Tick &ovl) -> Coro<void> {
         const std::size_t sz = sim::mib(4);

@@ -35,7 +35,7 @@ RunResult
 runStreams(IoatConfig features, unsigned ports, unsigned streams,
            std::size_t msg, Tick duration,
            std::size_t sockbuf = 256 * 1024, bool tso = false,
-           std::size_t mtu = 1500, Tick coalesce = 0)
+           std::size_t mtu = 1500, Tick coalesce = Tick{0})
 {
     Simulation sim;
     net::Switch fabric(sim);
@@ -196,7 +196,8 @@ TEST(TcpProperties, CoalescingReducesInterrupts)
 {
     const auto eager =
         runStreams(IoatConfig::disabled(), 1, 1, 4096,
-                   sim::milliseconds(50), 256 * 1024, false, 1500, 0);
+                   sim::milliseconds(50), 256 * 1024, false, 1500,
+                   sim::Tick{0});
     const auto coalesced = runStreams(
         IoatConfig::disabled(), 1, 1, 4096, sim::milliseconds(50),
         256 * 1024, false, 1500, sim::microseconds(100));

@@ -38,7 +38,7 @@ TEST(Trace, EmitsWellFormedJson)
 TEST(Trace, EscapesSpecialCharacters)
 {
     TraceWriter tw;
-    tw.complete("has\"quote\\slash", "cat", 0, 1, 0);
+    tw.complete("has\"quote\\slash", "cat", sim::Tick{0}, sim::Tick{1}, 0);
     std::ostringstream os;
     tw.write(os);
     EXPECT_NE(os.str().find("has\\\"quote\\\\slash"), std::string::npos);
@@ -51,8 +51,8 @@ TEST(Trace, CpuRecordsWorkSpans)
     TraceWriter tw;
     cpu.setTracer(&tw);
 
-    cpu.submit(1000, cpu::CpuSet::kAnyCore, false, nullptr);
-    cpu.submit(500, cpu::CpuSet::kAnyCore, true, nullptr);
+    cpu.submit(ioat::sim::Tick{1000}, cpu::CpuSet::kAnyCore, false, nullptr);
+    cpu.submit(ioat::sim::Tick{500}, cpu::CpuSet::kAnyCore, true, nullptr);
     sim.run();
 
     EXPECT_EQ(tw.eventCount(), 2u);
@@ -111,7 +111,7 @@ TEST(Trace, EndToEndRunProducesPlausibleTimeline)
 TEST(Trace, ClearDropsEvents)
 {
     TraceWriter tw;
-    tw.complete("x", "c", 0, 1, 0);
+    tw.complete("x", "c", sim::Tick{0}, sim::Tick{1}, 0);
     tw.clear();
     EXPECT_EQ(tw.eventCount(), 0u);
 }

@@ -56,7 +56,7 @@ TEST(MixedSizeZipf, MostRequestedBytesComeFromTheHead)
         if (req.fileId < 100)
             head += 1;
     }
-    EXPECT_GT(static_cast<double>(head) / total, 0.4);
+    EXPECT_GT(static_cast<double>(head) / static_cast<double>(total), 0.4);
 }
 
 TEST(RecordedWorkload, ReplaysInOrderAndWraps)

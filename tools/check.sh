@@ -1,0 +1,53 @@
+#!/bin/sh
+# One-shot pre-PR gate: everything CI checks, locally, in order of
+# increasing cost.  A clean exit means the tree is ready to post.
+#
+#   1. determinism lint (tools/simlint.py): fixture self-test + src/
+#   2. formatting (tools/format.sh --check; skipped if no clang-format)
+#   3. warnings-as-errors build (-DIOAT_WERROR=ON adds -Wshadow
+#      -Wconversion -Werror), with clang-tidy alongside when installed
+#   4. full ctest suite in the gated build
+#   5. ASan+UBSan build + full suite (tools/sanitize.sh)
+#
+# Usage: tools/check.sh [--no-sanitize]
+set -eu
+
+repo=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+cd "$repo"
+
+run_sanitize=1
+[ "${1:-}" = "--no-sanitize" ] && run_sanitize=0
+
+step() { printf '\n== check.sh: %s ==\n' "$1"; }
+
+step "simlint self-test"
+python3 tools/simlint.py --self-test
+
+step "simlint over src/"
+python3 tools/simlint.py
+
+step "format check"
+tools/format.sh --check
+
+step "warnings-as-errors build (IOAT_WERROR)"
+tidy=OFF
+if command -v clang-tidy >/dev/null 2>&1; then
+    tidy=ON
+else
+    echo "clang-tidy not installed; tidy pass skipped (CI runs it)"
+fi
+build="$repo/build-check"
+cmake -B "$build" -S "$repo" -DIOAT_WERROR=ON -DIOAT_TIDY=$tidy
+cmake --build "$build" -j "$(nproc)"
+
+step "full test suite"
+ctest --test-dir "$build" --output-on-failure -j "$(nproc)"
+
+if [ "$run_sanitize" = 1 ]; then
+    step "sanitizers (ASan+UBSan)"
+    tools/sanitize.sh
+else
+    step "sanitizers skipped (--no-sanitize)"
+fi
+
+step "all gates passed"

@@ -1,0 +1,12 @@
+// Fixture: ad-hoc float->Tick conversions must trip float-tick.
+#include <cstdint>
+
+using Tick = std::uint64_t;
+
+Tick
+badConvert(double ns)
+{
+    Tick a = static_cast<Tick>(ns * 1.5);
+    Tick b = Tick{static_cast<std::uint64_t>(ns)};
+    return a + b;
+}

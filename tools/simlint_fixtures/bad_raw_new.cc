@@ -1,0 +1,15 @@
+// Fixture: raw allocation and deallocation must trip raw-new.
+struct Node
+{
+    int value = 0;
+};
+
+Node *
+badAlloc(int n)
+{
+    Node *one = new Node;
+    Node *many = new Node[static_cast<unsigned>(n)];
+    delete one;
+    delete[] many;
+    return new Node{42};
+}

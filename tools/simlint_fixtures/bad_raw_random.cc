@@ -1,0 +1,13 @@
+// Fixture: every construct here must trip the raw-random rule.
+#include <cstdlib>
+#include <random>
+
+int
+badRandom()
+{
+    std::random_device rd;
+    std::mt19937 gen(rd());
+    std::mt19937_64 gen64(1);
+    srand(42);
+    return rand() + static_cast<int>(gen() + gen64());
+}

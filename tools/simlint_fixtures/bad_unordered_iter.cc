@@ -1,0 +1,22 @@
+// Fixture: iterating unordered containers must trip unordered-iter.
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+struct Stats
+{
+    std::unordered_map<std::string, std::uint64_t> counters_;
+    std::unordered_set<int> live_;
+
+    std::uint64_t
+    total() const
+    {
+        std::uint64_t sum = 0;
+        for (const auto &[name, v] : counters_)
+            sum += v;
+        for (auto it = live_.begin(); it != live_.end(); ++it)
+            sum += static_cast<std::uint64_t>(*it);
+        return sum;
+    }
+};

@@ -1,0 +1,16 @@
+// Fixture: every line here must trip the wall-clock rule.
+#include <chrono>
+#include <ctime>
+#include <sys/time.h>
+
+long
+badNow()
+{
+    auto a = std::chrono::system_clock::now();
+    auto b = std::chrono::steady_clock::now();
+    (void)a;
+    (void)b;
+    struct timeval tv;
+    gettimeofday(&tv, nullptr);
+    return time(nullptr) + clock();
+}

@@ -1,0 +1,21 @@
+// Fixture: placement new, deleted functions and make_unique must
+// NOT trip raw-new.
+#include <memory>
+#include <utility>
+
+struct Node
+{
+    int value = 0;
+
+    Node(const Node &) = delete;
+    Node &operator=(const Node &) = delete;
+    Node() = default;
+};
+
+void
+goodAlloc(void *slot)
+{
+    ::new (slot) Node();
+    auto owned = std::make_unique<int>(7);
+    (void)owned;
+}

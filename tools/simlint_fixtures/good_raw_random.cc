@@ -1,0 +1,23 @@
+// Fixture: seeded simulator RNG usage must NOT trip raw-random.
+#include <cstdint>
+
+namespace ioat::sim {
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed) : state_(seed) {}
+    std::uint64_t next() { return state_ += 0x9E3779B97F4A7C15ull; }
+
+  private:
+    std::uint64_t state_;
+};
+} // namespace ioat::sim
+
+std::uint64_t
+goodRandom()
+{
+    // "rand" as a substring (operand, randomize) is fine.
+    ioat::sim::Rng rng(42);
+    std::uint64_t operand = rng.next();
+    return operand;
+}

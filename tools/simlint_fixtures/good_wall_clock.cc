@@ -1,0 +1,19 @@
+// Fixture: near-miss identifiers that must NOT trip wall-clock.
+#include <cstdint>
+
+struct Rate
+{
+    std::uint64_t transferTime(std::uint64_t) const { return 0; }
+};
+
+std::uint64_t
+goodNow(const Rate &r)
+{
+    // Words containing "time"/"clock" and talking about time() in a
+    // comment are fine; only real host-clock calls are findings.
+    const std::uint64_t wireTime = r.transferTime(1500);
+    const std::uint64_t runtime = wireTime * 2;
+    const char *msg = "call time() and clock() never";
+    (void)msg;
+    return runtime;
+}

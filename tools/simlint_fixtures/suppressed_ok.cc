@@ -1,0 +1,20 @@
+// Fixture: findings waived with simlint: allow() must not be
+// reported, and the waivers must count against the budget.
+struct Node
+{
+    int value = 0;
+};
+
+Node *
+arenaChunk(unsigned n)
+{
+    // simlint: allow(raw-new) fixture: standalone comment waives next line
+    Node *chunk = new Node[n];
+    return chunk;
+}
+
+void
+freeChunk(Node *chunk)
+{
+    delete[] chunk; // simlint: allow(raw-new) fixture: trailing waiver
+}
