@@ -11,6 +11,7 @@
  */
 
 #include <iostream>
+#include <optional>
 
 #include "common.hh"
 
@@ -20,7 +21,8 @@ using namespace ioat::bench;
 namespace {
 
 double
-run(std::size_t copybreak, std::size_t msg)
+run(std::size_t copybreak, std::size_t msg,
+    const Options *report = nullptr)
 {
     Simulation sim;
     net::Switch fabric(sim, sim::nanoseconds(2000));
@@ -30,6 +32,9 @@ run(std::size_t copybreak, std::size_t msg)
     Node server(sim, fabric, cfg);
 
     core::AppMemory mem(server.host(), "sink");
+    std::optional<TelemetryRun> tr;
+    if (report)
+        tr.emplace(sim, *report);
     sim.spawn(streamSinkLoop(server, 5001, {.recvChunk = msg}, mem));
     for (unsigned i = 0; i < 4; ++i)
         sim.spawn(streamSenderLoop(client, server.id(), 5001, msg));
@@ -37,14 +42,23 @@ run(std::size_t copybreak, std::size_t msg)
     Meter meter(sim);
     meter.warmup(sim::milliseconds(100), {&client, &server});
     meter.run(sim::milliseconds(400));
+
+    if (tr)
+        tr->finish({{"copybreak", std::to_string(copybreak)},
+                    {"msgBytes", std::to_string(msg)}});
+
     return server.cpu().utilization();
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    Options opts("ablation_copybreak");
+    if (!opts.parse(argc, argv))
+        return opts.exitCode();
+
     std::cout << "=== Ablation: DMA copybreak threshold (SS7 pinning "
                  "caveat) ===\n\n";
     for (std::size_t msg : {std::size_t{2048}, std::size_t{16384},
@@ -70,6 +84,9 @@ main()
         t.print(std::cout);
         std::cout << "\n";
     }
+    if (opts.wantReport() || opts.wantTrace())
+        run(4096, 65536, &opts);
+
     std::cout << "Offloading below the pin+submit breakeven wastes "
                  "CPU; the kernel's 4K copybreak is near-optimal.\n";
     return 0;

@@ -10,6 +10,7 @@
  */
 
 #include <iostream>
+#include <optional>
 
 #include "common.hh"
 
@@ -25,7 +26,7 @@ struct Result
 };
 
 Result
-run(core::IoatConfig features)
+run(core::IoatConfig features, const Options *report = nullptr)
 {
     Simulation sim;
     net::Switch fabric(sim, sim::nanoseconds(2000));
@@ -33,6 +34,9 @@ run(core::IoatConfig features)
     Node server(sim, fabric, NodeConfig::server(features, 6));
 
     core::AppMemory mem(server.host(), "sink");
+    std::optional<TelemetryRun> tr;
+    if (report)
+        tr.emplace(sim, *report);
     sim.spawn(streamSinkLoop(
         server, 5001, {.recvChunk = 64 * 1024, .touchPayload = true},
         mem));
@@ -44,6 +48,13 @@ run(core::IoatConfig features)
     const std::uint64_t rx0 = server.stack().rxPayloadBytes();
     meter.run(sim::milliseconds(400));
     const std::uint64_t rx1 = server.stack().rxPayloadBytes();
+
+    if (tr)
+        tr->finish(
+            {{"dma", features.dmaEngine ? "true" : "false"},
+             {"split", features.splitHeader ? "true" : "false"},
+             {"mrq", features.multiQueue ? "true" : "false"}});
+
     return {sim::throughputMbps(rx1 - rx0, meter.elapsed()),
             server.cpu().utilization()};
 }
@@ -51,8 +62,12 @@ run(core::IoatConfig features)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    Options opts("ablation_features");
+    if (!opts.parse(argc, argv))
+        return opts.exitCode();
+
     std::cout << "=== Ablation: I/OAT feature matrix (6 ports, 12 "
                  "streams, 64K messages) ===\n\n";
     const Result base = run(core::IoatConfig::disabled());
@@ -70,6 +85,10 @@ main()
                   pct(relativeBenefit(r.cpu, base.cpu))});
     }
     t.print(std::cout);
+
+    if (opts.wantReport() || opts.wantTrace())
+        run(core::IoatConfig::enabled(), &opts);
+
     std::cout << "\nThe paper evaluates rows {-,-,-}, {on,-,-} and "
                  "{on,on,-}; the mrq rows are the configuration its "
                  "kernel could not enable.\n";

@@ -13,6 +13,7 @@
  */
 
 #include <iostream>
+#include <optional>
 
 #include "common.hh"
 
@@ -28,7 +29,8 @@ struct Result
 };
 
 Result
-run(bool multi_queue, unsigned flows, std::size_t msg)
+run(bool multi_queue, unsigned flows, std::size_t msg,
+    const Options *report = nullptr)
 {
     Simulation sim;
     net::Switch fabric(sim, sim::nanoseconds(2000));
@@ -39,6 +41,9 @@ run(bool multi_queue, unsigned flows, std::size_t msg)
     Node server(sim, fabric, NodeConfig::server(features, 2));
 
     core::AppMemory mem(server.host(), "sink");
+    std::optional<TelemetryRun> tr;
+    if (report)
+        tr.emplace(sim, *report);
     sim.spawn(streamSinkLoop(server, 5001, {.recvChunk = msg}, mem));
     for (unsigned i = 0; i < flows; ++i)
         sim.spawn(streamSenderLoop(client, server.id(), 5001, msg));
@@ -48,6 +53,12 @@ run(bool multi_queue, unsigned flows, std::size_t msg)
     const std::uint64_t rx0 = server.stack().rxPayloadBytes();
     meter.run(sim::milliseconds(400));
     const std::uint64_t rx1 = server.stack().rxPayloadBytes();
+
+    if (tr)
+        tr->finish({{"multiQueue", multi_queue ? "true" : "false"},
+                    {"flows", std::to_string(flows)},
+                    {"msgBytes", std::to_string(msg)}});
+
     return {sim::throughputMbps(rx1 - rx0, meter.elapsed()),
             server.cpu().utilization()};
 }
@@ -55,8 +66,12 @@ run(bool multi_queue, unsigned flows, std::size_t msg)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    Options opts("ablation_multiqueue");
+    if (!opts.parse(argc, argv))
+        return opts.exitCode();
+
     std::cout << "=== Ablation: multiple receive queues (feature "
                  "disabled in the paper's kernel) ===\n\n";
     std::cout << "2 ports (one adapter IRQ), small messages (1K), "
@@ -72,6 +87,10 @@ main()
                   pct(base.cpu), pct(mrq.cpu)});
     }
     t.print(std::cout);
+
+    if (opts.wantReport() || opts.wantTrace())
+        run(true, 32, 1024, &opts);
+
     std::cout << "\nWith one queue per port, all per-packet work rides "
                  "the adapter's IRQ core; MRQ lets extra cores share "
                  "it, so the gain appears once that core saturates.\n";

@@ -1,7 +1,12 @@
 /**
  * @file
- * Shared helpers for the figure-reproduction benchmarks: ttcp-style
- * stream generators/sinks and measurement-window utilities.
+ * Shared harness for the figure-reproduction benchmarks: ttcp-style
+ * stream generators/sinks (written against the sock facade),
+ * measurement-window utilities, and the common command-line surface
+ * (`Options` + `benchMain`) every bench binary exposes —
+ * `--report <file>` (RunReport JSON), `--trace <file>` (Chrome
+ * trace), `--sample-interval <us>`, `--seed <n>`, plus bench-specific
+ * numeric knobs.
  */
 
 #ifndef IOAT_BENCH_COMMON_HH
@@ -9,12 +14,19 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/app_memory.hh"
 #include "core/node.hh"
 #include "core/testbed.hh"
 #include "simcore/simcore.hh"
+#include "simcore/telemetry.hh"
+#include "sock/socket.hh"
 
 namespace ioat::bench {
 
@@ -41,16 +53,16 @@ inline Coro<void>
 streamSinkLoop(Node &node, std::uint16_t port, SinkOptions opts,
                core::AppMemory &mem)
 {
-    auto &listener = node.stack().listen(port);
+    sock::Listener listener(node.stack(), port);
     for (;;) {
-        tcp::Connection *conn = co_await listener.accept();
+        sock::Socket conn = co_await listener.accept();
         node.simulation().spawn(
-            [](Node &, tcp::Connection *c, SinkOptions o,
+            [](sock::Socket c, SinkOptions o,
                core::AppMemory &m) -> Coro<void> {
                 m.reserve(o.recvChunk); // long-lived receive buffer
                 for (;;) {
                     const std::size_t got =
-                        co_await c->recvAll(o.recvChunk);
+                        co_await c.recvAll(o.recvChunk);
                     if (got == 0)
                         co_return;
                     if (o.touchPayload)
@@ -58,7 +70,7 @@ streamSinkLoop(Node &node, std::uint16_t port, SinkOptions opts,
                     else
                         m.noteBuffer(got);
                 }
-            }(node, conn, opts, mem));
+            }(conn, opts, mem));
     }
 }
 
@@ -67,10 +79,11 @@ inline Coro<void>
 streamSenderLoop(Node &node, net::NodeId dst, std::uint16_t port,
                  std::size_t chunk, bool zero_copy = false)
 {
-    tcp::Connection *conn = co_await node.stack().connect(dst, port);
-    const tcp::SendOptions opts{.zeroCopy = zero_copy};
+    sock::Socket conn =
+        co_await sock::Socket::connect(node.stack(), dst, port);
+    const sock::SendOptions opts{.zeroCopy = zero_copy};
     for (;;)
-        co_await conn->send(chunk, opts);
+        co_await conn.sendAll(chunk, opts);
 }
 
 /**
@@ -122,6 +135,212 @@ num(double v, int precision = 1)
 {
     return sim::strprintf("%.*f", precision, v);
 }
+
+/**
+ * The common command-line surface of every bench binary.
+ *
+ * Construct with the bench name, register bench-specific knobs with
+ * `knob()`, then hand everything to `benchMain` — it parses, handles
+ * `--help`, and only then runs the body.
+ */
+class Options
+{
+  public:
+    explicit Options(std::string bench_name)
+        : bench_(std::move(bench_name))
+    {}
+
+    const std::string &benchName() const { return bench_; }
+    const std::string &reportPath() const { return report_; }
+    const std::string &tracePath() const { return trace_; }
+    std::uint64_t seed() const { return seed_; }
+    bool wantReport() const { return !report_.empty(); }
+    bool wantTrace() const { return !trace_.empty(); }
+
+    /** Probe sampling period for instrumented runs. */
+    Tick sampleInterval() const { return sampleInterval_; }
+
+    /** Register a numeric knob: `--<name> <value>` writes to @p slot. */
+    void
+    knob(std::string name, double *slot, std::string desc)
+    {
+        knobs_.push_back(Knob{std::move(name), std::move(desc), slot});
+    }
+
+    /**
+     * Parse argv.  @return false when the process should exit
+     * immediately (--help, or a bad flag); exitCode() says how.
+     */
+    bool
+    parse(int argc, char **argv)
+    {
+        for (int i = 1; i < argc; ++i) {
+            const std::string arg = argv[i];
+            if (arg == "--help" || arg == "-h") {
+                usage(stdout);
+                exitCode_ = 0;
+                return false;
+            }
+            if (arg == "--report" || arg == "--trace" ||
+                arg == "--sample-interval" || arg == "--seed") {
+                if (i + 1 >= argc)
+                    return fail(arg + " needs a value");
+                const std::string val = argv[++i];
+                if (arg == "--report")
+                    report_ = val;
+                else if (arg == "--trace")
+                    trace_ = val;
+                else if (arg == "--sample-interval")
+                    sampleInterval_ = sim::microseconds(
+                        std::strtoull(val.c_str(), nullptr, 10));
+                else
+                    seed_ = std::strtoull(val.c_str(), nullptr, 10);
+                continue;
+            }
+            bool matched = false;
+            for (const Knob &k : knobs_) {
+                if (arg == "--" + k.name) {
+                    if (i + 1 >= argc)
+                        return fail(arg + " needs a value");
+                    *k.slot = std::strtod(argv[++i], nullptr);
+                    matched = true;
+                    break;
+                }
+            }
+            if (!matched)
+                return fail("unknown flag " + arg);
+        }
+        return true;
+    }
+
+    int exitCode() const { return exitCode_; }
+
+    void
+    usage(std::FILE *out) const
+    {
+        std::fprintf(out, "usage: %s [flags]\n", bench_.c_str());
+        std::fprintf(out,
+                     "  --report <file>           write RunReport JSON\n"
+                     "  --trace <file>            write Chrome trace JSON\n"
+                     "  --sample-interval <us>    probe sampling period "
+                     "(default 100)\n"
+                     "  --seed <n>                run seed echoed into the "
+                     "report\n");
+        for (const Knob &k : knobs_)
+            std::fprintf(out, "  --%-23s %s (default %g)\n",
+                         (k.name + " <value>").c_str(), k.desc.c_str(),
+                         *k.slot);
+    }
+
+    /** Echo of every flag for the RunReport config block. */
+    std::vector<std::pair<std::string, std::string>>
+    configEcho() const
+    {
+        std::vector<std::pair<std::string, std::string>> cfg;
+        cfg.emplace_back("sampleIntervalTicks",
+                         std::to_string(sampleInterval_.count()));
+        for (const Knob &k : knobs_)
+            cfg.emplace_back(k.name, sim::strprintf("%g", *k.slot));
+        return cfg;
+    }
+
+  private:
+    struct Knob
+    {
+        std::string name;
+        std::string desc;
+        double *slot;
+    };
+
+    bool
+    fail(const std::string &why)
+    {
+        std::fprintf(stderr, "%s: %s\n", bench_.c_str(), why.c_str());
+        usage(stderr);
+        exitCode_ = 2;
+        return false;
+    }
+
+    std::string bench_;
+    std::string report_;
+    std::string trace_;
+    Tick sampleInterval_ = sim::microseconds(100);
+    std::uint64_t seed_ = 1;
+    std::vector<Knob> knobs_;
+    int exitCode_ = 0;
+};
+
+/**
+ * Parse flags, then run the bench body.  The body receives the parsed
+ * Options and returns the process exit code.
+ */
+inline int
+benchMain(int argc, char **argv, Options &opts,
+          const std::function<int(const Options &)> &body)
+{
+    if (!opts.parse(argc, argv))
+        return opts.exitCode();
+    return body(opts);
+}
+
+/**
+ * Telemetry artifacts for one instrumented run.
+ *
+ * Construct *after* the Simulation exists and before the workload
+ * runs: it opens a telemetry::Session (sampling at
+ * `opts.sampleInterval()` when a report was requested) and attaches a
+ * trace writer when `--trace` was given.  `finish()` captures the
+ * RunReport and writes every requested artifact.
+ */
+class TelemetryRun
+{
+  public:
+    TelemetryRun(Simulation &sim, const Options &opts)
+        : opts_(opts),
+          session_(sim,
+                   sim::telemetry::Session::Config{
+                       opts.wantReport() ? opts.sampleInterval()
+                                         : Tick{0},
+                       sim::telemetry::Sampler::kDefaultMaxSamples})
+    {
+        if (opts.wantTrace()) {
+            tracer_ = std::make_unique<sim::TraceWriter>();
+            session_.attachTracer(tracer_.get());
+        }
+    }
+
+    sim::telemetry::Session &session() { return session_; }
+
+    /**
+     * Capture and write artifacts.  @p extra_config is appended to
+     * the standard flag echo in the report's config block.
+     */
+    void
+    finish(std::vector<std::pair<std::string, std::string>>
+               extra_config = {})
+    {
+        if (opts_.wantReport()) {
+            sim::telemetry::RunReport report;
+            report.setBench(opts_.benchName());
+            report.setSeed(opts_.seed());
+            auto cfg = opts_.configEcho();
+            for (auto &kv : extra_config)
+                cfg.push_back(std::move(kv));
+            for (auto &kv : cfg)
+                report.addConfig(std::move(kv.first),
+                                 std::move(kv.second));
+            session_.captureInto(report);
+            report.saveJson(opts_.reportPath());
+        }
+        if (tracer_)
+            tracer_->save(opts_.tracePath());
+    }
+
+  private:
+    const Options &opts_;
+    std::unique_ptr<sim::TraceWriter> tracer_;
+    sim::telemetry::Session session_;
+};
 
 } // namespace ioat::bench
 

@@ -11,6 +11,7 @@
  */
 
 #include <iostream>
+#include <optional>
 
 #include "common.hh"
 #include "datacenter/app_server.hh"
@@ -30,7 +31,8 @@ struct Result
 };
 
 Result
-run(IoatConfig features, unsigned threads)
+run(IoatConfig features, unsigned threads,
+    const Options *report = nullptr)
 {
     Simulation sim;
     core::Testbed tb(sim,
@@ -56,6 +58,9 @@ run(IoatConfig features, unsigned threads)
     dc::ClientFleet fleet({&tb.client(0), &tb.client(1), &tb.client(2),
                            &tb.client(3)},
                           wl, opts);
+    std::optional<TelemetryRun> tr;
+    if (report)
+        tr.emplace(sim, *report);
     fleet.start();
 
     Meter meter(sim);
@@ -63,6 +68,10 @@ run(IoatConfig features, unsigned threads)
     const std::uint64_t done0 = fleet.completed();
     meter.run(sim::milliseconds(700));
     const std::uint64_t done1 = fleet.completed();
+
+    if (tr)
+        tr->finish({{"threads", std::to_string(threads)},
+                    {"ioat", features.any() ? "true" : "false"}});
 
     return {static_cast<double>(done1 - done0) /
                 sim::toSeconds(meter.elapsed()),
@@ -73,8 +82,12 @@ run(IoatConfig features, unsigned threads)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    Options opts("extension_dynamic_content");
+    if (!opts.parse(argc, argv))
+        return opts.exitCode();
+
     std::cout << "=== Extension: dynamic content, 3 tiers (client -> "
                  "app server -> database) ===\n\n";
     sim::Table t({"threads", "non-ioat TPS", "ioat TPS", "improvement",
@@ -87,6 +100,10 @@ main()
                   pct(non.appCpu), pct(yes.appCpu)});
     }
     t.print(std::cout);
+
+    if (opts.wantReport() || opts.wantTrace())
+        run(IoatConfig::enabled(), 64, &opts);
+
     std::cout << "\nDynamic pages cannot use sendfile and each request "
                  "costs script + DB round trips, so receive-path "
                  "relief converts into additional script capacity "

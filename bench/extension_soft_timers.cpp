@@ -11,6 +11,7 @@
  */
 
 #include <iostream>
+#include <optional>
 
 #include "common.hh"
 
@@ -28,7 +29,8 @@ struct Result
 };
 
 Result
-run(IoatConfig features, bool soft_timers)
+run(IoatConfig features, bool soft_timers,
+    const Options *report = nullptr)
 {
     Simulation sim;
     net::Switch fabric(sim, sim::nanoseconds(2000));
@@ -39,6 +41,9 @@ run(IoatConfig features, bool soft_timers)
     Node server(sim, fabric, cfg);
 
     core::AppMemory mem(server.host(), "sink");
+    std::optional<TelemetryRun> tr;
+    if (report)
+        tr.emplace(sim, *report);
     sim.spawn(streamSinkLoop(server, 5001,
                              {.recvChunk = 16384, .touchPayload = true},
                              mem));
@@ -52,6 +57,10 @@ run(IoatConfig features, bool soft_timers)
     const std::uint64_t poll0 = server.nic().softPolls();
     meter.run(sim::milliseconds(400));
 
+    if (tr)
+        tr->finish({{"softTimers", soft_timers ? "true" : "false"},
+                    {"ioat", features.any() ? "true" : "false"}});
+
     return {sim::throughputMbps(server.stack().rxPayloadBytes() - rx0,
                                 meter.elapsed()),
             server.cpu().utilization(),
@@ -62,8 +71,12 @@ run(IoatConfig features, bool soft_timers)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    Options opts("extension_soft_timers");
+    if (!opts.parse(argc, argv))
+        return opts.exitCode();
+
     std::cout << "=== Extension: soft timers + I/OAT (SS7 co-existence "
                  "claim) ===\n\n";
     std::cout << "8 x 16K-message streams over 4 ports; receiver "
@@ -89,6 +102,10 @@ main()
                   num(static_cast<double>(r.polls) / 0.4, 0)});
     }
     t.print(std::cout);
+
+    if (opts.wantReport() || opts.wantTrace())
+        run(IoatConfig::enabled(), true, &opts);
+
     std::cout << "\nSoft timers remove per-packet interrupt entries; "
                  "I/OAT removes copies and header misses.  The two "
                  "attack different terms, so their savings stack — "

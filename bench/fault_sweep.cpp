@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <iostream>
+#include <optional>
 #include <vector>
 
 #include "common.hh"
@@ -50,7 +51,8 @@ struct StreamResult
 
 /** Fig. 3-style single-port ttcp stream over a lossy link. */
 StreamResult
-runStream(IoatConfig features, double loss)
+runStream(IoatConfig features, double loss,
+          const Options *report = nullptr)
 {
     Simulation sim;
     net::Switch fabric(sim, sim::nanoseconds(2000));
@@ -64,6 +66,11 @@ runStream(IoatConfig features, double loss)
     Node b(sim, fabric, nodeCfg);
 
     core::AppMemory memB(b.host(), "sinkB");
+    std::optional<TelemetryRun> tr;
+    if (report) {
+        tr.emplace(sim, *report);
+        tr->session().add("fault", faults);
+    }
     const std::size_t chunk = 64 * 1024;
     sim.spawn(streamSinkLoop(b, 5001, {.recvChunk = chunk}, memB));
     sim.spawn(streamSenderLoop(a, b.id(), 5001, chunk));
@@ -73,6 +80,11 @@ runStream(IoatConfig features, double loss)
     const std::uint64_t rx0 = b.stack().rxPayloadBytes();
     meter.run(sim::milliseconds(400));
     const std::uint64_t rx1 = b.stack().rxPayloadBytes();
+
+    if (tr)
+        tr->finish({{"lossRate", sim::strprintf("%g", loss)},
+                    {"faultSeed", std::to_string(kFaultSeed)},
+                    {"ioat", features.any() ? "true" : "false"}});
 
     return {sim::throughputMbps(rx1 - rx0, meter.elapsed()),
             a.stack().retransmits() + b.stack().retransmits(),
@@ -159,8 +171,12 @@ runDatacenter(IoatConfig features, double loss)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    Options opts("fault_sweep");
+    if (!opts.parse(argc, argv))
+        return opts.exitCode();
+
     std::cout << "=== Fault sweep: loss-tolerant transport under link "
                  "faults ===\n\n";
 
@@ -190,6 +206,9 @@ main()
                    std::to_string(r.outageDrops)});
     }
     t2.print(std::cout);
+
+    if (opts.wantReport() || opts.wantTrace())
+        runStream(IoatConfig::enabled(), 1e-3, &opts);
 
     std::cout << "\nEvery row is a pure function of the fault seed ("
               << kFaultSeed << "): rerunning prints this table "

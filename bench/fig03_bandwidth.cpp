@@ -10,6 +10,7 @@
  */
 
 #include <iostream>
+#include <optional>
 #include <vector>
 
 #include "common.hh"
@@ -26,7 +27,8 @@ struct Result
 };
 
 Result
-runBandwidth(IoatConfig features, unsigned ports, bool bidirectional)
+runBandwidth(IoatConfig features, unsigned ports, bool bidirectional,
+             const Options *report = nullptr)
 {
     Simulation sim;
     net::Switch fabric(sim, sim::nanoseconds(2000));
@@ -35,6 +37,10 @@ runBandwidth(IoatConfig features, unsigned ports, bool bidirectional)
 
     core::AppMemory memA(a.host(), "sinkA");
     core::AppMemory memB(b.host(), "sinkB");
+
+    std::optional<TelemetryRun> tr;
+    if (report)
+        tr.emplace(sim, *report);
 
     const std::size_t chunk = 64 * 1024;
     sim.spawn(streamSinkLoop(b, 5001, {.recvChunk = chunk}, memB));
@@ -53,6 +59,11 @@ runBandwidth(IoatConfig features, unsigned ports, bool bidirectional)
     meter.run(sim::milliseconds(400));
     const std::uint64_t rx1 =
         b.stack().rxPayloadBytes() + a.stack().rxPayloadBytes();
+
+    if (tr)
+        tr->finish({{"ports", std::to_string(ports)},
+                    {"bidirectional", bidirectional ? "true" : "false"},
+                    {"ioat", features.any() ? "true" : "false"}});
 
     return {sim::throughputMbps(rx1 - rx0, meter.elapsed()),
             b.cpu().utilization()};
@@ -80,16 +91,21 @@ table(bool bidirectional, const char *title)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    std::cout << "=== Figure 3: Bandwidth and Bi-directional Bandwidth "
-                 "(ttcp, Testbed 1) ===\n\n";
-    table(false, "Figure 3a: Bandwidth vs ports");
-    table(true, "Figure 3b: Bi-directional bandwidth vs ports "
-                "(2N threads)");
-    std::cout << "Paper anchors: ~5635 Mbps at 6 ports; 3a CPU 37% vs "
-                 "29% (~21% relative);\n"
-                 "~9600 Mbps bidir; 3b CPU ~90% vs ~70% (~22% "
-                 "relative).\n";
-    return 0;
+    Options opts("fig03_bandwidth");
+    return benchMain(argc, argv, opts, [](const Options &o) {
+        std::cout << "=== Figure 3: Bandwidth and Bi-directional "
+                     "Bandwidth (ttcp, Testbed 1) ===\n\n";
+        table(false, "Figure 3a: Bandwidth vs ports");
+        table(true, "Figure 3b: Bi-directional bandwidth vs ports "
+                    "(2N threads)");
+        std::cout << "Paper anchors: ~5635 Mbps at 6 ports; 3a CPU 37% "
+                     "vs 29% (~21% relative);\n"
+                     "~9600 Mbps bidir; 3b CPU ~90% vs ~70% (~22% "
+                     "relative).\n";
+        if (o.wantReport() || o.wantTrace())
+            runBandwidth(IoatConfig::enabled(), 6, false, &o);
+        return 0;
+    });
 }

@@ -7,6 +7,7 @@
  */
 
 #include <iostream>
+#include <optional>
 
 #include "common.hh"
 
@@ -22,7 +23,8 @@ struct Result
 };
 
 Result
-run(IoatConfig features, unsigned threads)
+run(IoatConfig features, unsigned threads,
+    const Options *report = nullptr)
 {
     Simulation sim;
     net::Switch fabric(sim, sim::nanoseconds(2000));
@@ -30,6 +32,9 @@ run(IoatConfig features, unsigned threads)
     Node server(sim, fabric, NodeConfig::server(features, 6));
 
     core::AppMemory mem(server.host(), "sink");
+    std::optional<TelemetryRun> tr;
+    if (report)
+        tr.emplace(sim, *report);
     const std::size_t chunk = 64 * 1024;
     sim.spawn(streamSinkLoop(server, 5001,
                              {.recvChunk = chunk, .touchPayload = true},
@@ -43,6 +48,10 @@ run(IoatConfig features, unsigned threads)
     meter.run(sim::milliseconds(400));
     const std::uint64_t rx1 = server.stack().rxPayloadBytes();
 
+    if (tr)
+        tr->finish({{"threads", std::to_string(threads)},
+                    {"ioat", features.any() ? "true" : "false"}});
+
     return {sim::throughputMbps(rx1 - rx0, meter.elapsed()),
             server.cpu().utilization()};
 }
@@ -50,23 +59,28 @@ run(IoatConfig features, unsigned threads)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    std::cout << "=== Figure 4: Multi-Stream Bandwidth (one server, N "
-                 "client threads, 6 ports) ===\n\n";
-    sim::Table t({"threads", "non-ioat Mbps", "ioat Mbps",
-                  "non-ioat CPU", "ioat CPU", "rel CPU benefit"});
-    for (unsigned threads : {2u, 4u, 6u, 8u, 10u, 12u}) {
-        const Result non = run(IoatConfig::disabled(), threads);
-        const Result yes = run(IoatConfig::enabled(), threads);
-        t.addRow({std::to_string(threads), num(non.mbps, 0),
-                  num(yes.mbps, 0), pct(non.cpu), pct(yes.cpu),
-                  pct(relativeBenefit(yes.cpu, non.cpu))});
-    }
-    t.print(std::cout);
-    std::cout << "\nPaper anchors: similar bandwidth for both until 12 "
-                 "threads, where non-I/OAT degrades;\nat 12 threads CPU "
-                 "76% (non-I/OAT) vs 52% (I/OAT), ~32% relative "
-                 "benefit.\n";
-    return 0;
+    Options opts("fig04_multistream");
+    return benchMain(argc, argv, opts, [](const Options &o) {
+        std::cout << "=== Figure 4: Multi-Stream Bandwidth (one server, "
+                     "N client threads, 6 ports) ===\n\n";
+        sim::Table t({"threads", "non-ioat Mbps", "ioat Mbps",
+                      "non-ioat CPU", "ioat CPU", "rel CPU benefit"});
+        for (unsigned threads : {2u, 4u, 6u, 8u, 10u, 12u}) {
+            const Result non = run(IoatConfig::disabled(), threads);
+            const Result yes = run(IoatConfig::enabled(), threads);
+            t.addRow({std::to_string(threads), num(non.mbps, 0),
+                      num(yes.mbps, 0), pct(non.cpu), pct(yes.cpu),
+                      pct(relativeBenefit(yes.cpu, non.cpu))});
+        }
+        t.print(std::cout);
+        std::cout << "\nPaper anchors: similar bandwidth for both until "
+                     "12 threads, where non-I/OAT degrades;\nat 12 "
+                     "threads CPU 76% (non-I/OAT) vs 52% (I/OAT), ~32% "
+                     "relative benefit.\n";
+        if (o.wantReport() || o.wantTrace())
+            run(IoatConfig::enabled(), 12, &o);
+        return 0;
+    });
 }

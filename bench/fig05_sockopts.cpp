@@ -14,6 +14,7 @@
  */
 
 #include <iostream>
+#include <optional>
 
 #include "common.hh"
 
@@ -45,7 +46,8 @@ caseConfig(IoatConfig features, int case_id)
 }
 
 Result
-run(IoatConfig features, int case_id, bool bidirectional)
+run(IoatConfig features, int case_id, bool bidirectional,
+    const Options *report = nullptr)
 {
     Simulation sim;
     net::Switch fabric(sim, sim::nanoseconds(2000));
@@ -55,6 +57,9 @@ run(IoatConfig features, int case_id, bool bidirectional)
 
     core::AppMemory memA(a.host(), "sinkA");
     core::AppMemory memB(b.host(), "sinkB");
+    std::optional<TelemetryRun> tr;
+    if (report)
+        tr.emplace(sim, *report);
     const std::size_t chunk = 64 * 1024;
     sim.spawn(streamSinkLoop(b, 5001, {.recvChunk = chunk}, memB));
     for (unsigned i = 0; i < 6; ++i)
@@ -72,6 +77,11 @@ run(IoatConfig features, int case_id, bool bidirectional)
     meter.run(sim::milliseconds(400));
     const std::uint64_t rx1 =
         b.stack().rxPayloadBytes() + a.stack().rxPayloadBytes();
+
+    if (tr)
+        tr->finish({{"case", std::to_string(case_id)},
+                    {"bidirectional", bidirectional ? "true" : "false"},
+                    {"ioat", features.any() ? "true" : "false"}});
 
     return {sim::throughputMbps(rx1 - rx0, meter.elapsed()),
             b.cpu().utilization()};
@@ -101,14 +111,20 @@ table(bool bidirectional, const char *title)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    std::cout << "=== Figure 5: Socket Optimizations (6 ports) ===\n\n";
-    table(false, "Figure 5a: Bandwidth");
-    table(true, "Figure 5b: Bi-directional bandwidth");
-    std::cout << "Paper anchors: throughput rises Case 1->5 (I/OAT "
-                 "5586 vs non-I/OAT 5514 Mbps at Case 5);\nrelative CPU "
-                 "benefit grows with optimizations, ~30% (5a) and ~38% "
-                 "(5b) at Case 4.\n";
-    return 0;
+    Options opts("fig05_sockopts");
+    return benchMain(argc, argv, opts, [](const Options &o) {
+        std::cout << "=== Figure 5: Socket Optimizations (6 ports) "
+                     "===\n\n";
+        table(false, "Figure 5a: Bandwidth");
+        table(true, "Figure 5b: Bi-directional bandwidth");
+        std::cout << "Paper anchors: throughput rises Case 1->5 (I/OAT "
+                     "5586 vs non-I/OAT 5514 Mbps at Case 5);\nrelative "
+                     "CPU benefit grows with optimizations, ~30% (5a) "
+                     "and ~38% (5b) at Case 4.\n";
+        if (o.wantReport() || o.wantTrace())
+            run(IoatConfig::enabled(), 5, false, &o);
+        return 0;
+    });
 }

@@ -14,6 +14,7 @@
  */
 
 #include <iostream>
+#include <optional>
 
 #include "common.hh"
 
@@ -29,7 +30,8 @@ struct Result
 };
 
 Result
-run(IoatConfig features, std::size_t msg_bytes)
+run(IoatConfig features, std::size_t msg_bytes,
+    const Options *report = nullptr)
 {
     Simulation sim;
     net::Switch fabric(sim, sim::nanoseconds(2000));
@@ -39,6 +41,9 @@ run(IoatConfig features, std::size_t msg_bytes)
     // The four server threads consume whole messages and stream over
     // them once (this working set is what overflows the L2 at 1M+).
     core::AppMemory mem(server.host(), "sink");
+    std::optional<TelemetryRun> tr;
+    if (report)
+        tr.emplace(sim, *report);
     sim.spawn(streamSinkLoop(server, 5001,
                              {.recvChunk = msg_bytes, .touchPayload = true},
                              mem));
@@ -50,6 +55,10 @@ run(IoatConfig features, std::size_t msg_bytes)
     const std::uint64_t rx0 = server.stack().rxPayloadBytes();
     meter.run(sim::milliseconds(500));
     const std::uint64_t rx1 = server.stack().rxPayloadBytes();
+
+    if (tr)
+        tr->finish({{"msgBytes", std::to_string(msg_bytes)},
+                    {"ioat", features.any() ? "true" : "false"}});
 
     return {sim::throughputMbps(rx1 - rx0, meter.elapsed()),
             server.cpu().utilization()};
@@ -66,8 +75,12 @@ sizeLabel(std::size_t bytes)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    Options opts("fig07_splitup");
+    if (!opts.parse(argc, argv))
+        return opts.exitCode();
+
     std::cout << "=== Figure 7: I/OAT split-up benefits (4 ports, 4 "
                  "streams) ===\n\n";
 
@@ -104,6 +117,9 @@ main()
                    num(split.mbps, 0), pct(benefit)});
     }
     tb.print(std::cout);
+
+    if (opts.wantReport() || opts.wantTrace())
+        run(IoatConfig::enabled(), std::size_t{1} << 20, &opts);
 
     std::cout << "\nPaper anchors: (a) DMA engine ~16% relative CPU "
                  "benefit for 16K-128K, no throughput change; split "

@@ -10,6 +10,7 @@
  */
 
 #include <iostream>
+#include <optional>
 
 #include "common.hh"
 #include "datacenter/client.hh"
@@ -28,7 +29,8 @@ struct Result
 };
 
 Result
-run(IoatConfig features, unsigned threads)
+run(IoatConfig features, unsigned threads,
+    const Options *report = nullptr)
 {
     Simulation sim;
     net::Switch fabric(sim, sim::nanoseconds(2000));
@@ -53,6 +55,9 @@ run(IoatConfig features, unsigned threads)
     opts.residentBytesPerThread = 512 * 1024;
 
     dc::ClientFleet fleet({&client_node}, wl, opts);
+    std::optional<TelemetryRun> tr;
+    if (report)
+        tr.emplace(sim, *report);
     fleet.start();
 
     Meter meter(sim);
@@ -60,6 +65,10 @@ run(IoatConfig features, unsigned threads)
     const std::uint64_t done0 = fleet.completed();
     meter.run(sim::milliseconds(700));
     const std::uint64_t done1 = fleet.completed();
+
+    if (tr)
+        tr->finish({{"threads", std::to_string(threads)},
+                    {"ioat", features.any() ? "true" : "false"}});
 
     return {static_cast<double>(done1 - done0) /
                 sim::toSeconds(meter.elapsed()),
@@ -69,8 +78,12 @@ run(IoatConfig features, unsigned threads)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    Options opts("fig09_emulated_clients");
+    if (!opts.parse(argc, argv))
+        return opts.exitCode();
+
     std::cout << "=== Figure 9: Clients with I/OAT capability (16K "
                  "files) ===\n\n";
     sim::Table t({"threads", "non-ioat TPS", "ioat TPS", "non-ioat "
@@ -83,6 +96,10 @@ main()
                   pct((yes.tps - non.tps) / non.tps)});
     }
     t.print(std::cout);
+
+    if (opts.wantReport() || opts.wantTrace())
+        run(IoatConfig::enabled(), 64, &opts);
+
     std::cout << "\nPaper anchors: identical up to 16 threads; "
                  "non-I/OAT CPU saturates around 64 threads and TPS "
                  "flattens (~12928);\nI/OAT keeps scaling to 256 "

@@ -11,6 +11,7 @@
  */
 
 #include <iostream>
+#include <optional>
 
 #include "pvfs_common.hh"
 
@@ -26,14 +27,21 @@ struct Result
 };
 
 Result
-run(IoatConfig features, unsigned iod_count, unsigned compute_nodes)
+run(IoatConfig features, unsigned iod_count, unsigned compute_nodes,
+    const Options *report = nullptr)
 {
     PvfsRig rig(features, iod_count);
     const std::size_t region = 2ull * 1024 * 1024 * iod_count;
 
     std::vector<std::unique_ptr<pvfs::PvfsClient>> clients;
-    for (unsigned c = 0; c < compute_nodes; ++c) {
+    for (unsigned c = 0; c < compute_nodes; ++c)
         clients.push_back(rig.makeClient());
+
+    std::optional<TelemetryRun> tr;
+    if (report)
+        tr.emplace(rig.sim, *report);
+
+    for (unsigned c = 0; c < compute_nodes; ++c) {
         const auto h =
             rig.presizeFile("f" + std::to_string(c), region);
         rig.sim.spawn([](PvfsRig &r, pvfs::PvfsClient &cl,
@@ -43,7 +51,7 @@ run(IoatConfig features, unsigned iod_count, unsigned compute_nodes)
             co_await cl.connect();
             for (;;)
                 co_await cl.read(fh, 0, bytes);
-        }(rig, *clients.back(), h, region));
+        }(rig, *clients[c], h, region));
     }
 
     Meter meter(rig.sim);
@@ -56,6 +64,11 @@ run(IoatConfig features, unsigned iod_count, unsigned compute_nodes)
     std::uint64_t rx1 = 0;
     for (const auto &c : clients)
         rx1 += c->bytesRead();
+
+    if (tr)
+        tr->finish({{"iodCount", std::to_string(iod_count)},
+                    {"computeNodes", std::to_string(compute_nodes)},
+                    {"ioat", features.any() ? "true" : "false"}});
 
     return {sim::throughputMBps(rx1 - rx0, meter.elapsed()),
             rig.clientNode().cpu().utilization()};
@@ -84,12 +97,20 @@ table(unsigned iods)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    Options opts("fig10_pvfs_read");
+    if (!opts.parse(argc, argv))
+        return opts.exitCode();
+
     std::cout << "=== Figure 10: PVFS Concurrent Read Performance "
                  "(ramfs) ===\n\n";
     table(6);
     table(5);
+
+    if (opts.wantReport() || opts.wantTrace())
+        run(IoatConfig::enabled(), 6, 6, &opts);
+
     std::cout << "Paper anchors: 6 servers: non-I/OAT 361->649 MB/s, "
                  "I/OAT 360->731 MB/s (~12% at 6 clients), ~15% CPU "
                  "benefit;\n5 servers: same trends, smaller gains.\n";

@@ -7,6 +7,7 @@
  */
 
 #include <iostream>
+#include <optional>
 
 #include "pvfs_common.hh"
 
@@ -22,14 +23,21 @@ struct Result
 };
 
 Result
-run(IoatConfig features, unsigned iod_count, unsigned compute_nodes)
+run(IoatConfig features, unsigned iod_count, unsigned compute_nodes,
+    const Options *report = nullptr)
 {
     PvfsRig rig(features, iod_count);
     const std::size_t region = 2ull * 1024 * 1024 * iod_count;
 
     std::vector<std::unique_ptr<pvfs::PvfsClient>> clients;
-    for (unsigned c = 0; c < compute_nodes; ++c) {
+    for (unsigned c = 0; c < compute_nodes; ++c)
         clients.push_back(rig.makeClient());
+
+    std::optional<TelemetryRun> tr;
+    if (report)
+        tr.emplace(rig.sim, *report);
+
+    for (unsigned c = 0; c < compute_nodes; ++c) {
         const auto h =
             rig.presizeFile("f" + std::to_string(c), region);
         rig.sim.spawn([](pvfs::PvfsClient &cl, pvfs::FileHandle fh,
@@ -37,7 +45,7 @@ run(IoatConfig features, unsigned iod_count, unsigned compute_nodes)
             co_await cl.connect();
             for (;;)
                 co_await cl.write(fh, 0, bytes);
-        }(*clients.back(), h, region));
+        }(*clients[c], h, region));
     }
 
     Meter meter(rig.sim);
@@ -50,6 +58,11 @@ run(IoatConfig features, unsigned iod_count, unsigned compute_nodes)
     std::uint64_t tx1 = 0;
     for (const auto &c : clients)
         tx1 += c->bytesWritten();
+
+    if (tr)
+        tr->finish({{"iodCount", std::to_string(iod_count)},
+                    {"computeNodes", std::to_string(compute_nodes)},
+                    {"ioat", features.any() ? "true" : "false"}});
 
     return {sim::throughputMBps(tx1 - tx0, meter.elapsed()),
             rig.serverNode().cpu().utilization()};
@@ -78,12 +91,20 @@ table(unsigned iods)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    Options opts("fig11_pvfs_write");
+    if (!opts.parse(argc, argv))
+        return opts.exitCode();
+
     std::cout << "=== Figure 11: PVFS Concurrent Write Performance "
                  "(ramfs) ===\n\n";
     table(6);
     table(5);
+
+    if (opts.wantReport() || opts.wantTrace())
+        run(IoatConfig::enabled(), 6, 6, &opts);
+
     std::cout << "Paper anchors: 6 servers: non-I/OAT 464->697 MB/s, "
                  "I/OAT 460->750 MB/s (~8% at 6 clients), ~7% CPU "
                  "benefit;\n5 servers: same trends.\n";

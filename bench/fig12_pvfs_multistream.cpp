@@ -10,6 +10,7 @@
  */
 
 #include <iostream>
+#include <optional>
 
 #include "pvfs_common.hh"
 
@@ -25,15 +26,22 @@ struct Result
 };
 
 Result
-run(IoatConfig features, unsigned emulated_clients)
+run(IoatConfig features, unsigned emulated_clients,
+    const Options *report = nullptr)
 {
     constexpr unsigned kIods = 6;
     PvfsRig rig(features, kIods);
     const std::size_t region = 2ull * 1024 * 1024 * kIods;
 
     std::vector<std::unique_ptr<pvfs::PvfsClient>> clients;
-    for (unsigned c = 0; c < emulated_clients; ++c) {
+    for (unsigned c = 0; c < emulated_clients; ++c)
         clients.push_back(rig.makeClient());
+
+    std::optional<TelemetryRun> tr;
+    if (report)
+        tr.emplace(rig.sim, *report);
+
+    for (unsigned c = 0; c < emulated_clients; ++c) {
         const auto h =
             rig.presizeFile("f" + std::to_string(c), region);
         rig.sim.spawn([](pvfs::PvfsClient &cl, pvfs::FileHandle fh,
@@ -41,7 +49,7 @@ run(IoatConfig features, unsigned emulated_clients)
             co_await cl.connect();
             for (;;)
                 co_await cl.read(fh, 0, bytes);
-        }(*clients.back(), h, region));
+        }(*clients[c], h, region));
     }
 
     Meter meter(rig.sim);
@@ -55,6 +63,11 @@ run(IoatConfig features, unsigned emulated_clients)
     for (const auto &c : clients)
         rx1 += c->bytesRead();
 
+    if (tr)
+        tr->finish(
+            {{"emulatedClients", std::to_string(emulated_clients)},
+             {"ioat", features.any() ? "true" : "false"}});
+
     return {sim::throughputMBps(rx1 - rx0, meter.elapsed()),
             rig.clientNode().cpu().utilization()};
 }
@@ -62,8 +75,12 @@ run(IoatConfig features, unsigned emulated_clients)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    Options opts("fig12_pvfs_multistream");
+    if (!opts.parse(argc, argv))
+        return opts.exitCode();
+
     std::cout << "=== Figure 12: Multi-Stream PVFS Read Performance (6 "
                  "I/O servers) ===\n\n";
     sim::Table t({"clients", "non-ioat MB/s", "ioat MB/s",
@@ -78,6 +95,10 @@ main()
                   pct(non.clientCpu), pct(yes.clientCpu)});
     }
     t.print(std::cout);
+
+    if (opts.wantReport() || opts.wantTrace())
+        run(IoatConfig::enabled(), 16, &opts);
+
     std::cout << "\nPaper anchors: I/OAT throughput >= non-I/OAT "
                  "everywhere; I/OAT *client* CPU runs ~10-12% higher "
                  "because faster receives let clients issue reads "

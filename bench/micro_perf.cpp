@@ -7,17 +7,18 @@
  */
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include <benchmark/benchmark.h>
 
+#include "common.hh"
 #include "core/calibration.hh"
 #include "core/node.hh"
 #include "dma/dma_engine.hh"
 #include "mem/copy_model.hh"
 #include "net/switch.hh"
 #include "simcore/simcore.hh"
-#include "tcp/stack.hh"
 
 namespace {
 
@@ -129,13 +130,13 @@ BENCHMARK(BM_DmaEngineTransferSim);
 Coro<void>
 perfSinkLoop(Node &node, std::uint16_t port, std::size_t chunk)
 {
-    auto &listener = node.stack().listen(port);
+    sock::Listener listener(node.stack(), port);
     for (;;) {
-        tcp::Connection *c = co_await listener.accept();
+        sock::Socket c = co_await listener.accept();
         node.simulation().spawn(
-            [](tcp::Connection *conn, std::size_t ck) -> Coro<void> {
+            [](sock::Socket conn, std::size_t ck) -> Coro<void> {
                 for (;;) {
-                    const std::size_t got = co_await conn->recvAll(ck);
+                    const std::size_t got = co_await conn.recvAll(ck);
                     if (got == 0)
                         co_return;
                 }
@@ -147,9 +148,10 @@ Coro<void>
 perfSenderLoop(Node &node, net::NodeId dst, std::uint16_t port,
                std::size_t chunk)
 {
-    tcp::Connection *c = co_await node.stack().connect(dst, port);
+    sock::Socket c =
+        co_await sock::Socket::connect(node.stack(), dst, port);
     for (;;)
-        co_await c->send(chunk);
+        co_await c.sendAll(chunk);
 }
 
 std::uint64_t
@@ -198,6 +200,58 @@ BM_TcpStreamCluster(benchmark::State &state)
 }
 BENCHMARK(BM_TcpStreamCluster)->Unit(benchmark::kMillisecond);
 
+/** Instrumented 2-node stream for --report/--trace artifacts. */
+void
+reportRun(const ioat::bench::Options &opts)
+{
+    Simulation sim;
+    net::Switch fabric(sim, sim::nanoseconds(2000));
+    const NodeConfig cfg = NodeConfig::server(IoatConfig::disabled(), 1);
+    Node sink(sim, fabric, cfg);
+    Node sender(sim, fabric, cfg);
+    ioat::bench::TelemetryRun tr(sim, opts);
+    const std::size_t chunk = 64 * 1024;
+    sim.spawn(perfSinkLoop(sink, 5001, chunk));
+    sim.spawn(perfSenderLoop(sender, sink.id(), 5001, chunk));
+    sim.runFor(sim::milliseconds(50));
+    tr.finish({{"workload", "stream_2node"},
+               {"chunkBytes", std::to_string(chunk)}});
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    // The telemetry flags are ours; everything else belongs to
+    // google-benchmark.  Split argv before handing it over.
+    ioat::bench::Options opts("micro_perf");
+    std::vector<char *> gbench_argv{argv[0]};
+    std::vector<char *> our_argv{argv[0]};
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--report" || arg == "--trace" ||
+            arg == "--sample-interval" || arg == "--seed") {
+            our_argv.push_back(argv[i]);
+            if (i + 1 < argc)
+                our_argv.push_back(argv[++i]);
+        } else {
+            gbench_argv.push_back(argv[i]);
+        }
+    }
+    int our_argc = static_cast<int>(our_argv.size());
+    if (!opts.parse(our_argc, our_argv.data()))
+        return opts.exitCode();
+
+    if (opts.wantReport() || opts.wantTrace())
+        reportRun(opts);
+
+    int gbench_argc = static_cast<int>(gbench_argv.size());
+    benchmark::Initialize(&gbench_argc, gbench_argv.data());
+    if (benchmark::ReportUnrecognizedArguments(gbench_argc,
+                                               gbench_argv.data()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -19,6 +19,7 @@
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -45,7 +46,8 @@ struct Point
 };
 
 Point
-run(IoatConfig features, const char *configName, unsigned clientNodes)
+run(IoatConfig features, const char *configName, unsigned clientNodes,
+    const Options *report = nullptr)
 {
     const auto wall0 = std::chrono::steady_clock::now();
 
@@ -75,6 +77,9 @@ run(IoatConfig features, const char *configName, unsigned clientNodes)
     opts.residentBytesPerThread = 512 * 1024;
 
     dc::ClientFleet fleet(clientPtrs, wl, opts);
+    std::optional<TelemetryRun> tr;
+    if (report)
+        tr.emplace(sim, *report);
     fleet.start();
 
     Meter meter(sim);
@@ -87,6 +92,10 @@ run(IoatConfig features, const char *configName, unsigned clientNodes)
     const double wallSec =
         std::chrono::duration<double>(wall1 - wall0).count();
     const std::uint64_t events = sim.queue().executedEvents();
+
+    if (tr)
+        tr->finish({{"clientNodes", std::to_string(clientNodes)},
+                    {"config", configName}});
 
     return {clientNodes, configName,
             static_cast<double>(done1 - done0) /
@@ -117,8 +126,12 @@ writeJson(const std::vector<Point> &points, const std::string &path)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    Options opts("scale_cluster");
+    if (!opts.parse(argc, argv))
+        return opts.exitCode();
+
     std::cout << "=== Cluster scale-out: Fig. 9 workload, N client "
                  "nodes x " << kThreadsPerNode << " threads ===\n\n";
     sim::Table t({"clients", "non-ioat TPS", "ioat TPS", "events",
@@ -139,6 +152,9 @@ main()
                       0)});
     }
     t.print(std::cout);
+
+    if (opts.wantReport() || opts.wantTrace())
+        run(IoatConfig::enabled(), "ioat", 8, &opts);
 
     const std::string path = "BENCH_scale.json";
     writeJson(points, path);

@@ -12,6 +12,7 @@
 #include "core/node.hh"
 #include "core/testbed.hh"
 #include "simcore/simcore.hh"
+#include "sock/socket.hh"
 
 using namespace ioat;
 using core::IoatConfig;
@@ -26,10 +27,10 @@ namespace {
 Coro<void>
 sinkTask(Node &server)
 {
-    auto &listener = server.stack().listen(5001);
-    tcp::Connection *conn = co_await listener.accept();
+    sock::Listener listener(server.stack(), 5001);
+    sock::Socket conn = co_await listener.accept();
     for (;;) {
-        if (co_await conn->recv(sim::mib(1)) == 0)
+        if (co_await conn.recv(sim::mib(1)) == 0)
             co_return;
     }
 }
@@ -38,9 +39,10 @@ sinkTask(Node &server)
 Coro<void>
 sourceTask(Node &client, net::NodeId server)
 {
-    tcp::Connection *conn = co_await client.stack().connect(server, 5001);
+    sock::Socket conn =
+        co_await sock::Socket::connect(client.stack(), server, 5001);
     for (;;)
-        co_await conn->send(sim::kib(64));
+        co_await conn.sendAll(sim::kib(64));
 }
 
 void

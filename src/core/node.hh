@@ -71,8 +71,12 @@ struct NodeConfig
 
 /**
  * One node, owning all of its hardware models and its stack.
+ *
+ * Registers itself with the simulation's telemetry hub as "node", so
+ * `telemetry::Session` picks up every node ("node0.cpu.utilization",
+ * "node1.tcp.txPayloadBytes", ...) with no bench-side wiring.
  */
-class Node
+class Node : public sim::telemetry::Instrumented
 {
   public:
     Node(Simulation &sim, net::Switch &fabric, const NodeConfig &cfg)
@@ -89,10 +93,54 @@ class Node
           stack_(tcp::Host{sim, cpu_, cache_, copy_, pages_, bus_,
                            dma_.get()},
                  nic_, cfg_.tcp)
-    {}
+    {
+        sim_.telemetry().add("node", this);
+    }
+
+    ~Node() override { sim_.telemetry().remove(this); }
 
     Node(const Node &) = delete;
     Node &operator=(const Node &) = delete;
+
+    /** Hierarchy walk: publish every hardware model and the stack. */
+    void
+    instrument(sim::telemetry::Registry &reg) override
+    {
+        using Scope = sim::telemetry::Registry::Scope;
+        {
+            Scope s(reg, "cpu");
+            cpu_.instrument(reg);
+        }
+        {
+            Scope s(reg, "cache");
+            cache_.instrument(reg);
+        }
+        {
+            Scope s(reg, "bus");
+            bus_.instrument(reg);
+        }
+        if (dma_) {
+            Scope s(reg, "dma");
+            dma_->instrument(reg);
+        }
+        {
+            Scope s(reg, "nic");
+            nic_.instrument(reg);
+        }
+        {
+            Scope s(reg, "tcp");
+            stack_.instrument(reg);
+        }
+    }
+
+    /** Forward a trace writer to the models that emit trace events. */
+    void
+    attachTracer(sim::TraceWriter *t) override
+    {
+        cpu_.setTracer(t);
+        if (dma_)
+            dma_->setTracer(t);
+    }
 
     net::NodeId id() const { return nic_.id(); }
     const NodeConfig &config() const { return cfg_; }

@@ -27,6 +27,7 @@
 #include "simcore/coro.hh"
 #include "simcore/sim.hh"
 #include "simcore/smallfn.hh"
+#include "simcore/telemetry/registry.hh"
 #include "simcore/trace.hh"
 #include "simcore/stats.hh"
 
@@ -170,6 +171,28 @@ class CpuSet
 
     /** Work items executed since construction. */
     std::uint64_t completedItems() const { return completed_.value(); }
+
+    /** Publish CPU telemetry (called under the node's "cpu" scope). */
+    void
+    instrument(sim::telemetry::Registry &reg)
+    {
+        reg.scalar(
+            "utilization", [this] { return utilization(); },
+            "busy-core fraction over the current window");
+        reg.scalar(
+            "totalBusyTicks",
+            [this] { return static_cast<double>(totalBusy_.count()); },
+            "CPU time consumed since construction");
+        reg.counter("completedItems", completed_, "work items executed");
+        reg.probe(
+            "busyCores", sim::telemetry::ProbeKind::gauge,
+            [this] { return static_cast<double>(busyCount_); },
+            "cores busy at the sample instant");
+        reg.probe(
+            "queuedWork", sim::telemetry::ProbeKind::gauge,
+            [this] { return static_cast<double>(queuedWork()); },
+            "work items waiting for a core");
+    }
 
   private:
     struct WorkItem

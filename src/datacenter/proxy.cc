@@ -56,12 +56,41 @@ Proxy::Proxy(core::Node &node, const DcConfig &cfg,
             std::make_unique<sim::Channel<Connection *>>(
                 node.simulation()));
     mem_.reserve(cfg_.appResidentBytes);
+    node_.simulation().telemetry().add("proxy", this);
 }
 
 Proxy::Proxy(core::Node &node, const DcConfig &cfg, net::NodeId backend,
              unsigned backend_conns)
     : Proxy(node, cfg, std::vector<net::NodeId>{backend}, backend_conns)
 {}
+
+Proxy::~Proxy() { node_.simulation().telemetry().remove(this); }
+
+void
+Proxy::instrument(sim::telemetry::Registry &reg)
+{
+    reg.counter("requestsServed", served_, "client requests completed");
+    reg.counter("cacheHits", hits_, "object-cache hits");
+    reg.counter("cacheMisses", misses_, "object-cache misses");
+    reg.counter("backendRetries", retries_,
+                "backend exchanges retried after failure");
+    reg.counter("degradedHits", degraded_,
+                "requests served stale after backend failure");
+    reg.counter("requestsShed", shed_, "requests answered with a 503");
+    reg.counter("deadBackendConns", deadConns_,
+                "pooled backend connections replaced");
+    reg.scalar(
+        "hitRate", [this] { return hitRate(); },
+        "object-cache hit fraction");
+    reg.scalar(
+        "cacheBytes",
+        [this] { return static_cast<double>(cache_.usedBytes()); },
+        "bytes of cached objects");
+    reg.probe(
+        "inflight", sim::telemetry::ProbeKind::gauge,
+        [this] { return static_cast<double>(inflight_); },
+        "client requests between parse and reply (proxy backlog)");
+}
 
 void
 Proxy::start()
@@ -152,6 +181,7 @@ Proxy::serveConnection(Connection *client)
             co_return;
         sim::simAssert(msg->tag == static_cast<std::uint64_t>(HttpTag::Get),
                        "proxy expects GET");
+        ++inflight_;
 
         co_await node_.cpu().compute(cfg_.requestParseCost +
                                      cfg_.workerOverheadCost +
@@ -206,6 +236,7 @@ Proxy::serveConnection(Connection *client)
                         HttpTag::ServiceUnavailable);
                     busy.a = msg->a;
                     co_await sock::sendMessage(*client, busy);
+                    --inflight_;
                     continue;
                 }
             }
@@ -221,6 +252,7 @@ Proxy::serveConnection(Connection *client)
         co_await sock::sendMessage(*client, resp,
                                    tcp::SendOptions{.zeroCopy = true});
         served_.inc();
+        --inflight_;
     }
 }
 

@@ -28,9 +28,11 @@
 namespace ioat::dc {
 
 /**
- * One proxy instance on a node.
+ * One proxy instance on a node.  Registers with the simulation's
+ * telemetry hub as "proxy" (backlog gauge, cache and failover
+ * counters).
  */
-class Proxy
+class Proxy : public sim::telemetry::Instrumented
 {
   public:
     /**
@@ -46,8 +48,19 @@ class Proxy
     Proxy(core::Node &node, const DcConfig &cfg, net::NodeId backend,
           unsigned backend_conns = 16);
 
+    ~Proxy() override;
+
+    Proxy(const Proxy &) = delete;
+    Proxy &operator=(const Proxy &) = delete;
+
     /** Open the backend pools and begin accepting on cfg.proxyPort. */
     void start();
+
+    /** Client requests currently being served (the proxy backlog). */
+    std::uint64_t inflightRequests() const { return inflight_; }
+
+    /** Publish proxy telemetry (registered with the Hub as "proxy"). */
+    void instrument(sim::telemetry::Registry &reg) override;
 
     std::uint64_t requestsServed() const { return served_.value(); }
     std::uint64_t cacheHits() const { return hits_.value(); }
@@ -95,6 +108,7 @@ class Proxy
     sim::stats::Counter degraded_;
     sim::stats::Counter shed_;
     sim::stats::Counter deadConns_;
+    std::uint64_t inflight_ = 0; ///< requests between parse and reply
 };
 
 } // namespace ioat::dc

@@ -20,7 +20,10 @@ WebServer::WebServer(core::Node &node, const DcConfig &cfg,
     // The served corpus (page cache) and Apache's own resident state
     // compete for L2 the entire run.
     mem_.reserve(cfg_.appResidentBytes + files_.totalBytes());
+    node_.simulation().telemetry().add("webServer", this);
 }
+
+WebServer::~WebServer() { node_.simulation().telemetry().remove(this); }
 
 void
 WebServer::start()

@@ -27,13 +27,19 @@ enum class HttpTag : std::uint64_t {
 };
 
 /**
- * Serves GET requests for a static file population.
+ * Serves GET requests for a static file population.  Registers with
+ * the simulation's telemetry hub as "webServer".
  */
-class WebServer
+class WebServer : public sim::telemetry::Instrumented
 {
   public:
     WebServer(core::Node &node, const DcConfig &cfg,
               const Workload &files);
+
+    ~WebServer() override;
+
+    WebServer(const WebServer &) = delete;
+    WebServer &operator=(const WebServer &) = delete;
 
     /** Begin accepting on cfg.serverPort. */
     void start();
@@ -41,6 +47,19 @@ class WebServer
     std::uint64_t requestsServed() const { return served_.value(); }
     /** Requests shed with a 503 (maxInflight overload control). */
     std::uint64_t requestsShed() const { return shed_.value(); }
+
+    /** Publish server telemetry (Hub name "webServer"). */
+    void
+    instrument(sim::telemetry::Registry &reg) override
+    {
+        reg.counter("requestsServed", served_, "GET requests answered");
+        reg.counter("requestsShed", shed_,
+                    "requests shed by overload control");
+        reg.probe(
+            "inflight", sim::telemetry::ProbeKind::gauge,
+            [this] { return static_cast<double>(inflight_); },
+            "requests currently being served");
+    }
 
   private:
     sim::Coro<void> acceptLoop();

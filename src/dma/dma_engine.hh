@@ -30,6 +30,7 @@
 #include "simcore/sim.hh"
 #include "simcore/stats.hh"
 #include "simcore/sync.hh"
+#include "simcore/telemetry/registry.hh"
 #include "simcore/trace.hh"
 #include "simcore/types.hh"
 
@@ -70,7 +71,7 @@ struct DmaConfig
  * charge it to the CPU model — the engine itself never touches the
  * CPU, mirroring the hardware split.
  */
-class DmaEngine
+class DmaEngine : public sim::telemetry::Instrumented
 {
   public:
     DmaEngine(Simulation &sim, const DmaConfig &cfg)
@@ -84,6 +85,8 @@ class DmaEngine
 
     /** Attach a trace writer (nullptr = tracing off). */
     void setTracer(sim::TraceWriter *t) { tracer_ = t; }
+
+    void attachTracer(sim::TraceWriter *t) override { setTracer(t); }
 
     /**
      * Inject descriptor-completion faults from @p site_name: a "drop"
@@ -209,7 +212,41 @@ class DmaEngine
     {
         return busySignal_.average(sim_.now());
     }
+    /** Channels moving data right now. */
+    unsigned
+    busyChannels() const
+    {
+        return cfg_.channels -
+               static_cast<unsigned>(channels_.available());
+    }
+    /** Transfers waiting for a free channel (the submit queue). */
+    std::size_t queueDepth() const { return channels_.waiterCount(); }
     /** @} */
+
+    /** Publish DMA telemetry (called under the node's "dma" scope). */
+    void
+    instrument(sim::telemetry::Registry &reg) override
+    {
+        reg.counter("completedTransfers", transfers_,
+                    "DMA transfers completed");
+        reg.counter("bytesCopied", bytesCopied_,
+                    "bytes moved by the engine");
+        reg.counter("errors", dmaErrors_,
+                    "injected descriptor completion errors");
+        reg.counter("stalls", dmaStalls_, "injected channel stalls");
+        reg.scalar(
+            "averageBusyChannels",
+            [this] { return averageBusyChannels(); },
+            "time-weighted busy channels");
+        reg.probe(
+            "busyChannels", sim::telemetry::ProbeKind::gauge,
+            [this] { return static_cast<double>(busyChannels()); },
+            "channels moving data at the sample instant");
+        reg.probe(
+            "queueDepth", sim::telemetry::ProbeKind::gauge,
+            [this] { return static_cast<double>(queueDepth()); },
+            "transfers waiting for a free channel");
+    }
 
   private:
     Coro<void>

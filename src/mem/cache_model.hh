@@ -23,6 +23,7 @@
 #include <map>
 
 #include "simcore/assert.hh"
+#include "simcore/telemetry/registry.hh"
 
 namespace ioat::mem {
 
@@ -178,6 +179,30 @@ class CacheModel
     }
 
     std::size_t footprintCount() const { return footprints_.size(); }
+
+    /** Publish cache telemetry (called under the node's "cache"
+     *  scope). */
+    void
+    instrument(sim::telemetry::Registry &reg)
+    {
+        reg.scalar(
+            "capacityBytes",
+            [this] { return static_cast<double>(capacity_); },
+            "modelled L2 capacity");
+        reg.scalar(
+            "footprints",
+            [this] { return static_cast<double>(footprints_.size()); },
+            "registered working sets");
+        reg.probe(
+            "footprintBytes", sim::telemetry::ProbeKind::gauge,
+            [this] {
+                std::size_t sum = 0;
+                for (const auto &[id, f] : footprints_)
+                    sum += f.bytes;
+                return static_cast<double>(sum);
+            },
+            "total working-set demand on the cache");
+    }
 
   private:
     struct Footprint

@@ -23,6 +23,7 @@
 #include <cstdint>
 
 #include "simcore/sim.hh"
+#include "simcore/telemetry/registry.hh"
 #include "simcore/types.hh"
 
 namespace ioat::mem {
@@ -98,6 +99,27 @@ class MemoryBus
     }
 
     std::uint64_t totalBytes() const { return total_; }
+
+    /** Publish bus telemetry (called under the node's "bus" scope). */
+    void
+    instrument(sim::telemetry::Registry &reg)
+    {
+        reg.scalar(
+            "totalBytes",
+            [this] { return static_cast<double>(total_); },
+            "bytes moved across the memory interface");
+        reg.scalar(
+            "slowdown", [this] { return slowdown(); },
+            "memory-bound latency multiplier (>= 1)");
+        reg.probe(
+            "bytes", sim::telemetry::ProbeKind::delta,
+            [this] { return static_cast<double>(total_); },
+            "memory-interface bytes per sample interval");
+        reg.probe(
+            "utilization", sim::telemetry::ProbeKind::gauge,
+            [this] { return utilization(); },
+            "fraction of bus capacity in use");
+    }
 
   private:
     /** Advance the two half-window buckets to cover the current time. */

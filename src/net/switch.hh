@@ -34,7 +34,7 @@ using sim::Tick;
 /**
  * Routes bursts to attached receivers after a fixed latency.
  */
-class Switch
+class Switch : public sim::telemetry::Instrumented
 {
   public:
     /** Receiver callback: invoked when a burst reaches the egress port. */
@@ -42,7 +42,14 @@ class Switch
 
     explicit Switch(Simulation &sim, Tick forward_latency = sim::nanoseconds(2000))
         : sim_(sim), latency_(forward_latency)
-    {}
+    {
+        sim_.telemetry().add("fabric", this);
+    }
+
+    ~Switch() override { sim_.telemetry().remove(this); }
+
+    Switch(const Switch &) = delete;
+    Switch &operator=(const Switch &) = delete;
 
     /** Attach a device; returns its NodeId. */
     NodeId
@@ -117,6 +124,18 @@ class Switch
     /** Deliveries dropped because the destination had detached. */
     std::uint64_t deadLetters() const { return deadLetters_.value(); }
     /** @} */
+
+    /** Publish switch telemetry (registered with the Hub as "fabric"). */
+    void
+    instrument(sim::telemetry::Registry &reg) override
+    {
+        reg.scalar(
+            "attachedPorts",
+            [this] { return static_cast<double>(ports_.size()); },
+            "devices ever attached to the switch");
+        reg.counter("deadLetters", deadLetters_,
+                    "deliveries dropped at detached ports");
+    }
 
   private:
     /** Complete one delivery at the egress port. */

@@ -30,6 +30,7 @@
 #include "simcore/pool.hh"
 #include "simcore/sim.hh"
 #include "simcore/stats.hh"
+#include "simcore/telemetry/registry.hh"
 #include "simcore/types.hh"
 
 namespace ioat::nic {
@@ -238,6 +239,28 @@ class Nic
     /** Bursts dropped by the injected NIC RX fault site. */
     std::uint64_t rxFaultDrops() const { return rxFaultDrops_.value(); }
     /** @} */
+
+    /** Publish NIC telemetry (called under the node's "nic" scope). */
+    void
+    instrument(sim::telemetry::Registry &reg)
+    {
+        reg.counter("txWireBytes", txBytes_, "wire bytes transmitted");
+        reg.counter("rxWireBytes", rxBytes_, "wire bytes received");
+        reg.counter("interrupts", interrupts_, "RX interrupts raised");
+        reg.counter("softPolls", polls_, "softirq poll passes");
+        reg.counter("rxBursts", rxBursts_, "bursts received");
+        reg.counter("rxOverflowDrops", rxOverflows_,
+                    "bursts dropped on a full RX ring");
+        reg.counter("rxFaultDrops", rxFaultDrops_,
+                    "bursts dropped by the NIC RX fault site");
+        reg.probe(
+            "wireBytes", sim::telemetry::ProbeKind::delta,
+            [this] {
+                return static_cast<double>(txBytes_.value() +
+                                           rxBytes_.value());
+            },
+            "link bytes (tx+rx) per sample interval");
+    }
 
   private:
     struct RxQueue

@@ -61,6 +61,23 @@ tag(PvfsTag t)
     return static_cast<std::uint64_t>(t);
 }
 
+/** Scope guard for the outstanding-RPC gauge.  Lives in the
+ *  coroutine frame, so suspension keeps the RPC counted; co-owns the
+ *  counter, so a frame the Simulation tears down *after* its client
+ *  died still decrements valid memory. */
+struct RpcInFlight
+{
+    std::shared_ptr<std::uint64_t> n;
+    explicit RpcInFlight(std::shared_ptr<std::uint64_t> count)
+        : n(std::move(count))
+    {
+        ++*n;
+    }
+    ~RpcInFlight() { --*n; }
+    RpcInFlight(const RpcInFlight &) = delete;
+    RpcInFlight &operator=(const RpcInFlight &) = delete;
+};
+
 } // namespace
 
 PvfsClient::PvfsClient(core::Node &node, const PvfsConfig &cfg,
@@ -68,7 +85,32 @@ PvfsClient::PvfsClient(core::Node &node, const PvfsConfig &cfg,
     : node_(node), cfg_(cfg), mgrAddr_(mgr), iodAddrs_(std::move(iods)),
       layout_(static_cast<unsigned>(iodAddrs_.size()), cfg.stripeSize),
       mem_(node.host(), "pvfs.client")
-{}
+{
+    node_.simulation().telemetry().add("pvfsClient", this);
+}
+
+PvfsClient::~PvfsClient()
+{
+    node_.simulation().telemetry().remove(this);
+}
+
+void
+PvfsClient::instrument(sim::telemetry::Registry &reg)
+{
+    reg.counter("bytesRead", bytesRead_, "payload bytes read from iods");
+    reg.counter("bytesWritten", bytesWritten_,
+                "payload bytes written to iods");
+    reg.counter("rpcRetries", rpcRetries_,
+                "RPC attempts beyond the first");
+    reg.counter("reconnects", reconnects_,
+                "reconnections on the retry path");
+    reg.counter("rpcFailures", rpcFailures_,
+                "operations failed after all retries");
+    reg.probe(
+        "outstandingRpcs", sim::telemetry::ProbeKind::gauge,
+        [this] { return static_cast<double>(*outstanding_); },
+        "RPCs in flight at the sample instant");
+}
 
 Coro<PvfsErrc>
 PvfsClient::connect()
@@ -120,6 +162,7 @@ Coro<PvfsResult<sock::Message>>
 PvfsClient::mgrOp(const sock::Message &request)
 {
     sim::simAssert(mgr_ != nullptr, "PvfsClient not connected");
+    RpcInFlight rpc(outstanding_);
     PvfsErrc lastErr = PvfsErrc::ServerClosed;
     const unsigned tries = std::max(1u, cfg_.rpcMaxRetries);
     sim::Tick backoff = cfg_.rpcRetryBackoff;
@@ -201,6 +244,7 @@ PvfsClient::fileSize(FileHandle h)
 Coro<PvfsErrc>
 PvfsClient::readChunk(const StripeChunk &chunk, FileHandle h)
 {
+    RpcInFlight rpc(outstanding_);
     PvfsErrc lastErr = PvfsErrc::ServerClosed;
     const unsigned tries = std::max(1u, cfg_.rpcMaxRetries);
     sim::Tick backoff = cfg_.rpcRetryBackoff;
@@ -298,6 +342,7 @@ PvfsClient::read(FileHandle h, std::uint64_t offset, std::size_t bytes)
 Coro<PvfsErrc>
 PvfsClient::writeChunk(const StripeChunk &chunk, FileHandle h)
 {
+    RpcInFlight rpc(outstanding_);
     PvfsErrc lastErr = PvfsErrc::ServerClosed;
     const unsigned tries = std::max(1u, cfg_.rpcMaxRetries);
     sim::Tick backoff = cfg_.rpcRetryBackoff;
@@ -389,6 +434,7 @@ PvfsClient::write(FileHandle h, std::uint64_t offset, std::size_t bytes)
 Coro<PvfsErrc>
 PvfsClient::readListChunk(const StridedChunk &chunk, FileHandle h)
 {
+    RpcInFlight rpc(outstanding_);
     PvfsErrc lastErr = PvfsErrc::ServerClosed;
     const unsigned tries = std::max(1u, cfg_.rpcMaxRetries);
     sim::Tick backoff = cfg_.rpcRetryBackoff;
@@ -488,6 +534,7 @@ PvfsClient::readStrided(FileHandle h, std::uint64_t offset,
 Coro<PvfsErrc>
 PvfsClient::writeListChunk(const StridedChunk &chunk, FileHandle h)
 {
+    RpcInFlight rpc(outstanding_);
     PvfsErrc lastErr = PvfsErrc::ServerClosed;
     const unsigned tries = std::max(1u, cfg_.rpcMaxRetries);
     sim::Tick backoff = cfg_.rpcRetryBackoff;

@@ -12,6 +12,7 @@
 #define IOAT_PVFS_CLIENT_HH
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "core/app_memory.hh"
@@ -55,9 +56,11 @@ struct PvfsResult
 };
 
 /**
- * Client-side PVFS access.
+ * Client-side PVFS access.  Registers with the simulation's telemetry
+ * hub as "pvfsClient" (byte counters, retry counters, an
+ * outstanding-RPC gauge).
  */
-class PvfsClient
+class PvfsClient : public sim::telemetry::Instrumented
 {
   public:
     /**
@@ -66,6 +69,11 @@ class PvfsClient
      */
     PvfsClient(core::Node &node, const PvfsConfig &cfg, DaemonAddr mgr,
                std::vector<DaemonAddr> iods);
+
+    ~PvfsClient() override;
+
+    PvfsClient(const PvfsClient &) = delete;
+    PvfsClient &operator=(const PvfsClient &) = delete;
 
     /** Open connections to the manager and every iod. */
     sim::Coro<PvfsErrc> connect();
@@ -117,6 +125,11 @@ class PvfsClient
     std::uint64_t reconnects() const { return reconnects_.value(); }
     /** Operations that failed even after retries. */
     std::uint64_t rpcFailures() const { return rpcFailures_.value(); }
+    /** RPCs in flight right now (iod data ops + manager ops). */
+    std::uint64_t outstandingRpcs() const { return *outstanding_; }
+
+    /** Publish client telemetry (Hub name "pvfsClient"). */
+    void instrument(sim::telemetry::Registry &reg) override;
 
   private:
     sim::Coro<PvfsErrc> readChunk(const StripeChunk &chunk, FileHandle h);
@@ -155,6 +168,13 @@ class PvfsClient
     sim::stats::Counter rpcRetries_;
     sim::stats::Counter reconnects_;
     sim::stats::Counter rpcFailures_;
+    /**
+     * RPCs in flight.  Shared-owned: the in-frame RpcInFlight guards
+     * keep it alive, so coroutines that outlive the client (torn down
+     * later by their Simulation) can still release their slot safely.
+     */
+    std::shared_ptr<std::uint64_t> outstanding_ =
+        std::make_shared<std::uint64_t>(0);
 };
 
 } // namespace ioat::pvfs

@@ -20,7 +20,14 @@ using tcp::Connection;
 MetadataManager::MetadataManager(core::Node &node, const PvfsConfig &cfg,
                                  FsState &fs)
     : node_(node), cfg_(cfg), fs_(fs)
-{}
+{
+    node_.simulation().telemetry().add("pvfsMgr", this);
+}
+
+MetadataManager::~MetadataManager()
+{
+    node_.simulation().telemetry().remove(this);
+}
 
 void
 MetadataManager::start()
@@ -105,7 +112,11 @@ IodServer::IodServer(core::Node &node, const PvfsConfig &cfg,
                      unsigned index)
     : node_(node), cfg_(cfg), index_(index),
       mem_(node.host(), "pvfs.iod" + std::to_string(index))
-{}
+{
+    node_.simulation().telemetry().add("iod", this);
+}
+
+IodServer::~IodServer() { node_.simulation().telemetry().remove(this); }
 
 void
 IodServer::start()

@@ -23,18 +23,29 @@
 namespace ioat::pvfs {
 
 /**
- * The metadata manager daemon.
+ * The metadata manager daemon.  Hub name "pvfsMgr".
  */
-class MetadataManager
+class MetadataManager : public sim::telemetry::Instrumented
 {
   public:
     MetadataManager(core::Node &node, const PvfsConfig &cfg,
                     FsState &fs);
 
+    ~MetadataManager() override;
+
+    MetadataManager(const MetadataManager &) = delete;
+    MetadataManager &operator=(const MetadataManager &) = delete;
+
     /** Begin accepting on cfg.mgrPort. */
     void start();
 
     std::uint64_t opsServed() const { return ops_.value(); }
+
+    void
+    instrument(sim::telemetry::Registry &reg) override
+    {
+        reg.counter("opsServed", ops_, "metadata operations answered");
+    }
 
   private:
     sim::Coro<void> acceptLoop();
@@ -48,11 +59,17 @@ class MetadataManager
 
 /**
  * One I/O daemon, serving its stripe of every file from ramfs.
+ * Hub name "iod".
  */
-class IodServer
+class IodServer : public sim::telemetry::Instrumented
 {
   public:
     IodServer(core::Node &node, const PvfsConfig &cfg, unsigned index);
+
+    ~IodServer() override;
+
+    IodServer(const IodServer &) = delete;
+    IodServer &operator=(const IodServer &) = delete;
 
     /** Begin accepting on cfg.iodBasePort + index. */
     void start();
@@ -64,6 +81,15 @@ class IodServer
     }
     std::uint64_t bytesRead() const { return bytesRead_.value(); }
     std::uint64_t bytesWritten() const { return bytesWritten_.value(); }
+
+    void
+    instrument(sim::telemetry::Registry &reg) override
+    {
+        reg.counter("bytesRead", bytesRead_,
+                    "stripe bytes served to clients");
+        reg.counter("bytesWritten", bytesWritten_,
+                    "stripe bytes stored from clients");
+    }
 
   private:
     sim::Coro<void> acceptLoop();

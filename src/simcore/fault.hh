@@ -19,7 +19,7 @@
  *    the injection point for crash semantics.
  *
  * Everything is observable: per-site counters, aggregate counters,
- * optional trace instants, and `registerStats()` for end-of-run dumps.
+ * optional trace instants, and `instrument()` for end-of-run reports.
  */
 
 #ifndef IOAT_SIMCORE_FAULT_HH
@@ -33,6 +33,7 @@
 
 #include "simcore/random.hh"
 #include "simcore/stats.hh"
+#include "simcore/telemetry/registry.hh"
 #include "simcore/trace.hh"
 #include "simcore/types.hh"
 
@@ -121,7 +122,7 @@ class FaultSite
  * The simulation-wide fault plan: site registry, outage schedule,
  * aggregate counters, optional tracing.
  */
-class FaultInjector
+class FaultInjector : public telemetry::Instrumented
 {
   public:
     explicit FaultInjector(std::uint64_t seed = 1) : seed_(seed) {}
@@ -197,6 +198,9 @@ class FaultInjector
     void setTracer(TraceWriter *tw) { trace_ = tw; }
     TraceWriter *tracer() const { return trace_; }
 
+    /** Instrumented hook: same as setTracer. */
+    void attachTracer(TraceWriter *tw) override { trace_ = tw; }
+
     /** @name Aggregate counters (sum over all sites + outages)
      *  @{ */
     std::uint64_t totalDrops() const { return drops_.value(); }
@@ -205,19 +209,24 @@ class FaultInjector
     std::uint64_t outageDrops() const { return outageDrops_.value(); }
     /** @} */
 
-    /** Register every counter under "fault." in @p reg. */
+    /**
+     * Publish the fault plan's counters under the caller's scope
+     * (aggregate + one group per site; sites_ is a std::map, so the
+     * order is deterministic).
+     */
     void
-    registerStats(stats::Registry &reg) const
+    instrument(telemetry::Registry &reg) override
     {
-        reg.addCounter("fault.drops", drops_, "bursts dropped by injector");
-        reg.addCounter("fault.dups", dups_, "bursts duplicated by injector");
-        reg.addCounter("fault.delays", delays_, "bursts delayed by injector");
-        reg.addCounter("fault.outageDrops", outageDrops_,
-                       "deliveries dropped at crashed nodes");
+        reg.counter("drops", drops_, "bursts dropped by injector");
+        reg.counter("dups", dups_, "bursts duplicated by injector");
+        reg.counter("delays", delays_, "bursts delayed by injector");
+        reg.counter("outageDrops", outageDrops_,
+                    "deliveries dropped at crashed nodes");
         for (const auto &[name, s] : sites_) {
-            reg.addCounter("fault." + name + ".drops", s->drops_);
-            reg.addCounter("fault." + name + ".dups", s->dups_);
-            reg.addCounter("fault." + name + ".delays", s->delays_);
+            telemetry::Registry::Scope scope(reg, name);
+            reg.counter("drops", s->drops_);
+            reg.counter("dups", s->dups_);
+            reg.counter("delays", s->delays_);
         }
     }
 

@@ -20,6 +20,7 @@
 #include "simcore/assert.hh"
 #include "simcore/coro.hh"
 #include "simcore/event_queue.hh"
+#include "simcore/telemetry/registry.hh"
 #include "simcore/types.hh"
 
 namespace ioat::sim {
@@ -59,6 +60,13 @@ class Simulation
 
     EventQueue &queue() { return eq_; }
     Tick now() const { return eq_.now(); }
+
+    /**
+     * Component directory for the telemetry hierarchy walk: top-level
+     * components (nodes, fabrics, services) self-register here and a
+     * telemetry::Session turns the lot into one dotted-name registry.
+     */
+    telemetry::Hub &telemetry() { return hub_; }
 
     /** Number of root tasks that have not yet completed. */
     std::size_t liveRootTasks() const { return roots_.size(); }
@@ -180,6 +188,7 @@ class Simulation
 
     EventQueue eq_;
     std::vector<void *> roots_;
+    telemetry::Hub hub_;
 };
 
 } // namespace ioat::sim

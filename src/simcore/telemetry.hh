@@ -1,0 +1,19 @@
+/**
+ * @file
+ * Umbrella header for the telemetry subsystem: histograms,
+ * time-series probes with a deterministic sampler, the Instrumented
+ * registration interface and hierarchy Hub, and the RunReport
+ * JSON/CSV exporter.  See DESIGN.md "Observability".
+ */
+
+#ifndef IOAT_SIMCORE_TELEMETRY_HH
+#define IOAT_SIMCORE_TELEMETRY_HH
+
+#include "simcore/telemetry/histogram.hh"
+#include "simcore/telemetry/registry.hh"
+#include "simcore/telemetry/report.hh"
+#include "simcore/telemetry/sampler.hh"
+#include "simcore/telemetry/session.hh"
+#include "simcore/telemetry/timeseries.hh"
+
+#endif // IOAT_SIMCORE_TELEMETRY_HH

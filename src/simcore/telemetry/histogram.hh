@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Log-bucketed histogram with bounded relative error.
+ *
+ * The telemetry layer needs latency/size *distributions* (p50, p95,
+ * p99, max), not just means — the tails are where receive-livelock,
+ * RTO storms and DMA channel contention show up.  Buckets follow the
+ * HdrHistogram idea in miniature: values below 2^(P+1) are recorded
+ * exactly; above that, each power-of-two range is split into 2^P
+ * linear sub-buckets, so any reported quantile is within 1/2^P
+ * (12.5% for P=3) of the true value while the whole table stays a
+ * fixed ~4 KB array with O(1) insertion — cheap enough to live on
+ * hot objects that are only *read* at report time.
+ */
+
+#ifndef IOAT_SIMCORE_TELEMETRY_HISTOGRAM_HH
+#define IOAT_SIMCORE_TELEMETRY_HISTOGRAM_HH
+
+#include <bit>
+#include <cstdint>
+#include <limits>
+
+#include "simcore/assert.hh"
+
+namespace ioat::sim::telemetry {
+
+/**
+ * Fixed-footprint log-linear histogram of unsigned 64-bit samples.
+ *
+ * Insertion is branch-light integer math (no allocation); quantile
+ * queries walk the bucket table.  Copyable, so reports can snapshot
+ * one by value.
+ */
+class Histogram
+{
+  public:
+    /** Linear sub-buckets per power-of-two range: 2^P. */
+    static constexpr unsigned kPrecisionBits = 3;
+    /** Values below this are bucketed exactly. */
+    static constexpr std::uint64_t kLinearLimit =
+        std::uint64_t{1} << (kPrecisionBits + 1);
+
+    void
+    sample(std::uint64_t v)
+    {
+        ++buckets_[bucketIndex(v)];
+        ++count_;
+        sum_ += static_cast<double>(v);
+        if (v < min_)
+            min_ = v;
+        if (v > max_)
+            max_ = v;
+    }
+
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double
+    mean() const
+    {
+        return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+    }
+    std::uint64_t min() const { return count_ ? min_ : 0; }
+    std::uint64_t max() const { return count_ ? max_ : 0; }
+
+    /**
+     * Upper bound of the bucket holding the q-quantile sample
+     * (0 <= q <= 1), clamped to the observed maximum.  quantile(0.5)
+     * is the median estimate; quantile(1.0) is exactly max().
+     */
+    std::uint64_t
+    quantile(double q) const
+    {
+        if (count_ == 0)
+            return 0;
+        simAssert(q >= 0.0 && q <= 1.0, "quantile out of range");
+        // Rank of the target sample, 1-based; ceil so q=0.5 of two
+        // samples selects the first.
+        auto target = static_cast<std::uint64_t>(
+            q * static_cast<double>(count_) + 0.9999999);
+        if (target < 1)
+            target = 1;
+        if (target > count_)
+            target = count_;
+        std::uint64_t seen = 0;
+        for (unsigned i = 0; i < kBucketCount; ++i) {
+            seen += buckets_[i];
+            if (seen >= target) {
+                const std::uint64_t hi = bucketUpperBound(i);
+                return hi < max_ ? hi : max_;
+            }
+        }
+        return max_;
+    }
+
+    std::uint64_t p50() const { return quantile(0.50); }
+    std::uint64_t p95() const { return quantile(0.95); }
+    std::uint64_t p99() const { return quantile(0.99); }
+
+    /** Raw bucket access for exporters/tests. */
+    static constexpr unsigned kBucketCount =
+        static_cast<unsigned>(kLinearLimit) +
+        (63 - kPrecisionBits) * (1u << kPrecisionBits);
+
+    std::uint64_t bucketCount(unsigned i) const
+    {
+        return i < kBucketCount ? buckets_[i] : 0;
+    }
+
+    /** Bucket index a value lands in (exposed for tests). */
+    static unsigned
+    bucketIndex(std::uint64_t v)
+    {
+        if (v < kLinearLimit)
+            return static_cast<unsigned>(v);
+        const unsigned msb = 63 - static_cast<unsigned>(std::countl_zero(v));
+        const auto sub = static_cast<unsigned>(
+            (v >> (msb - kPrecisionBits)) & ((1u << kPrecisionBits) - 1));
+        return static_cast<unsigned>(kLinearLimit) +
+               (msb - kPrecisionBits - 1) * (1u << kPrecisionBits) + sub;
+    }
+
+    /** Largest value mapping to bucket @p i (exposed for tests). */
+    static std::uint64_t
+    bucketUpperBound(unsigned i)
+    {
+        if (i < kLinearLimit)
+            return i;
+        const unsigned rel = i - static_cast<unsigned>(kLinearLimit);
+        const unsigned msb = rel / (1u << kPrecisionBits)
+                             + kPrecisionBits + 1;
+        const unsigned sub = rel % (1u << kPrecisionBits);
+        const std::uint64_t base = std::uint64_t{1} << msb;
+        const std::uint64_t step = base >> kPrecisionBits;
+        return base + step * (sub + 1) - 1;
+    }
+
+    void
+    reset()
+    {
+        for (auto &b : buckets_)
+            b = 0;
+        count_ = 0;
+        sum_ = 0.0;
+        min_ = std::numeric_limits<std::uint64_t>::max();
+        max_ = 0;
+    }
+
+  private:
+    std::uint64_t buckets_[kBucketCount] = {};
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    std::uint64_t min_ = std::numeric_limits<std::uint64_t>::max();
+    std::uint64_t max_ = 0;
+};
+
+} // namespace ioat::sim::telemetry
+
+#endif // IOAT_SIMCORE_TELEMETRY_HISTOGRAM_HH

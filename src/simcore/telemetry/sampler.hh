@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Deterministic tick-driven probe sampler.
+ *
+ * Every `interval` simulated ticks the sampler reads each registered
+ * probe — in registration order — and appends to its TimeSeries (and
+ * milli-unit distribution histogram).  Determinism properties:
+ *
+ *  - sampling is driven by the event queue (never the host clock),
+ *    so the same run produces the same series on every host;
+ *  - probes only *read* model state: enabling sampling changes no
+ *    model outcome, only adds read-only events between model events
+ *    at the same ticks' FIFO boundaries;
+ *  - the sample count is capped (kDefaultMaxSamples) so a sampler
+ *    can never keep an otherwise-drained event queue alive forever
+ *    and series memory stays bounded.
+ *
+ * With no Sampler constructed nothing is scheduled — the
+ * pay-for-what-you-use half of the telemetry contract.
+ */
+
+#ifndef IOAT_SIMCORE_TELEMETRY_SAMPLER_HH
+#define IOAT_SIMCORE_TELEMETRY_SAMPLER_HH
+
+#include <cmath>
+#include <cstddef>
+
+#include "simcore/sim.hh"
+#include "simcore/telemetry/registry.hh"
+
+namespace ioat::sim::telemetry {
+
+class Sampler
+{
+  public:
+    static constexpr std::size_t kDefaultMaxSamples = 4096;
+
+    /**
+     * @param interval spacing between samples (> 0)
+     * @param max_samples stop after this many ticks (bounds memory
+     *        and guarantees sim.run() termination)
+     */
+    Sampler(Simulation &sim, Registry &reg, Tick interval,
+            std::size_t max_samples = kDefaultMaxSamples)
+        : sim_(sim), reg_(reg), interval_(interval),
+          maxSamples_(max_samples)
+    {
+        simAssert(interval_ > Tick{0}, "sampler interval must be > 0");
+    }
+
+    ~Sampler() { stop(); }
+
+    Sampler(const Sampler &) = delete;
+    Sampler &operator=(const Sampler &) = delete;
+
+    /**
+     * Begin sampling: the first sample lands interval ticks from
+     * now.  Seeds every delta probe's baseline at the current
+     * reading so the first interval reports the true increase.
+     */
+    void
+    start()
+    {
+        if (running_)
+            return;
+        running_ = true;
+        for (auto &p : reg_.probes()) {
+            p.series.configure(sim_.now(), interval_);
+            if (p.kind == ProbeKind::delta)
+                p.lastRaw = p.read();
+        }
+        arm();
+    }
+
+    /** Cancel the pending sample event (idempotent). */
+    void
+    stop()
+    {
+        if (!running_)
+            return;
+        running_ = false;
+        sim_.queue().cancel(pending_);
+    }
+
+    bool running() const { return running_; }
+    std::size_t samplesTaken() const { return taken_; }
+
+  private:
+    void
+    arm()
+    {
+        pending_ = sim_.queue().scheduleIn(interval_, [this] { tick(); });
+    }
+
+    void
+    tick()
+    {
+        for (auto &p : reg_.probes()) {
+            const double raw = p.read();
+            double v = raw;
+            if (p.kind == ProbeKind::delta) {
+                v = raw - p.lastRaw;
+                p.lastRaw = raw;
+            }
+            p.series.append(v);
+            const double milli = v * 1000.0;
+            p.dist.sample(milli > 0.0
+                              ? static_cast<std::uint64_t>(
+                                    std::llround(milli))
+                              : 0);
+        }
+        ++taken_;
+        if (taken_ < maxSamples_)
+            arm();
+        else
+            running_ = false;
+    }
+
+    Simulation &sim_;
+    Registry &reg_;
+    Tick interval_;
+    std::size_t maxSamples_;
+    std::size_t taken_ = 0;
+    bool running_ = false;
+    EventQueue::TimerHandle pending_;
+};
+
+} // namespace ioat::sim::telemetry
+
+#endif // IOAT_SIMCORE_TELEMETRY_SAMPLER_HH

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Session: one instrumented run, end to end.
+ *
+ * Construction walks the Simulation's Hub (every self-registered
+ * component) into a fresh Registry, adds the simulator's built-in
+ * probes ("sim.events" per interval, "sim.liveTasks"), and — when a
+ * sampling interval is given — starts the deterministic Sampler.
+ * `captureInto()` stops sampling and snapshots everything into a
+ * RunReport.  A Session is what `--report`/`--sample-interval` turn
+ * on in the bench harness; without one, no telemetry code runs at
+ * all.
+ */
+
+#ifndef IOAT_SIMCORE_TELEMETRY_SESSION_HH
+#define IOAT_SIMCORE_TELEMETRY_SESSION_HH
+
+#include <optional>
+#include <string>
+
+#include "simcore/sim.hh"
+#include "simcore/telemetry/registry.hh"
+#include "simcore/telemetry/report.hh"
+#include "simcore/telemetry/sampler.hh"
+
+namespace ioat::sim::telemetry {
+
+class Session
+{
+  public:
+    struct Config
+    {
+        /** Probe sampling spacing; 0 disables the sampler. */
+        Tick sampleInterval{};
+        std::size_t maxSamples = Sampler::kDefaultMaxSamples;
+    };
+
+    explicit Session(Simulation &sim) : Session(sim, Config{}) {}
+
+    Session(Simulation &sim, Config cfg) : sim_(sim)
+    {
+        {
+            Registry::Scope scope(reg_, "sim");
+            reg_.probe(
+                "events", ProbeKind::delta,
+                [&sim] {
+                    return static_cast<double>(
+                        sim.queue().executedEvents());
+                },
+                "events executed per interval");
+            reg_.probe(
+                "liveTasks", ProbeKind::gauge,
+                [&sim] {
+                    return static_cast<double>(sim.liveRootTasks());
+                },
+                "live root coroutines");
+        }
+        sim.telemetry().instrumentAll(reg_);
+        if (cfg.sampleInterval > Tick{0}) {
+            sampler_.emplace(sim, reg_, cfg.sampleInterval,
+                             cfg.maxSamples);
+            sampler_->start();
+        }
+    }
+
+    ~Session()
+    {
+        if (tracer_)
+            sim_.telemetry().attachTracerAll(nullptr);
+    }
+
+    Session(const Session &) = delete;
+    Session &operator=(const Session &) = delete;
+
+    /** Instrument a component the Hub doesn't know (FaultInjector,
+     *  model-only rigs) under @p name. */
+    void
+    add(const std::string &name, Instrumented &component)
+    {
+        Registry::Scope scope(reg_, name);
+        component.instrument(reg_);
+    }
+
+    /** Route component-internal traces into @p t (detached again at
+     *  Session destruction). */
+    void
+    attachTracer(TraceWriter *t)
+    {
+        tracer_ = t;
+        sim_.telemetry().attachTracerAll(t);
+    }
+
+    Registry &registry() { return reg_; }
+    Sampler *sampler() { return sampler_ ? &*sampler_ : nullptr; }
+
+    /** Stop sampling and snapshot the registry into @p report. */
+    void
+    captureInto(RunReport &report)
+    {
+        if (sampler_)
+            sampler_->stop();
+        report.capture(reg_, sim_.now());
+    }
+
+  private:
+    Simulation &sim_;
+    Registry reg_;
+    std::optional<Sampler> sampler_;
+    TraceWriter *tracer_ = nullptr;
+};
+
+} // namespace ioat::sim::telemetry
+
+#endif // IOAT_SIMCORE_TELEMETRY_SESSION_HH

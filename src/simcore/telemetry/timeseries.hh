@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Fixed-interval time series: the storage behind sampled probes.
+ *
+ * A TimeSeries is an append-only vector of doubles plus the (start,
+ * interval) pair that positions every element on the simulated
+ * timeline — sample i covers (start + i*interval, start +
+ * (i+1)*interval].  The deterministic Sampler (sampler.hh) appends
+ * one value per registered probe per tick; nothing here reads the
+ * host clock or allocates on the simulation hot path (growth happens
+ * only while sampling is explicitly enabled).
+ */
+
+#ifndef IOAT_SIMCORE_TELEMETRY_TIMESERIES_HH
+#define IOAT_SIMCORE_TELEMETRY_TIMESERIES_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "simcore/assert.hh"
+#include "simcore/types.hh"
+
+namespace ioat::sim::telemetry {
+
+/** How the Sampler turns a probe reading into a series value. */
+enum class ProbeKind {
+    /** Record the instantaneous reading (queue depth, busy cores). */
+    gauge,
+    /**
+     * Record the increase since the previous sample (per-interval
+     * rate of a monotonic counter, e.g. link bytes per interval).
+     */
+    delta,
+};
+
+/** One sampled signal over simulated time. */
+class TimeSeries
+{
+  public:
+    /** Fix the timeline; must happen before the first append. */
+    void
+    configure(Tick start, Tick interval)
+    {
+        simAssert(values_.empty(), "TimeSeries reconfigured mid-run");
+        simAssert(interval > Tick{0}, "sampling interval must be > 0");
+        start_ = start;
+        interval_ = interval;
+    }
+
+    void append(double v) { values_.push_back(v); }
+
+    std::size_t size() const { return values_.size(); }
+    bool empty() const { return values_.empty(); }
+    double at(std::size_t i) const { return values_.at(i); }
+    const std::vector<double> &values() const { return values_; }
+
+    Tick startTime() const { return start_; }
+    Tick interval() const { return interval_; }
+
+    /** End of sample i's interval on the simulated timeline. */
+    Tick
+    timeAt(std::size_t i) const
+    {
+        return start_ + interval_ * (static_cast<std::uint64_t>(i) + 1);
+    }
+
+  private:
+    std::vector<double> values_;
+    Tick start_{};
+    Tick interval_{};
+};
+
+} // namespace ioat::sim::telemetry
+
+#endif // IOAT_SIMCORE_TELEMETRY_TIMESERIES_HH

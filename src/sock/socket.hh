@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Socket facade over the transport: the API applications and
+ * benchmarks program against.
+ *
+ * `sock::Socket` wraps a stack-owned `tcp::Connection*` behind a small
+ * value type (connect / sendAll / recv / recvAll / close), and
+ * `sock::Listener` wraps passive opens.  Callers never name
+ * `tcp::Stack` internals — the facade plus sock/message.hh is the
+ * whole application-level surface.
+ *
+ * Zero-cost by construction: the data-path members (sendAll, recv,
+ * recvAll) are *not* coroutines; they return the underlying
+ * connection's awaitable directly, so `co_await sock.recvAll(n)`
+ * compiles to exactly the frames the raw connection call would.  Only
+ * connect()/accept() — once per connection — add a frame.
+ */
+
+#ifndef IOAT_SOCK_SOCKET_HH
+#define IOAT_SOCK_SOCKET_HH
+
+#include <cstdint>
+
+#include "simcore/assert.hh"
+#include "simcore/coro.hh"
+#include "tcp/stack.hh"
+
+namespace ioat::sock {
+
+/** Send-path options (zero-copy etc.), re-exported from the transport. */
+using tcp::SendOptions;
+
+/**
+ * Non-owning handle to one established byte-stream connection.
+ *
+ * Copyable (it is a view); the connection object lives in its
+ * TcpStack until the stack is destroyed.  A default-constructed
+ * Socket is invalid; connect()/accept() failures yield a Socket whose
+ * `usable()` is false (with `aborted()` holding the typed reason),
+ * mirroring a failed ::connect.
+ */
+class Socket
+{
+  public:
+    Socket() = default;
+    explicit Socket(tcp::Connection *conn) : conn_(conn) {}
+
+    /**
+     * Active open through @p stack to (remote, port).  A nonzero
+     * @p timeout bounds the handshake wait; on failure the returned
+     * socket reports !usable().
+     */
+    static sim::Coro<Socket>
+    connect(tcp::TcpStack &stack, net::NodeId remote, std::uint16_t port,
+            sim::Tick timeout = sim::Tick{0})
+    {
+        tcp::Connection *c = co_await stack.connect(remote, port, timeout);
+        co_return Socket(c);
+    }
+
+    /** A connection was ever attached (even if it later failed). */
+    bool valid() const { return conn_ != nullptr; }
+
+    /** @name Data path (non-coroutine forwarders; see file header)
+     *  @{ */
+
+    /**
+     * Send @p bytes; resumes when the last byte has been accepted by
+     * the NIC (peer-buffer credit may stall us).
+     */
+    auto
+    sendAll(std::size_t bytes, tcp::SendOptions opts = {},
+            const tcp::MsgMeta *meta = nullptr)
+    {
+        return checked().send(bytes, opts, meta);
+    }
+
+    /** Receive up to @p max_bytes; 0 means the peer closed. */
+    auto recv(std::size_t max_bytes) { return checked().recv(max_bytes); }
+
+    /** Receive exactly @p bytes unless the peer closes first. */
+    auto recvAll(std::size_t bytes) { return checked().recvAll(bytes); }
+    /** @} */
+
+    /** Half-close: the peer's recv() returns 0 after draining. */
+    void close() { checked().close(); }
+
+    /** Locally abort (the simulated close of a stuck socket). */
+    void abort() { checked().abortLocal(); }
+
+    /** @name In-band message metadata (sock/message.hh)
+     *  @{ */
+    tcp::MsgMeta popMeta() { return checked().popMeta(); }
+    std::size_t metaAvailable() const
+    {
+        return conn_ ? conn_->metaAvailable() : 0;
+    }
+    /** @} */
+
+    /** @name State
+     *  @{ */
+    bool established() const { return conn_ && conn_->established(); }
+    bool aborted() const { return conn_ && conn_->aborted(); }
+    bool peerClosed() const { return conn_ && conn_->peerClosed(); }
+    /** Established, not aborted, peer still open: safe to use. */
+    bool usable() const { return conn_ && conn_->usable(); }
+    std::uint64_t bytesSent() const
+    {
+        return conn_ ? conn_->bytesSent() : 0;
+    }
+    std::uint64_t bytesReceived() const
+    {
+        return conn_ ? conn_->bytesReceived() : 0;
+    }
+    /** Transport flow id (keys the telemetry flow table). */
+    std::uint64_t flow() const { return conn_ ? conn_->flow() : 0; }
+    /** @} */
+
+    /** The simulation the connection's stack runs in. */
+    sim::Simulation &simulation() { return checked().simulation(); }
+
+    /**
+     * Escape hatch to the underlying stream, for helpers written
+     * against `tcp::Connection&` (sock/message.hh).  Application code
+     * should not need it.
+     */
+    tcp::Connection &stream() { return checked(); }
+
+  private:
+    tcp::Connection &
+    checked() const
+    {
+        sim::simAssert(conn_ != nullptr, "operation on invalid Socket");
+        return *conn_;
+    }
+
+    tcp::Connection *conn_ = nullptr;
+};
+
+/**
+ * Passive endpoint on one port: accept() yields established Sockets.
+ */
+class Listener
+{
+  public:
+    Listener(tcp::TcpStack &stack, std::uint16_t port)
+        : inner_(stack.listen(port))
+    {}
+
+    /** Awaitable: the next established connection on this port. */
+    sim::Coro<Socket>
+    accept()
+    {
+        tcp::Connection *c = co_await inner_.accept();
+        co_return Socket(c);
+    }
+
+  private:
+    tcp::Listener &inner_;
+};
+
+} // namespace ioat::sock
+
+#endif // IOAT_SOCK_SOCKET_HH

@@ -196,6 +196,7 @@ Connection::close()
     if (localClosed_ || !established_ || aborted_)
         return;
     localClosed_ = true;
+    stack_.noteFlowFinished(*this);
     stack_.sendControl(remoteNode_, flow_, BurstKind::Fin, remoteToken_, 0);
     if (stack_.cfg_.reliable)
         txActivity_.trigger(); // let the RTO loop notice and wind down
@@ -264,6 +265,7 @@ TcpStack::newConnection()
     const auto token = static_cast<std::uint64_t>(conns_.size());
     conns_.push_back(
         std::make_unique<Connection>(Connection::Key{}, *this, token));
+    conns_.back()->openedAt_ = host_.sim.now();
     if (cfg_.reliable)
         host_.sim.spawn(rtoLoop(token));
     return conns_.back().get();
@@ -283,6 +285,7 @@ TcpStack::abortConnection(Connection &c)
         return;
     c.aborted_ = true;
     aborts_.inc();
+    noteFlowFinished(c);
     // Release every blocked waiter: connectors, senders, receivers,
     // and the RTO loop all re-check aborted_ once woken.
     c.peerClosed_ = true; // recv() drains what's left, then EOF
@@ -330,6 +333,8 @@ TcpStack::rtoLoop(std::uint64_t token)
             co_return;
         }
         retransmits_.inc();
+        ++c->rtoFires_;
+        ++c->retrans_;
         host_.sim.spawn(retransmitTask(token, c->retransQ_.front()));
         rto = std::min(rto * 2, cfg_.rtoMax);
     }
@@ -647,6 +652,7 @@ TcpStack::processBatch(unsigned queue, std::vector<Burst> bursts)
             c->peerSockBuf_ = b.hasMeta ? b.meta[0] : cfg_.sockBuf;
             c->credit_ = c->peerSockBuf_;
             c->established_ = true;
+            c->establishedAt_ = host_.sim.now();
             sendControl(b.src, b.flow, BurstKind::SynAck, b.connToken,
                         c->localToken_, cfg_.sockBuf);
             it->second->pending_.push(c);
@@ -660,6 +666,9 @@ TcpStack::processBatch(unsigned queue, std::vector<Burst> bursts)
             c->peerSockBuf_ = b.hasMeta ? b.meta[0] : cfg_.sockBuf;
             c->credit_ = c->peerSockBuf_;
             c->established_ = true;
+            c->establishedAt_ = host_.sim.now();
+            handshakeHist_.sample(
+                (c->establishedAt_ - c->openedAt_).count());
             c->establishedEvt_.trigger();
             break;
           }
@@ -704,6 +713,72 @@ TcpStack::receiveCopy(sim::Bytes bytes)
         noteStreamBytes(2 * bytes);
         cpuCopies_.inc();
     }
+}
+
+void
+TcpStack::noteFlowFinished(Connection &c)
+{
+    if (!c.established_ || c.finishedAt_ > Tick{0})
+        return;
+    c.finishedAt_ = host_.sim.now();
+    lifetimeHist_.sample((c.finishedAt_ - c.establishedAt_).count());
+}
+
+void
+TcpStack::instrument(sim::telemetry::Registry &reg)
+{
+    reg.counter("txPayloadBytes", txPayload_, "payload bytes sent");
+    reg.counter("rxPayloadBytes", rxPayload_,
+                "payload bytes delivered to apps");
+    reg.counter("rxSegments", rxSegments_, "data segments received");
+    reg.counter("dmaCopies", dmaCopies_,
+                "recv copies offloaded to the DMA engine");
+    reg.counter("cpuCopies", cpuCopies_, "recv copies done by the CPU");
+    reg.counter("retransmits", retransmits_,
+                "data segments resent by the RTO path");
+    reg.counter("rxDuplicateSegments", rxDups_,
+                "already-delivered segments received");
+    reg.counter("rxOutOfOrderDrops", rxOoo_, "go-back-N discards");
+    reg.counter("windowProbes", winProbes_,
+                "persist probes while credit-starved");
+    reg.counter("synRetries", synRetries_, "SYN retransmissions");
+    reg.counter("abortedConnections", aborts_,
+                "connections that gave up after retry exhaustion");
+    reg.scalar(
+        "connections",
+        [this] { return static_cast<double>(conns_.size()); },
+        "connections created");
+    reg.probe(
+        "usableConns", sim::telemetry::ProbeKind::gauge,
+        [this] {
+            std::size_t n = 0;
+            for (const auto &c : conns_)
+                if (c->usable())
+                    ++n;
+            return static_cast<double>(n);
+        },
+        "established, unaborted, peer-open connections");
+    reg.histogram("handshakeTicks", handshakeHist_,
+                  "active-open handshake latency (ticks)");
+    reg.histogram("flowLifetimeTicks", lifetimeHist_,
+                  "established -> FIN/abort (ticks)");
+    reg.flows("flows", [this] {
+        std::vector<sim::telemetry::FlowSample> out;
+        out.reserve(conns_.size());
+        for (const auto &c : conns_) {
+            sim::telemetry::FlowSample f;
+            f.flow = c->flow();
+            f.bytesSent = c->bytesSent();
+            f.bytesReceived = c->bytesReceived();
+            f.retransmits = c->flowRetransmits();
+            f.rtoFires = c->rtoFires();
+            f.handshakeLatency = c->handshakeLatency();
+            f.finLatency = c->finLatency();
+            f.open = c->usable();
+            out.push_back(f);
+        }
+        return out;
+    });
 }
 
 } // namespace ioat::tcp

@@ -35,6 +35,8 @@
 #include "simcore/pool.hh"
 #include "simcore/stats.hh"
 #include "simcore/sync.hh"
+#include "simcore/telemetry/histogram.hh"
+#include "simcore/telemetry/registry.hh"
 #include "tcp/config.hh"
 #include "tcp/host.hh"
 
@@ -153,6 +155,27 @@ class Connection
     std::uint64_t bytesSent() const { return bytesSent_; }
     std::uint64_t bytesReceived() const { return bytesReceived_; }
 
+    /** @name Flow telemetry (see telemetry::FlowSample)
+     *  @{ */
+    /** Data segments this connection resent via the RTO path. */
+    std::uint64_t flowRetransmits() const { return retrans_; }
+    /** Retransmission timeouts that fired on this connection. */
+    std::uint64_t rtoFires() const { return rtoFires_; }
+    /** connect()/accept -> established (0 until established). */
+    Tick
+    handshakeLatency() const
+    {
+        return established_ ? establishedAt_ - openedAt_ : Tick{0};
+    }
+    /** established -> local FIN/abort (0 while still open). */
+    Tick
+    finLatency() const
+    {
+        return finishedAt_ > Tick{0} ? finishedAt_ - establishedAt_
+                                     : Tick{0};
+    }
+    /** @} */
+
     /** The simulation this connection's stack runs in. */
     sim::Simulation &simulation();
 
@@ -204,6 +227,13 @@ class Connection
 
     std::uint64_t bytesSent_ = 0;
     std::uint64_t bytesReceived_ = 0;
+
+    // --- flow telemetry ---
+    std::uint64_t retrans_ = 0;  ///< segments resent on this flow
+    std::uint64_t rtoFires_ = 0; ///< RTO expiries on this flow
+    Tick openedAt_{};            ///< connection object creation
+    Tick establishedAt_{};       ///< handshake completion
+    Tick finishedAt_{};          ///< local FIN or abort (0 = open)
 };
 
 /**
@@ -282,6 +312,13 @@ class TcpStack
     /** Connections that gave up after retry exhaustion. */
     std::uint64_t abortedConnections() const { return aborts_.value(); }
     /** @} */
+
+    /**
+     * Publish counters, handshake/lifetime histograms, the live-
+     * connection probe and the per-flow table (called by the owning
+     * Node's hierarchy walk under its "tcp" scope).
+     */
+    void instrument(sim::telemetry::Registry &reg);
 
   private:
     friend class Connection;
@@ -369,6 +406,14 @@ class TcpStack
     sim::stats::Counter winProbes_;
     sim::stats::Counter synRetries_;
     sim::stats::Counter aborts_;
+
+    /** Active-open handshake latency distribution (ticks). */
+    sim::telemetry::Histogram handshakeHist_;
+    /** Flow lifetime, established -> FIN/abort (ticks). */
+    sim::telemetry::Histogram lifetimeHist_;
+
+    /** Record the FIN/abort instant once per connection. */
+    void noteFlowFinished(Connection &c);
 };
 
 } // namespace ioat::tcp

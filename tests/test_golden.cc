@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <cstdlib>
 #include <fstream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -93,7 +94,7 @@ checkGolden(const std::string &name, std::string (*render)())
 // ---- fig03: ttcp bandwidth table -----------------------------------
 
 std::string
-renderFig03()
+renderFig03Impl(bool with_idle_session)
 {
     std::ostringstream out;
     sim::Table t({"ports", "non-ioat Mbps", "ioat Mbps", "non-ioat CPU",
@@ -108,6 +109,13 @@ renderFig03()
             Node a(sim, fabric, NodeConfig::server(features, ports));
             Node b(sim, fabric, NodeConfig::server(features, ports));
             core::AppMemory memB(b.host(), "sinkB");
+
+            // Telemetry with sampling off must be invisible to the
+            // model: same golden digest as the bare run.
+            std::optional<sim::telemetry::Session> session;
+            if (with_idle_session)
+                session.emplace(
+                    sim, sim::telemetry::Session::Config{sim::Tick{0}, 0});
 
             const std::size_t chunk = 64 * 1024;
             sim.spawn(streamSinkLoop(b, 5001, {.recvChunk = chunk},
@@ -130,6 +138,18 @@ renderFig03()
     }
     t.print(out);
     return out.str();
+}
+
+std::string
+renderFig03()
+{
+    return renderFig03Impl(false);
+}
+
+std::string
+renderFig03Observed()
+{
+    return renderFig03Impl(true);
 }
 
 // ---- fig08: two-tier data-center TPS -------------------------------
@@ -305,6 +325,13 @@ renderFaultSweep()
 }
 
 TEST(Golden, Fig03Bandwidth) { checkGolden("fig03", renderFig03); }
+
+// Same scenario with a sampling-off telemetry Session attached checks
+// against the SAME golden digest: telemetry disabled is byte-free.
+TEST(Golden, Fig03TelemetryOff)
+{
+    checkGolden("fig03", renderFig03Observed);
+}
 
 TEST(Golden, Fig08Datacenter) { checkGolden("fig08", renderFig08); }
 

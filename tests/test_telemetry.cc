@@ -1,0 +1,326 @@
+/**
+ * @file
+ * Telemetry subsystem tests (`ctest -L telemetry`):
+ *
+ *  - Histogram bucket math: exact buckets below the linear limit,
+ *    bounded relative error above it, quantile estimates.
+ *  - Sampler/TimeSeries: delta vs gauge semantics, the max-samples
+ *    termination guarantee, byte-identical series across identical
+ *    runs, and the sampling-changes-nothing contract (enabling the
+ *    sampler must not perturb model outcomes).
+ *  - RunReport: emitted JSON carries every required key (schema,
+ *    bench, seed, gitRev, config echo, dotted stats, histograms with
+ *    quantiles, series, flows) and is byte-deterministic; CSV export
+ *    round-trips the series.
+ */
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/node.hh"
+#include "net/switch.hh"
+#include "simcore/telemetry.hh"
+#include "sock/socket.hh"
+
+using namespace ioat;
+using core::IoatConfig;
+using core::Node;
+using core::NodeConfig;
+using sim::Coro;
+using sim::Simulation;
+using sim::telemetry::Histogram;
+using sim::telemetry::ProbeKind;
+using sim::telemetry::Registry;
+using sim::telemetry::RunReport;
+using sim::telemetry::Sampler;
+using sim::telemetry::Session;
+
+namespace {
+
+// ---- Histogram -----------------------------------------------------
+
+TEST(Histogram, ExactBucketsBelowLinearLimit)
+{
+    for (std::uint64_t v = 0; v < Histogram::kLinearLimit; ++v) {
+        EXPECT_EQ(Histogram::bucketIndex(v), v);
+        EXPECT_EQ(Histogram::bucketUpperBound(
+                      Histogram::bucketIndex(v)),
+                  v);
+    }
+}
+
+TEST(Histogram, BoundedRelativeErrorAboveLinearLimit)
+{
+    // Any value's bucket upper bound overshoots by at most 1/2^P.
+    for (std::uint64_t v : {std::uint64_t{16}, std::uint64_t{17},
+                            std::uint64_t{100}, std::uint64_t{1000},
+                            std::uint64_t{65535}, std::uint64_t{65536},
+                            std::uint64_t{1} << 30,
+                            (std::uint64_t{1} << 40) + 12345}) {
+        const std::uint64_t hi =
+            Histogram::bucketUpperBound(Histogram::bucketIndex(v));
+        EXPECT_GE(hi, v) << "v=" << v;
+        const double rel = static_cast<double>(hi - v) /
+                           static_cast<double>(v);
+        EXPECT_LE(rel, 1.0 / (1u << Histogram::kPrecisionBits))
+            << "v=" << v << " hi=" << hi;
+    }
+}
+
+TEST(Histogram, BucketIndexMonotonic)
+{
+    unsigned prev = Histogram::bucketIndex(0);
+    for (std::uint64_t v = 1; v < 100000; v += 7) {
+        const unsigned idx = Histogram::bucketIndex(v);
+        EXPECT_GE(idx, prev) << "v=" << v;
+        prev = idx;
+    }
+}
+
+TEST(Histogram, QuantilesOnUniformSamples)
+{
+    Histogram h;
+    for (std::uint64_t v = 1; v <= 100; ++v)
+        h.sample(v);
+
+    EXPECT_EQ(h.count(), 100u);
+    EXPECT_EQ(h.min(), 1u);
+    EXPECT_EQ(h.max(), 100u);
+    EXPECT_NEAR(h.mean(), 50.5, 1e-9);
+
+    // Estimates are bucket upper bounds: within 12.5% above the truth.
+    EXPECT_GE(h.p50(), 50u);
+    EXPECT_LE(h.p50(), 57u);
+    EXPECT_GE(h.p95(), 95u);
+    EXPECT_LE(h.p95(), 100u);
+    EXPECT_GE(h.p99(), 99u);
+    EXPECT_LE(h.p99(), 100u);
+    // q=1.0 is exactly the max, never a bucket bound.
+    EXPECT_EQ(h.quantile(1.0), 100u);
+}
+
+TEST(Histogram, EmptyAndReset)
+{
+    Histogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), 0u);
+    EXPECT_EQ(h.p99(), 0u);
+
+    h.sample(42);
+    EXPECT_EQ(h.count(), 1u);
+    EXPECT_EQ(h.quantile(0.5), 42u);
+
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.max(), 0u);
+}
+
+// ---- Sampler / TimeSeries ------------------------------------------
+
+TEST(Sampler, DeltaAndGaugeSemantics)
+{
+    Simulation sim;
+    Registry reg;
+    double counter = 0.0;
+    reg.probe("count", ProbeKind::delta, [&counter] { return counter; });
+    reg.probe("level", ProbeKind::gauge, [&counter] { return counter; });
+
+    // One +1 bump in the middle of each of the first 10 intervals.
+    for (int i = 0; i < 10; ++i)
+        sim.queue().scheduleIn(sim::microseconds(5 + 10 * i),
+                               [&counter] { counter += 1.0; });
+
+    Sampler sampler(sim, reg, sim::microseconds(10), 16);
+    sampler.start();
+    sim.run();
+
+    // The cap both bounds the series and guarantees run() terminated.
+    EXPECT_EQ(sampler.samplesTaken(), 16u);
+    EXPECT_FALSE(sampler.running());
+
+    const auto &deltas = reg.probes()[0].series;
+    const auto &levels = reg.probes()[1].series;
+    ASSERT_EQ(deltas.size(), 16u);
+    ASSERT_EQ(levels.size(), 16u);
+    double sum = 0.0;
+    for (std::size_t i = 0; i < deltas.size(); ++i) {
+        EXPECT_DOUBLE_EQ(deltas.at(i), i < 10 ? 1.0 : 0.0) << "i=" << i;
+        sum += deltas.at(i);
+    }
+    EXPECT_DOUBLE_EQ(sum, counter); // deltas reassemble the counter
+    EXPECT_DOUBLE_EQ(levels.at(0), 1.0);
+    EXPECT_DOUBLE_EQ(levels.at(15), 10.0);
+
+    // The timeline metadata positions every sample.
+    EXPECT_EQ(deltas.interval(), sim::microseconds(10));
+    EXPECT_EQ(deltas.timeAt(0), sim::microseconds(10));
+}
+
+// Two-node stream used by the end-to-end telemetry tests.
+Coro<void>
+sinkTask(Node &node)
+{
+    sock::Listener listener(node.stack(), 5001);
+    sock::Socket c = co_await listener.accept();
+    for (;;) {
+        if (co_await c.recv(64 * 1024) == 0)
+            co_return;
+    }
+}
+
+Coro<void>
+senderTask(Node &node, net::NodeId dst)
+{
+    sock::Socket c =
+        co_await sock::Socket::connect(node.stack(), dst, 5001);
+    for (;;)
+        co_await c.sendAll(64 * 1024);
+}
+
+/** Run the standard stream; return receiver payload bytes. */
+std::uint64_t
+runStream(bool with_sampling)
+{
+    Simulation sim;
+    net::Switch fabric(sim, sim::nanoseconds(2000));
+    Node a(sim, fabric, NodeConfig::server(IoatConfig::enabled(), 1));
+    Node b(sim, fabric, NodeConfig::server(IoatConfig::enabled(), 1));
+
+    std::optional<Session> session;
+    if (with_sampling)
+        session.emplace(sim,
+                        Session::Config{sim::microseconds(100),
+                                        Sampler::kDefaultMaxSamples});
+
+    sim.spawn(sinkTask(b));
+    sim.spawn(senderTask(a, b.id()));
+    sim.runFor(sim::milliseconds(20));
+    return b.stack().rxPayloadBytes();
+}
+
+TEST(Sampler, SamplingDoesNotPerturbTheModel)
+{
+    // The pay-for-what-you-use contract: probes only read model
+    // state, so the workload outcome must be bit-identical with the
+    // sampler on or off.
+    EXPECT_EQ(runStream(false), runStream(true));
+}
+
+/** Render the full instrumented-run report as a JSON string. */
+std::string
+reportJson()
+{
+    Simulation sim;
+    net::Switch fabric(sim, sim::nanoseconds(2000));
+    Node a(sim, fabric, NodeConfig::server(IoatConfig::enabled(), 1));
+    Node b(sim, fabric, NodeConfig::server(IoatConfig::enabled(), 1));
+
+    Session session(sim,
+                    Session::Config{sim::microseconds(100),
+                                    Sampler::kDefaultMaxSamples});
+    sim.spawn(sinkTask(b));
+    sim.spawn(senderTask(a, b.id()));
+    sim.runFor(sim::milliseconds(20));
+
+    RunReport report;
+    report.setBench("test_telemetry");
+    report.setSeed(7);
+    report.addConfig("streams", "1");
+    session.captureInto(report);
+
+    std::ostringstream os;
+    report.writeJson(os);
+    return os.str();
+}
+
+TEST(Sampler, IdenticalRunsProduceIdenticalReports)
+{
+    // Series content, flow tables and report bytes are all pure
+    // functions of the simulated run.
+    EXPECT_EQ(reportJson(), reportJson());
+}
+
+// ---- RunReport -----------------------------------------------------
+
+TEST(RunReport, JsonCarriesRequiredKeys)
+{
+    const std::string json = reportJson();
+
+    // Run metadata.
+    EXPECT_NE(json.find("\"schema\": \"ioat-run-report-v1\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"bench\": \"test_telemetry\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"seed\": 7"), std::string::npos);
+    EXPECT_NE(json.find("\"gitRev\""), std::string::npos);
+    EXPECT_NE(json.find("\"config\""), std::string::npos);
+    EXPECT_NE(json.find("\"streams\": \"1\""), std::string::npos);
+
+    // Dotted-name stats from the Hub walk (two nodes -> node0/node1).
+    EXPECT_NE(json.find("\"node0.cpu."), std::string::npos);
+    EXPECT_NE(json.find("\"node1.cpu."), std::string::npos);
+    EXPECT_NE(json.find("\"node0.tcp."), std::string::npos);
+    EXPECT_NE(json.find("\"fabric0."), std::string::npos);
+
+    // At least one histogram with quantiles and one time series.
+    EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+    EXPECT_NE(json.find("\"p50\""), std::string::npos);
+    EXPECT_NE(json.find("\"p95\""), std::string::npos);
+    EXPECT_NE(json.find("\"p99\""), std::string::npos);
+    EXPECT_NE(json.find("\"max\""), std::string::npos);
+    EXPECT_NE(json.find("\"series\""), std::string::npos);
+    EXPECT_NE(json.find("\"sim.events\""), std::string::npos);
+    EXPECT_NE(json.find("\"intervalTicks\": 100000"),
+              std::string::npos);
+
+    // Flow telemetry for the one connection.
+    EXPECT_NE(json.find("\"flows\""), std::string::npos);
+    EXPECT_NE(json.find("\"bytesReceived\""), std::string::npos);
+    EXPECT_NE(json.find("\"handshakeTicks\""), std::string::npos);
+}
+
+TEST(RunReport, CsvExportsSeries)
+{
+    Simulation sim;
+    Registry reg;
+    double v = 0.0;
+    reg.probe("signal", ProbeKind::gauge, [&v] { return v; });
+    sim.queue().scheduleIn(sim::microseconds(15), [&v] { v = 2.5; });
+
+    Sampler sampler(sim, reg, sim::microseconds(10), 3);
+    sampler.start();
+    sim.run();
+
+    RunReport report;
+    report.capture(reg, sim.now());
+
+    std::ostringstream os;
+    report.writeCsv(os);
+    const std::string csv = os.str();
+    EXPECT_NE(csv.find("series,tick,value\n"), std::string::npos);
+    EXPECT_NE(csv.find("signal,10000,0\n"), std::string::npos);
+    EXPECT_NE(csv.find("signal,20000,2.5\n"), std::string::npos);
+    EXPECT_NE(csv.find("signal,30000,2.5\n"), std::string::npos);
+}
+
+TEST(Registry, ScopesBuildDottedNames)
+{
+    Registry reg;
+    {
+        Registry::Scope outer(reg, "node0");
+        {
+            Registry::Scope inner(reg, "cpu");
+            reg.scalar("utilization", [] { return 0.5; });
+        }
+        reg.scalar("top", [] { return 1.0; });
+    }
+    ASSERT_EQ(reg.scalars().size(), 2u);
+    EXPECT_EQ(reg.scalars()[0].name, "node0.cpu.utilization");
+    EXPECT_EQ(reg.scalars()[1].name, "node0.top");
+}
+
+} // namespace

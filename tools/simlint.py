@@ -29,6 +29,13 @@ Rules
                   depending on intermediate precision.  The one
                   audited door is sim::ticksFromDouble() (and
                   BytesPerSec::transferTime, which uses it).
+  raw-stdout      no std::cout/cerr/clog or printf-family writes in
+                  src/: model output flows through the telemetry
+                  registry / RunReport / sim::Table so every run
+                  artifact is machine-readable and diffable.  The
+                  sanctioned sinks are src/simcore/log.hh (leveled
+                  stderr logging) and src/simcore/assert.hh (panics).
+                  String *formatting* (strprintf/vsnprintf) is fine.
 
 Suppressions
 ------------
@@ -57,6 +64,7 @@ RULES = (
     "unordered-iter",
     "raw-new",
     "float-tick",
+    "raw-stdout",
 )
 
 # Files that ARE the sanctioned implementation of a rule's subject.
@@ -64,6 +72,7 @@ EXEMPT = {
     "raw-random": ("src/simcore/random.hh",),
     "raw-new": ("src/simcore/pool.hh",),
     "float-tick": ("src/simcore/types.hh",),
+    "raw-stdout": ("src/simcore/log.hh", "src/simcore/assert.hh"),
 }
 
 SOURCE_SUFFIXES = {".hh", ".cc", ".cpp", ".hpp", ".cxx"}
@@ -90,6 +99,14 @@ FLOAT_TICK_RE = re.compile(
     r"static_cast<\s*(?:ioat::)?(?:sim::)?Tick\s*>"
     r"|\bTick\s*\{\s*static_cast<"
     r"|\bTick\s*\(\s*static_cast<"
+)
+# Console I/O: stream objects or a printf-family *call*.  The
+# lookbehind keeps formatting helpers (strprintf, vsnprintf) and
+# member calls (sink.printf / sink->printf) from matching.
+RAW_STDOUT_RE = re.compile(
+    r"\bstd::(?:cout|cerr|clog)\b"
+    r"|(?<![\w:.>])(?:std::)?(?:printf|fprintf|vprintf|vfprintf"
+    r"|puts|fputs|putchar|fputc|putc)\s*\("
 )
 UNORDERED_DECL_RE = re.compile(
     r"\bstd::unordered_(?:map|set|multimap|multiset)\s*<"
@@ -258,6 +275,13 @@ def lint_file(path, rel):
                     "src/simcore/pool.hh (or std::make_unique for "
                     "owner-managed objects)",
                 )
+        if not exempt("raw-stdout") and RAW_STDOUT_RE.search(line):
+            report(
+                lineno, "raw-stdout",
+                "raw console I/O; emit run artifacts through the "
+                "telemetry registry / RunReport / sim::Table (leveled "
+                "diagnostics go through src/simcore/log.hh)",
+            )
         if not exempt("float-tick") and FLOAT_TICK_RE.search(line):
             report(
                 lineno, "float-tick",

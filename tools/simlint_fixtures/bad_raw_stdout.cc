@@ -1,0 +1,17 @@
+// Fixture: every statement here must trip the raw-stdout rule.
+#include <cstdio>
+#include <iostream>
+
+void
+badReport(double mbps)
+{
+    std::cout << "mbps " << mbps << "\n";
+    std::cerr << "warning\n";
+    std::clog << "note\n";
+    printf("mbps %f\n", mbps);
+    std::printf("mbps %f\n", mbps);
+    fprintf(stdout, "mbps %f\n", mbps);
+    puts("done");
+    fputs("done\n", stdout);
+    putchar('\n');
+}

@@ -1,0 +1,37 @@
+// Fixture: near-misses that must NOT trip raw-stdout — string
+// formatting, identifiers that merely contain "printf"/"puts", and
+// console I/O mentioned only in comments or string literals.
+#include <cstdarg>
+#include <cstdio>
+#include <functional>
+#include <string>
+
+std::string
+strprintf(const char *fmt, ...)
+{
+    char buf[256];
+    va_list args;
+    va_start(args, fmt);
+    vsnprintf(buf, sizeof(buf), fmt, args);
+    va_end(args);
+    return buf;
+}
+
+struct Sink
+{
+    // A member named like the libc call is not a console write.
+    std::function<void(const char *)> printf = [](const char *) {};
+    int outputs = 0;
+};
+
+std::string
+goodReport(double mbps)
+{
+    Sink sink;
+    sink.printf("row");
+    snprintf(nullptr, 0, "%f", mbps); // sizing pass, no output
+    const char *hint = "never call printf() or std::cout here";
+    (void)hint;
+    // printf() in a comment is fine.
+    return strprintf("mbps %.1f", mbps);
+}
