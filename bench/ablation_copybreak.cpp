@@ -84,7 +84,7 @@ main(int argc, char **argv)
         t.print(std::cout);
         std::cout << "\n";
     }
-    if (opts.wantReport() || opts.wantTrace())
+    if (opts.instrumented())
         run(4096, 65536, &opts);
 
     std::cout << "Offloading below the pin+submit breakeven wastes "

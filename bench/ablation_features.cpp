@@ -86,7 +86,7 @@ main(int argc, char **argv)
     }
     t.print(std::cout);
 
-    if (opts.wantReport() || opts.wantTrace())
+    if (opts.instrumented())
         run(core::IoatConfig::enabled(), &opts);
 
     std::cout << "\nThe paper evaluates rows {-,-,-}, {on,-,-} and "

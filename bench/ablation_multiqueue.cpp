@@ -88,7 +88,7 @@ main(int argc, char **argv)
     }
     t.print(std::cout);
 
-    if (opts.wantReport() || opts.wantTrace())
+    if (opts.instrumented())
         run(true, 32, 1024, &opts);
 
     std::cout << "\nWith one queue per port, all per-packet work rides "

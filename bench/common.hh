@@ -153,9 +153,20 @@ class Options
     const std::string &benchName() const { return bench_; }
     const std::string &reportPath() const { return report_; }
     const std::string &tracePath() const { return trace_; }
+    const std::string &requestTracePath() const { return reqTrace_; }
+    const std::string &spanReportPath() const { return spanReport_; }
     std::uint64_t seed() const { return seed_; }
     bool wantReport() const { return !report_.empty(); }
     bool wantTrace() const { return !trace_.empty(); }
+    bool wantRequestTrace() const { return !reqTrace_.empty(); }
+    bool wantSpanReport() const { return !spanReport_.empty(); }
+    /** Any artifact that needs telemetry/tracing machinery on. */
+    bool
+    instrumented() const
+    {
+        return wantReport() || wantTrace() || wantRequestTrace() ||
+               wantSpanReport();
+    }
 
     /** Probe sampling period for instrumented runs. */
     Tick sampleInterval() const { return sampleInterval_; }
@@ -182,6 +193,7 @@ class Options
                 return false;
             }
             if (arg == "--report" || arg == "--trace" ||
+                arg == "--trace-requests" || arg == "--span-report" ||
                 arg == "--sample-interval" || arg == "--seed") {
                 if (i + 1 >= argc)
                     return fail(arg + " needs a value");
@@ -190,6 +202,10 @@ class Options
                     report_ = val;
                 else if (arg == "--trace")
                     trace_ = val;
+                else if (arg == "--trace-requests")
+                    reqTrace_ = val;
+                else if (arg == "--span-report")
+                    spanReport_ = val;
                 else if (arg == "--sample-interval")
                     sampleInterval_ = sim::microseconds(
                         std::strtoull(val.c_str(), nullptr, 10));
@@ -222,6 +238,10 @@ class Options
         std::fprintf(out,
                      "  --report <file>           write RunReport JSON\n"
                      "  --trace <file>            write Chrome trace JSON\n"
+                     "  --trace-requests <file>   write per-request Chrome "
+                     "trace with flow events\n"
+                     "  --span-report <file>      write per-request span "
+                     "JSON (breakdown + critical path)\n"
                      "  --sample-interval <us>    probe sampling period "
                      "(default 100)\n"
                      "  --seed <n>                run seed echoed into the "
@@ -264,6 +284,8 @@ class Options
     std::string bench_;
     std::string report_;
     std::string trace_;
+    std::string reqTrace_;
+    std::string spanReport_;
     Tick sampleInterval_ = sim::microseconds(100);
     std::uint64_t seed_ = 1;
     std::vector<Knob> knobs_;
@@ -307,6 +329,12 @@ class TelemetryRun
             tracer_ = std::make_unique<sim::TraceWriter>();
             session_.attachTracer(tracer_.get());
         }
+        if (opts.wantRequestTrace() || opts.wantSpanReport()) {
+            // Must happen before the workload spawns so requests are
+            // minted from the first iteration on.
+            reqTracer_ = &sim.enableRequestTracing();
+            session_.add("requestTrace", *reqTracer_);
+        }
     }
 
     sim::telemetry::Session &session() { return session_; }
@@ -334,11 +362,24 @@ class TelemetryRun
         }
         if (tracer_)
             tracer_->save(opts_.tracePath());
+        if (reqTracer_) {
+            if (opts_.wantSpanReport())
+                reqTracer_->saveSpanJson(opts_.spanReportPath());
+            if (opts_.wantRequestTrace()) {
+                sim::TraceWriter rtw;
+                reqTracer_->exportChrome(rtw);
+                rtw.save(opts_.requestTracePath());
+            }
+        }
     }
+
+    /** The request tracer, when --trace-requests/--span-report is on. */
+    sim::RequestTracer *requestTracer() { return reqTracer_; }
 
   private:
     const Options &opts_;
     std::unique_ptr<sim::TraceWriter> tracer_;
+    sim::RequestTracer *reqTracer_ = nullptr;
     sim::telemetry::Session session_;
 };
 

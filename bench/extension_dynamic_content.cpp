@@ -101,7 +101,7 @@ main(int argc, char **argv)
     }
     t.print(std::cout);
 
-    if (opts.wantReport() || opts.wantTrace())
+    if (opts.instrumented())
         run(IoatConfig::enabled(), 64, &opts);
 
     std::cout << "\nDynamic pages cannot use sendfile and each request "

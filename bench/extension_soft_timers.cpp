@@ -103,7 +103,7 @@ main(int argc, char **argv)
     }
     t.print(std::cout);
 
-    if (opts.wantReport() || opts.wantTrace())
+    if (opts.instrumented())
         run(IoatConfig::enabled(), true, &opts);
 
     std::cout << "\nSoft timers remove per-packet interrupt entries; "

@@ -207,7 +207,7 @@ main(int argc, char **argv)
     }
     t2.print(std::cout);
 
-    if (opts.wantReport() || opts.wantTrace())
+    if (opts.instrumented())
         runStream(IoatConfig::enabled(), 1e-3, &opts);
 
     std::cout << "\nEvery row is a pure function of the fault seed ("

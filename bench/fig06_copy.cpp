@@ -86,7 +86,7 @@ main(int argc, char **argv)
     }
     t.print(std::cout);
 
-    if (opts.wantReport() || opts.wantTrace())
+    if (opts.instrumented())
         reportRun(opts);
 
     std::cout << "\nPaper anchors: DMA-copy beats copy-nocache above "

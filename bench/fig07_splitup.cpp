@@ -118,7 +118,7 @@ main(int argc, char **argv)
     }
     tb.print(std::cout);
 
-    if (opts.wantReport() || opts.wantTrace())
+    if (opts.instrumented())
         run(IoatConfig::enabled(), std::size_t{1} << 20, &opts);
 
     std::cout << "\nPaper anchors: (a) DMA engine ~16% relative CPU "

@@ -85,8 +85,20 @@ int
 main(int argc, char **argv)
 {
     Options opts("fig08_datacenter_traces");
+    double quick = 0;
+    opts.knob("quick", &quick,
+              "nonzero: skip the sweeps, run only the instrumented "
+              "4K single-file configuration");
     if (!opts.parse(argc, argv))
         return opts.exitCode();
+
+    if (quick != 0) {
+        dc::SingleFileWorkload wl(4096, 1000);
+        const double tps =
+            runTps(IoatConfig::enabled(), wl, 0, false, &opts);
+        std::cout << "fig08 quick run: " << num(tps, 0) << " TPS\n";
+        return 0;
+    }
 
     std::cout << "=== Figure 8: Data-Center Performance (2-tier, "
               << kClientThreads << " clients on " << kClientNodes
@@ -128,7 +140,7 @@ main(int argc, char **argv)
     }
     tb2.print(std::cout);
 
-    if (opts.wantReport() || opts.wantTrace()) {
+    if (opts.instrumented()) {
         dc::SingleFileWorkload wl(4096, 1000);
         runTps(IoatConfig::enabled(), wl, 0, false, &opts);
     }

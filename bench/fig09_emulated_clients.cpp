@@ -97,7 +97,7 @@ main(int argc, char **argv)
     }
     t.print(std::cout);
 
-    if (opts.wantReport() || opts.wantTrace())
+    if (opts.instrumented())
         run(IoatConfig::enabled(), 64, &opts);
 
     std::cout << "\nPaper anchors: identical up to 16 threads; "

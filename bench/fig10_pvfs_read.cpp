@@ -108,7 +108,7 @@ main(int argc, char **argv)
     table(6);
     table(5);
 
-    if (opts.wantReport() || opts.wantTrace())
+    if (opts.instrumented())
         run(IoatConfig::enabled(), 6, 6, &opts);
 
     std::cout << "Paper anchors: 6 servers: non-I/OAT 361->649 MB/s, "

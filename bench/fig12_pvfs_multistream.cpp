@@ -96,7 +96,7 @@ main(int argc, char **argv)
     }
     t.print(std::cout);
 
-    if (opts.wantReport() || opts.wantTrace())
+    if (opts.instrumented())
         run(IoatConfig::enabled(), 16, &opts);
 
     std::cout << "\nPaper anchors: I/OAT throughput >= non-I/OAT "

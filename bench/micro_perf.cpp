@@ -243,7 +243,7 @@ main(int argc, char **argv)
     if (!opts.parse(our_argc, our_argv.data()))
         return opts.exitCode();
 
-    if (opts.wantReport() || opts.wantTrace())
+    if (opts.instrumented())
         reportRun(opts);
 
     int gbench_argc = static_cast<int>(gbench_argv.size());

@@ -153,7 +153,7 @@ main(int argc, char **argv)
     }
     t.print(std::cout);
 
-    if (opts.wantReport() || opts.wantTrace())
+    if (opts.instrumented())
         run(IoatConfig::enabled(), "ioat", 8, &opts);
 
     const std::string path = "BENCH_scale.json";

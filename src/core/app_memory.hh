@@ -97,7 +97,7 @@ class AppMemory
      * memory-bus pressure, and grows the working set.
      */
     Coro<void>
-    touch(std::size_t bytes)
+    touch(std::size_t bytes, sim::TraceContext ctx = {})
     {
         const double res = residency();
         const Tick t =
@@ -106,7 +106,17 @@ class AppMemory
         noteBuffer(bytes);
         host_.bus.consume(sim::Bytes{static_cast<std::size_t>(
             static_cast<double>(bytes) * (1.0 - res))});
+        const Tick t0 = host_.sim.now();
         co_await host_.cpu.compute(t);
+        if (sim::RequestTracer *rt = host_.sim.requestTracer();
+            rt && ctx.valid()) {
+            const Tick hot = std::min(
+                host_.copy.touchTime(sim::Bytes{bytes}, 1.0, 1.0), t);
+            rt->recordComputeSplit(
+                ctx, t0, host_.sim.now(),
+                {{"app.touch", sim::CostCat::memcpy, hot},
+                 {"app.touch-miss", sim::CostCat::cache, t - hot}});
+        }
     }
 
     /**
@@ -115,7 +125,7 @@ class AppMemory
      * a write payload into ramfs pages that are never re-read).
      */
     Coro<void>
-    streamCopy(std::size_t bytes)
+    streamCopy(std::size_t bytes, sim::TraceContext ctx = {})
     {
         const double res = residency();
         const Tick t =
@@ -123,7 +133,9 @@ class AppMemory
                                 host_.bus.slowdown());
         host_.bus.consume(sim::Bytes{static_cast<std::size_t>(
             static_cast<double>(2 * bytes) * (1.0 - res))});
+        const Tick t0 = host_.sim.now();
         co_await host_.cpu.compute(t);
+        recordCopySplit(ctx, "app.copy", t0, t, bytes);
     }
 
     /**
@@ -131,7 +143,7 @@ class AppMemory
      * fetched object into its cache).
      */
     Coro<void>
-    copyInto(std::size_t bytes)
+    copyInto(std::size_t bytes, sim::TraceContext ctx = {})
     {
         const double res = residency();
         const Tick t =
@@ -140,10 +152,27 @@ class AppMemory
         noteBuffer(bytes);
         host_.bus.consume(sim::Bytes{static_cast<std::size_t>(
             static_cast<double>(2 * bytes) * (1.0 - res))});
+        const Tick t0 = host_.sim.now();
         co_await host_.cpu.compute(t);
+        recordCopySplit(ctx, "app.copy", t0, t, bytes);
     }
 
   private:
+    /** Split one already-charged copy into hot/memcpy + miss/cache. */
+    void
+    recordCopySplit(sim::TraceContext ctx, const char *name, Tick t0,
+                    Tick cost, std::size_t bytes)
+    {
+        sim::RequestTracer *rt = host_.sim.requestTracer();
+        if (!rt || !ctx.valid())
+            return;
+        const Tick hot =
+            std::min(host_.copy.hotCopyTime(sim::Bytes{bytes}), cost);
+        rt->recordComputeSplit(
+            ctx, t0, host_.sim.now(),
+            {{name, sim::CostCat::memcpy, hot},
+             {"app.copy-miss", sim::CostCat::cache, cost - hot}});
+    }
     void
     refreshFootprint()
     {

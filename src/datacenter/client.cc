@@ -49,6 +49,7 @@ ClientFleet::clientThread(core::Node &node, core::AppMemory &mem,
                           std::uint64_t seed)
 {
     sim::Rng rng(seed);
+    sim::RequestTracer *rt = node.simulation().requestTracer();
     Connection *conn = co_await node.stack().connect(
         opts_.target, opts_.port, opts_.requestTimeout);
 
@@ -66,34 +67,54 @@ ClientFleet::clientThread(core::Node &node, core::AppMemory &mem,
         const Request req = workload_.next(rng);
         const sim::Tick t0 = node.simulation().now();
 
+        // Mint one causal trace per request; every path below — even
+        // the failure continues — must reach endRequest.
+        sim::TraceContext tc{};
+        if (rt)
+            tc = rt->beginRequest("dc.get",
+                                  static_cast<int>(node.id()));
+
         co_await node.cpu().compute(opts_.perRequestCost);
+        if (rt && tc.valid())
+            rt->record(tc, "client.request", sim::CostCat::cpu, t0,
+                       node.simulation().now());
 
         sock::Message get;
         get.tag = opts_.requestTag;
         get.a = req.fileId;
         get.b = req.bytes;
+        get.trace = tc;
         co_await sock::sendMessage(*conn, get);
 
         auto resp = co_await sock::recvMessageTimed(
-            *conn, opts_.requestTimeout);
+            *conn, opts_.requestTimeout, nullptr, tc);
         if (!resp.has_value()) {
             failures_.inc(); // timeout or server closed mid-request
+            if (rt)
+                rt->endRequest(tc);
             continue;
         }
         if (resp->tag ==
             static_cast<std::uint64_t>(HttpTag::ServiceUnavailable)) {
             rejected_.inc(); // shed under overload / degradation
+            if (rt)
+                rt->endRequest(tc);
             continue;
         }
-        const std::size_t got = co_await conn->recvAll(resp->payloadBytes);
+        const std::size_t got =
+            co_await conn->recvAll(resp->payloadBytes, tc);
         if (got != resp->payloadBytes) {
             failures_.inc(); // truncated body
+            if (rt)
+                rt->endRequest(tc);
             continue;
         }
 
         if (opts_.touchPayload)
-            co_await mem.touch(got);
+            co_await mem.touch(got, tc);
 
+        if (rt)
+            rt->endRequest(tc);
         completed_.inc();
         latency_.sample(
             sim::toMicroseconds(node.simulation().now() - t0));

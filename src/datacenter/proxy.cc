@@ -122,7 +122,8 @@ Proxy::acceptLoop()
 }
 
 Coro<std::optional<std::size_t>>
-Proxy::fetchOnce(unsigned pool_idx, const sock::Message &request)
+Proxy::fetchOnce(unsigned pool_idx, const sock::Message &request,
+                 sim::TraceContext ctx)
 {
     auto &pool = *pools_[pool_idx];
     auto backend = co_await pool.recv();
@@ -147,10 +148,12 @@ Proxy::fetchOnce(unsigned pool_idx, const sock::Message &request)
         node_.simulation().spawn(
             armWatch(*bc, cfg_.requestDeadline, watch));
 
-    co_await sock::sendMessage(*bc, request);
+    sock::Message fwd = request;
+    fwd.trace = ctx; // backend works on behalf of the proxy span
+    co_await sock::sendMessage(*bc, fwd);
     std::optional<sock::Message> resp;
     if (!bc->aborted())
-        resp = co_await sock::recvMessage(*bc);
+        resp = co_await sock::recvMessage(*bc, ctx);
     if (!resp) {
         watch->done = true;
         pool.push(bc);
@@ -164,7 +167,7 @@ Proxy::fetchOnce(unsigned pool_idx, const sock::Message &request)
         co_return std::nullopt;
     }
     const std::size_t bytes = resp->payloadBytes;
-    const std::size_t got = co_await bc->recvAll(bytes);
+    const std::size_t got = co_await bc->recvAll(bytes, ctx);
     watch->done = true;
     pool.push(bc);
     if (got != bytes)
@@ -175,6 +178,7 @@ Proxy::fetchOnce(unsigned pool_idx, const sock::Message &request)
 Coro<void>
 Proxy::serveConnection(Connection *client)
 {
+    sim::RequestTracer *rt = node_.simulation().requestTracer();
     for (;;) {
         auto msg = co_await sock::recvMessage(*client);
         if (!msg.has_value())
@@ -183,9 +187,24 @@ Proxy::serveConnection(Connection *client)
                        "proxy expects GET");
         ++inflight_;
 
+        // The proxy's whole tenure on this request is one span; the
+        // backend exchange and local work parent on it.
+        sim::TraceContext pctx{};
+        if (rt && msg->trace.valid())
+            pctx = rt->beginSpan(msg->trace, "proxy",
+                                 sim::CostCat::queueWait);
+
+        const sim::Tick parse_t0 = node_.simulation().now();
         co_await node_.cpu().compute(cfg_.requestParseCost +
                                      cfg_.workerOverheadCost +
                                      cfg_.proxyCacheOpCost);
+        if (rt && pctx.valid())
+            rt->recordComputeSplit(
+                pctx, parse_t0, node_.simulation().now(),
+                {{"proxy.parse", sim::CostCat::cpu,
+                  cfg_.requestParseCost + cfg_.workerOverheadCost},
+                 {"proxy.cache", sim::CostCat::cpu,
+                  cfg_.proxyCacheOpCost}});
 
         std::size_t bytes =
             cfg_.proxyCachingEnabled ? cache_.get(msg->a) : 0;
@@ -201,7 +220,8 @@ Proxy::serveConnection(Connection *client)
                 if (a > 0)
                     retries_.inc();
                 fetched = co_await fetchOnce(
-                    a % static_cast<unsigned>(pools_.size()), *msg);
+                    a % static_cast<unsigned>(pools_.size()), *msg,
+                    pctx);
             }
 
             if (fetched) {
@@ -209,9 +229,16 @@ Proxy::serveConnection(Connection *client)
                 // Stream the fetched object into the forwarding
                 // buffer (and, when caching, into the object cache).
                 if (cfg_.touchPayload)
-                    co_await mem_.copyInto(bytes);
+                    co_await mem_.copyInto(bytes, pctx);
                 if (cfg_.proxyCachingEnabled) {
+                    const sim::Tick cache_t0 =
+                        node_.simulation().now();
                     co_await node_.cpu().compute(cfg_.proxyCacheOpCost);
+                    if (rt && pctx.valid())
+                        rt->recordComputeSplit(
+                            pctx, cache_t0, node_.simulation().now(),
+                            {{"proxy.cache", sim::CostCat::cpu,
+                              cfg_.proxyCacheOpCost}});
                     cache_.put(msg->a, bytes);
                     mem_.setReserved(cfg_.appResidentBytes +
                                      cache_.usedBytes());
@@ -230,27 +257,46 @@ Proxy::serveConnection(Connection *client)
                     bytes = stale;
                 } else {
                     shed_.inc();
+                    const sim::Tick busy_t0 =
+                        node_.simulation().now();
                     co_await node_.cpu().compute(cfg_.responseBuildCost);
+                    if (rt && pctx.valid())
+                        rt->recordComputeSplit(
+                            pctx, busy_t0, node_.simulation().now(),
+                            {{"proxy.respond", sim::CostCat::cpu,
+                              cfg_.responseBuildCost}});
                     sock::Message busy;
                     busy.tag = static_cast<std::uint64_t>(
                         HttpTag::ServiceUnavailable);
                     busy.a = msg->a;
+                    busy.trace = pctx;
                     co_await sock::sendMessage(*client, busy);
+                    if (rt)
+                        rt->endSpan(pctx);
                     --inflight_;
                     continue;
                 }
             }
         }
 
+        const sim::Tick resp_t0 = node_.simulation().now();
         co_await node_.cpu().compute(cfg_.responseBuildCost);
+        if (rt && pctx.valid())
+            rt->recordComputeSplit(
+                pctx, resp_t0, node_.simulation().now(),
+                {{"proxy.respond", sim::CostCat::cpu,
+                  cfg_.responseBuildCost}});
 
         // Serve from in-memory cache: zero-copy out.
         sock::Message resp;
         resp.tag = static_cast<std::uint64_t>(HttpTag::Response);
         resp.a = msg->a;
         resp.payloadBytes = bytes;
+        resp.trace = pctx;
         co_await sock::sendMessage(*client, resp,
                                    tcp::SendOptions{.zeroCopy = true});
+        if (rt)
+            rt->endSpan(pctx);
         served_.inc();
         --inflight_;
     }

@@ -91,7 +91,8 @@ class Proxy : public sim::telemetry::Instrumented
     /** One backend exchange against pool @p pool_idx; nullopt on
      *  deadline expiry, dead connection, or backend 503. */
     sim::Coro<std::optional<std::size_t>>
-    fetchOnce(unsigned pool_idx, const sock::Message &request);
+    fetchOnce(unsigned pool_idx, const sock::Message &request,
+              sim::TraceContext ctx);
 
     core::Node &node_;
     DcConfig cfg_;

@@ -44,12 +44,20 @@ WebServer::acceptLoop()
 Coro<void>
 WebServer::serveConnection(Connection *conn)
 {
+    sim::RequestTracer *rt = node_.simulation().requestTracer();
     for (;;) {
         auto msg = co_await sock::recvMessage(*conn);
         if (!msg.has_value())
             co_return; // client hung up
         sim::simAssert(msg->tag == static_cast<std::uint64_t>(HttpTag::Get),
                        "web server expects GET");
+
+        // The backend's tenure on the request, parented on whatever
+        // context rode the GET header (client root or proxy span).
+        sim::TraceContext sctx{};
+        if (rt && msg->trace.valid())
+            sctx = rt->beginSpan(msg->trace, "webserver",
+                                 sim::CostCat::queueWait);
 
         // Overload control: past the inflight cap we answer with an
         // immediate 503 instead of queueing (graceful degradation).
@@ -59,7 +67,10 @@ WebServer::serveConnection(Connection *conn)
             busy.tag =
                 static_cast<std::uint64_t>(HttpTag::ServiceUnavailable);
             busy.a = msg->a;
+            busy.trace = sctx;
             co_await sock::sendMessage(*conn, busy);
+            if (rt)
+                rt->endSpan(sctx);
             continue;
         }
         ++inflight_;
@@ -68,9 +79,17 @@ WebServer::serveConnection(Connection *conn)
 
         // Request parsing, worker scheduling, VFS/page-cache lookup,
         // response-header construction.
+        const sim::Tick handle_t0 = node_.simulation().now();
         co_await node_.cpu().compute(
             cfg_.requestParseCost + cfg_.workerOverheadCost +
             cfg_.serverFileLookupCost + cfg_.responseBuildCost);
+        if (rt && sctx.valid())
+            rt->recordComputeSplit(
+                sctx, handle_t0, node_.simulation().now(),
+                {{"server.handle", sim::CostCat::cpu,
+                  cfg_.requestParseCost + cfg_.workerOverheadCost +
+                      cfg_.serverFileLookupCost +
+                      cfg_.responseBuildCost}});
 
         // Static content goes out via sendfile (zero-copy): the NIC
         // reads the page cache directly.
@@ -78,8 +97,11 @@ WebServer::serveConnection(Connection *conn)
         resp.tag = static_cast<std::uint64_t>(HttpTag::Response);
         resp.a = msg->a;
         resp.payloadBytes = bytes;
+        resp.trace = sctx;
         co_await sock::sendMessage(*conn, resp,
                                    tcp::SendOptions{.zeroCopy = true});
+        if (rt)
+            rt->endSpan(sctx);
         served_.inc();
         --inflight_;
     }

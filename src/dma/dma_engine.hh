@@ -154,7 +154,7 @@ class DmaEngine : public sim::telemetry::Instrumented
      * transaction) has landed.
      */
     Coro<void>
-    transfer(std::size_t bytes)
+    transfer(std::size_t bytes, sim::TraceContext ctx = {})
     {
         co_await channels_.acquire();
         busySignal_.update(sim_.now(),
@@ -183,6 +183,14 @@ class DmaEngine : public sim::telemetry::Instrumented
             tracer_->complete("dma " + std::to_string(bytes) + "B",
                               "dma", start, sim_.now() - start,
                               sim::TraceWriter::Lanes::dma);
+        }
+        if (ctx.valid()) {
+            // Channel queueing before acquire stays unattributed (it
+            // surfaces as the parent's residual), the engine time is a
+            // dma-category span on the dma lane.
+            if (sim::RequestTracer *rt = sim_.requestTracer())
+                rt->record(ctx, "dma", sim::CostCat::dma, start,
+                           sim_.now(), sim::TraceWriter::Lanes::dma);
         }
         transfers_.inc();
         bytesCopied_.inc(bytes);

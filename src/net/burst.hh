@@ -18,12 +18,17 @@
 
 #include <cstdint>
 
+#include "simcore/types.hh"
+
 namespace ioat::net {
 
 /** Identifies a node (one NIC) attached to the fabric. */
 using NodeId = std::uint32_t;
 
 inline constexpr NodeId kInvalidNode = ~NodeId{0};
+
+/** Application message-header words carried in-band with a burst. */
+inline constexpr int kBurstMetaWords = 6;
 
 /** A train of frames from one flow, delivered as a unit. */
 struct Burst
@@ -46,7 +51,12 @@ struct Burst
     std::uint64_t arg = 0;
     /** Application message header riding the first segment, if any. */
     bool hasMeta = false;
-    std::uint64_t meta[5] = {};
+    std::uint64_t meta[kBurstMetaWords] = {};
+    /** Packed sim::TraceContext of the request this burst serves
+     *  (0 = untraced), and when the NIC started serializing it —
+     *  together they let the receive side record the wire span. */
+    std::uint64_t trace = 0;
+    sim::Tick traceTxStart{};
     /** @} */
 };
 

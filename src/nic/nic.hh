@@ -206,6 +206,11 @@ class Nic
         const Tick depart = start + tx_time;
         txNextFree_[port] = depart;
         txBytes_.inc(burst.wireBytes);
+        if (burst.trace != 0) {
+            // Stamp serialization start; the receiving NIC closes the
+            // wire span (TX serialize + switch transit + RX DMA).
+            burst.traceTxStart = start;
+        }
 
         sim_.queue().schedule(depart, [this, burst] {
             fabric_.forward(burst);
@@ -300,6 +305,16 @@ class Nic
             return;
         }
         rxBursts_.inc();
+        if (burst.trace != 0) {
+            // Dropped bursts never get here: their wire time falls to
+            // the request's residual (queue-wait), not a wire span.
+            if (sim::RequestTracer *rt = sim_.requestTracer())
+                rt->record(sim::TraceContext::unpack(burst.trace),
+                           "wire", sim::CostCat::wire,
+                           burst.traceTxStart, sim_.now(),
+                           sim::TraceWriter::Lanes::wire +
+                               static_cast<int>(portFor(burst.flow)));
+        }
         q.pending.push_back(burst);
 
         if (cfg_.pollingPeriod > Tick{0}) {

@@ -159,10 +159,13 @@ PvfsClient::ensureIod(unsigned server)
 }
 
 Coro<PvfsResult<sock::Message>>
-PvfsClient::mgrOp(const sock::Message &request)
+PvfsClient::mgrOp(const sock::Message &request, sim::TraceContext ctx)
 {
     sim::simAssert(mgr_ != nullptr, "PvfsClient not connected");
     RpcInFlight rpc(outstanding_);
+    sim::RequestTracer *rt = node_.simulation().requestTracer();
+    // One span for the whole manager exchange, retries included.
+    sim::ScopedSpan op(rt, ctx, "mgr", sim::CostCat::queueWait);
     PvfsErrc lastErr = PvfsErrc::ServerClosed;
     const unsigned tries = std::max(1u, cfg_.rpcMaxRetries);
     sim::Tick backoff = cfg_.rpcRetryBackoff;
@@ -181,11 +184,19 @@ PvfsClient::mgrOp(const sock::Message &request)
         if (cfg_.rpcTimeout > sim::Tick{0})
             watch.arm(*conn, cfg_.rpcTimeout);
 
+        const sim::Tick req_t0 = node_.simulation().now();
         co_await node_.cpu().compute(cfg_.clientRequestCost);
-        co_await sock::sendMessage(*conn, request);
+        if (rt && op.ctx().valid())
+            rt->recordComputeSplit(op.ctx(), req_t0,
+                                   node_.simulation().now(),
+                                   {{"pvfs.request", sim::CostCat::cpu,
+                                     cfg_.clientRequestCost}});
+        sock::Message traced = request;
+        traced.trace = op.ctx();
+        co_await sock::sendMessage(*conn, traced);
         std::optional<sock::Message> reply;
         if (!conn->aborted())
-            reply = co_await sock::recvMessage(*conn);
+            reply = co_await sock::recvMessage(*conn, op.ctx());
         watch.finish();
         if (reply)
             co_return PvfsResult<sock::Message>{*reply, PvfsErrc::Ok};
@@ -242,9 +253,15 @@ PvfsClient::fileSize(FileHandle h)
 }
 
 Coro<PvfsErrc>
-PvfsClient::readChunk(const StripeChunk &chunk, FileHandle h)
+PvfsClient::readChunk(const StripeChunk &chunk, FileHandle h,
+                      sim::TraceContext ctx)
 {
     RpcInFlight rpc(outstanding_);
+    sim::RequestTracer *rt = node_.simulation().requestTracer();
+    // One stripe = one span; the slowest stripe is the critical path.
+    sim::ScopedSpan stripe(rt, ctx,
+                           "iod" + std::to_string(chunk.server),
+                           sim::CostCat::queueWait);
     PvfsErrc lastErr = PvfsErrc::ServerClosed;
     const unsigned tries = std::max(1u, cfg_.rpcMaxRetries);
     sim::Tick backoff = cfg_.rpcRetryBackoff;
@@ -263,17 +280,24 @@ PvfsClient::readChunk(const StripeChunk &chunk, FileHandle h)
         if (cfg_.rpcTimeout > sim::Tick{0})
             watch.arm(*conn, cfg_.rpcTimeout);
 
+        const sim::Tick req_t0 = node_.simulation().now();
         co_await node_.cpu().compute(cfg_.clientRequestCost);
+        if (rt && stripe.ctx().valid())
+            rt->recordComputeSplit(stripe.ctx(), req_t0,
+                                   node_.simulation().now(),
+                                   {{"pvfs.request", sim::CostCat::cpu,
+                                     cfg_.clientRequestCost}});
         sock::Message req;
         req.tag = tag(PvfsTag::Read);
         req.a = h;
         req.b = chunk.offset;
         req.c = chunk.bytes;
+        req.trace = stripe.ctx();
         co_await sock::sendMessage(*conn, req);
 
         std::optional<sock::Message> resp;
         if (!conn->aborted())
-            resp = co_await sock::recvMessage(*conn);
+            resp = co_await sock::recvMessage(*conn, stripe.ctx());
         if (!resp) {
             watch.finish();
             lastErr = watch.fired ? PvfsErrc::Timeout
@@ -287,8 +311,8 @@ PvfsClient::readChunk(const StripeChunk &chunk, FileHandle h)
         }
         std::size_t got = 0;
         while (got < resp->payloadBytes) {
-            const std::size_t n =
-                co_await conn->recv(resp->payloadBytes - got);
+            const std::size_t n = co_await conn->recv(
+                resp->payloadBytes - got, stripe.ctx());
             if (n == 0)
                 break;
             got += n;
@@ -313,6 +337,12 @@ PvfsClient::read(FileHandle h, std::uint64_t offset, std::size_t bytes)
     sim::simAssert(!iods_.empty(), "PvfsClient not connected");
     const auto chunks = layout_.split(offset, bytes);
 
+    sim::RequestTracer *rt = node_.simulation().requestTracer();
+    sim::TraceContext tc{};
+    if (rt)
+        tc = rt->beginRequest("pvfs.read",
+                              static_cast<int>(node_.id()));
+
     // Issue one request per involved iod, all in parallel.
     sim::WaitGroup wg(node_.simulation());
     std::vector<PvfsErrc> errs(chunks.size(), PvfsErrc::Ok);
@@ -320,12 +350,15 @@ PvfsClient::read(FileHandle h, std::uint64_t offset, std::size_t bytes)
         wg.add();
         node_.simulation().spawn(
             [](PvfsClient &self, StripeChunk ck, FileHandle fh,
-               sim::WaitGroup &w, PvfsErrc *slot) -> Coro<void> {
-                *slot = co_await self.readChunk(ck, fh);
+               sim::WaitGroup &w, PvfsErrc *slot,
+               sim::TraceContext c) -> Coro<void> {
+                *slot = co_await self.readChunk(ck, fh, c);
                 w.done();
-            }(*this, chunks[i], h, wg, &errs[i]));
+            }(*this, chunks[i], h, wg, &errs[i], tc));
     }
     co_await wg.wait();
+    if (rt)
+        rt->endRequest(tc);
 
     std::size_t done = 0;
     PvfsErrc err = PvfsErrc::Ok;
@@ -340,9 +373,14 @@ PvfsClient::read(FileHandle h, std::uint64_t offset, std::size_t bytes)
 }
 
 Coro<PvfsErrc>
-PvfsClient::writeChunk(const StripeChunk &chunk, FileHandle h)
+PvfsClient::writeChunk(const StripeChunk &chunk, FileHandle h,
+                       sim::TraceContext ctx)
 {
     RpcInFlight rpc(outstanding_);
+    sim::RequestTracer *rt = node_.simulation().requestTracer();
+    sim::ScopedSpan stripe(rt, ctx,
+                           "iod" + std::to_string(chunk.server),
+                           sim::CostCat::queueWait);
     PvfsErrc lastErr = PvfsErrc::ServerClosed;
     const unsigned tries = std::max(1u, cfg_.rpcMaxRetries);
     sim::Tick backoff = cfg_.rpcRetryBackoff;
@@ -361,17 +399,24 @@ PvfsClient::writeChunk(const StripeChunk &chunk, FileHandle h)
         if (cfg_.rpcTimeout > sim::Tick{0})
             watch.arm(*conn, cfg_.rpcTimeout);
 
+        const sim::Tick req_t0 = node_.simulation().now();
         co_await node_.cpu().compute(cfg_.clientRequestCost);
+        if (rt && stripe.ctx().valid())
+            rt->recordComputeSplit(stripe.ctx(), req_t0,
+                                   node_.simulation().now(),
+                                   {{"pvfs.request", sim::CostCat::cpu,
+                                     cfg_.clientRequestCost}});
         sock::Message req;
         req.tag = tag(PvfsTag::Write);
         req.a = h;
         req.b = chunk.offset;
         req.payloadBytes = chunk.bytes;
+        req.trace = stripe.ctx();
         co_await sock::sendMessage(*conn, req);
 
         std::optional<sock::Message> ack;
         if (!conn->aborted())
-            ack = co_await sock::recvMessage(*conn);
+            ack = co_await sock::recvMessage(*conn, stripe.ctx());
         watch.finish();
         if (ack && ack->tag == tag(PvfsTag::WriteAck)) {
             bytesWritten_.inc(chunk.bytes);
@@ -391,16 +436,23 @@ PvfsClient::write(FileHandle h, std::uint64_t offset, std::size_t bytes)
     sim::simAssert(!iods_.empty(), "PvfsClient not connected");
     const auto chunks = layout_.split(offset, bytes);
 
+    sim::RequestTracer *rt = node_.simulation().requestTracer();
+    sim::TraceContext tc{};
+    if (rt)
+        tc = rt->beginRequest("pvfs.write",
+                              static_cast<int>(node_.id()));
+
     sim::WaitGroup wg(node_.simulation());
     std::vector<PvfsErrc> errs(chunks.size(), PvfsErrc::Ok);
     for (std::size_t i = 0; i < chunks.size(); ++i) {
         wg.add();
         node_.simulation().spawn(
             [](PvfsClient &self, StripeChunk ck, FileHandle fh,
-               sim::WaitGroup &w, PvfsErrc *slot) -> Coro<void> {
-                *slot = co_await self.writeChunk(ck, fh);
+               sim::WaitGroup &w, PvfsErrc *slot,
+               sim::TraceContext c) -> Coro<void> {
+                *slot = co_await self.writeChunk(ck, fh, c);
                 w.done();
-            }(*this, chunks[i], h, wg, &errs[i]));
+            }(*this, chunks[i], h, wg, &errs[i], tc));
     }
     co_await wg.wait();
 
@@ -414,6 +466,8 @@ PvfsClient::write(FileHandle h, std::uint64_t offset, std::size_t bytes)
     }
     if (err != PvfsErrc::Ok) {
         // Do not extend metadata over holes left by failed writes.
+        if (rt)
+            rt->endRequest(tc);
         co_return PvfsResult<std::size_t>{done, err};
     }
 
@@ -422,7 +476,9 @@ PvfsClient::write(FileHandle h, std::uint64_t offset, std::size_t bytes)
     ext.tag = tag(PvfsTag::ExtendTo);
     ext.a = h;
     ext.b = offset + bytes;
-    const PvfsResult<sock::Message> reply = co_await mgrOp(ext);
+    const PvfsResult<sock::Message> reply = co_await mgrOp(ext, tc);
+    if (rt)
+        rt->endRequest(tc);
     if (!reply.ok())
         co_return PvfsResult<std::size_t>{done, reply.err};
     if (reply.value.tag != tag(PvfsTag::OpOk))
@@ -432,9 +488,14 @@ PvfsClient::write(FileHandle h, std::uint64_t offset, std::size_t bytes)
 }
 
 Coro<PvfsErrc>
-PvfsClient::readListChunk(const StridedChunk &chunk, FileHandle h)
+PvfsClient::readListChunk(const StridedChunk &chunk, FileHandle h,
+                          sim::TraceContext ctx)
 {
     RpcInFlight rpc(outstanding_);
+    sim::RequestTracer *rt = node_.simulation().requestTracer();
+    sim::ScopedSpan stripe(rt, ctx,
+                           "iod" + std::to_string(chunk.server),
+                           sim::CostCat::queueWait);
     PvfsErrc lastErr = PvfsErrc::ServerClosed;
     const unsigned tries = std::max(1u, cfg_.rpcMaxRetries);
     sim::Tick backoff = cfg_.rpcRetryBackoff;
@@ -453,19 +514,27 @@ PvfsClient::readListChunk(const StridedChunk &chunk, FileHandle h)
         if (cfg_.rpcTimeout > sim::Tick{0})
             watch.arm(*conn, cfg_.rpcTimeout);
 
+        const sim::Tick req_t0 = node_.simulation().now();
         co_await node_.cpu().compute(cfg_.clientRequestCost +
                                      cfg_.clientExtentCost *
                                          chunk.extents);
+        if (rt && stripe.ctx().valid())
+            rt->recordComputeSplit(
+                stripe.ctx(), req_t0, node_.simulation().now(),
+                {{"pvfs.request", sim::CostCat::cpu,
+                  cfg_.clientRequestCost +
+                      cfg_.clientExtentCost * chunk.extents}});
         sock::Message req;
         req.tag = tag(PvfsTag::ReadList);
         req.a = h;
         req.b = chunk.extents;
         req.c = chunk.bytes;
+        req.trace = stripe.ctx();
         co_await sock::sendMessage(*conn, req);
 
         std::optional<sock::Message> resp;
         if (!conn->aborted())
-            resp = co_await sock::recvMessage(*conn);
+            resp = co_await sock::recvMessage(*conn, stripe.ctx());
         if (!resp) {
             watch.finish();
             lastErr = watch.fired ? PvfsErrc::Timeout
@@ -479,8 +548,8 @@ PvfsClient::readListChunk(const StridedChunk &chunk, FileHandle h)
         }
         std::size_t got = 0;
         while (got < resp->payloadBytes) {
-            const std::size_t n =
-                co_await conn->recv(resp->payloadBytes - got);
+            const std::size_t n = co_await conn->recv(
+                resp->payloadBytes - got, stripe.ctx());
             if (n == 0)
                 break;
             got += n;
@@ -505,18 +574,27 @@ PvfsClient::readStrided(FileHandle h, std::uint64_t offset,
     const auto chunks =
         layout_.splitStrided(offset, block, stride, count);
 
+    sim::RequestTracer *rt = node_.simulation().requestTracer();
+    sim::TraceContext tc{};
+    if (rt)
+        tc = rt->beginRequest("pvfs.readList",
+                              static_cast<int>(node_.id()));
+
     sim::WaitGroup wg(node_.simulation());
     std::vector<PvfsErrc> errs(chunks.size(), PvfsErrc::Ok);
     for (std::size_t i = 0; i < chunks.size(); ++i) {
         wg.add();
         node_.simulation().spawn(
             [](PvfsClient &self, StridedChunk ck, FileHandle fh,
-               sim::WaitGroup &w, PvfsErrc *slot) -> Coro<void> {
-                *slot = co_await self.readListChunk(ck, fh);
+               sim::WaitGroup &w, PvfsErrc *slot,
+               sim::TraceContext c) -> Coro<void> {
+                *slot = co_await self.readListChunk(ck, fh, c);
                 w.done();
-            }(*this, chunks[i], h, wg, &errs[i]));
+            }(*this, chunks[i], h, wg, &errs[i], tc));
     }
     co_await wg.wait();
+    if (rt)
+        rt->endRequest(tc);
 
     const std::size_t total = static_cast<std::size_t>(block) * count;
     std::size_t done = 0;
@@ -532,9 +610,14 @@ PvfsClient::readStrided(FileHandle h, std::uint64_t offset,
 }
 
 Coro<PvfsErrc>
-PvfsClient::writeListChunk(const StridedChunk &chunk, FileHandle h)
+PvfsClient::writeListChunk(const StridedChunk &chunk, FileHandle h,
+                           sim::TraceContext ctx)
 {
     RpcInFlight rpc(outstanding_);
+    sim::RequestTracer *rt = node_.simulation().requestTracer();
+    sim::ScopedSpan stripe(rt, ctx,
+                           "iod" + std::to_string(chunk.server),
+                           sim::CostCat::queueWait);
     PvfsErrc lastErr = PvfsErrc::ServerClosed;
     const unsigned tries = std::max(1u, cfg_.rpcMaxRetries);
     sim::Tick backoff = cfg_.rpcRetryBackoff;
@@ -553,19 +636,27 @@ PvfsClient::writeListChunk(const StridedChunk &chunk, FileHandle h)
         if (cfg_.rpcTimeout > sim::Tick{0})
             watch.arm(*conn, cfg_.rpcTimeout);
 
+        const sim::Tick req_t0 = node_.simulation().now();
         co_await node_.cpu().compute(cfg_.clientRequestCost +
                                      cfg_.clientExtentCost *
                                          chunk.extents);
+        if (rt && stripe.ctx().valid())
+            rt->recordComputeSplit(
+                stripe.ctx(), req_t0, node_.simulation().now(),
+                {{"pvfs.request", sim::CostCat::cpu,
+                  cfg_.clientRequestCost +
+                      cfg_.clientExtentCost * chunk.extents}});
         sock::Message req;
         req.tag = tag(PvfsTag::WriteList);
         req.a = h;
         req.b = chunk.extents;
         req.payloadBytes = chunk.bytes;
+        req.trace = stripe.ctx();
         co_await sock::sendMessage(*conn, req);
 
         std::optional<sock::Message> ack;
         if (!conn->aborted())
-            ack = co_await sock::recvMessage(*conn);
+            ack = co_await sock::recvMessage(*conn, stripe.ctx());
         watch.finish();
         if (ack && ack->tag == tag(PvfsTag::WriteAck)) {
             bytesWritten_.inc(chunk.bytes);
@@ -588,16 +679,23 @@ PvfsClient::writeStrided(FileHandle h, std::uint64_t offset,
     const auto chunks =
         layout_.splitStrided(offset, block, stride, count);
 
+    sim::RequestTracer *rt = node_.simulation().requestTracer();
+    sim::TraceContext tc{};
+    if (rt)
+        tc = rt->beginRequest("pvfs.writeList",
+                              static_cast<int>(node_.id()));
+
     sim::WaitGroup wg(node_.simulation());
     std::vector<PvfsErrc> errs(chunks.size(), PvfsErrc::Ok);
     for (std::size_t i = 0; i < chunks.size(); ++i) {
         wg.add();
         node_.simulation().spawn(
             [](PvfsClient &self, StridedChunk ck, FileHandle fh,
-               sim::WaitGroup &w, PvfsErrc *slot) -> Coro<void> {
-                *slot = co_await self.writeListChunk(ck, fh);
+               sim::WaitGroup &w, PvfsErrc *slot,
+               sim::TraceContext c) -> Coro<void> {
+                *slot = co_await self.writeListChunk(ck, fh, c);
                 w.done();
-            }(*this, chunks[i], h, wg, &errs[i]));
+            }(*this, chunks[i], h, wg, &errs[i], tc));
     }
     co_await wg.wait();
 
@@ -610,15 +708,20 @@ PvfsClient::writeStrided(FileHandle h, std::uint64_t offset,
         else if (err == PvfsErrc::Ok)
             err = errs[i];
     }
-    if (err != PvfsErrc::Ok)
+    if (err != PvfsErrc::Ok) {
+        if (rt)
+            rt->endRequest(tc);
         co_return PvfsResult<std::size_t>{done, err};
+    }
 
     sock::Message ext;
     ext.tag = tag(PvfsTag::ExtendTo);
     ext.a = h;
     ext.b = offset + static_cast<std::uint64_t>(stride) * (count - 1) +
             block;
-    const PvfsResult<sock::Message> reply = co_await mgrOp(ext);
+    const PvfsResult<sock::Message> reply = co_await mgrOp(ext, tc);
+    if (rt)
+        rt->endRequest(tc);
     if (!reply.ok())
         co_return PvfsResult<std::size_t>{done, reply.err};
     if (reply.value.tag != tag(PvfsTag::OpOk))

@@ -132,15 +132,18 @@ class PvfsClient : public sim::telemetry::Instrumented
     void instrument(sim::telemetry::Registry &reg) override;
 
   private:
-    sim::Coro<PvfsErrc> readChunk(const StripeChunk &chunk, FileHandle h);
-    sim::Coro<PvfsErrc> writeChunk(const StripeChunk &chunk,
-                                   FileHandle h);
+    sim::Coro<PvfsErrc> readChunk(const StripeChunk &chunk, FileHandle h,
+                                  sim::TraceContext ctx);
+    sim::Coro<PvfsErrc> writeChunk(const StripeChunk &chunk, FileHandle h,
+                                   sim::TraceContext ctx);
     sim::Coro<PvfsErrc> readListChunk(const StridedChunk &chunk,
-                                      FileHandle h);
+                                      FileHandle h,
+                                      sim::TraceContext ctx);
     sim::Coro<PvfsErrc> writeListChunk(const StridedChunk &chunk,
-                                       FileHandle h);
+                                       FileHandle h,
+                                       sim::TraceContext ctx);
     sim::Coro<PvfsResult<sock::Message>> mgrOp(
-        const sock::Message &request);
+        const sock::Message &request, sim::TraceContext ctx = {});
 
     /** Usable manager connection, reconnecting if needed. */
     sim::Coro<tcp::Connection *> ensureMgr();

@@ -48,16 +48,26 @@ MetadataManager::acceptLoop()
 Coro<void>
 MetadataManager::serveConnection(Connection *conn)
 {
+    sim::RequestTracer *rt = node_.simulation().requestTracer();
     for (;;) {
         auto msg = co_await sock::recvMessage(*conn);
         if (!msg.has_value())
             co_return;
 
+        sim::ScopedSpan op(rt, msg->trace, "mgr.op",
+                           sim::CostCat::queueWait);
+        const sim::Tick op_t0 = node_.simulation().now();
         co_await node_.cpu().compute(cfg_.mgrOpCost);
+        if (rt && op.ctx().valid())
+            rt->recordComputeSplit(op.ctx(), op_t0,
+                                   node_.simulation().now(),
+                                   {{"mgr.handle", sim::CostCat::cpu,
+                                     cfg_.mgrOpCost}});
         ops_.inc();
 
         sock::Message reply;
         reply.tag = static_cast<std::uint64_t>(PvfsTag::OpOk);
+        reply.trace = op.ctx();
 
         switch (static_cast<PvfsTag>(msg->tag)) {
           case PvfsTag::Create: {
@@ -101,6 +111,7 @@ MetadataManager::serveConnection(Connection *conn)
         }
 
         co_await sock::sendMessage(*conn, reply);
+        op.end();
     }
 }
 
@@ -137,21 +148,34 @@ IodServer::acceptLoop()
 Coro<void>
 IodServer::serveConnection(Connection *conn)
 {
+    sim::RequestTracer *rt = node_.simulation().requestTracer();
     for (;;) {
         auto msg = co_await sock::recvMessage(*conn);
         if (!msg.has_value())
             co_return;
 
+        // The daemon's tenure on one data op, parented on the
+        // client-side stripe span that rode the request header.
+        sim::ScopedSpan serve(rt, msg->trace, "iod.serve",
+                              sim::CostCat::queueWait);
+
         switch (static_cast<PvfsTag>(msg->tag)) {
           case PvfsTag::Read: {
             const std::size_t bytes = msg->c;
+            const sim::Tick t0 = node_.simulation().now();
             co_await node_.cpu().compute(cfg_.iodRequestCost +
                                          cfg_.ramfsLookupCost);
+            if (rt && serve.ctx().valid())
+                rt->recordComputeSplit(
+                    serve.ctx(), t0, node_.simulation().now(),
+                    {{"iod.handle", sim::CostCat::cpu,
+                      cfg_.iodRequestCost + cfg_.ramfsLookupCost}});
             // ramfs pages go straight out via sendfile: zero copy.
             sock::Message resp;
             resp.tag = static_cast<std::uint64_t>(PvfsTag::ReadResp);
             resp.a = msg->a;
             resp.payloadBytes = bytes;
+            resp.trace = serve.ctx();
             co_await sock::sendMessage(
                 *conn, resp, tcp::SendOptions{.zeroCopy = true});
             bytesRead_.inc(bytes);
@@ -159,19 +183,27 @@ IodServer::serveConnection(Connection *conn)
           }
           case PvfsTag::Write: {
             const std::size_t bytes = msg->payloadBytes;
+            const sim::Tick t0 = node_.simulation().now();
             co_await node_.cpu().compute(cfg_.iodRequestCost +
                                          cfg_.ramfsLookupCost);
-            const std::size_t got = co_await conn->recvAll(bytes);
+            if (rt && serve.ctx().valid())
+                rt->recordComputeSplit(
+                    serve.ctx(), t0, node_.simulation().now(),
+                    {{"iod.handle", sim::CostCat::cpu,
+                      cfg_.iodRequestCost + cfg_.ramfsLookupCost}});
+            const std::size_t got =
+                co_await conn->recvAll(bytes, serve.ctx());
             sim::simAssert(got == bytes, "short PVFS write payload");
             // Store into ramfs: one more copy into page memory (the
             // pages are written once, not re-read, so they do not
             // join the daemon's working set).
-            co_await mem_.streamCopy(bytes);
+            co_await mem_.streamCopy(bytes, serve.ctx());
             bytesWritten_.inc(bytes);
 
             sock::Message ack;
             ack.tag = static_cast<std::uint64_t>(PvfsTag::WriteAck);
             ack.a = msg->a;
+            ack.trace = serve.ctx();
             co_await sock::sendMessage(*conn, ack);
             break;
           }
@@ -180,13 +212,21 @@ IodServer::serveConnection(Connection *conn)
             const auto extents = static_cast<unsigned>(msg->b);
             // Gathering scattered extents costs per-extent CPU on
             // top of the base request handling.
+            const sim::Tick t0 = node_.simulation().now();
             co_await node_.cpu().compute(cfg_.iodRequestCost +
                                          cfg_.ramfsLookupCost +
                                          cfg_.iodExtentCost * extents);
+            if (rt && serve.ctx().valid())
+                rt->recordComputeSplit(
+                    serve.ctx(), t0, node_.simulation().now(),
+                    {{"iod.handle", sim::CostCat::cpu,
+                      cfg_.iodRequestCost + cfg_.ramfsLookupCost +
+                          cfg_.iodExtentCost * extents}});
             sock::Message resp;
             resp.tag = static_cast<std::uint64_t>(PvfsTag::ReadResp);
             resp.a = msg->a;
             resp.payloadBytes = bytes;
+            resp.trace = serve.ctx();
             co_await sock::sendMessage(
                 *conn, resp, tcp::SendOptions{.zeroCopy = true});
             bytesRead_.inc(bytes);
@@ -195,17 +235,26 @@ IodServer::serveConnection(Connection *conn)
           case PvfsTag::WriteList: {
             const std::size_t bytes = msg->payloadBytes;
             const auto extents = static_cast<unsigned>(msg->b);
+            const sim::Tick t0 = node_.simulation().now();
             co_await node_.cpu().compute(cfg_.iodRequestCost +
                                          cfg_.ramfsLookupCost +
                                          cfg_.iodExtentCost * extents);
-            const std::size_t got = co_await conn->recvAll(bytes);
+            if (rt && serve.ctx().valid())
+                rt->recordComputeSplit(
+                    serve.ctx(), t0, node_.simulation().now(),
+                    {{"iod.handle", sim::CostCat::cpu,
+                      cfg_.iodRequestCost + cfg_.ramfsLookupCost +
+                          cfg_.iodExtentCost * extents}});
+            const std::size_t got =
+                co_await conn->recvAll(bytes, serve.ctx());
             sim::simAssert(got == bytes, "short PVFS list payload");
-            co_await mem_.streamCopy(bytes);
+            co_await mem_.streamCopy(bytes, serve.ctx());
             bytesWritten_.inc(bytes);
 
             sock::Message ack;
             ack.tag = static_cast<std::uint64_t>(PvfsTag::WriteAck);
             ack.a = msg->a;
+            ack.trace = serve.ctx();
             co_await sock::sendMessage(*conn, ack);
             break;
           }

@@ -14,12 +14,14 @@
 #include <coroutine>
 #include <cstdint>
 #include <exception>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "simcore/assert.hh"
 #include "simcore/coro.hh"
 #include "simcore/event_queue.hh"
+#include "simcore/reqtrace.hh"
 #include "simcore/telemetry/registry.hh"
 #include "simcore/types.hh"
 
@@ -67,6 +69,23 @@ class Simulation
      * telemetry::Session turns the lot into one dotted-name registry.
      */
     telemetry::Hub &telemetry() { return hub_; }
+
+    /**
+     * Turn on causal request tracing (idempotent).  Until this is
+     * called, requestTracer() is null and every emission point in the
+     * stack short-circuits on that — the tracing-off fast path.
+     */
+    RequestTracer &
+    enableRequestTracing(std::uint32_t max_detailed = 512)
+    {
+        if (!reqTracer_)
+            reqTracer_ =
+                std::make_unique<RequestTracer>(eq_, max_detailed);
+        return *reqTracer_;
+    }
+
+    /** The request tracer, or null when tracing is off. */
+    RequestTracer *requestTracer() const { return reqTracer_.get(); }
 
     /** Number of root tasks that have not yet completed. */
     std::size_t liveRootTasks() const { return roots_.size(); }
@@ -189,6 +208,12 @@ class Simulation
     EventQueue eq_;
     std::vector<void *> roots_;
     telemetry::Hub hub_;
+    /**
+     * Declared after hub_/roots_, and root frames are destroyed in the
+     * destructor *body*: RAII spans ending during frame teardown still
+     * find a live tracer.
+     */
+    std::unique_ptr<RequestTracer> reqTracer_;
 };
 
 } // namespace ioat::sim

@@ -50,6 +50,9 @@ struct Message
     std::uint64_t b = 0;
     std::uint64_t c = 0;
     std::uint64_t payloadBytes = 0; ///< payload following the header
+    /** Request context the message serves; rides the header's sixth
+     *  metadata word, so causality crosses the connection. */
+    sim::TraceContext trace{};
 };
 
 /**
@@ -68,7 +71,12 @@ sendMessage(Connection &conn, const Message &msg,
     meta.w[2] = msg.b;
     meta.w[3] = msg.c;
     meta.w[4] = msg.payloadBytes;
-    co_await conn.send(kMessageHeaderBytes, SendOptions{}, &meta);
+    meta.w[5] = msg.trace.pack();
+    SendOptions header_opts;
+    header_opts.trace = msg.trace;
+    if (!payload_opts.trace.valid())
+        payload_opts.trace = msg.trace;
+    co_await conn.send(kMessageHeaderBytes, header_opts, &meta);
     if (msg.payloadBytes > 0)
         co_await conn.send(msg.payloadBytes, payload_opts);
 }
@@ -77,12 +85,15 @@ sendMessage(Connection &conn, const Message &msg,
  * Receive the next message header.  The caller is responsible for
  * consuming `payloadBytes` afterwards (conn.recvAll).
  *
+ * @param ctx request context the header receive is attributed to (the
+ *        delivered message carries its own onward context in .trace).
  * @return std::nullopt on orderly EOF.
  */
 inline Coro<std::optional<Message>>
-recvMessage(Connection &conn)
+recvMessage(Connection &conn, sim::TraceContext ctx = {})
 {
-    const std::size_t got = co_await conn.recvAll(kMessageHeaderBytes);
+    const std::size_t got =
+        co_await conn.recvAll(kMessageHeaderBytes, ctx);
     if (got != kMessageHeaderBytes || conn.metaAvailable() == 0) {
         // Orderly EOF, or a close/abort truncated the header.
         co_return std::nullopt;
@@ -94,16 +105,20 @@ recvMessage(Connection &conn)
     msg.b = meta.w[2];
     msg.c = meta.w[3];
     msg.payloadBytes = meta.w[4];
+    msg.trace = sim::TraceContext::unpack(meta.w[5]);
     co_return msg;
 }
 
 /** Receive a message header and drain its payload in one call. */
 inline Coro<std::optional<Message>>
-recvMessageAndPayload(Connection &conn)
+recvMessageAndPayload(Connection &conn, sim::TraceContext ctx = {})
 {
-    auto msg = co_await recvMessage(conn);
+    auto msg = co_await recvMessage(conn, ctx);
     if (msg && msg->payloadBytes > 0) {
-        const std::size_t got = co_await conn.recvAll(msg->payloadBytes);
+        const sim::TraceContext pctx =
+            msg->trace.valid() ? msg->trace : ctx;
+        const std::size_t got =
+            co_await conn.recvAll(msg->payloadBytes, pctx);
         if (got != msg->payloadBytes)
             co_return std::nullopt; // closed/aborted mid-payload
     }
@@ -120,10 +135,11 @@ recvMessageAndPayload(Connection &conn)
  */
 inline Coro<std::optional<Message>>
 recvMessageTimed(Connection &conn, sim::Tick timeout,
-                 MsgStatus *status = nullptr)
+                 MsgStatus *status = nullptr,
+                 sim::TraceContext ctx = {})
 {
     if (timeout == sim::Tick{0}) {
-        auto msg = co_await recvMessage(conn);
+        auto msg = co_await recvMessage(conn, ctx);
         if (status)
             *status = msg             ? MsgStatus::Ok
                       : conn.aborted() ? MsgStatus::Aborted
@@ -147,7 +163,7 @@ recvMessageTimed(Connection &conn, sim::Tick timeout,
             }
         }(conn, timeout, watch));
 
-    auto msg = co_await recvMessage(conn);
+    auto msg = co_await recvMessage(conn, ctx);
     watch->done = true;
     if (status) {
         *status = msg            ? MsgStatus::Ok

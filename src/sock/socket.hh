@@ -76,10 +76,18 @@ class Socket
     }
 
     /** Receive up to @p max_bytes; 0 means the peer closed. */
-    auto recv(std::size_t max_bytes) { return checked().recv(max_bytes); }
+    auto
+    recv(std::size_t max_bytes, sim::TraceContext ctx = {})
+    {
+        return checked().recv(max_bytes, ctx);
+    }
 
     /** Receive exactly @p bytes unless the peer closes first. */
-    auto recvAll(std::size_t bytes) { return checked().recvAll(bytes); }
+    auto
+    recvAll(std::size_t bytes, sim::TraceContext ctx = {})
+    {
+        return checked().recvAll(bytes, ctx);
+    }
     /** @} */
 
     /** Half-close: the peer's recv() returns 0 after draining. */

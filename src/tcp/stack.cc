@@ -41,13 +41,22 @@ Connection::send(std::size_t bytes, SendOptions opts, const MsgMeta *meta)
     sim::simAssert(!localClosed_, "send after close");
     auto &host = stack_.host_;
     const TcpConfig &cfg = stack_.cfg_;
+    sim::RequestTracer *rt = host.sim.requestTracer();
+    const bool traced = rt && opts.trace.valid();
 
+    const Tick sys_t0 = host.sim.now();
     co_await host.cpu.compute(cfg.txSyscall);
+    if (traced)
+        rt->recordComputeSplit(
+            opts.trace, sys_t0, host.sim.now(),
+            {{"tx.syscall", sim::CostCat::cpu, cfg.txSyscall}});
 
     std::size_t remaining = bytes;
     while (remaining > 0) {
         const std::size_t seg =
             std::min({remaining, cfg.maxSegment, peerSockBuf_});
+
+        const Tick wait_t0 = host.sim.now();
 
         // Credit-based flow control against the peer's socket buffer.
         if (cfg.reliable) {
@@ -70,24 +79,47 @@ Connection::send(std::size_t bytes, SendOptions opts, const MsgMeta *meta)
         if (aborted_)
             co_return;
         credit_ -= seg;
+        if (traced && host.sim.now() > wait_t0)
+            rt->record(opts.trace, "tx.credit-wait",
+                       sim::CostCat::queueWait, wait_t0, host.sim.now());
 
         const std::uint32_t frames =
             stack_.nic_.framesFor(sim::Bytes{seg});
         Tick cost = cfg.txPerSegment;
+        Tick copy_cost{};
         if (opts.zeroCopy) {
             // sendfile(): the NIC reads page-cache pages directly.
             cost += cfg.txSendfileFixed;
         } else {
             // Copy user buffer into kernel socket buffer.
             const double res = host.cache.transientResidency(2 * seg);
-            cost += host.copy.copyTime(sim::Bytes{seg}, res,
-                                       host.bus.slowdown());
+            copy_cost = host.copy.copyTime(sim::Bytes{seg}, res,
+                                           host.bus.slowdown());
+            cost += copy_cost;
             host.bus.consume(sim::Bytes{2 * seg});
             stack_.noteStreamBytes(sim::Bytes{2 * seg});
         }
+        Tick frame_cost{};
         if (!stack_.nic_.config().tso)
-            cost += cfg.txPerFrame * frames;
+            frame_cost = cfg.txPerFrame * frames;
+        cost += frame_cost;
+        const Tick seg_t0 = host.sim.now();
         co_await host.cpu.compute(cost);
+        if (traced) {
+            // Decompose the single compute() after the fact: protocol
+            // work, the copy's cache-hot share vs. its miss penalty,
+            // and per-frame costs.  The compute call is never split.
+            const Tick hot = std::min(
+                host.copy.hotCopyTime(sim::Bytes{seg}), copy_cost);
+            rt->recordComputeSplit(
+                opts.trace, seg_t0, host.sim.now(),
+                {{"tx.proto", sim::CostCat::cpu,
+                  opts.zeroCopy ? cfg.txPerSegment + cfg.txSendfileFixed
+                                : cfg.txPerSegment},
+                 {"tx.copy", sim::CostCat::memcpy, hot},
+                 {"tx.copy-miss", sim::CostCat::cache, copy_cost - hot},
+                 {"tx.frames", sim::CostCat::cpu, frame_cost}});
+        }
 
         // NIC TX DMA reads the segment from memory.
         host.bus.consume(sim::Bytes{seg});
@@ -101,9 +133,11 @@ Connection::send(std::size_t bytes, SendOptions opts, const MsgMeta *meta)
         b.payloadBytes = static_cast<std::uint32_t>(seg);
         b.kind = static_cast<std::uint32_t>(BurstKind::Data);
         b.connToken = remoteToken_;
+        if (traced)
+            b.trace = opts.trace.pack();
         if (meta && remaining == bytes) { // first segment carries meta
             b.hasMeta = true;
-            for (int i = 0; i < 5; ++i)
+            for (int i = 0; i < net::kBurstMetaWords; ++i)
                 b.meta[i] = meta->w[i];
         }
         if (cfg.reliable) {
@@ -112,7 +146,8 @@ Connection::send(std::size_t bytes, SendOptions opts, const MsgMeta *meta)
             txSeg.seq = sndNxt_;
             txSeg.payload = static_cast<std::uint32_t>(seg);
             txSeg.hasMeta = b.hasMeta;
-            for (int i = 0; i < 5; ++i)
+            txSeg.trace = b.trace;
+            for (int i = 0; i < net::kBurstMetaWords; ++i)
                 txSeg.meta[i] = b.meta[i];
             retransQ_.push_back(txSeg);
             sndNxt_ += seg;
@@ -127,7 +162,7 @@ Connection::send(std::size_t bytes, SendOptions opts, const MsgMeta *meta)
 }
 
 Coro<std::size_t>
-Connection::recv(std::size_t max_bytes)
+Connection::recv(std::size_t max_bytes, sim::TraceContext ctx)
 {
     if (aborted_ && rxBuffered_ == 0)
         co_return 0; // failed connection reads as EOF
@@ -135,8 +170,11 @@ Connection::recv(std::size_t max_bytes)
     sim::simAssert(max_bytes > 0, "recv of zero bytes");
     auto &host = stack_.host_;
     const TcpConfig &cfg = stack_.cfg_;
+    sim::RequestTracer *rt = host.sim.requestTracer();
 
+    const Tick sys_t0 = host.sim.now();
     co_await host.cpu.compute(cfg.rxSyscall);
+    const Tick sys_t1 = host.sim.now();
 
     while (rxBuffered_ == 0 && !peerClosed_) {
         rxWaiting_ = true;
@@ -144,13 +182,25 @@ Connection::recv(std::size_t max_bytes)
     }
     rxWaiting_ = false;
 
+    // A sink-style receiver doesn't thread a context; fall back to the
+    // one the most recent traced data arrival carried.  The wait for
+    // data itself is deliberately *not* recorded: it overlaps the
+    // sender/wire spans, whose categories own that time.
+    const sim::TraceContext ectx = ctx.valid() ? ctx : rxCtx_;
+    const bool traced = rt && ectx.valid();
+    if (traced)
+        rt->recordComputeSplit(
+            ectx, sys_t0, sys_t1,
+            {{"rx.syscall", sim::CostCat::cpu, cfg.rxSyscall}});
+
     if (rxBuffered_ == 0)
         co_return 0; // orderly EOF
 
     const std::size_t n = std::min(max_bytes, rxBuffered_);
     rxBuffered_ -= n;
 
-    co_await stack_.receiveCopy(sim::Bytes{n});
+    co_await stack_.receiveCopy(sim::Bytes{n},
+                                traced ? ectx : sim::TraceContext{});
 
     bytesReceived_ += n;
     stack_.rxPayload_.inc(n);
@@ -162,18 +212,23 @@ Connection::recv(std::size_t max_bytes)
     // Return credit to the sender now that the socket buffer drained.
     // Reliable mode acks the cumulative drained total so a lost
     // return only delays (never loses) credit.
+    const Tick ack_t0 = host.sim.now();
     co_await host.cpu.compute(cfg.ackGenCost);
+    if (traced)
+        rt->recordComputeSplit(
+            ectx, ack_t0, host.sim.now(),
+            {{"rx.ackgen", sim::CostCat::cpu, cfg.ackGenCost}});
     stack_.sendControl(remoteNode_, flow_, BurstKind::Ack, remoteToken_,
                        cfg.reliable ? drainedTotal_ : n);
     co_return n;
 }
 
 Coro<std::size_t>
-Connection::recvAll(std::size_t bytes)
+Connection::recvAll(std::size_t bytes, sim::TraceContext ctx)
 {
     std::size_t got = 0;
     while (got < bytes) {
-        const std::size_t n = co_await recv(bytes - got);
+        const std::size_t n = co_await recv(bytes - got, ctx);
         if (n == 0)
             break;
         got += n;
@@ -344,9 +399,15 @@ Coro<void>
 TcpStack::retransmitTask(std::uint64_t token, TxSegment seg)
 {
     Connection *c = connFor(token);
+    const Tick rtx_t0 = host_.sim.now();
     co_await host_.cpu.compute(cfg_.retransmitCost + cfg_.txPerSegment);
     if (c->aborted_)
         co_return;
+    if (sim::RequestTracer *rt = host_.sim.requestTracer();
+        rt && seg.trace != 0)
+        rt->record(sim::TraceContext::unpack(seg.trace),
+                   "tcp.retransmit", sim::CostCat::retx, rtx_t0,
+                   host_.sim.now());
     host_.bus.consume(sim::Bytes{seg.payload});
     Burst b;
     b.dst = c->remoteNode_;
@@ -358,9 +419,10 @@ TcpStack::retransmitTask(std::uint64_t token, TxSegment seg)
     b.kind = static_cast<std::uint32_t>(BurstKind::Data);
     b.connToken = c->remoteToken_;
     b.arg = seg.seq;
+    b.trace = seg.trace;
     if (seg.hasMeta) {
         b.hasMeta = true;
-        for (int i = 0; i < 5; ++i)
+        for (int i = 0; i < net::kBurstMetaWords; ++i)
             b.meta[i] = seg.meta[i];
     }
     nic_.transmit(b);
@@ -483,11 +545,27 @@ TcpStack::processBatch(unsigned queue, std::vector<Burst> bursts)
         wire_total += b.wireBytes;
     host_.bus.consume(sim::Bytes{wire_total});
     const double bus_factor = host_.bus.slowdown();
+    sim::RequestTracer *rt = host_.sim.requestTracer();
+
+    /** Per-traced-burst attribution shares, anchored after compute. */
+    struct RxAttr
+    {
+        sim::TraceContext ctx;
+        Tick off;      ///< cost accumulated before this burst
+        Tick driver;
+        Tick proto;
+        Tick touchHot;
+        Tick touchMiss;
+        Tick wakeup;
+        Tick ack;
+    };
+    std::vector<RxAttr> attrs;
 
     // ---- pass 1: accumulate the CPU cost of this softirq batch ----
     Tick cost =
         nic_.pollingMode() ? cfg_.rxPollEntry : cfg_.rxIrqEntry;
     for (const auto &b : bursts) {
+        const Tick burst_off = cost;
         cost += cfg_.rxPerFrame * b.frames;
         switch (static_cast<BurstKind>(b.kind)) {
           case BurstKind::Data: {
@@ -499,24 +577,52 @@ TcpStack::processBatch(unsigned queue, std::vector<Burst> bursts)
             const double miss = 1.0 - hdr_res;
             const double factor =
                 1.0 + cfg_.rxHdrMissFactor * miss * miss;
-            cost += sim::ticksFromDouble(
+            const Tick proto = sim::ticksFromDouble(
                 static_cast<double>(cfg_.rxProtoPerFrame.count()) *
                 b.frames * factor);
+            cost += proto;
+            Tick touch_cost{};
+            std::size_t touch = 0;
             if (!cfg_.splitHeader && cfg_.rxPayloadTouchFraction > 0.0) {
                 // Headers and payload share buffers: protocol work
                 // drags payload lines through the cache.
-                const auto touch = static_cast<std::size_t>(
+                touch = static_cast<std::size_t>(
                     b.payloadBytes * cfg_.rxPayloadTouchFraction);
-                cost += host_.copy.touchTime(sim::Bytes{touch},
-                                             hdr_res, bus_factor);
+                touch_cost = host_.copy.touchTime(sim::Bytes{touch},
+                                                  hdr_res, bus_factor);
+                cost += touch_cost;
                 host_.bus.consume(sim::Bytes{touch});
                 noteStreamBytes(sim::Bytes{touch});
             }
-            if (connFor(b.connToken)->rxWaiting_)
-                cost += cfg_.rxWakeup;
-            if (cfg_.reliable)
-                cost += cfg_.ackGenCost; // cumulative DataAck per burst
+            Tick wakeup{};
+            if (connFor(b.connToken)->rxWaiting_) {
+                wakeup = cfg_.rxWakeup;
+                cost += wakeup;
+            }
+            Tick ack{};
+            if (cfg_.reliable) {
+                ack = cfg_.ackGenCost; // cumulative DataAck per burst
+                cost += ack;
+            }
             rxSegments_.inc();
+            if (rt && b.trace != 0) {
+                RxAttr a;
+                a.ctx = sim::TraceContext::unpack(b.trace);
+                a.off = burst_off;
+                a.driver = cfg_.rxPerFrame * b.frames;
+                a.proto = proto;
+                if (touch_cost > Tick{}) {
+                    const Tick hot = std::min(
+                        host_.copy.touchTime(sim::Bytes{touch}, 1.0,
+                                             1.0),
+                        touch_cost);
+                    a.touchHot = hot;
+                    a.touchMiss = touch_cost - hot;
+                }
+                a.wakeup = wakeup;
+                a.ack = ack;
+                attrs.push_back(a);
+            }
             break;
           }
           case BurstKind::Ack:
@@ -536,6 +642,23 @@ TcpStack::processBatch(unsigned queue, std::vector<Burst> bursts)
 
     co_await host_.cpu.compute(cost, core, /*highPriority=*/true);
 
+    if (rt && !attrs.empty()) {
+        // The batch's busy interval is the contiguous tail
+        // [t1 - cost, t1]; each burst's shares lie sequentially at its
+        // accumulated offset.  The softirq entry cost and control-burst
+        // costs stay unattributed (request residue), by design.
+        const Tick base = host_.sim.now() - cost;
+        for (const auto &a : attrs)
+            rt->recordComponents(
+                a.ctx, base + a.off, core,
+                {{"rx.driver", sim::CostCat::cpu, a.driver},
+                 {"rx.proto", sim::CostCat::cpu, a.proto},
+                 {"rx.touch", sim::CostCat::memcpy, a.touchHot},
+                 {"rx.touch-miss", sim::CostCat::cache, a.touchMiss},
+                 {"rx.wakeup", sim::CostCat::cpu, a.wakeup},
+                 {"rx.ack", sim::CostCat::cpu, a.ack}});
+    }
+
     // ---- pass 2: apply protocol effects ----
     for (const auto &b : bursts) {
         switch (static_cast<BurstKind>(b.kind)) {
@@ -545,9 +668,11 @@ TcpStack::processBatch(unsigned queue, std::vector<Burst> bursts)
                 break; // late segment for a dead connection
             if (!cfg_.reliable) {
                 c->rxBuffered_ += b.payloadBytes;
+                if (b.trace != 0)
+                    c->rxCtx_ = sim::TraceContext::unpack(b.trace);
                 if (b.hasMeta) {
                     MsgMeta m;
-                    for (int i = 0; i < 5; ++i)
+                    for (int i = 0; i < net::kBurstMetaWords; ++i)
                         m.w[i] = b.meta[i];
                     c->metaQueue_.push_back(m);
                 }
@@ -560,9 +685,11 @@ TcpStack::processBatch(unsigned queue, std::vector<Burst> bursts)
             if (seq == c->rcvNxt_) {
                 c->rcvNxt_ += b.payloadBytes;
                 c->rxBuffered_ += b.payloadBytes;
+                if (b.trace != 0)
+                    c->rxCtx_ = sim::TraceContext::unpack(b.trace);
                 if (b.hasMeta) {
                     MsgMeta m;
-                    for (int i = 0; i < 5; ++i)
+                    for (int i = 0; i < net::kBurstMetaWords; ++i)
                         m.w[i] = b.meta[i];
                     c->metaQueue_.push_back(m);
                 }
@@ -688,18 +815,32 @@ TcpStack::processBatch(unsigned queue, std::vector<Burst> bursts)
 }
 
 Coro<void>
-TcpStack::receiveCopy(sim::Bytes bytes)
+TcpStack::receiveCopy(sim::Bytes bytes, sim::TraceContext ctx)
 {
     const std::size_t n = bytes.count();
+    sim::RequestTracer *rt = host_.sim.requestTracer();
+    const bool traced = rt && ctx.valid();
     if (cfg_.dmaCopyOffload && host_.dma && n >= cfg_.dmaCopyBreak) {
         // I/OAT path: pin user pages, build descriptors, let the
         // engine move the bytes while the CPU is free.
         const Tick cpu_cost = host_.pages.pinCost(n) +
                               host_.dma->submissionCost(n);
+        const Tick sub_t0 = host_.sim.now();
         co_await host_.cpu.compute(cpu_cost);
+        if (traced)
+            rt->recordComputeSplit(
+                ctx, sub_t0, host_.sim.now(),
+                {{"rx.dma-submit", sim::CostCat::cpu, cpu_cost}});
         host_.bus.consume(2 * bytes);
-        co_await host_.dma->transfer(n);
-        co_await host_.cpu.compute(host_.pages.unpinCost(n));
+        co_await host_.dma->transfer(
+            n, traced ? ctx : sim::TraceContext{});
+        const Tick unpin_t0 = host_.sim.now();
+        const Tick unpin_cost = host_.pages.unpinCost(n);
+        co_await host_.cpu.compute(unpin_cost);
+        if (traced)
+            rt->recordComputeSplit(
+                ctx, unpin_t0, host_.sim.now(),
+                {{"rx.unpin", sim::CostCat::cpu, unpin_cost}});
         dmaCopies_.inc();
     } else {
         // Classic CPU copy.  The source (freshly DMA-written kernel
@@ -708,7 +849,15 @@ TcpStack::receiveCopy(sim::Bytes bytes)
             0.4 * host_.cache.transientResidency(n);
         const Tick t =
             host_.copy.copyTime(bytes, res, host_.bus.slowdown());
+        const Tick copy_t0 = host_.sim.now();
         co_await host_.cpu.compute(t);
+        if (traced) {
+            const Tick hot = std::min(host_.copy.hotCopyTime(bytes), t);
+            rt->recordComputeSplit(
+                ctx, copy_t0, host_.sim.now(),
+                {{"rx.copy", sim::CostCat::memcpy, hot},
+                 {"rx.copy-miss", sim::CostCat::cache, t - hot}});
+        }
         host_.bus.consume(2 * bytes);
         noteStreamBytes(2 * bytes);
         cpuCopies_.inc();

@@ -33,6 +33,7 @@
 #include "simcore/channel.hh"
 #include "simcore/coro.hh"
 #include "simcore/pool.hh"
+#include "simcore/reqtrace.hh"
 #include "simcore/stats.hh"
 #include "simcore/sync.hh"
 #include "simcore/telemetry/histogram.hh"
@@ -69,7 +70,8 @@ struct TxSegment
     std::uint64_t seq = 0;      ///< stream offset of the first byte
     std::uint32_t payload = 0;  ///< segment payload bytes
     bool hasMeta = false;       ///< first segment of a message
-    std::uint64_t meta[5] = {};
+    std::uint64_t meta[net::kBurstMetaWords] = {};
+    std::uint64_t trace = 0;    ///< packed TraceContext (0 = untraced)
 };
 
 /** Per-send options. */
@@ -77,6 +79,8 @@ struct SendOptions
 {
     /** sendfile()-style zero-copy: skip the user→kernel copy. */
     bool zeroCopy = false;
+    /** Request context this send serves (invalid = untraced). */
+    sim::TraceContext trace{};
 };
 
 /**
@@ -87,7 +91,7 @@ struct SendOptions
  */
 struct MsgMeta
 {
-    std::uint64_t w[5] = {};
+    std::uint64_t w[net::kBurstMetaWords] = {};
 };
 
 /**
@@ -117,12 +121,16 @@ class Connection
     /**
      * Blocking receive: waits for data, drains up to @p max_bytes
      * from the socket buffer (kernel→user copy happens here).
+     * @param ctx request context the copy is attributed to; when
+     *        invalid, the last context seen on arriving data is used.
      * @return bytes received; 0 means the peer closed.
      */
-    Coro<std::size_t> recv(std::size_t max_bytes);
+    Coro<std::size_t> recv(std::size_t max_bytes,
+                           sim::TraceContext ctx = {});
 
     /** Receive exactly @p bytes (looping) unless the peer closes. */
-    Coro<std::size_t> recvAll(std::size_t bytes);
+    Coro<std::size_t> recvAll(std::size_t bytes,
+                              sim::TraceContext ctx = {});
 
     /** Half-close: peer's recv() returns 0 after draining. */
     void close();
@@ -212,6 +220,10 @@ class Connection
     bool peerClosed_ = false;
     bool localClosed_ = false;
     std::deque<MsgMeta> metaQueue_; ///< delivered application headers
+    /** Context of the most recent traced data arrival: lets recv()
+     *  attribute its copy when the caller didn't thread a context
+     *  (sink-style receivers). */
+    sim::TraceContext rxCtx_{};
 
     // --- loss tolerance (live only with TcpConfig::reliable) ---
     bool aborted_ = false;
@@ -348,7 +360,7 @@ class TcpStack
                      std::uint64_t handshake_sockbuf = 0);
 
     /** Kernel→user copy inside recv() (CPU or DMA-engine path). */
-    Coro<void> receiveCopy(sim::Bytes bytes);
+    Coro<void> receiveCopy(sim::Bytes bytes, sim::TraceContext ctx = {});
 
     /** Record CPU-streamed payload bytes (cache-pollution tracking). */
     void noteStreamBytes(sim::Bytes bytes);

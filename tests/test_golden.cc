@@ -155,7 +155,7 @@ renderFig03Observed()
 // ---- fig08: two-tier data-center TPS -------------------------------
 
 std::string
-renderFig08()
+renderFig08Impl(bool with_request_tracing)
 {
     std::ostringstream out;
     sim::Table t({"file size", "non-ioat TPS", "ioat TPS"});
@@ -165,6 +165,11 @@ renderFig08()
         for (IoatConfig features :
              {IoatConfig::disabled(), IoatConfig::enabled()}) {
             Simulation sim;
+
+            // Request tracing observes the same run: same golden
+            // digest as the untraced render, or it perturbed timing.
+            if (with_request_tracing)
+                sim.enableRequestTracing();
             core::Testbed tb(
                 sim, core::TestbedConfig{
                          .serverCount = 2,
@@ -204,6 +209,18 @@ renderFig08()
     }
     t.print(out);
     return out.str();
+}
+
+std::string
+renderFig08()
+{
+    return renderFig08Impl(false);
+}
+
+std::string
+renderFig08Traced()
+{
+    return renderFig08Impl(true);
 }
 
 // ---- fault_sweep: lossy-link stream + crashy two-tier --------------
@@ -334,6 +351,13 @@ TEST(Golden, Fig03TelemetryOff)
 }
 
 TEST(Golden, Fig08Datacenter) { checkGolden("fig08", renderFig08); }
+
+// The SAME digest with request tracing enabled: tracing on must be
+// timing-invisible (contexts ride metadata, no model is re-consulted).
+TEST(Golden, Fig08RequestTracingOn)
+{
+    checkGolden("fig08", renderFig08Traced);
+}
 
 TEST(Golden, FaultSweep) { checkGolden("fault_sweep", renderFaultSweep); }
 

@@ -26,7 +26,9 @@ TEST(Trace, EmitsWellFormedJson)
     std::ostringstream os;
     tw.write(os);
     const std::string out = os.str();
-    EXPECT_EQ(out.front(), '[');
+    EXPECT_EQ(out.front(), '{');
+    EXPECT_NE(out.find("\"displayTimeUnit\""), std::string::npos);
+    EXPECT_NE(out.find("\"traceEvents\":["), std::string::npos);
     EXPECT_NE(out.find("\"name\":\"work\""), std::string::npos);
     EXPECT_NE(out.find("\"ph\":\"X\""), std::string::npos);
     EXPECT_NE(out.find("\"ph\":\"i\""), std::string::npos);
@@ -42,6 +44,61 @@ TEST(Trace, EscapesSpecialCharacters)
     std::ostringstream os;
     tw.write(os);
     EXPECT_NE(os.str().find("has\\\"quote\\\\slash"), std::string::npos);
+}
+
+TEST(Trace, EscapesControlCharactersAndCategory)
+{
+    TraceWriter tw;
+    // Hostile name: embedded newline, tab, and a raw control byte.
+    tw.complete(std::string("bad\nname\twith\x01" "ctl"),
+                "c\"at\\egory", sim::Tick{0}, sim::Tick{1}, 0);
+    std::ostringstream os;
+    tw.write(os);
+    const std::string out = os.str();
+    // The hostile bytes must not survive into any JSON string (the
+    // writer's own inter-record newlines are fine).
+    EXPECT_EQ(out.find('\x01'), std::string::npos);
+    EXPECT_EQ(out.find('\t'), std::string::npos);
+    EXPECT_EQ(out.find("bad\nname"), std::string::npos);
+    EXPECT_NE(out.find("bad\\nname\\twith\\u0001ctl"),
+              std::string::npos);
+    // The category is escaped too (it used to be written verbatim).
+    EXPECT_NE(out.find("c\\\"at\\\\egory"), std::string::npos);
+}
+
+TEST(Trace, EmitsTrackMetadata)
+{
+    TraceWriter tw;
+    tw.complete("work", "cpu", sim::Tick{0}, sim::Tick{1}, 0);
+    tw.complete("dma 1B", "dma", sim::Tick{0}, sim::Tick{1},
+                TraceWriter::Lanes::dma);
+    tw.setProcessName(1, "requests");
+    tw.setLaneName(1, TraceWriter::Lanes::requests, "request 1");
+    std::ostringstream os;
+    tw.write(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("\"name\":\"process_name\""), std::string::npos);
+    EXPECT_NE(out.find("\"name\":\"thread_name\""), std::string::npos);
+    EXPECT_NE(out.find("{\"name\":\"hardware\"}"), std::string::npos);
+    EXPECT_NE(out.find("{\"name\":\"core 0\"}"), std::string::npos);
+    EXPECT_NE(out.find("{\"name\":\"dma\"}"), std::string::npos);
+    EXPECT_NE(out.find("{\"name\":\"requests\"}"), std::string::npos);
+    EXPECT_NE(out.find("{\"name\":\"request 1\"}"), std::string::npos);
+}
+
+TEST(Trace, EmitsFlowEventPairs)
+{
+    TraceWriter tw;
+    tw.flowStart("req", "flow", sim::Tick{10}, 0, 0, 42);
+    tw.flowFinish("req", "flow", sim::Tick{10},
+                  TraceWriter::Lanes::requests, 1, 42);
+    std::ostringstream os;
+    tw.write(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("\"ph\":\"s\""), std::string::npos);
+    EXPECT_NE(out.find("\"ph\":\"f\""), std::string::npos);
+    EXPECT_NE(out.find("\"bp\":\"e\""), std::string::npos);
+    EXPECT_NE(out.find("\"id\":42"), std::string::npos);
 }
 
 TEST(Trace, CpuRecordsWorkSpans)

@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Summarize an ioat-span-report-v1 file (--span-report output).
+
+Prints the top-N slowest requests with their per-category latency
+breakdown and the critical-path span chain, then aggregate per-category
+totals across every finished request.
+
+Usage:
+    tools/spanstat.py spans.json [--top N] [--name SUBSTR]
+
+Stdlib only; no third-party dependencies.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    if doc.get("schema") != "ioat-span-report-v1":
+        sys.exit(f"{path}: not an ioat-span-report-v1 document")
+    return doc
+
+
+def fmt_ticks(ticks):
+    """Ticks are nanoseconds; print at a human scale."""
+    if ticks >= 1_000_000:
+        return f"{ticks / 1e6:.3f} ms"
+    if ticks >= 1_000:
+        return f"{ticks / 1e3:.2f} us"
+    return f"{ticks} ns"
+
+
+def critical_chain(req):
+    """Span names along the critical path, root first."""
+    spans = {s["id"]: s for s in req.get("spans", [])}
+    names = []
+    for sid in req.get("criticalPath", []):
+        s = spans.get(sid)
+        names.append(s["name"] if s else f"span{sid}")
+    return names
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("report", help="span JSON written by --span-report")
+    ap.add_argument("--top", type=int, default=10,
+                    help="slowest requests to detail (default 10)")
+    ap.add_argument("--name", default="",
+                    help="only consider requests whose name contains this")
+    args = ap.parse_args()
+
+    doc = load(args.report)
+    cats = doc["categories"]
+    reqs = [r for r in doc["requests"] if args.name in r["name"]]
+    if not reqs:
+        print("no matching requests")
+        return
+
+    reqs.sort(key=lambda r: (-r["durationTicks"], r["id"]))
+
+    print(f"{len(reqs)} request(s); top {min(args.top, len(reqs))} "
+          "slowest:\n")
+    for r in reqs[: args.top]:
+        dur = r["durationTicks"]
+        print(f"#{r['id']} {r['name']} (node {r['node']}): "
+              f"{fmt_ticks(dur)} end-to-end")
+        for cat in cats:
+            ticks = r["breakdown"].get(cat, 0)
+            if ticks == 0:
+                continue
+            share = 100.0 * ticks / dur if dur else 0.0
+            print(f"    {cat:<12} {fmt_ticks(ticks):>12}  {share:5.1f}%")
+        chain = critical_chain(r)
+        if chain:
+            print("    critical path: " + " -> ".join(chain))
+        print()
+
+    totals = {cat: 0 for cat in cats}
+    grand = 0
+    for r in reqs:
+        for cat in cats:
+            totals[cat] += r["breakdown"].get(cat, 0)
+        grand += r["durationTicks"]
+    print("aggregate breakdown over all matching requests:")
+    for cat in cats:
+        if totals[cat] == 0:
+            continue
+        share = 100.0 * totals[cat] / grand if grand else 0.0
+        print(f"    {cat:<12} {fmt_ticks(totals[cat]):>12}  "
+              f"{share:5.1f}%")
+
+
+if __name__ == "__main__":
+    try:
+        main()
+    except BrokenPipeError:  # e.g. piped into head
+        sys.exit(0)
