@@ -105,6 +105,29 @@ BM_ZipfSample(benchmark::State &state)
 BENCHMARK(BM_ZipfSample);
 
 void
+BM_FaultInjectorNodeDown(benchmark::State &state)
+{
+    // nodeDown() sits on the per-packet delivery path; with many
+    // outage windows it must stay O(log #windows-per-node), not a
+    // scan of the whole schedule.
+    const auto windows = static_cast<std::uint64_t>(state.range(0));
+    sim::FaultInjector faults(7);
+    for (std::uint64_t i = 0; i < windows; ++i)
+        faults.addOutage(static_cast<std::uint32_t>(i % 64),
+                         ioat::sim::microseconds(10000 * i + 1000),
+                         ioat::sim::microseconds(10000 * i + 2000));
+    std::uint64_t t = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(faults.nodeDown(
+            static_cast<std::uint32_t>(t % 64),
+            ioat::sim::microseconds((t * 997) % (10000 * windows))));
+        ++t;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FaultInjectorNodeDown)->Arg(16)->Arg(1024)->Arg(16384);
+
+void
 BM_DmaEngineTransferSim(benchmark::State &state)
 {
     for (auto _ : state) {

@@ -22,6 +22,7 @@
 #include "mem/page_model.hh"
 #include "net/switch.hh"
 #include "nic/nic.hh"
+#include "simcore/lifecycle.hh"
 #include "simcore/sim.hh"
 #include "tcp/host.hh"
 #include "tcp/stack.hh"
@@ -75,8 +76,15 @@ struct NodeConfig
  * Registers itself with the simulation's telemetry hub as "node", so
  * `telemetry::Session` picks up every node ("node0.cpu.utilization",
  * "node1.tcp.txPayloadBytes", ...) with no bench-side wiring.
+ *
+ * A Node is also `sim::Restartable`: attached to a `sim::Lifecycle`
+ * (always first, before the daemons living on it), a crash resets the
+ * transport stack — every connection aborts, handshake dedup state is
+ * forgotten — modelling the kernel state lost with the process.  The
+ * hardware models (CPU, cache, bus, NIC) are physical and keep their
+ * identity across the crash.
  */
-class Node : public sim::telemetry::Instrumented
+class Node : public sim::telemetry::Instrumented, public sim::Restartable
 {
   public:
     Node(Simulation &sim, net::Switch &fabric, const NodeConfig &cfg)
@@ -141,6 +149,14 @@ class Node : public sim::telemetry::Instrumented
         if (dma_)
             dma_->setTracer(t);
     }
+
+    /** @name Crash–restart hooks (sim::Restartable)
+     *  @{ */
+    void onCrash(sim::Tick) override { stack_.crashReset(); }
+    /** Nothing to rebuild: listeners persist and connections are
+     *  re-established lazily by the applications' recovery paths. */
+    void onRestart(sim::Tick) override {}
+    /** @} */
 
     net::NodeId id() const { return nic_.id(); }
     const NodeConfig &config() const { return cfg_; }

@@ -5,6 +5,7 @@
 
 #include "datacenter/app_server.hh"
 
+#include "datacenter/web_server.hh"
 #include "sock/message.hh"
 
 namespace ioat::dc {
@@ -117,21 +118,53 @@ AppServer::serveConnection(Connection *conn)
         co_await node_.cpu().compute(httpCfg_.requestParseCost +
                                      httpCfg_.workerOverheadCost);
 
-        // Run the script: interpretation plus DB round trips.
+        // Run the script: interpretation plus DB round trips.  A
+        // database failure mid-script (connection died / crashed DB)
+        // degrades the request to a 503 instead of asserting.
         co_await node_.cpu().compute(cfg_.scriptCost);
+        bool dbDown = false;
         for (unsigned q = 0; q < cfg_.queriesPerRequest; ++q) {
             auto db = co_await idleDb_.recv();
             sim::simAssert(db.has_value(), "db pool closed");
-            Connection *dbc = *db;
+            Connection *orig = *db;
+            Connection *dbc = orig;
+            if (!dbc->usable()) {
+                // Replace the dead pooled connection in place (the
+                // database listener survives its process restarts).
+                deadDbConns_.inc();
+                dbc = co_await node_.stack().connect(
+                    db_, cfg_.dbPort, httpCfg_.requestDeadline);
+                if (dbc == nullptr || !dbc->usable()) {
+                    // Keep the pool population constant even on
+                    // failure: return the dead original, which the
+                    // next user replaces again.
+                    if (dbc != nullptr)
+                        orig = dbc;
+                    idleDb_.push(orig);
+                    dbDown = true;
+                    break;
+                }
+            }
 
             sock::Message query;
             query.tag = static_cast<std::uint64_t>(DynTag::Query);
             query.a = msg->a * 131 + q;
             co_await sock::sendMessage(*dbc, query);
             auto result = co_await sock::recvMessageAndPayload(*dbc);
-            sim::simAssert(result.has_value(),
-                           "database closed mid-query");
             idleDb_.push(dbc);
+            if (!result.has_value()) {
+                dbDown = true;
+                break;
+            }
+        }
+        if (dbDown) {
+            dbFailed_.inc();
+            sock::Message busy;
+            busy.tag =
+                static_cast<std::uint64_t>(HttpTag::ServiceUnavailable);
+            busy.a = msg->a;
+            co_await sock::sendMessage(*conn, busy);
+            continue;
         }
 
         // Template the page: stream over the assembled response.

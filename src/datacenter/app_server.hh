@@ -26,6 +26,7 @@
 #include "core/node.hh"
 #include "datacenter/config.hh"
 #include "datacenter/workload.hh"
+#include "simcore/lifecycle.hh"
 #include "simcore/stats.hh"
 
 namespace ioat::dc {
@@ -60,12 +61,24 @@ struct DynConfig
 /**
  * Database tier: answers keyed queries from its buffer pool.
  */
-class Database
+class Database : public sim::Restartable
 {
   public:
     Database(core::Node &node, const DynConfig &cfg);
 
     void start();
+
+    /** @name Crash–restart hooks (sim::Restartable)
+     *  A crash empties the buffer pool; the restart re-admits it and
+     *  it re-warms against the memory hierarchy like any cold start.
+     *  @{ */
+    void onCrash(sim::Tick) override { mem_.setReserved(0); }
+    void
+    onRestart(sim::Tick) override
+    {
+        mem_.setReserved(cfg_.dbResidentBytes);
+    }
+    /** @} */
 
     std::uint64_t queriesServed() const { return queries_.value(); }
 
@@ -83,7 +96,7 @@ class Database
  * Application-server tier: runs a script per request, queries the
  * database, assembles a dynamic response.
  */
-class AppServer
+class AppServer : public sim::Restartable
 {
   public:
     /**
@@ -97,7 +110,21 @@ class AppServer
     /** Connect the DB pool and begin accepting on cfg.appPort. */
     void start();
 
+    /** @name Crash–restart hooks (sim::Restartable)
+     *  @{ */
+    void onCrash(sim::Tick) override { mem_.setReserved(0); }
+    void
+    onRestart(sim::Tick) override
+    {
+        mem_.setReserved(httpCfg_.appResidentBytes);
+    }
+    /** @} */
+
     std::uint64_t requestsServed() const { return served_.value(); }
+    /** Requests answered 503 after a database failure. */
+    std::uint64_t dbFailures() const { return dbFailed_.value(); }
+    /** Pooled database connections found dead and replaced. */
+    std::uint64_t deadDbConns() const { return deadDbConns_.value(); }
 
   private:
     sim::Coro<void> openDbPool();
@@ -112,6 +139,8 @@ class AppServer
     core::AppMemory mem_;
     sim::Channel<tcp::Connection *> idleDb_;
     sim::stats::Counter served_;
+    sim::stats::Counter dbFailed_;
+    sim::stats::Counter deadDbConns_;
 };
 
 } // namespace ioat::dc

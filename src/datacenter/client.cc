@@ -6,6 +6,7 @@
 #include "datacenter/client.hh"
 
 #include "datacenter/web_server.hh"
+#include "simcore/timeout.hh"
 #include "sock/message.hh"
 
 namespace ioat::dc {
@@ -39,6 +40,7 @@ ClientFleet::start()
 {
     for (unsigned t = 0; t < opts_.threads; ++t) {
         const std::size_t n = t % nodes_.size();
+        ++active_;
         nodes_[n]->simulation().spawn(
             clientThread(*nodes_[n], *mems_[n], opts_.rngSeed + t));
     }
@@ -50,17 +52,32 @@ ClientFleet::clientThread(core::Node &node, core::AppMemory &mem,
 {
     sim::Rng rng(seed);
     sim::RequestTracer *rt = node.simulation().requestTracer();
+    sim::CappedBackoff backoff(opts_.reconnectDelay,
+                               opts_.reconnectBackoffCap);
     Connection *conn = co_await node.stack().connect(
         opts_.target, opts_.port, opts_.requestTimeout);
 
     for (;;) {
+        if (stopping_)
+            break;
         if (conn == nullptr || !conn->usable()) {
             // Dead connection (abort / server restart): back off and
-            // reopen, then resume the closed loop.
+            // reopen, then resume the closed loop.  With a backoff
+            // cap, consecutive failures wait exponentially longer.
             reconnects_.inc();
-            co_await node.simulation().delay(opts_.reconnectDelay);
+            if (reconnectTicks_.size() < kMaxRecordedReconnects)
+                reconnectTicks_.push_back(node.simulation().now());
+            const sim::Tick pause =
+                opts_.reconnectBackoffCap > sim::Tick{0}
+                    ? backoff.next()
+                    : opts_.reconnectDelay;
+            co_await node.simulation().delay(pause);
+            if (stopping_)
+                break;
             conn = co_await node.stack().connect(
                 opts_.target, opts_.port, opts_.requestTimeout);
+            if (conn != nullptr && conn->usable())
+                backoff.reset();
             continue;
         }
 
@@ -84,6 +101,7 @@ ClientFleet::clientThread(core::Node &node, core::AppMemory &mem,
         get.a = req.fileId;
         get.b = req.bytes;
         get.trace = tc;
+        issued_.inc(); // every issued request must terminate below
         co_await sock::sendMessage(*conn, get);
 
         auto resp = co_await sock::recvMessageTimed(
@@ -101,8 +119,10 @@ ClientFleet::clientThread(core::Node &node, core::AppMemory &mem,
                 rt->endRequest(tc);
             continue;
         }
-        const std::size_t got =
-            co_await conn->recvAll(resp->payloadBytes, tc);
+        // Timed like the header read: a server that crashes mid-body
+        // must not park this thread forever (crash sends no RST).
+        const std::size_t got = co_await sock::recvAllTimed(
+            *conn, resp->payloadBytes, opts_.requestTimeout, tc);
         if (got != resp->payloadBytes) {
             failures_.inc(); // truncated body
             if (rt)
@@ -119,6 +139,7 @@ ClientFleet::clientThread(core::Node &node, core::AppMemory &mem,
         latency_.sample(
             sim::toMicroseconds(node.simulation().now() - t0));
     }
+    --active_;
 }
 
 } // namespace ioat::dc

@@ -59,6 +59,11 @@ class ClientFleet
         sim::Tick requestTimeout{};
         /** Pause before reconnecting a dead connection. */
         sim::Tick reconnectDelay = sim::milliseconds(5);
+        /** With a nonzero cap, consecutive failed reconnects back
+         *  off: reconnectDelay, 2x, 4x, ... capped here; a successful
+         *  connect resets the schedule.  0 keeps the fixed
+         *  reconnectDelay pause (the seed behaviour). */
+        sim::Tick reconnectBackoffCap{};
         /** @} */
     };
 
@@ -71,6 +76,22 @@ class ClientFleet
 
     /** Spawn every client thread. */
     void start();
+
+    /**
+     * Ask every thread to exit its closed loop.  A thread finishes
+     * the request it is on (every wait is bounded when
+     * `requestTimeout` is set) and stops at the next loop top;
+     * `activeThreads()` reaching zero means the fleet has drained —
+     * at that point issued() == completed()+failures()+rejected(),
+     * the request-conservation invariant chaos harnesses check.
+     */
+    void stop() { stopping_ = true; }
+
+    /** Threads still inside their closed loop. */
+    unsigned activeThreads() const { return active_; }
+
+    /** Requests sent (each terminates: response, 503, or failure). */
+    std::uint64_t issued() const { return issued_.value(); }
 
     /** Completed requests since start. */
     std::uint64_t completed() const { return completed_.value(); }
@@ -85,6 +106,19 @@ class ClientFleet
     /** Reconnections after a dead connection. */
     std::uint64_t reconnects() const { return reconnects_.value(); }
 
+    /**
+     * Instants the fleet decided to reconnect (first
+     * `kMaxRecordedReconnects` only): the gaps between consecutive
+     * entries of one outage pin the capped-backoff schedule in tests.
+     */
+    const std::vector<sim::Tick> &
+    reconnectTicks() const
+    {
+        return reconnectTicks_;
+    }
+
+    static constexpr std::size_t kMaxRecordedReconnects = 64;
+
   private:
     sim::Coro<void> clientThread(core::Node &node, core::AppMemory &mem,
                                  std::uint64_t seed);
@@ -94,11 +128,15 @@ class ClientFleet
     Options opts_;
     /** One working-set tracker per node (shared by its threads). */
     std::vector<std::unique_ptr<core::AppMemory>> mems_;
+    sim::stats::Counter issued_;
     sim::stats::Counter completed_;
     sim::stats::Accumulator latency_;
     sim::stats::Counter failures_;
     sim::stats::Counter rejected_;
     sim::stats::Counter reconnects_;
+    std::vector<sim::Tick> reconnectTicks_;
+    bool stopping_ = false;
+    unsigned active_ = 0;
 };
 
 } // namespace ioat::dc

@@ -72,6 +72,39 @@ struct DcConfig
      *  (0 = unbounded, the seed behaviour). */
     unsigned maxInflight = 0;
     /** @} */
+
+    /** @name Heartbeat/lease failure detection (defaults off)
+     * With a nonzero `heartbeatInterval` the proxy runs one monitor
+     * per backend: every interval it sends a Ping on a dedicated
+     * connection and renews that backend's lease on the Pong.  A
+     * backend whose lease has lapsed is skipped by the request path
+     * outright — failover becomes detection-driven instead of paying
+     * a `requestDeadline` per request — until a later Pong revives it.
+     *  @{ */
+    /** Ping period per backend (0 = detector off, seed behaviour). */
+    Tick heartbeatInterval{};
+    /** How long one Pong keeps a backend considered alive
+     *  (0 = 3 × heartbeatInterval). */
+    Tick leaseDuration{};
+    /** Deadline on each Ping exchange (0 = heartbeatInterval). */
+    Tick heartbeatTimeout{};
+    /** @} */
+
+    /** Effective lease duration (applies the default rule). */
+    Tick
+    effectiveLease() const
+    {
+        return leaseDuration > Tick{0} ? leaseDuration
+                                       : heartbeatInterval * 3;
+    }
+
+    /** Effective per-ping deadline (applies the default rule). */
+    Tick
+    effectiveHeartbeatTimeout() const
+    {
+        return heartbeatTimeout > Tick{0} ? heartbeatTimeout
+                                          : heartbeatInterval;
+    }
 };
 
 } // namespace ioat::dc

@@ -38,6 +38,15 @@ class LruCache
 
     bool contains(std::uint64_t id) const { return index_.count(id) > 0; }
 
+    /** Drop every entry (a crash leaves the cache cold). */
+    void
+    clear()
+    {
+        lru_.clear();
+        index_.clear();
+        used_ = 0;
+    }
+
     /** Insert or refresh an object, evicting as needed. */
     void
     put(std::uint64_t id, std::size_t bytes)

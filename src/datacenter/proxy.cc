@@ -17,6 +17,7 @@
 #include <algorithm>
 
 #include "datacenter/web_server.hh"
+#include "simcore/timeout.hh"
 
 namespace ioat::dc {
 
@@ -55,6 +56,7 @@ Proxy::Proxy(core::Node &node, const DcConfig &cfg,
         pools_.push_back(
             std::make_unique<sim::Channel<Connection *>>(
                 node.simulation()));
+    leaseUntil_.assign(backends_.size(), sim::Tick{});
     mem_.reserve(cfg_.appResidentBytes);
     node_.simulation().telemetry().add("proxy", this);
 }
@@ -79,6 +81,12 @@ Proxy::instrument(sim::telemetry::Registry &reg)
     reg.counter("requestsShed", shed_, "requests answered with a 503");
     reg.counter("deadBackendConns", deadConns_,
                 "pooled backend connections replaced");
+    reg.counter("heartbeatsAcked", hbAcks_,
+                "Ping exchanges completed (lease renewals)");
+    reg.counter("leaseExpiries", leaseExpiries_,
+                "alive -> expired lease transitions");
+    reg.counter("failovers", failovers_,
+                "requests routed past a leased-dead backend");
     reg.scalar(
         "hitRate", [this] { return hitRate(); },
         "object-cache hit fraction");
@@ -97,6 +105,91 @@ Proxy::start()
 {
     node_.simulation().spawn(openBackendPool());
     node_.simulation().spawn(acceptLoop());
+    if (cfg_.heartbeatInterval > sim::Tick{0}) {
+        // A fresh lease per backend covers the start-up gap until the
+        // first Pong lands; the monitors keep it renewed from there.
+        for (std::size_t i = 0; i < backends_.size(); ++i)
+            leaseUntil_[i] =
+                node_.simulation().now() + cfg_.effectiveLease();
+        for (unsigned i = 0;
+             i < static_cast<unsigned>(backends_.size()); ++i)
+            node_.simulation().spawn(heartbeatLoop(i));
+    }
+}
+
+void
+Proxy::onCrash(sim::Tick)
+{
+    // Process memory is gone: the object cache is cold and every
+    // lease verdict made by the dead process is void.
+    cache_.clear();
+    mem_.setReserved(0);
+    for (auto &lease : leaseUntil_)
+        lease = sim::Tick{};
+}
+
+void
+Proxy::onRestart(sim::Tick)
+{
+    // Re-admit the resident set; everything else rebuilds lazily —
+    // the accept loop kept its listener, fetchOnce replaces dead
+    // pooled connections in place, and the heartbeat monitors re-earn
+    // the leases with live Pongs.
+    mem_.setReserved(cfg_.appResidentBytes);
+}
+
+Coro<void>
+Proxy::heartbeatLoop(unsigned idx)
+{
+    // The monitor's Ping rides a dedicated connection, reopened with
+    // deterministic capped backoff when it dies — never a pooled
+    // request connection, so detection is independent of load.
+    const sim::Tick interval = cfg_.heartbeatInterval;
+    const sim::Tick hb_deadline = cfg_.effectiveHeartbeatTimeout();
+    sim::CappedBackoff backoff(interval, cfg_.effectiveLease());
+    Connection *conn = nullptr;
+    bool wasAlive = true;
+    while (!stopping_) {
+        if (conn == nullptr || !conn->usable()) {
+            conn = co_await node_.stack().connect(
+                backends_[idx], cfg_.serverPort, hb_deadline);
+            if (conn == nullptr || !conn->usable()) {
+                if (wasAlive && !backendAlive(idx)) {
+                    leaseExpiries_.inc();
+                    wasAlive = false;
+                }
+                co_await node_.simulation().delay(backoff.next());
+                continue;
+            }
+            backoff.reset();
+        }
+
+        sock::Message ping;
+        ping.tag = static_cast<std::uint64_t>(HttpTag::Ping);
+        ping.a = idx;
+        co_await sock::sendMessage(*conn, ping);
+        auto pong = co_await sock::recvMessageTimed(*conn, hb_deadline);
+        if (pong &&
+            pong->tag == static_cast<std::uint64_t>(HttpTag::Pong)) {
+            hbAcks_.inc();
+            // A lapse can also happen while this monitor is blocked
+            // reconnecting; the first contact afterwards observes it.
+            if (wasAlive && !backendAlive(idx))
+                leaseExpiries_.inc();
+            leaseUntil_[idx] =
+                node_.simulation().now() + cfg_.effectiveLease();
+            wasAlive = true;
+            co_await node_.simulation().delay(interval);
+            continue;
+        }
+        // Missed Pong: the timed receive aborted the connection, so
+        // the next round reconnects.  The lease keeps running out on
+        // its own — detection needs no per-request deadline anywhere.
+        if (wasAlive && !backendAlive(idx)) {
+            leaseExpiries_.inc();
+            wasAlive = false;
+        }
+    }
 }
 
 Coro<void>
@@ -216,12 +309,27 @@ Proxy::serveConnection(Connection *client)
             // rotating to the next backend on each failed attempt.
             std::optional<std::size_t> fetched;
             const unsigned tries = std::max(1u, cfg_.backendRetries);
+            const unsigned npools =
+                static_cast<unsigned>(pools_.size());
             for (unsigned a = 0; a < tries && !fetched; ++a) {
+                unsigned pick = a % npools;
+                if (cfg_.heartbeatInterval > sim::Tick{0}) {
+                    // Detection-driven failover: route past backends
+                    // whose lease lapsed instead of spending a
+                    // per-request deadline discovering each one dead.
+                    unsigned probed = 0;
+                    while (probed < npools && !backendAlive(pick)) {
+                        pick = (pick + 1) % npools;
+                        ++probed;
+                    }
+                    if (probed == npools)
+                        break; // all leased dead: degrade right away
+                    if (probed > 0)
+                        failovers_.inc();
+                }
                 if (a > 0)
                     retries_.inc();
-                fetched = co_await fetchOnce(
-                    a % static_cast<unsigned>(pools_.size()), *msg,
-                    pctx);
+                fetched = co_await fetchOnce(pick, *msg, pctx);
             }
 
             if (fetched) {

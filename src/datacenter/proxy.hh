@@ -22,6 +22,7 @@
 #include "datacenter/config.hh"
 #include "datacenter/lru_cache.hh"
 #include "simcore/channel.hh"
+#include "simcore/lifecycle.hh"
 #include "simcore/stats.hh"
 #include "sock/message.hh"
 
@@ -32,7 +33,8 @@ namespace ioat::dc {
  * telemetry hub as "proxy" (backlog gauge, cache and failover
  * counters).
  */
-class Proxy : public sim::telemetry::Instrumented
+class Proxy : public sim::telemetry::Instrumented,
+              public sim::Restartable
 {
   public:
     /**
@@ -53,8 +55,39 @@ class Proxy : public sim::telemetry::Instrumented
     Proxy(const Proxy &) = delete;
     Proxy &operator=(const Proxy &) = delete;
 
-    /** Open the backend pools and begin accepting on cfg.proxyPort. */
+    /** Open the backend pools and begin accepting on cfg.proxyPort.
+     *  With `cfg.heartbeatInterval > 0`, also starts one heartbeat
+     *  monitor per backend (the lease-based failure detector). */
     void start();
+
+    /**
+     * Wind the heartbeat monitors down (chaos drivers call this after
+     * the load horizon so the simulation can quiesce; each monitor
+     * exits at its next wake-up, so the residual work is bounded by
+     * one heartbeat interval).
+     */
+    void stop() { stopping_ = true; }
+
+    /** @name Crash–restart hooks (sim::Restartable)
+     *  @{ */
+    /** The proxy process died: the object cache and every backend
+     *  lease are volatile and do not survive. */
+    void onCrash(sim::Tick now) override;
+    /** Cold restart: memory back to the bare resident set; leases
+     *  re-establish through the (still running) monitors. */
+    void onRestart(sim::Tick now) override;
+    /** @} */
+
+    /**
+     * Failure-detector verdict for backend @p idx: true while its
+     * lease is live (always true when the detector is off).
+     */
+    bool
+    backendAlive(unsigned idx) const
+    {
+        return cfg_.heartbeatInterval == sim::Tick{0} ||
+               node_.simulation().now() < leaseUntil_[idx];
+    }
 
     /** Client requests currently being served (the proxy backlog). */
     std::uint64_t inflightRequests() const { return inflight_; }
@@ -74,6 +107,13 @@ class Proxy : public sim::telemetry::Instrumented
     std::uint64_t requestsShed() const { return shed_.value(); }
     /** Pooled backend connections found dead and replaced. */
     std::uint64_t deadBackendConns() const { return deadConns_.value(); }
+    /** Ping exchanges completed (lease renewals). */
+    std::uint64_t heartbeatsAcked() const { return hbAcks_.value(); }
+    /** Alive → expired lease transitions observed by the detector. */
+    std::uint64_t leaseExpiries() const { return leaseExpiries_.value(); }
+    /** Requests routed past a leased-dead backend without waiting for
+     *  a per-request deadline (detection-driven failover). */
+    std::uint64_t failovers() const { return failovers_.value(); }
 
     double
     hitRate() const
@@ -93,6 +133,8 @@ class Proxy : public sim::telemetry::Instrumented
     sim::Coro<std::optional<std::size_t>>
     fetchOnce(unsigned pool_idx, const sock::Message &request,
               sim::TraceContext ctx);
+    /** Lease-renewal monitor for backend @p idx (failure detector). */
+    sim::Coro<void> heartbeatLoop(unsigned idx);
 
     core::Node &node_;
     DcConfig cfg_;
@@ -102,6 +144,9 @@ class Proxy : public sim::telemetry::Instrumented
     core::AppMemory mem_;
     /** Idle persistent connections, one pool per backend. */
     std::vector<std::unique_ptr<sim::Channel<tcp::Connection *>>> pools_;
+    /** Lease expiry instant per backend (heartbeat detector). */
+    std::vector<sim::Tick> leaseUntil_;
+    bool stopping_ = false; ///< heartbeat monitors wind down
     sim::stats::Counter served_;
     sim::stats::Counter hits_;
     sim::stats::Counter misses_;
@@ -109,6 +154,9 @@ class Proxy : public sim::telemetry::Instrumented
     sim::stats::Counter degraded_;
     sim::stats::Counter shed_;
     sim::stats::Counter deadConns_;
+    sim::stats::Counter hbAcks_;
+    sim::stats::Counter leaseExpiries_;
+    sim::stats::Counter failovers_;
     std::uint64_t inflight_ = 0; ///< requests between parse and reply
 };
 

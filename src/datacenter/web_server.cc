@@ -49,6 +49,18 @@ WebServer::serveConnection(Connection *conn)
         auto msg = co_await sock::recvMessage(*conn);
         if (!msg.has_value())
             co_return; // client hung up
+
+        // Liveness probe: answer immediately, ahead of any queued
+        // application work — the detector measures reachability, not
+        // service latency (no worker/parse cost is charged).
+        if (msg->tag == static_cast<std::uint64_t>(HttpTag::Ping)) {
+            pings_.inc();
+            sock::Message pong;
+            pong.tag = static_cast<std::uint64_t>(HttpTag::Pong);
+            pong.a = msg->a;
+            co_await sock::sendMessage(*conn, pong);
+            continue;
+        }
         sim::simAssert(msg->tag == static_cast<std::uint64_t>(HttpTag::Get),
                        "web server expects GET");
 

@@ -14,6 +14,7 @@
 #include "core/node.hh"
 #include "datacenter/config.hh"
 #include "datacenter/workload.hh"
+#include "simcore/lifecycle.hh"
 #include "simcore/stats.hh"
 
 namespace ioat::dc {
@@ -24,13 +25,18 @@ enum class HttpTag : std::uint64_t {
     Response = 2, ///< payloadBytes = file content
     /** Overloaded/degraded: request shed, no payload (HTTP 503). */
     ServiceUnavailable = 3,
+    /** Liveness probe from the proxy's failure detector. */
+    Ping = 4,
+    /** Immediate liveness answer (renews the sender's lease). */
+    Pong = 5,
 };
 
 /**
  * Serves GET requests for a static file population.  Registers with
  * the simulation's telemetry hub as "webServer".
  */
-class WebServer : public sim::telemetry::Instrumented
+class WebServer : public sim::telemetry::Instrumented,
+                  public sim::Restartable
 {
   public:
     WebServer(core::Node &node, const DcConfig &cfg,
@@ -44,9 +50,28 @@ class WebServer : public sim::telemetry::Instrumented
     /** Begin accepting on cfg.serverPort. */
     void start();
 
+    /** @name Crash–restart hooks (sim::Restartable)
+     * The transport teardown happens in the Node's hook; here the
+     * process-level state goes: the page cache is cold after a crash
+     * and re-warms from the restart (the served corpus re-faults in).
+     *  @{ */
+    void
+    onCrash(sim::Tick) override
+    {
+        mem_.setReserved(0);
+    }
+    void
+    onRestart(sim::Tick) override
+    {
+        mem_.setReserved(cfg_.appResidentBytes + files_.totalBytes());
+    }
+    /** @} */
+
     std::uint64_t requestsServed() const { return served_.value(); }
     /** Requests shed with a 503 (maxInflight overload control). */
     std::uint64_t requestsShed() const { return shed_.value(); }
+    /** Liveness probes answered (heartbeat detector traffic). */
+    std::uint64_t pingsAnswered() const { return pings_.value(); }
 
     /** Publish server telemetry (Hub name "webServer"). */
     void
@@ -55,6 +80,8 @@ class WebServer : public sim::telemetry::Instrumented
         reg.counter("requestsServed", served_, "GET requests answered");
         reg.counter("requestsShed", shed_,
                     "requests shed by overload control");
+        reg.counter("pingsAnswered", pings_,
+                    "liveness probes answered with a Pong");
         reg.probe(
             "inflight", sim::telemetry::ProbeKind::gauge,
             [this] { return static_cast<double>(inflight_); },
@@ -71,6 +98,7 @@ class WebServer : public sim::telemetry::Instrumented
     core::AppMemory mem_;
     sim::stats::Counter served_;
     sim::stats::Counter shed_;
+    sim::stats::Counter pings_;
     unsigned inflight_ = 0;
 };
 

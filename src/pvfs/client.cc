@@ -34,6 +34,16 @@ namespace {
  * A cancellable timer-wheel entry instead of a detached delay
  * coroutine: finish() (or scope exit) revokes the deadline outright,
  * so an answered RPC leaves nothing behind in the event queue.
+ *
+ * Aborting the connection is the *whole* cancellation story: per the
+ * no-cancellation contract (simcore/timeout.hh), the server-side body
+ * of a timed-out attempt still runs to completion.  Every mutating
+ * RPC therefore carries a retry-stable write id minted before the
+ * retry loop, and the iod deduplicates on it (asserting in debug
+ * builds that a duplicate carries the same payload) — otherwise a
+ * timed-out write whose body later applied would apply *again* when
+ * the retry lands, or double-apply after a restart replays the
+ * journal.
  */
 struct OpWatch
 {
@@ -381,6 +391,7 @@ PvfsClient::writeChunk(const StripeChunk &chunk, FileHandle h,
     sim::ScopedSpan stripe(rt, ctx,
                            "iod" + std::to_string(chunk.server),
                            sim::CostCat::queueWait);
+    const std::uint64_t wid = mintWriteId(); // same id on every retry
     PvfsErrc lastErr = PvfsErrc::ServerClosed;
     const unsigned tries = std::max(1u, cfg_.rpcMaxRetries);
     sim::Tick backoff = cfg_.rpcRetryBackoff;
@@ -410,6 +421,7 @@ PvfsClient::writeChunk(const StripeChunk &chunk, FileHandle h,
         req.tag = tag(PvfsTag::Write);
         req.a = h;
         req.b = chunk.offset;
+        req.c = wid; // retry-stable id: dedup + durability tracking
         req.payloadBytes = chunk.bytes;
         req.trace = stripe.ctx();
         co_await sock::sendMessage(*conn, req);
@@ -420,6 +432,8 @@ PvfsClient::writeChunk(const StripeChunk &chunk, FileHandle h,
         watch.finish();
         if (ack && ack->tag == tag(PvfsTag::WriteAck)) {
             bytesWritten_.inc(chunk.bytes);
+            if (wid != 0)
+                ackedWrites_[wid] = chunk.bytes;
             co_return PvfsErrc::Ok;
         }
         lastErr = !ack ? (watch.fired ? PvfsErrc::Timeout
@@ -618,6 +632,7 @@ PvfsClient::writeListChunk(const StridedChunk &chunk, FileHandle h,
     sim::ScopedSpan stripe(rt, ctx,
                            "iod" + std::to_string(chunk.server),
                            sim::CostCat::queueWait);
+    const std::uint64_t wid = mintWriteId(); // same id on every retry
     PvfsErrc lastErr = PvfsErrc::ServerClosed;
     const unsigned tries = std::max(1u, cfg_.rpcMaxRetries);
     sim::Tick backoff = cfg_.rpcRetryBackoff;
@@ -650,6 +665,7 @@ PvfsClient::writeListChunk(const StridedChunk &chunk, FileHandle h,
         req.tag = tag(PvfsTag::WriteList);
         req.a = h;
         req.b = chunk.extents;
+        req.c = wid; // retry-stable id: dedup + durability tracking
         req.payloadBytes = chunk.bytes;
         req.trace = stripe.ctx();
         co_await sock::sendMessage(*conn, req);
@@ -660,6 +676,8 @@ PvfsClient::writeListChunk(const StridedChunk &chunk, FileHandle h,
         watch.finish();
         if (ack && ack->tag == tag(PvfsTag::WriteAck)) {
             bytesWritten_.inc(chunk.bytes);
+            if (wid != 0)
+                ackedWrites_[wid] = chunk.bytes;
             co_return PvfsErrc::Ok;
         }
         lastErr = !ack ? (watch.fired ? PvfsErrc::Timeout

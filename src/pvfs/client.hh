@@ -12,6 +12,7 @@
 #define IOAT_PVFS_CLIENT_HH
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <vector>
 
@@ -128,6 +129,18 @@ class PvfsClient : public sim::telemetry::Instrumented
     /** RPCs in flight right now (iod data ops + manager ops). */
     std::uint64_t outstandingRpcs() const { return *outstanding_; }
 
+    /**
+     * Acked writes (id -> payload bytes), recorded when
+     * `cfg.trackDurability` is on.  A durability harness checks that
+     * every id here is still applied on some iod at the end of the
+     * run — the "no acked write lost" invariant.
+     */
+    const std::map<std::uint64_t, std::size_t> &
+    ackedWrites() const
+    {
+        return ackedWrites_;
+    }
+
     /** Publish client telemetry (Hub name "pvfsClient"). */
     void instrument(sim::telemetry::Registry &reg) override;
 
@@ -155,6 +168,22 @@ class PvfsClient : public sim::telemetry::Instrumented
         return cfg_.rpcTimeout > sim::Tick{0} ? cfg_.connectTimeout
                                               : sim::Tick{0};
     }
+    /**
+     * Unique id for one logical write (0 when durability tracking is
+     * off).  Minted once per chunk, *before* the retry loop: the id
+     * is what lets the iod deduplicate a retry whose first attempt
+     * timed out after the body already ran (withTimeout does not
+     * cancel).  Namespaced by node id so ids from different clients
+     * never collide on a shared iod.
+     */
+    std::uint64_t
+    mintWriteId()
+    {
+        if (!cfg_.trackDurability)
+            return 0;
+        return (static_cast<std::uint64_t>(node_.id()) << 32) |
+               nextWriteId_++;
+    }
 
     core::Node &node_;
     PvfsConfig cfg_;
@@ -171,6 +200,10 @@ class PvfsClient : public sim::telemetry::Instrumented
     sim::stats::Counter rpcRetries_;
     sim::stats::Counter reconnects_;
     sim::stats::Counter rpcFailures_;
+    /** Next per-client write sequence number (durability tracking). */
+    std::uint64_t nextWriteId_ = 1;
+    /** Acked write ids -> bytes (durability tracking). */
+    std::map<std::uint64_t, std::size_t> ackedWrites_;
     /**
      * RPCs in flight.  Shared-owned: the in-frame RpcInFlight guards
      * keep it alive, so coroutines that outlive the client (torn down

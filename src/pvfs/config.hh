@@ -56,6 +56,29 @@ struct PvfsConfig
     /** Deadline for each reconnect attempt on the retry path. */
     Tick connectTimeout = sim::milliseconds(20);
     /** @} */
+
+    /** @name Write durability (defaults off: seed behaviour)
+     * With `trackDurability` the client stamps every Write/WriteList
+     * with a unique write id (the header's spare `c` word) and records
+     * which ids were acked; the iods record which ids they hold, so a
+     * crash harness can machine-check "no acked write lost".  With
+     * `journaledWrites` the iod additionally appends each write to a
+     * durable intent log *before* acking (paying `journalAppendCost`)
+     * and replays it on restart (paying `journalReplayCost` per
+     * entry), which is what makes the invariant hold across crashes.
+     * The id doubles as the retry-dedup key: a timed-out RPC whose
+     * body later completed must not apply twice (see
+     * simcore/timeout.hh on the no-cancellation contract).
+     *  @{ */
+    /** Stamp writes with ids and track acks (client + iod). */
+    bool trackDurability = false;
+    /** Journal write intents on the iods (ack-after-journal). */
+    bool journaledWrites = false;
+    /** CPU cost of one journal append (charged before the ack). */
+    Tick journalAppendCost = sim::microseconds(10);
+    /** CPU cost per journal entry replayed on iod restart. */
+    Tick journalReplayCost = sim::microseconds(5);
+    /** @} */
 };
 
 } // namespace ioat::pvfs

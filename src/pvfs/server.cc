@@ -135,6 +135,37 @@ IodServer::start()
     node_.simulation().spawn(acceptLoop());
 }
 
+void
+IodServer::onCrash(sim::Tick)
+{
+    // ramfs dies with the node: every applied-but-unjournaled write
+    // is gone.  The intent log models an fsync'd journal and stays.
+    applied_.clear();
+}
+
+void
+IodServer::onRestart(sim::Tick)
+{
+    if (journal_.empty())
+        return;
+    for (const auto &e : journal_) {
+        applied_[e.first] = e.second;
+        replays_.inc();
+    }
+    node_.simulation().spawn(replayCost(journal_.size()));
+}
+
+Coro<void>
+IodServer::replayCost(std::size_t entries)
+{
+    // Recovery competes for the CPU with freshly arriving requests;
+    // the re-applied state itself was restored synchronously above
+    // (connections from before the crash are gone, so no request can
+    // observe the in-between).
+    co_await node_.cpu().compute(cfg_.journalReplayCost *
+                                 static_cast<unsigned>(entries));
+}
+
 Coro<void>
 IodServer::acceptLoop()
 {
@@ -193,16 +224,42 @@ IodServer::serveConnection(Connection *conn)
                       cfg_.iodRequestCost + cfg_.ramfsLookupCost}});
             const std::size_t got =
                 co_await conn->recvAll(bytes, serve.ctx());
-            sim::simAssert(got == bytes, "short PVFS write payload");
-            // Store into ramfs: one more copy into page memory (the
-            // pages are written once, not re-read, so they do not
-            // join the daemon's working set).
-            co_await mem_.streamCopy(bytes, serve.ctx());
-            bytesWritten_.inc(bytes);
+            if (got != bytes)
+                co_return; // connection died mid-payload: no ack
+            const std::uint64_t wid = msg->c;
+            bool duplicate = false;
+            if (cfg_.trackDurability && wid != 0 &&
+                applied_.count(wid) > 0) {
+                // A timed-out RPC whose body completed anyway: the
+                // retry must not apply twice (withTimeout does not
+                // cancel; the write id is the dedup key).
+                sim::simDebugAssert(
+                    applied_[wid] == bytes,
+                    "write retry with a different payload");
+                dupWrites_.inc();
+                duplicate = true;
+            }
+            if (!duplicate) {
+                if (cfg_.journaledWrites && wid != 0) {
+                    // Ack-after-journal: the intent is durable
+                    // before the client can ever see the ack.
+                    co_await node_.cpu().compute(
+                        cfg_.journalAppendCost);
+                    journal_[wid] = bytes;
+                }
+                // Store into ramfs: one more copy into page memory
+                // (the pages are written once, not re-read, so they
+                // do not join the daemon's working set).
+                co_await mem_.streamCopy(bytes, serve.ctx());
+                bytesWritten_.inc(bytes);
+                if (cfg_.trackDurability && wid != 0)
+                    applied_[wid] = bytes;
+            }
 
             sock::Message ack;
             ack.tag = static_cast<std::uint64_t>(PvfsTag::WriteAck);
             ack.a = msg->a;
+            ack.c = wid;
             ack.trace = serve.ctx();
             co_await sock::sendMessage(*conn, ack);
             break;
@@ -247,13 +304,34 @@ IodServer::serveConnection(Connection *conn)
                           cfg_.iodExtentCost * extents}});
             const std::size_t got =
                 co_await conn->recvAll(bytes, serve.ctx());
-            sim::simAssert(got == bytes, "short PVFS list payload");
-            co_await mem_.streamCopy(bytes, serve.ctx());
-            bytesWritten_.inc(bytes);
+            if (got != bytes)
+                co_return; // connection died mid-payload: no ack
+            const std::uint64_t wid = msg->c;
+            bool duplicate = false;
+            if (cfg_.trackDurability && wid != 0 &&
+                applied_.count(wid) > 0) {
+                sim::simDebugAssert(
+                    applied_[wid] == bytes,
+                    "write retry with a different payload");
+                dupWrites_.inc();
+                duplicate = true;
+            }
+            if (!duplicate) {
+                if (cfg_.journaledWrites && wid != 0) {
+                    co_await node_.cpu().compute(
+                        cfg_.journalAppendCost);
+                    journal_[wid] = bytes;
+                }
+                co_await mem_.streamCopy(bytes, serve.ctx());
+                bytesWritten_.inc(bytes);
+                if (cfg_.trackDurability && wid != 0)
+                    applied_[wid] = bytes;
+            }
 
             sock::Message ack;
             ack.tag = static_cast<std::uint64_t>(PvfsTag::WriteAck);
             ack.a = msg->a;
+            ack.c = wid;
             ack.trace = serve.ctx();
             co_await sock::sendMessage(*conn, ack);
             break;

@@ -40,6 +40,22 @@ simAssert(bool cond, const char *what)
         panic(std::string("assertion failed: ") + what);
 }
 
+/**
+ * Debug-build-only invariant check (compiled out under NDEBUG, like
+ * <cassert>).  For checks that are worth paying for while developing
+ * but sit on hot or semantic-documentation paths — e.g. "a retried
+ * RPC must be idempotent" cross-checks in the PVFS journal.
+ */
+inline void
+simDebugAssert([[maybe_unused]] bool cond,
+               [[maybe_unused]] const char *what)
+{
+#ifndef NDEBUG
+    if (!cond)
+        panic(std::string("debug assertion failed: ") + what);
+#endif
+}
+
 } // namespace ioat::sim
 
 #endif // IOAT_SIMCORE_ASSERT_HH

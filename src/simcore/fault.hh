@@ -25,12 +25,14 @@
 #ifndef IOAT_SIMCORE_FAULT_HH
 #define IOAT_SIMCORE_FAULT_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "simcore/assert.hh"
 #include "simcore/random.hh"
 #include "simcore/stats.hh"
 #include "simcore/telemetry/registry.hh"
@@ -166,21 +168,70 @@ class FaultInjector : public telemetry::Instrumented
     /** @name Scheduled node outages
      *  @{ */
 
-    /** Take @p node down over [start, end); end defaults to forever. */
+    /** Take @p node down over [start, end); end defaults to forever.
+     *  Inverted or empty windows (`end <= start`) are rejected. */
     void
     addOutage(std::uint32_t node, Tick start, Tick end = kTickMax)
     {
+        simAssert(end > start,
+                  "outage window must satisfy end > start");
         outages_.push_back(OutageWindow{node, start, end});
+        insertIndexed(node, start, end);
     }
 
-    /** Is @p node inside any of its outage windows at @p now? */
+    /**
+     * Is @p node inside any of its outage windows at @p now?
+     *
+     * Queried on every switch delivery, so it is indexed: windows are
+     * kept per node, merged and sorted by start, and the lookup is one
+     * map find plus a binary search instead of a scan over the whole
+     * schedule.
+     */
     bool
     nodeDown(std::uint32_t node, Tick now) const
     {
-        for (const auto &w : outages_)
-            if (w.node == node && now >= w.start && now < w.end)
-                return true;
-        return false;
+        const auto it = index_.find(node);
+        if (it == index_.end())
+            return false;
+        const auto &wins = it->second;
+        // First window starting strictly after `now`; its predecessor
+        // is the only candidate (windows are merged, so disjoint).
+        auto up = std::upper_bound(
+            wins.begin(), wins.end(), now,
+            [](Tick t, const OutageWindow &w) { return t < w.start; });
+        if (up == wins.begin())
+            return false;
+        return now < std::prev(up)->end;
+    }
+
+    /** The raw outage schedule, in the order it was added. */
+    const std::vector<OutageWindow> &outages() const { return outages_; }
+
+    /**
+     * Per-node outage windows, merged (overlaps and adjacencies
+     * coalesced) and sorted by start — the process-level view a
+     * crash/restart supervisor needs: one merged window is one
+     * crash + one restart, however many raw windows produced it.
+     * @return empty when @p node has no scheduled outages.
+     */
+    std::vector<OutageWindow>
+    mergedOutages(std::uint32_t node) const
+    {
+        const auto it = index_.find(node);
+        if (it == index_.end())
+            return {};
+        return it->second;
+    }
+
+    /** Nodes with at least one scheduled outage, ascending. */
+    std::vector<std::uint32_t>
+    outageNodes() const
+    {
+        std::vector<std::uint32_t> nodes;
+        nodes.reserve(index_.size());
+        for (const auto &[node, wins] : index_)
+            nodes.push_back(node);
+        return nodes;
     }
 
     /** Record a delivery dropped because an endpoint was down. */
@@ -222,6 +273,32 @@ class FaultInjector : public telemetry::Instrumented
         reg.counter("delays", delays_, "bursts delayed by injector");
         reg.counter("outageDrops", outageDrops_,
                     "deliveries dropped at crashed nodes");
+        // Echo the outage *plan* itself (not just its effects) so a
+        // chaos run's report is self-describing: one scope per raw
+        // window, in schedule order.
+        reg.scalar(
+            "outageWindows",
+            [this] { return static_cast<double>(outages_.size()); },
+            "scheduled outage windows in the fault plan");
+        for (std::size_t i = 0; i < outages_.size(); ++i) {
+            telemetry::Registry::Scope scope(
+                reg, "outage" + std::to_string(i));
+            const OutageWindow w = outages_[i];
+            reg.scalar(
+                "node", [w] { return static_cast<double>(w.node); },
+                "node taken down by this window");
+            reg.scalar(
+                "startUs",
+                [w] { return toMicroseconds(w.start); },
+                "window start (us)");
+            reg.scalar(
+                "endUs",
+                [w] {
+                    return w.end == kTickMax ? -1.0
+                                             : toMicroseconds(w.end);
+                },
+                "window end (us; -1 = permanent crash)");
+        }
         for (const auto &[name, s] : sites_) {
             telemetry::Registry::Scope scope(reg, name);
             reg.counter("drops", s->drops_);
@@ -246,11 +323,37 @@ class FaultInjector : public telemetry::Instrumented
         return seed_ ^ h;
     }
 
+    /** Keep the per-node index merged and sorted by start. */
+    void
+    insertIndexed(std::uint32_t node, Tick start, Tick end)
+    {
+        auto &wins = index_[node];
+        auto pos = std::lower_bound(
+            wins.begin(), wins.end(), start,
+            [](const OutageWindow &w, Tick t) { return w.start < t; });
+        pos = wins.insert(pos, OutageWindow{node, start, end});
+        // Coalesce with the predecessor, then with any successors the
+        // (possibly grown) window swallows.
+        if (pos != wins.begin() && std::prev(pos)->end >= pos->start) {
+            auto prev = std::prev(pos);
+            prev->end = std::max(prev->end, pos->end);
+            pos = wins.erase(pos);
+            pos = std::prev(pos);
+        }
+        while (std::next(pos) != wins.end() &&
+               pos->end >= std::next(pos)->start) {
+            pos->end = std::max(pos->end, std::next(pos)->end);
+            wins.erase(std::next(pos));
+        }
+    }
+
     std::uint64_t seed_;
     FaultSiteConfig defaultCfg_;
     // std::map: deterministic iteration order for stats registration.
     std::map<std::string, std::unique_ptr<FaultSite>> sites_;
     std::vector<OutageWindow> outages_;
+    /** node → merged windows sorted by start (nodeDown fast path). */
+    std::map<std::uint32_t, std::vector<OutageWindow>> index_;
     TraceWriter *trace_ = nullptr;
     stats::Counter drops_;
     stats::Counter dups_;

@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Crash–restart process semantics for simulated nodes.
+ *
+ * PR 1's outage windows make the *network* drop deliveries to a down
+ * node, but the node's software keeps its state — a "pause", not a
+ * crash.  The `Lifecycle` supervisor upgrades outage windows to real
+ * process semantics: at a window's start every `Restartable`
+ * registered on that node is crashed (in-flight connections reset,
+ * volatile state wiped), and at the window's end it is restarted
+ * (cold caches, re-listen, re-register).
+ *
+ * The supervisor is strictly opt-in: when no Lifecycle is constructed
+ * (every pre-existing bench and test), nothing schedules and the
+ * event sequence is byte-identical to the seed.  Crash/restart events
+ * are derived from the injector's *merged* per-node windows, so two
+ * overlapping raw windows produce one crash and one restart, exactly
+ * like the network-level `nodeDown()` view.
+ *
+ * Ordering within one crash (or restart) instant is the registration
+ * order, so benches attach the Node (transport reset) first and the
+ * daemons on it after — a crash tears the stack down before the
+ * application hooks run, and a restart brings them up the same way.
+ */
+
+#ifndef IOAT_SIMCORE_LIFECYCLE_HH
+#define IOAT_SIMCORE_LIFECYCLE_HH
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "simcore/fault.hh"
+#include "simcore/sim.hh"
+#include "simcore/telemetry/registry.hh"
+
+namespace ioat::sim {
+
+/**
+ * Hook implemented by every component that lives on a crashable node.
+ *
+ * `onCrash` must wipe volatile state and drop in-flight work;
+ * `onRestart` must re-initialize as a freshly exec'd process would
+ * (cold caches, replayed journals, re-registered leases).  Durable
+ * state — anything the real system would have fsync'd — survives in
+ * the object across the pair of calls.
+ */
+class Restartable
+{
+  public:
+    virtual ~Restartable() = default;
+
+    /** The node died at @p now: reset in-flight work, wipe RAM. */
+    virtual void onCrash(Tick now) = 0;
+
+    /** The node came back at @p now: re-initialize cold. */
+    virtual void onRestart(Tick now) = 0;
+};
+
+/**
+ * Turns a FaultInjector's outage schedule into crash/restart calls on
+ * the components registered per node.  Register with `attach()`, then
+ * call `start()` once (after the whole schedule is known).
+ *
+ * Publishes per-node executed crash/restart counts when added to the
+ * telemetry hub (name it "lifecycle").
+ */
+class Lifecycle : public telemetry::Instrumented
+{
+  public:
+    Lifecycle(Simulation &sim, const FaultInjector &faults)
+        : sim_(sim), faults_(faults)
+    {}
+
+    Lifecycle(const Lifecycle &) = delete;
+    Lifecycle &operator=(const Lifecycle &) = delete;
+
+    /** Register @p c as living on @p node (registration order is the
+     *  callback order within one crash/restart instant). */
+    void
+    attach(std::uint32_t node, Restartable *c)
+    {
+        simAssert(!started_, "attach() after Lifecycle::start()");
+        members_[node].push_back(c);
+    }
+
+    /**
+     * Schedule every crash/restart event from the injector's merged
+     * windows.  Deterministic: events are posted in ascending node
+     * order, and the event queue breaks same-tick ties FIFO.
+     *
+     * A window starting at tick 0 crashes the node before any other
+     * tick-0 work only if start() runs before the components spawn;
+     * benches call start() last, so a tick-0 window crashes a node
+     * that already came up — the interesting case.
+     */
+    void
+    start()
+    {
+        simAssert(!started_, "Lifecycle::start() called twice");
+        started_ = true;
+        for (const std::uint32_t node : faults_.outageNodes()) {
+            for (const OutageWindow &w : faults_.mergedOutages(node)) {
+                simAssert(w.start >= sim_.now(),
+                          "outage window starts in the past");
+                sim_.queue().scheduleIn(w.start - sim_.now(), [this, w] {
+                    crash(w.node);
+                });
+                if (w.end != kTickMax) {
+                    sim_.queue().scheduleIn(w.end - sim_.now(),
+                                            [this, w] {
+                                                restart(w.node);
+                                            });
+                }
+            }
+        }
+    }
+
+    /** @name Executed-event counters
+     *  @{ */
+    std::uint64_t crashes() const { return crashes_; }
+    std::uint64_t restarts() const { return restarts_; }
+    std::uint64_t
+    crashes(std::uint32_t node) const
+    {
+        const auto it = perNode_.find(node);
+        return it == perNode_.end() ? 0 : it->second.crashes;
+    }
+    std::uint64_t
+    restarts(std::uint32_t node) const
+    {
+        const auto it = perNode_.find(node);
+        return it == perNode_.end() ? 0 : it->second.restarts;
+    }
+    /** @} */
+
+    /** Per-node executed crash/restart counts for the RunReport. */
+    void
+    instrument(telemetry::Registry &reg) override
+    {
+        reg.scalar(
+            "crashes", [this] { return static_cast<double>(crashes_); },
+            "node crashes executed");
+        reg.scalar(
+            "restarts",
+            [this] { return static_cast<double>(restarts_); },
+            "node restarts executed");
+        for (const auto &kv : perNode_) {
+            const std::uint32_t node = kv.first;
+            telemetry::Registry::Scope scope(
+                reg, "node" + std::to_string(node));
+            reg.scalar(
+                "crashes",
+                [this, node] {
+                    return static_cast<double>(crashes(node));
+                },
+                "crashes executed on this node");
+            reg.scalar(
+                "restarts",
+                [this, node] {
+                    return static_cast<double>(restarts(node));
+                },
+                "restarts executed on this node");
+        }
+    }
+
+  private:
+    struct PerNode
+    {
+        std::uint64_t crashes = 0;
+        std::uint64_t restarts = 0;
+    };
+
+    void
+    crash(std::uint32_t node)
+    {
+        ++crashes_;
+        ++perNode_[node].crashes;
+        const auto it = members_.find(node);
+        if (it == members_.end())
+            return;
+        for (Restartable *c : it->second)
+            c->onCrash(sim_.now());
+    }
+
+    void
+    restart(std::uint32_t node)
+    {
+        ++restarts_;
+        ++perNode_[node].restarts;
+        const auto it = members_.find(node);
+        if (it == members_.end())
+            return;
+        for (Restartable *c : it->second)
+            c->onRestart(sim_.now());
+    }
+
+    Simulation &sim_;
+    const FaultInjector &faults_;
+    bool started_ = false;
+    // std::map: deterministic iteration for instrument().
+    std::map<std::uint32_t, std::vector<Restartable *>> members_;
+    std::map<std::uint32_t, PerNode> perNode_;
+    std::uint64_t crashes_ = 0;
+    std::uint64_t restarts_ = 0;
+};
+
+} // namespace ioat::sim
+
+#endif // IOAT_SIMCORE_LIFECYCLE_HH

@@ -7,11 +7,23 @@
  * waiting) — the right semantics for timing out waits on shared
  * state.  `Stopwatch` measures simulated elapsed time, and
  * `everyUntil` drives fixed-rate periodic work.
+ *
+ * NO-CANCELLATION CONTRACT.  Timing out a wait here never cancels the
+ * work being waited on: the peer may still be executing the request
+ * body, and its effect may land *after* the caller has given up and
+ * retried — even after a crash–restart in between.  Any RPC whose
+ * effect is not idempotent must therefore carry an identity the
+ * server can deduplicate on.  The PVFS write path is the canonical
+ * case: a timed-out write that the iod later journals must not be
+ * applied a second time when the client retries it (see
+ * `PvfsConfig::journaledWrites` and the writeId dedup in
+ * `IodServer`); debug builds assert the dedup invariant.
  */
 
 #ifndef IOAT_SIMCORE_TIMEOUT_HH
 #define IOAT_SIMCORE_TIMEOUT_HH
 
+#include <algorithm>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -113,6 +125,45 @@ class Watchdog
   private:
     Simulation &sim_;
     EventQueue::TimerHandle timer_;
+};
+
+/**
+ * Deterministic capped exponential backoff schedule.
+ *
+ * `next()` returns the current delay and doubles it up to @p cap;
+ * `reset()` rewinds to the base after a success.  With `cap == base`
+ * the schedule degenerates to a fixed delay — which is how components
+ * keep their default event sequence byte-identical to the seed while
+ * still routing every reconnect wait through one helper.
+ */
+class CappedBackoff
+{
+  public:
+    CappedBackoff(Tick base, Tick cap)
+        : base_(base), cap_(cap < base ? base : cap), cur_(base)
+    {
+        simAssert(base > Tick{0}, "backoff base must be positive");
+    }
+
+    /** The delay to wait now; advances the schedule. */
+    Tick
+    next()
+    {
+        const Tick d = cur_;
+        cur_ = std::min(cur_ * 2, cap_);
+        return d;
+    }
+
+    /** Peek at the delay next() would return, without advancing. */
+    Tick current() const { return cur_; }
+
+    /** A success: the next failure starts over from the base. */
+    void reset() { cur_ = base_; }
+
+  private:
+    Tick base_;
+    Tick cap_;
+    Tick cur_;
 };
 
 /** Measures simulated elapsed time. */

@@ -174,6 +174,40 @@ recvMessageTimed(Connection &conn, sim::Tick timeout,
     co_return msg;
 }
 
+/**
+ * Receive exactly @p bytes with a deadline, aborting the connection
+ * when it expires (same contract as recvMessageTimed).  Bounds the
+ * *payload* read that follows a timed header read: without it, a peer
+ * that crashes mid-body leaves the reader parked forever — the
+ * transport never notifies remote halves of a crash, and an idle
+ * receiver has no retransmission timer to abort it.  A @p timeout of
+ * 0 means no deadline.  @return bytes actually received (short on
+ * EOF / abort / deadline).
+ */
+inline Coro<std::size_t>
+recvAllTimed(Connection &conn, std::size_t bytes, sim::Tick timeout,
+             sim::TraceContext ctx = {})
+{
+    if (timeout == sim::Tick{0})
+        co_return co_await conn.recvAll(bytes, ctx);
+
+    struct Watch
+    {
+        bool done = false;
+    };
+    auto watch = std::make_shared<Watch>();
+    conn.simulation().spawn(
+        [](Connection &c, sim::Tick t,
+           std::shared_ptr<Watch> w) -> Coro<void> {
+            co_await c.simulation().delay(t);
+            if (!w->done)
+                c.abortLocal();
+        }(conn, timeout, watch));
+    const std::size_t got = co_await conn.recvAll(bytes, ctx);
+    watch->done = true;
+    co_return got;
+}
+
 } // namespace ioat::sock
 
 #endif // IOAT_SOCK_MESSAGE_HH

@@ -334,6 +334,21 @@ TcpStack::connFor(std::uint64_t token)
 }
 
 void
+TcpStack::crashReset()
+{
+    // The process died: every connection's state is gone.  Aborting
+    // (rather than erasing) keeps the tokens of in-flight bursts
+    // valid; late deliveries hit the "dead connection" paths.
+    for (auto &c : conns_)
+        if (!c->aborted_)
+            abortConnection(*c);
+    // A restarted process has no memory of pre-crash handshakes: a
+    // client retrying an old SYN must get a *new* server-side
+    // connection, not a resent SYN-ACK for a dead one.
+    synSeen_.clear();
+}
+
+void
 TcpStack::abortConnection(Connection &c)
 {
     if (c.aborted_)

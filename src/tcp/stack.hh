@@ -299,6 +299,16 @@ class TcpStack
     /** Passive open; one listener per port. */
     Listener &listen(std::uint16_t port);
 
+    /**
+     * Process-crash semantics (used by sim::Lifecycle): abort every
+     * connection — blocked senders/receivers/connectors are released
+     * and see the typed failure — and forget the SYN-dedup state, as
+     * a freshly exec'd process would.  Listeners persist: the restart
+     * re-listens on the same ports, so the accept loops parked on
+     * them simply start receiving post-restart connections.
+     */
+    void crashReset();
+
     const TcpConfig &config() const { return cfg_; }
     const Host &host() const { return host_; }
     nic::Nic &nicDev() { return nic_; }

@@ -7,7 +7,9 @@
 #   3. warnings-as-errors build (-DIOAT_WERROR=ON adds -Wshadow
 #      -Wconversion -Werror), with clang-tidy alongside when installed
 #   4. full ctest suite in the gated build
-#   5. ASan+UBSan build + full suite (tools/sanitize.sh)
+#   5. chaos recovery gate: ctest -L chaos plus a short
+#      chaos_search invariant sweep (zero violations required)
+#   6. ASan+UBSan build + full suite (tools/sanitize.sh)
 #
 # Usage: tools/check.sh [--no-sanitize]
 set -eu
@@ -42,6 +44,10 @@ cmake --build "$build" -j "$(nproc)"
 
 step "full test suite"
 ctest --test-dir "$build" --output-on-failure -j "$(nproc)"
+
+step "chaos recovery gate (ctest -L chaos + invariant sweep)"
+ctest --test-dir "$build" -L chaos --output-on-failure
+"$build/bench/chaos_search" --schedules 8 > /dev/null
 
 if [ "$run_sanitize" = 1 ]; then
     step "sanitizers (ASan+UBSan)"
