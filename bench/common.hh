@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "core/app_memory.hh"
+#include "core/cluster.hh"
 #include "core/node.hh"
 #include "core/testbed.hh"
 #include "simcore/simcore.hh"
@@ -56,7 +57,7 @@ streamSinkLoop(Node &node, std::uint16_t port, SinkOptions opts,
     sock::Listener listener(node.stack(), port);
     for (;;) {
         sock::Socket conn = co_await listener.accept();
-        node.simulation().spawn(
+        node.spawn(
             [](sock::Socket c, SinkOptions o,
                core::AppMemory &m) -> Coro<void> {
                 m.reserve(o.recvChunk); // long-lived receive buffer
@@ -93,26 +94,27 @@ streamSenderLoop(Node &node, net::NodeId dst, std::uint16_t port,
 class Meter
 {
   public:
-    explicit Meter(Simulation &sim) : sim_(sim) {}
+    /** Drive any engine: a Simulation or a ShardGroup. */
+    explicit Meter(sim::Runner &runner) : runner_(runner) {}
 
     /** Run the warmup phase then reset the given nodes' CPU windows. */
     void
     warmup(Tick duration, std::initializer_list<Node *> nodes)
     {
-        sim_.runFor(duration);
+        runner_.runFor(duration);
         for (Node *n : nodes)
             n->cpu().resetUtilizationWindow();
-        windowStart_ = sim_.now();
+        windowStart_ = runner_.now();
     }
 
     /** Run the measurement window. */
-    void run(Tick duration) { sim_.runFor(duration); }
+    void run(Tick duration) { runner_.runFor(duration); }
 
     Tick windowStart() const { return windowStart_; }
-    Tick elapsed() const { return sim_.now() - windowStart_; }
+    Tick elapsed() const { return runner_.now() - windowStart_; }
 
   private:
-    Simulation &sim_;
+    sim::Runner &runner_;
     Tick windowStart_{};
 };
 
@@ -171,6 +173,23 @@ class Options
     /** Probe sampling period for instrumented runs. */
     Tick sampleInterval() const { return sampleInterval_; }
 
+    /**
+     * Worker shards to partition the cluster over (`--shards N`).
+     * Instrumented runs (sampled telemetry, tracing) are pinned to
+     * one shard: the samplers walk every node from driver events, so
+     * they are only sound when the whole cluster shares one queue.
+     * Results are shard-count-invariant either way; see
+     * DESIGN.md §10.
+     */
+    unsigned
+    shards() const
+    {
+        return instrumented() ? 1u : shards_;
+    }
+
+    /** The raw --shards value, before the instrumentation pin. */
+    unsigned requestedShards() const { return shards_; }
+
     /** Register a numeric knob: `--<name> <value>` writes to @p slot. */
     void
     knob(std::string name, double *slot, std::string desc)
@@ -191,6 +210,16 @@ class Options
                 usage(stdout);
                 exitCode_ = 0;
                 return false;
+            }
+            if (arg == "--shards") {
+                if (i + 1 >= argc)
+                    return fail(arg + " needs a value");
+                const unsigned long n =
+                    std::strtoul(argv[++i], nullptr, 10);
+                if (n < 1 || n > 64)
+                    return fail("--shards wants 1..64");
+                shards_ = static_cast<unsigned>(n);
+                continue;
             }
             if (arg == "--report" || arg == "--trace" ||
                 arg == "--trace-requests" || arg == "--span-report" ||
@@ -245,7 +274,11 @@ class Options
                      "  --sample-interval <us>    probe sampling period "
                      "(default 100)\n"
                      "  --seed <n>                run seed echoed into the "
-                     "report\n");
+                     "report\n"
+                     "  --shards <n>              worker shards for the "
+                     "cluster (default 1; results are\n"
+                     "                            identical at any value, "
+                     "instrumented runs pin to 1)\n");
         for (const Knob &k : knobs_)
             std::fprintf(out, "  --%-23s %s (default %g)\n",
                          (k.name + " <value>").c_str(), k.desc.c_str(),
@@ -259,6 +292,7 @@ class Options
         std::vector<std::pair<std::string, std::string>> cfg;
         cfg.emplace_back("sampleIntervalTicks",
                          std::to_string(sampleInterval_.count()));
+        cfg.emplace_back("shards", std::to_string(shards()));
         for (const Knob &k : knobs_)
             cfg.emplace_back(k.name, sim::strprintf("%g", *k.slot));
         return cfg;
@@ -288,6 +322,7 @@ class Options
     std::string spanReport_;
     Tick sampleInterval_ = sim::microseconds(100);
     std::uint64_t seed_ = 1;
+    unsigned shards_ = 1;
     std::vector<Knob> knobs_;
     int exitCode_ = 0;
 };

@@ -11,6 +11,12 @@
  * built for — a comparison against an older tree shows how the
  * hot-path holds up as the cluster grows.
  *
+ * `--shards N` partitions the cluster over N worker threads
+ * (DESIGN.md §10).  The modelled results — TPS, event counts, and
+ * with them the JSON "digest" field — are identical at any shard
+ * count; only wall-clock and events/sec change.  CI runs the sweep at
+ * several shard counts and gates on digest equality.
+ *
  * Results are also written to BENCH_scale.json (see EXPERIMENTS.md
  * for the schema) so successive PRs can be compared mechanically.
  */
@@ -18,7 +24,6 @@
 #include <chrono>
 #include <fstream>
 #include <iostream>
-#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -27,6 +32,7 @@
 #include "datacenter/client.hh"
 #include "datacenter/web_server.hh"
 #include "datacenter/workload.hh"
+#include "simcore/digest.hh"
 
 using namespace ioat;
 using namespace ioat::bench;
@@ -47,20 +53,17 @@ struct Point
 
 Point
 run(IoatConfig features, const char *configName, unsigned clientNodes,
-    const Options *report = nullptr)
+    unsigned shards, const Options *report = nullptr)
 {
     const auto wall0 = std::chrono::steady_clock::now();
 
-    Simulation sim;
-    net::Switch fabric(sim, sim::nanoseconds(2000));
-    Node server_node(sim, fabric, NodeConfig::server(features, 6));
-    std::vector<std::unique_ptr<Node>> clients;
+    core::Cluster cluster(shards);
+    Node &server_node =
+        cluster.addNode(NodeConfig::server(features, 6));
     std::vector<core::Node *> clientPtrs;
-    for (unsigned i = 0; i < clientNodes; ++i) {
-        clients.push_back(std::make_unique<Node>(
-            sim, fabric, NodeConfig::server(features, 6)));
-        clientPtrs.push_back(clients.back().get());
-    }
+    for (unsigned i = 0; i < clientNodes; ++i)
+        clientPtrs.push_back(
+            &cluster.addNode(NodeConfig::server(features, 6)));
 
     dc::DcConfig cfg;
     dc::SingleFileWorkload wl(16 * 1024, 1000);
@@ -79,10 +82,12 @@ run(IoatConfig features, const char *configName, unsigned clientNodes,
     dc::ClientFleet fleet(clientPtrs, wl, opts);
     std::optional<TelemetryRun> tr;
     if (report)
-        tr.emplace(sim, *report);
+        // Instrumented runs are pinned to one shard (Options::shards
+        // returns 1), so shard 0 is the whole cluster here.
+        tr.emplace(cluster.group().shard(0), *report);
     fleet.start();
 
-    Meter meter(sim);
+    Meter meter(cluster.runner());
     meter.warmup(sim::milliseconds(100), {clientPtrs[0], &server_node});
     const std::uint64_t done0 = fleet.completed();
     meter.run(sim::milliseconds(400));
@@ -91,7 +96,7 @@ run(IoatConfig features, const char *configName, unsigned clientNodes,
     const auto wall1 = std::chrono::steady_clock::now();
     const double wallSec =
         std::chrono::duration<double>(wall1 - wall0).count();
-    const std::uint64_t events = sim.queue().executedEvents();
+    const std::uint64_t events = cluster.group().executedEvents();
 
     if (tr)
         tr->finish({{"clientNodes", std::to_string(clientNodes)},
@@ -103,12 +108,31 @@ run(IoatConfig features, const char *configName, unsigned clientNodes,
             events, wallSec, static_cast<double>(events) / wallSec};
 }
 
+/**
+ * Digest over the *modelled* fields only (clients, config, tps,
+ * events) — wall-clock and events/sec vary run to run, the model
+ * must not.  Equal digests across `--shards` values is the CI gate.
+ */
+std::string
+modelDigest(const std::vector<Point> &points)
+{
+    std::string text;
+    for (const Point &p : points)
+        text += std::to_string(p.clients) + "|" + p.config + "|" +
+                sim::strprintf("%.3f", p.tps) + "|" +
+                std::to_string(p.events) + "\n";
+    return sim::digestOf(text);
+}
+
 void
-writeJson(const std::vector<Point> &points, const std::string &path)
+writeJson(const std::vector<Point> &points, unsigned shards,
+          const std::string &path)
 {
     std::ofstream out(path);
     out << "{\n  \"bench\": \"scale_cluster\",\n"
         << "  \"threadsPerNode\": " << kThreadsPerNode << ",\n"
+        << "  \"shards\": " << shards << ",\n"
+        << "  \"digest\": \"" << modelDigest(points) << "\",\n"
         << "  \"points\": [\n";
     for (std::size_t i = 0; i < points.size(); ++i) {
         const Point &p = points[i];
@@ -129,17 +153,27 @@ int
 main(int argc, char **argv)
 {
     Options opts("scale_cluster");
+    double maxClients = 64;
+    opts.knob("max-clients", &maxClients,
+              "largest client-node count in the sweep (8/16/32/64)");
     if (!opts.parse(argc, argv))
         return opts.exitCode();
+    const unsigned shards = opts.shards();
 
     std::cout << "=== Cluster scale-out: Fig. 9 workload, N client "
-                 "nodes x " << kThreadsPerNode << " threads ===\n\n";
+                 "nodes x " << kThreadsPerNode << " threads, "
+              << shards << " shard" << (shards == 1 ? "" : "s")
+              << " ===\n\n";
     sim::Table t({"clients", "non-ioat TPS", "ioat TPS", "events",
                   "wall s", "events/sec"});
     std::vector<Point> points;
     for (unsigned clients : {8u, 16u, 32u, 64u}) {
-        const Point non = run(IoatConfig::disabled(), "non-ioat", clients);
-        const Point yes = run(IoatConfig::enabled(), "ioat", clients);
+        if (clients > maxClients)
+            break;
+        const Point non =
+            run(IoatConfig::disabled(), "non-ioat", clients, shards);
+        const Point yes =
+            run(IoatConfig::enabled(), "ioat", clients, shards);
         points.push_back(non);
         points.push_back(yes);
         t.addRow({std::to_string(clients), num(non.tps, 0),
@@ -154,13 +188,14 @@ main(int argc, char **argv)
     t.print(std::cout);
 
     if (opts.instrumented())
-        run(IoatConfig::enabled(), "ioat", 8, &opts);
+        run(IoatConfig::enabled(), "ioat", 8, opts.shards(), &opts);
 
     const std::string path = "BENCH_scale.json";
-    writeJson(points, path);
+    writeJson(points, shards, path);
     std::cout << "\nWrote " << path << " (" << points.size()
-              << " points).\nevents/sec is simulator hot-path "
-                 "throughput: compare across PRs at equal cluster "
-                 "size.\n";
+              << " points, digest " << modelDigest(points)
+              << ").\nevents/sec is simulator hot-path throughput: "
+                 "compare across PRs at equal cluster size and shard "
+                 "count.\n";
     return 0;
 }

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Sharded cluster builder: nodes spread over a ShardGroup.
+ *
+ * A Cluster is the parallel twin of building Nodes against a single
+ * Simulation: it owns a `sim::ShardGroup`, one switch spanning every
+ * shard, and the nodes, assigned to shards by the fixed rule
+ * `shard(i) = i mod shards` (i = attach order).  The assignment is
+ * part of the run's identity only in wall-clock terms — simulation
+ * *results* are shard-count-invariant, which `ctest -L shard` pins.
+ *
+ * With `shards == 1` this is exactly the classic single-threaded
+ * setup (the group is a pass-through and the switch schedules every
+ * delivery locally), so benches can route all construction through a
+ * Cluster and expose `--shards` as a pure go-faster knob.
+ */
+
+#ifndef IOAT_CORE_CLUSTER_HH
+#define IOAT_CORE_CLUSTER_HH
+
+#include <memory>
+#include <vector>
+
+#include "core/node.hh"
+#include "net/switch.hh"
+#include "simcore/shard.hh"
+
+namespace ioat::core {
+
+/**
+ * Owns the shard group, the switch, and all nodes of an experiment.
+ */
+class Cluster
+{
+  public:
+    explicit Cluster(unsigned shards,
+                     sim::Tick switchLatency = sim::nanoseconds(2000))
+        : group_(shards, switchLatency),
+          fabric_(group_, switchLatency)
+    {}
+
+    /**
+     * Build the next node; it lands on shard (index mod shards) and
+     * gets the next switch port id, exactly as if all nodes shared
+     * one Simulation.
+     */
+    Node &
+    addNode(const NodeConfig &cfg)
+    {
+        const unsigned shard =
+            static_cast<unsigned>(nodes_.size()) % group_.shardCount();
+        nodes_.push_back(std::make_unique<Node>(group_.shard(shard),
+                                                fabric_, cfg));
+        return *nodes_.back();
+    }
+
+    sim::ShardGroup &group() { return group_; }
+    net::Switch &fabric() { return fabric_; }
+
+    /** The engine to drive the run with (Meter takes a Runner&). */
+    sim::Runner &runner() { return group_; }
+
+    std::size_t nodeCount() const { return nodes_.size(); }
+    Node &node(std::size_t i) { return *nodes_.at(i); }
+
+    /** Shard hosting node @p i (the fixed assignment rule). */
+    unsigned
+    shardOf(std::size_t i) const
+    {
+        return static_cast<unsigned>(i) % group_.shardCount();
+    }
+
+  private:
+    sim::ShardGroup group_;
+    net::Switch fabric_;
+    std::vector<std::unique_ptr<Node>> nodes_;
+};
+
+} // namespace ioat::core
+
+#endif // IOAT_CORE_CLUSTER_HH

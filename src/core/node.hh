@@ -102,7 +102,9 @@ class Node : public sim::telemetry::Instrumented, public sim::Restartable
                            dma_.get()},
                  nic_, cfg_.tcp)
     {
-        sim_.telemetry().add("node", this);
+        // Exact name keyed by the cluster-global port id: per-hub
+        // auto-numbering would restart per shard.
+        sim_.telemetry().addNamed("node" + std::to_string(id()), this);
     }
 
     ~Node() override { sim_.telemetry().remove(this); }
@@ -160,6 +162,24 @@ class Node : public sim::telemetry::Instrumented, public sim::Restartable
 
     net::NodeId id() const { return nic_.id(); }
     const NodeConfig &config() const { return cfg_; }
+
+    /**
+     * This node's scheduling lane (see simcore/event_queue.hh):
+     * lane 0 is the driver, node i runs on lane i + 1.
+     */
+    std::uint32_t lane() const { return id() + 1; }
+
+    /**
+     * Start a node-affine coroutine: like `simulation().spawn()` but
+     * the activity carries this node's lane, so its event keys — and
+     * with them the whole run — are invariant under resharding.
+     * Driver code spawning work that lives on a node must use this.
+     */
+    void
+    spawn(sim::Coro<void> body)
+    {
+        sim_.spawnLane(lane(), std::move(body));
+    }
 
     Simulation &simulation() { return sim_; }
     cpu::CpuSet &cpu() { return cpu_; }

@@ -5,6 +5,8 @@
 
 #include "datacenter/client.hh"
 
+#include <algorithm>
+
 #include "datacenter/web_server.hh"
 #include "simcore/timeout.hh"
 #include "sock/message.hh"
@@ -30,6 +32,7 @@ ClientFleet::ClientFleet(std::vector<core::Node *> nodes,
         mems_.back()->reserve(opts_.residentBytes +
                               threads_here *
                                   opts_.residentBytesPerThread);
+        locals_.push_back(std::make_unique<NodeLocal>());
     }
 }
 
@@ -40,15 +43,34 @@ ClientFleet::start()
 {
     for (unsigned t = 0; t < opts_.threads; ++t) {
         const std::size_t n = t % nodes_.size();
-        ++active_;
-        nodes_[n]->simulation().spawn(
-            clientThread(*nodes_[n], *mems_[n], opts_.rngSeed + t));
+        active_.inc();
+        // Node-affine spawn: the thread's whole activity stream runs
+        // on its node's lane (and shard).
+        nodes_[n]->spawn(clientThread(*nodes_[n], *mems_[n],
+                                      *locals_[n], opts_.rngSeed + t));
     }
+}
+
+const std::vector<sim::Tick> &
+ClientFleet::reconnectTicks() const
+{
+    mergedReconnects_.clear();
+    // Node-order concatenation, then a stable sort by tick: the
+    // result is time-ordered with ties broken by node index —
+    // deterministic however the nodes were sharded.
+    for (const auto &loc : locals_)
+        mergedReconnects_.insert(mergedReconnects_.end(),
+                                 loc->reconnectTicks.begin(),
+                                 loc->reconnectTicks.end());
+    std::stable_sort(mergedReconnects_.begin(), mergedReconnects_.end());
+    if (mergedReconnects_.size() > kMaxRecordedReconnects)
+        mergedReconnects_.resize(kMaxRecordedReconnects);
+    return mergedReconnects_;
 }
 
 Coro<void>
 ClientFleet::clientThread(core::Node &node, core::AppMemory &mem,
-                          std::uint64_t seed)
+                          NodeLocal &local, std::uint64_t seed)
 {
     sim::Rng rng(seed);
     sim::RequestTracer *rt = node.simulation().requestTracer();
@@ -65,8 +87,9 @@ ClientFleet::clientThread(core::Node &node, core::AppMemory &mem,
             // reopen, then resume the closed loop.  With a backoff
             // cap, consecutive failures wait exponentially longer.
             reconnects_.inc();
-            if (reconnectTicks_.size() < kMaxRecordedReconnects)
-                reconnectTicks_.push_back(node.simulation().now());
+            if (local.reconnectTicks.size() < kMaxRecordedReconnects)
+                local.reconnectTicks.push_back(
+                    node.simulation().now());
             const sim::Tick pause =
                 opts_.reconnectBackoffCap > sim::Tick{0}
                     ? backoff.next()
@@ -136,10 +159,10 @@ ClientFleet::clientThread(core::Node &node, core::AppMemory &mem,
         if (rt)
             rt->endRequest(tc);
         completed_.inc();
-        latency_.sample(
+        local.latency.sample(
             sim::toMicroseconds(node.simulation().now() - t0));
     }
-    --active_;
+    active_.dec();
 }
 
 } // namespace ioat::dc

@@ -85,10 +85,14 @@ class ClientFleet
      * at that point issued() == completed()+failures()+rejected(),
      * the request-conservation invariant chaos harnesses check.
      */
-    void stop() { stopping_ = true; }
+    void stop() { stopping_.set(); }
 
     /** Threads still inside their closed loop. */
-    unsigned activeThreads() const { return active_; }
+    unsigned
+    activeThreads() const
+    {
+        return static_cast<unsigned>(active_.value());
+    }
 
     /** Requests sent (each terminates: response, 503, or failure). */
     std::uint64_t issued() const { return issued_.value(); }
@@ -96,8 +100,21 @@ class ClientFleet
     /** Completed requests since start. */
     std::uint64_t completed() const { return completed_.value(); }
 
-    /** Response-latency summary (microseconds). */
-    const sim::stats::Accumulator &latencyUs() const { return latency_; }
+    /**
+     * Response-latency summary (microseconds).  Folded from per-node
+     * partials in node order on every call: threads sample into their
+     * own node's accumulator (shard confinement), and the fixed merge
+     * order keeps the floating-point sums — and with them the golden
+     * digests — identical at any shard count.
+     */
+    const sim::stats::Accumulator &
+    latencyUs() const
+    {
+        mergedLatency_ = sim::stats::Accumulator();
+        for (const auto &loc : locals_)
+            mergedLatency_.merge(loc->latency);
+        return mergedLatency_;
+    }
 
     /** Requests that failed (timeout / server closed / short body). */
     std::uint64_t failures() const { return failures_.value(); }
@@ -110,33 +127,42 @@ class ClientFleet
      * Instants the fleet decided to reconnect (first
      * `kMaxRecordedReconnects` only): the gaps between consecutive
      * entries of one outage pin the capped-backoff schedule in tests.
+     * Recorded per node and merged time-ordered (ties by node index)
+     * on read, so the view is deterministic under sharding.
      */
-    const std::vector<sim::Tick> &
-    reconnectTicks() const
-    {
-        return reconnectTicks_;
-    }
+    const std::vector<sim::Tick> &reconnectTicks() const;
 
     static constexpr std::size_t kMaxRecordedReconnects = 64;
 
   private:
+    /**
+     * Stats written by one node's threads only, so shard workers
+     * never contend (or race) on non-commutative state.
+     */
+    struct NodeLocal
+    {
+        sim::stats::Accumulator latency;
+        std::vector<sim::Tick> reconnectTicks;
+    };
+
     sim::Coro<void> clientThread(core::Node &node, core::AppMemory &mem,
-                                 std::uint64_t seed);
+                                 NodeLocal &local, std::uint64_t seed);
 
     std::vector<core::Node *> nodes_;
     Workload &workload_;
     Options opts_;
     /** One working-set tracker per node (shared by its threads). */
     std::vector<std::unique_ptr<core::AppMemory>> mems_;
+    std::vector<std::unique_ptr<NodeLocal>> locals_;
     sim::stats::Counter issued_;
     sim::stats::Counter completed_;
-    sim::stats::Accumulator latency_;
     sim::stats::Counter failures_;
     sim::stats::Counter rejected_;
     sim::stats::Counter reconnects_;
-    std::vector<sim::Tick> reconnectTicks_;
-    bool stopping_ = false;
-    unsigned active_ = 0;
+    mutable sim::stats::Accumulator mergedLatency_;
+    mutable std::vector<sim::Tick> mergedReconnects_;
+    sim::stats::Flag stopping_;
+    sim::stats::Level active_;
 };
 
 } // namespace ioat::dc

@@ -7,11 +7,25 @@
  * latency.  Link-level serialization happens in the NIC ports on both
  * sides, so the switch itself only routes.
  *
+ * The switch is also the simulator's only cross-node (and therefore
+ * only cross-shard) edge.  Every forwarded burst is scheduled with a
+ * cross-lane key — priority lane = sender, execution lane = receiver
+ * (see simcore/event_queue.hh) — so delivery order at a tick is fixed
+ * by the sender's deterministic stream no matter how nodes are
+ * partitioned.  Built over a `sim::ShardGroup`, deliveries whose
+ * destination lives on another shard are mailed through the group's
+ * horizon mailboxes instead of scheduled locally; the forwarding
+ * latency must then be at least the group's lookahead, which is
+ * exactly the conservative-synchronization window.
+ *
  * The switch is also the network's fault-injection point: with a
  * `sim::FaultInjector` attached, every forwarded burst consults the
- * per-egress-link fault site ("link.<dst>") for drop / duplicate /
+ * per-link fault site ("link.<src>.<dst>") for drop / duplicate /
  * extra-delay faults, and deliveries to nodes inside a crash window
- * are dropped.  Without an injector the routing path is untouched.
+ * are dropped.  Sites are keyed by the (src, dst) pair — not just the
+ * egress — so each site's RNG stream is drawn only from the sender's
+ * execution, keeping fault schedules shard-count-invariant.  Without
+ * an injector the routing path is untouched.
  */
 
 #ifndef IOAT_NET_SWITCH_HH
@@ -24,6 +38,7 @@
 #include "net/burst.hh"
 #include "simcore/assert.hh"
 #include "simcore/fault.hh"
+#include "simcore/shard.hh"
 #include "simcore/sim.hh"
 
 namespace ioat::net {
@@ -46,17 +61,43 @@ class Switch : public sim::telemetry::Instrumented
         sim_.telemetry().add("fabric", this);
     }
 
+    /**
+     * A switch spanning every shard of @p group.  Ports then attach
+     * with the Simulation they live on, and cross-shard deliveries go
+     * through the group's mailboxes.  The forwarding latency is the
+     * lookahead that makes conservative execution sound, so it must
+     * cover the group's window.
+     */
+    Switch(sim::ShardGroup &group,
+           Tick forward_latency = sim::nanoseconds(2000))
+        : sim_(group.shard(0)), latency_(forward_latency), group_(&group)
+    {
+        sim::simAssert(latency_ >= group.lookahead(),
+                       "switch latency below the shard lookahead "
+                       "window breaks conservative execution");
+        sim_.telemetry().add("fabric", this);
+    }
+
     ~Switch() override { sim_.telemetry().remove(this); }
 
     Switch(const Switch &) = delete;
     Switch &operator=(const Switch &) = delete;
 
-    /** Attach a device; returns its NodeId. */
+    /** Attach a device living on @p sim; returns its NodeId. */
     NodeId
-    attach(RxHandler handler)
+    attach(Simulation &sim, RxHandler handler)
     {
         ports_.push_back(std::move(handler));
+        portSims_.push_back(&sim);
+        portShards_.push_back(shardOf(sim));
+        linkSites_.resize(ports_.size());
         return static_cast<NodeId>(ports_.size() - 1);
+    }
+
+    /** Attach a device on the primary Simulation (classic setups). */
+    NodeId attach(RxHandler handler)
+    {
+        return attach(sim_, std::move(handler));
     }
 
     /**
@@ -80,12 +121,13 @@ class Switch : public sim::telemetry::Instrumented
     {
         faults_ = injector;
         linkSites_.clear();
+        linkSites_.resize(ports_.size());
     }
 
     /**
      * Accept a burst that finished serializing into the switch at the
      * current simulated time; deliver it to the destination device
-     * after the forwarding latency.
+     * after the forwarding latency.  Runs on the sender's shard.
      */
     void
     forward(const Burst &burst)
@@ -94,13 +136,15 @@ class Switch : public sim::telemetry::Instrumented
                        "burst addressed to unattached node");
         Tick latency = latency_;
         if (faults_) {
+            const Tick now = portSims_[burst.src]->now();
             // A burst leaving a node that crashed while it was
             // serializing never makes it into the backplane.
-            if (faults_->nodeDown(burst.src, sim_.now())) {
-                faults_->noteOutageDrop(sim_.now());
+            if (faults_->nodeDown(burst.src, now)) {
+                faults_->noteOutageDrop(now);
                 return;
             }
-            sim::FaultDecision d = linkSite(burst.dst).decide();
+            sim::FaultDecision d =
+                linkSite(burst.src, burst.dst).decide();
             if (d.drop) {
                 traceFault("fault:drop link", burst.dst);
                 return;
@@ -111,12 +155,10 @@ class Switch : public sim::telemetry::Instrumented
             }
             if (d.duplicate) {
                 traceFault("fault:dup link", burst.dst);
-                sim_.queue().scheduleIn(latency, [this, burst] {
-                    deliver(burst);
-                });
+                send(burst, latency);
             }
         }
-        sim_.queue().scheduleIn(latency, [this, burst] { deliver(burst); });
+        send(burst, latency);
     }
 
     /** @name Statistics
@@ -138,7 +180,31 @@ class Switch : public sim::telemetry::Instrumented
     }
 
   private:
-    /** Complete one delivery at the egress port. */
+    /**
+     * Schedule one delivery.  The key is drawn on the sender's lane
+     * (and, for a cross-shard hop, on the sender's queue) so the
+     * destination executes deliveries in a partition-invariant order.
+     */
+    void
+    send(const Burst &burst, Tick latency)
+    {
+        Simulation &src = *portSims_[burst.src];
+        const auto prio = static_cast<std::uint32_t>(burst.src) + 1;
+        const auto exec = static_cast<std::uint32_t>(burst.dst) + 1;
+        const Tick when = src.now() + latency;
+        if (group_ == nullptr ||
+            portShards_[burst.src] == portShards_[burst.dst]) {
+            src.queue().scheduleCross(
+                when, prio, exec, [this, burst] { deliver(burst); });
+        } else {
+            group_->postCross(
+                portShards_[burst.src], portShards_[burst.dst], when,
+                prio, src.queue().drawSeq(prio), exec,
+                sim::SmallFn([this, burst] { deliver(burst); }));
+        }
+    }
+
+    /** Complete one delivery at the egress port (receiver's shard). */
     void
     deliver(const Burst &burst)
     {
@@ -149,22 +215,30 @@ class Switch : public sim::telemetry::Instrumented
             deadLetters_.inc();
             return;
         }
-        if (faults_ && faults_->nodeDown(burst.dst, sim_.now())) {
-            faults_->noteOutageDrop(sim_.now());
+        if (faults_ &&
+            faults_->nodeDown(burst.dst, portSims_[burst.dst]->now())) {
+            faults_->noteOutageDrop(portSims_[burst.dst]->now());
             return;
         }
         ports_[burst.dst](burst);
     }
 
-    /** Per-egress-link fault site, created lazily and cached. */
+    /**
+     * Per-(src, dst) fault site, created lazily and cached.  The
+     * outer vector is sized at attach/setFaultInjector time (setup);
+     * the inner row for @p src is touched only by code executing on
+     * src's shard, so the lazy fill needs no locking.
+     */
     sim::FaultSite &
-    linkSite(NodeId dst)
+    linkSite(NodeId src, NodeId dst)
     {
-        if (dst >= linkSites_.size())
-            linkSites_.resize(dst + 1, nullptr);
-        if (!linkSites_[dst])
-            linkSites_[dst] = &faults_->site("link." + std::to_string(dst));
-        return *linkSites_[dst];
+        auto &row = linkSites_[src];
+        if (dst >= row.size())
+            row.resize(dst + 1, nullptr);
+        if (!row[dst])
+            row[dst] = &faults_->site("link." + std::to_string(src) +
+                                      "." + std::to_string(dst));
+        return *row[dst];
     }
 
     void
@@ -175,11 +249,26 @@ class Switch : public sim::telemetry::Instrumented
                         sim_.now(), sim::TraceWriter::Lanes::fault);
     }
 
+    /** Shard index of @p sim within the group (0 when ungrouped). */
+    unsigned
+    shardOf(const Simulation &sim) const
+    {
+        if (group_ == nullptr)
+            return 0;
+        for (unsigned i = 0; i < group_->shardCount(); ++i)
+            if (&group_->shard(i) == &sim)
+                return i;
+        sim::panic("attached Simulation is not a shard of the group");
+    }
+
     Simulation &sim_;
     Tick latency_;
+    sim::ShardGroup *group_ = nullptr;
     std::vector<RxHandler> ports_;
+    std::vector<Simulation *> portSims_;
+    std::vector<unsigned> portShards_;
     sim::FaultInjector *faults_ = nullptr;
-    std::vector<sim::FaultSite *> linkSites_;
+    std::vector<std::vector<sim::FaultSite *>> linkSites_;
     sim::stats::Counter deadLetters_;
 };
 

@@ -36,9 +36,14 @@ namespace detail {
  *
  * Simulated activities allocate a frame per send/recv/compute call;
  * recycling them through 64-byte size classes turns that steady-state
- * malloc/free churn into two pointer moves.  The simulator is single-
- * threaded, so the free lists need no locking.  Oversized frames fall
- * through to the global allocator.
+ * malloc/free churn into two pointer moves.  The free lists are
+ * thread_local: each shard worker (simcore/shard.hh) recycles frames
+ * through its own lists with no locking, exactly as the classic
+ * single-threaded engine does.  A frame freed on a different thread
+ * than it was allocated on simply migrates lists — the arena hands
+ * out raw `::operator new` storage, so ownership is not
+ * thread-bound.  Oversized frames fall through to the global
+ * allocator.
  */
 class FrameArena
 {
@@ -79,7 +84,7 @@ class FrameArena
         return n == 0 ? 0 : (n - 1) / kGranule;
     }
 
-    inline static void *free_[kBuckets] = {};
+    inline static thread_local void *free_[kBuckets] = {};
 };
 
 /** Shared promise behaviour: remember who awaits us, resume them last. */

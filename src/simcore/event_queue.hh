@@ -3,8 +3,19 @@
  * The discrete-event queue at the heart of the simulator.
  *
  * Events are arbitrary callables scheduled at an absolute Tick.  Ties
- * are broken by insertion order so simulations are fully deterministic.
- * The queue is strictly single-threaded.
+ * are broken by a (lane, sequence) key so simulations are fully
+ * deterministic *and* partition-invariant: a lane is a node-confined
+ * scheduling stream (lane = NodeId + 1; lane 0 is the driver/default),
+ * each lane has its own monotonic sequence counter, and an event's
+ * key is fixed at schedule time.  Because a lane's sequence draws all
+ * happen inside that one node's deterministic execution, the key an
+ * event gets does not depend on how nodes are partitioned across
+ * shards — which is what lets the sharded engine (simcore/shard.hh)
+ * merge cross-shard events at horizon barriers in an order identical
+ * to the single-queue run.  With everything on lane 0 (the default),
+ * keys reduce to plain insertion order, the historical contract.
+ * The queue itself is strictly single-threaded; parallelism happens
+ * one queue per shard, above this layer.
  *
  * Internally this is a three-level calendar / timer-wheel hybrid with
  * a far-horizon overflow heap, replacing the original binary heap:
@@ -16,11 +27,12 @@
  *    times, coalescing timers and softirq latencies.
  *  - L2: 256 buckets of 2^20 ticks (≈268 ms span) for RTO/watchdog
  *    timers and bench measurement windows.
- *  - Overflow heap, keyed (when, seq), for anything further out.
+ *  - Overflow heap, keyed (when, lane, seq), for anything further out.
  *
- * Buckets hold intrusive doubly-linked FIFO lists of pool-allocated
- * nodes, so steady-state scheduling performs no heap allocation and
- * same-tick FIFO order (the determinism contract) is structural.
+ * Buckets hold intrusive doubly-linked key-sorted lists of
+ * pool-allocated nodes, so steady-state scheduling performs no heap
+ * allocation and same-tick (lane, seq) order (the determinism
+ * contract) is structural.
  * Events cascade level-by-level as `now` approaches them; each event
  * cascades at most three times, so scheduling stays amortized O(1).
  *
@@ -95,15 +107,80 @@ class EventQueue
     /** Current simulated time. */
     Tick now() const { return now_; }
 
+    /**
+     * Lane of the event currently executing (0 between events).
+     * Events scheduled while another event runs inherit this, so a
+     * node's activity stays on that node's lane without plumbing.
+     */
+    std::uint32_t currentLane() const { return currentLane_; }
+
+    /**
+     * Draw the next sequence number on @p lane.  Public so the shard
+     * engine can fix a cross-shard event's key on the *source* shard
+     * (where the draw is deterministic) before mailing it.
+     */
+    std::uint64_t
+    drawSeq(std::uint32_t lane)
+    {
+        if (lane >= laneSeq_.size())
+            laneSeq_.resize(lane + 1, 0);
+        return laneSeq_[lane]++;
+    }
+
     /** Schedule @p fn to run at absolute time @p when. */
     template <typename F>
     TimerHandle
     schedule(Tick when, F &&fn)
     {
+        return injectKeyed(when, currentLane_, drawSeq(currentLane_),
+                           currentLane_, std::forward<F>(fn));
+    }
+
+    /**
+     * Schedule with an explicit lane (priority and execution): the
+     * entry point for node-affine work (Node::spawn) where the caller
+     * is the lane-0 driver but the activity belongs to a node.
+     */
+    template <typename F>
+    TimerHandle
+    scheduleLane(Tick when, std::uint32_t lane, F &&fn)
+    {
+        return injectKeyed(when, lane, drawSeq(lane), lane,
+                           std::forward<F>(fn));
+    }
+
+    /**
+     * Schedule across a node boundary: the key is drawn on the sender
+     * lane @p prioLane (so it is fixed by the sender's deterministic
+     * stream) while the callback executes under @p execLane (the
+     * receiver).  The switch uses this for every forwarded burst.
+     */
+    template <typename F>
+    TimerHandle
+    scheduleCross(Tick when, std::uint32_t prioLane,
+                  std::uint32_t execLane, F &&fn)
+    {
+        return injectKeyed(when, prioLane, drawSeq(prioLane), execLane,
+                           std::forward<F>(fn));
+    }
+
+    /**
+     * Insert an event whose full key (when, lane, seq) was already
+     * drawn elsewhere — on another shard's queue, for cross-shard
+     * mailbox delivery at a horizon barrier.  Injection *order* is
+     * irrelevant: the key alone decides execution order.
+     */
+    template <typename F>
+    TimerHandle
+    injectKeyed(Tick when, std::uint32_t lane, std::uint64_t seq,
+                std::uint32_t execLane, F &&fn)
+    {
         simAssert(when >= now_, "event scheduled in the past");
         Node *n = allocNode();
         n->when = when;
-        n->seq = nextSeq_++;
+        n->seq = seq;
+        n->lane = lane;
+        n->execLane = execLane;
         n->fn.emplace(std::forward<F>(fn));
         place(n);
         ++size_;
@@ -213,9 +290,12 @@ class EventQueue
         // Move the callback out and recycle the node *before* running:
         // the callback may schedule (possibly reusing this very slot)
         // or cancel other events.
+        const std::uint32_t lane = n->execLane;
         SmallFn fn = std::move(n->fn);
         freeNode(n);
+        currentLane_ = lane;
         fn();
+        currentLane_ = 0;
         return true;
     }
 
@@ -256,9 +336,12 @@ class EventQueue
                 now_ = when;
                 ++executed_;
                 --size_;
+                const std::uint32_t lane = n->execLane;
                 SmallFn fn = std::move(n->fn);
                 freeNode(n);
+                currentLane_ = lane;
                 fn();
+                currentLane_ = 0;
                 continue;
             }
             if (nextEventTick() > until)
@@ -336,6 +419,10 @@ class EventQueue
         Node *next = nullptr;
         std::uint32_t gen = 0;
         Where where = Where::Free;
+        /** Priority lane: same-tick ties order by (lane, seq). */
+        std::uint32_t lane = 0;
+        /** Lane exposed as currentLane() while the callback runs. */
+        std::uint32_t execLane = 0;
         SmallFn fn;
     };
 
@@ -345,13 +432,23 @@ class EventQueue
         Node *tail = nullptr;
     };
 
+    /** The total order: (when, lane, seq). */
+    static bool
+    keyLess(const Node *a, const Node *b)
+    {
+        if (a->when != b->when)
+            return a->when < b->when;
+        if (a->lane != b->lane)
+            return a->lane < b->lane;
+        return a->seq < b->seq;
+    }
+
     struct HeapCmp
     {
         bool
         operator()(const Node *a, const Node *b) const
         {
-            return a->when != b->when ? a->when > b->when
-                                      : a->seq > b->seq;
+            return keyLess(b, a);
         }
     };
 
@@ -389,16 +486,29 @@ class EventQueue
 
     // ---- intrusive bucket lists ------------------------------------
 
+    /**
+     * Insert in key order.  Local schedules draw ascending seqs, so
+     * the scan from the tail is O(1) in steady state; only barrier
+     * injection of foreign-lane keys ever walks further.
+     */
     static void
-    listAppend(List &l, Node *n)
+    listInsert(List &l, Node *n)
     {
-        n->prev = l.tail;
-        n->next = nullptr;
-        if (l.tail != nullptr)
-            l.tail->next = n;
-        else
+        Node *cur = l.tail;
+        while (cur != nullptr && keyLess(n, cur))
+            cur = cur->prev;
+        n->prev = cur;
+        if (cur != nullptr) {
+            n->next = cur->next;
+            cur->next = n;
+        } else {
+            n->next = l.head;
             l.head = n;
-        l.tail = n;
+        }
+        if (n->next != nullptr)
+            n->next->prev = n;
+        else
+            l.tail = n;
     }
 
     static void
@@ -503,21 +613,21 @@ class EventQueue
         if ((when >> kL0Bits) == (nw >> kL0Bits)) {
             n->where = Where::L0;
             const auto idx = static_cast<unsigned>(when & kL0Mask);
-            listAppend(l0_[idx], n);
+            listInsert(l0_[idx], n);
             l0Set(idx);
             ++l0Count_;
         } else if ((when >> kL1Shift) == (nw >> kL1Shift)) {
             n->where = Where::L1;
             const auto idx =
                 static_cast<unsigned>((when >> kL0Bits) & kLvlMask);
-            listAppend(l1_[idx], n);
+            listInsert(l1_[idx], n);
             bmSet(l1Bits_, idx);
             ++l1Count_;
         } else if ((when >> kL2Shift) == (nw >> kL2Shift)) {
             n->where = Where::L2;
             const auto idx =
                 static_cast<unsigned>((when >> kL1Shift) & kLvlMask);
-            listAppend(l2_[idx], n);
+            listInsert(l2_[idx], n);
             bmSet(l2Bits_, idx);
             ++l2Count_;
         } else {
@@ -539,7 +649,7 @@ class EventQueue
             n->where = Where::L0;
             const auto slot =
                 static_cast<unsigned>(n->when.count() & kL0Mask);
-            listAppend(l0_[slot], n);
+            listInsert(l0_[slot], n);
             l0Set(slot);
             --l1Count_;
             ++l0Count_;
@@ -559,7 +669,7 @@ class EventQueue
             n->where = Where::L1;
             const auto slot = static_cast<unsigned>(
                 (n->when.count() >> kL0Bits) & kLvlMask);
-            listAppend(l1_[slot], n);
+            listInsert(l1_[slot], n);
             bmSet(l1Bits_, slot);
             --l2Count_;
             ++l1Count_;
@@ -579,8 +689,8 @@ class EventQueue
 
     /**
      * Move the heap's next 2^28-tick round into the L2/L1/L0 wheels.
-     * Pops arrive in (when, seq) order, so appending preserves the
-     * same-tick FIFO contract.
+     * Pops arrive in (when, lane, seq) order, so the sorted inserts
+     * below are O(1) appends.
      */
     void
     refillFromHeap()
@@ -603,7 +713,7 @@ class EventQueue
             n->where = Where::L2;
             const auto slot = static_cast<unsigned>(
                 (n->when.count() >> kL1Shift) & kLvlMask);
-            listAppend(l2_[slot], n);
+            listInsert(l2_[slot], n);
             bmSet(l2Bits_, slot);
             ++l2Count_;
         }
@@ -688,7 +798,9 @@ class EventQueue
     mutable Node *freeHead_ = nullptr;
 
     Tick now_{};
-    std::uint64_t nextSeq_ = 0;
+    /** Per-lane sequence counters (index = lane). */
+    std::vector<std::uint64_t> laneSeq_;
+    std::uint32_t currentLane_ = 0;
     std::uint64_t executed_ = 0;
     std::size_t size_ = 0;
 };

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * The minimal "thing that advances simulated time" interface.
+ *
+ * Benches and harnesses drive a run through this, so the same
+ * measurement code works whether the cluster lives on one
+ * `sim::Simulation` (the classic single-threaded engine) or is
+ * partitioned across worker threads by a `sim::ShardGroup`.
+ */
+
+#ifndef IOAT_SIMCORE_RUNNER_HH
+#define IOAT_SIMCORE_RUNNER_HH
+
+#include <cstdint>
+
+#include "simcore/types.hh"
+
+namespace ioat::sim {
+
+/** Abstract event-loop driver: a clock that can be run forward. */
+class Runner
+{
+  public:
+    virtual ~Runner() = default;
+
+    /** Current simulated time (for a shard group: the global floor). */
+    virtual Tick now() const = 0;
+
+    /** Run all events with time <= @p when, then advance to it. */
+    virtual void runUntil(Tick when) = 0;
+
+    /** Run for @p duration ticks past the current time. */
+    void runFor(Tick duration) { runUntil(now() + duration); }
+
+    /** Total events executed since construction (all shards). */
+    virtual std::uint64_t executedEvents() const = 0;
+};
+
+} // namespace ioat::sim
+
+#endif // IOAT_SIMCORE_RUNNER_HH

@@ -1,0 +1,277 @@
+/**
+ * @file
+ * Conservative parallel shard engine.
+ *
+ * A ShardGroup partitions a cluster across N independent Simulations
+ * ("shards"), each advanced by its own worker thread, synchronized by
+ * the classic conservative-PDES argument: if every cross-shard
+ * interaction takes at least `lookahead` ticks of simulated latency
+ * (the switch forwarding latency), then inside a window [B, B+L) no
+ * shard can affect another, so all shards may run the window
+ * concurrently.  At the window's end — the *horizon barrier* — the
+ * coordinator drains the cross-shard mailboxes and injects the
+ * mailed events into their destination queues, then opens the next
+ * window.
+ *
+ * Determinism and partition-invariance do NOT come from the barrier
+ * protocol; they come from the event key.  Every event carries a
+ * (tick, lane, seq) key fixed at schedule time on its *source* shard
+ * (see event_queue.hh), so the order in which mailed events are
+ * injected is irrelevant — the destination queue sorts by key, and
+ * the keys a run produces are identical whether the cluster runs on
+ * 1 shard or 8.  The shard-equivalence suite (`ctest -L shard`)
+ * asserts exactly that, byte-for-byte.
+ *
+ * Threading model:
+ *  - setup (construction, spawning, attaching) is single-threaded;
+ *  - during a window each shard's queue is touched only by its
+ *    worker; a cross-shard send appends to a single-writer mailbox
+ *    owned by the (srcShard, dstShard) pair;
+ *  - at a barrier only the coordinator runs; the barrier's
+ *    mutex/condvar handoff provides the happens-before edges that
+ *    make the mailbox reads and `executedEvents()` sums safe.
+ *
+ * Progress is unconditional: every window advances the global floor
+ * by min(lookahead, remaining), so no barrier deadlock is possible —
+ * a property the shard property suite pins alongside the lookahead
+ * invariant (nothing is ever mailed into the current window).
+ */
+
+#ifndef IOAT_SIMCORE_SHARD_HH
+#define IOAT_SIMCORE_SHARD_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "simcore/assert.hh"
+#include "simcore/runner.hh"
+#include "simcore/sim.hh"
+#include "simcore/smallfn.hh"
+#include "simcore/types.hh"
+
+namespace ioat::sim {
+
+/**
+ * N Simulations advancing in lockstep windows of `lookahead` ticks.
+ *
+ * With count == 1 the group is a thin pass-through around a single
+ * Simulation: no worker threads are created and runUntil() delegates
+ * directly, so `--shards 1` is the classic engine, bit for bit.
+ */
+class ShardGroup : public Runner
+{
+  public:
+    explicit ShardGroup(unsigned count,
+                        Tick lookahead = nanoseconds(2000))
+        : lookahead_(lookahead)
+    {
+        simAssert(count >= 1, "shard group needs at least one shard");
+        simAssert(lookahead > Tick{0},
+                  "conservative execution needs positive lookahead");
+        sims_.reserve(count);
+        for (unsigned i = 0; i < count; ++i)
+            sims_.push_back(std::make_unique<Simulation>());
+        mailboxes_.resize(static_cast<std::size_t>(count) * count);
+        if (count > 1) {
+            workers_.reserve(count);
+            for (unsigned i = 0; i < count; ++i)
+                workers_.emplace_back(
+                    [this, i] { workerLoop(i); });
+        }
+    }
+
+    ~ShardGroup() override
+    {
+        if (!workers_.empty()) {
+            {
+                std::lock_guard<std::mutex> lk(mu_);
+                quit_ = true;
+            }
+            cvGo_.notify_all();
+            for (std::thread &t : workers_)
+                t.join();
+        }
+    }
+
+    ShardGroup(const ShardGroup &) = delete;
+    ShardGroup &operator=(const ShardGroup &) = delete;
+
+    unsigned shardCount() const
+    {
+        return static_cast<unsigned>(sims_.size());
+    }
+
+    Tick lookahead() const { return lookahead_; }
+
+    /** The i-th shard's Simulation (setup and barrier-time access). */
+    Simulation &shard(unsigned i) { return *sims_[i]; }
+
+    /**
+     * Mail an event to another shard.  Must be called from code
+     * executing on shard @p srcShard, with the full ordering key
+     * already drawn on that shard's queue (drawSeq on @p lane).
+     * The event is injected into @p dstShard's queue at the next
+     * horizon barrier.
+     */
+    void
+    postCross(unsigned srcShard, unsigned dstShard, Tick when,
+              std::uint32_t lane, std::uint64_t seq,
+              std::uint32_t execLane, SmallFn fn)
+    {
+        // The lookahead invariant: a cross-shard event may never land
+        // inside the window being executed, or the destination could
+        // already have run past it.
+        simAssert(when > windowEnd_,
+                  "cross-shard event violates the lookahead window");
+        mailboxes_[srcShard * sims_.size() + dstShard].push_back(
+            {when, seq, lane, execLane, std::move(fn)});
+    }
+
+    /** @name Runner
+     *  @{ */
+    Tick now() const override { return now_; }
+
+    void
+    runUntil(Tick until) override
+    {
+        if (sims_.size() == 1) {
+            sims_[0]->runUntil(until);
+            now_ = until;
+            return;
+        }
+        if (until <= now_)
+            return;
+        // Every window stops one tick short of its horizon: events
+        // *at* the horizon may still be mailed in from another shard
+        // during the window, so no shard may execute that tick until
+        // the barrier has drained the mailboxes.
+        while (now_ < until) {
+            const Tick horizon = until - now_ > lookahead_
+                                     ? now_ + lookahead_
+                                     : until;
+            runWindow(horizon - Tick{1});
+            drainMailboxes();
+            now_ = horizon;
+        }
+        // The last tick gets its own window: anything it mails out
+        // lands at >= until + lookahead, safely in the future.
+        runWindow(until);
+        drainMailboxes();
+    }
+
+    std::uint64_t
+    executedEvents() const override
+    {
+        std::uint64_t total = 0;
+        for (const auto &s : sims_)
+            total += s->queue().executedEvents();
+        return total;
+    }
+    /** @} */
+
+    /** Events that crossed a shard boundary (drained at barriers). */
+    std::uint64_t crossEvents() const { return crossEvents_; }
+
+    /** Horizon barriers executed. */
+    std::uint64_t barriers() const { return barriers_; }
+
+  private:
+    struct CrossEvent
+    {
+        Tick when{};
+        std::uint64_t seq = 0;
+        std::uint32_t lane = 0;
+        std::uint32_t execLane = 0;
+        SmallFn fn;
+    };
+
+    /** One (src, dst) mailbox: written only by src's worker during a
+     *  window, drained only by the coordinator at the barrier. */
+    using Mailbox = std::vector<CrossEvent>;
+
+    /** Run all shards concurrently up to and including @p end. */
+    void
+    runWindow(Tick end)
+    {
+        std::unique_lock<std::mutex> lk(mu_);
+        windowEnd_ = end;
+        done_ = 0;
+        ++epoch_;
+        cvGo_.notify_all();
+        cvDone_.wait(lk, [this] { return done_ == workers_.size(); });
+        ++barriers_;
+    }
+
+    /**
+     * Inject every mailed event into its destination queue.  The scan
+     * order (src-major) is fixed but immaterial: execution order is
+     * decided by the events' own keys.
+     */
+    void
+    drainMailboxes()
+    {
+        for (unsigned src = 0; src < sims_.size(); ++src) {
+            for (unsigned dst = 0; dst < sims_.size(); ++dst) {
+                Mailbox &mb =
+                    mailboxes_[src * sims_.size() + dst];
+                for (CrossEvent &ev : mb) {
+                    sims_[dst]->queue().injectKeyed(
+                        ev.when, ev.lane, ev.seq, ev.execLane,
+                        std::move(ev.fn));
+                    ++crossEvents_;
+                }
+                mb.clear();
+            }
+        }
+    }
+
+    void
+    workerLoop(unsigned shard)
+    {
+        std::uint64_t seen = 0;
+        for (;;) {
+            Tick end;
+            {
+                std::unique_lock<std::mutex> lk(mu_);
+                cvGo_.wait(lk, [this, seen] {
+                    return quit_ || epoch_ != seen;
+                });
+                if (quit_)
+                    return;
+                seen = epoch_;
+                end = windowEnd_;
+            }
+            sims_[shard]->runUntil(end);
+            {
+                std::lock_guard<std::mutex> lk(mu_);
+                ++done_;
+            }
+            cvDone_.notify_one();
+        }
+    }
+
+    Tick lookahead_;
+    std::vector<std::unique_ptr<Simulation>> sims_;
+    std::vector<Mailbox> mailboxes_;
+
+    std::vector<std::thread> workers_;
+    std::mutex mu_;
+    std::condition_variable cvGo_;
+    std::condition_variable cvDone_;
+    std::uint64_t epoch_ = 0;
+    std::size_t done_ = 0;
+    bool quit_ = false;
+    Tick windowEnd_{};
+
+    Tick now_{};
+    std::uint64_t crossEvents_ = 0;
+    std::uint64_t barriers_ = 0;
+};
+
+} // namespace ioat::sim
+
+#endif // IOAT_SIMCORE_SHARD_HH

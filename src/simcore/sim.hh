@@ -22,6 +22,7 @@
 #include "simcore/coro.hh"
 #include "simcore/event_queue.hh"
 #include "simcore/reqtrace.hh"
+#include "simcore/runner.hh"
 #include "simcore/telemetry/registry.hh"
 #include "simcore/types.hh"
 
@@ -37,14 +38,14 @@ namespace ioat::sim {
  *   sim.runFor(seconds(1));
  * @endcode
  */
-class Simulation
+class Simulation : public Runner
 {
   public:
     Simulation() = default;
     Simulation(const Simulation &) = delete;
     Simulation &operator=(const Simulation &) = delete;
 
-    ~Simulation()
+    ~Simulation() override
     {
         // Drop pending events first: they may hold handles into frames
         // the root teardown below is about to destroy.
@@ -61,7 +62,7 @@ class Simulation
     }
 
     EventQueue &queue() { return eq_; }
-    Tick now() const { return eq_.now(); }
+    Tick now() const override { return eq_.now(); }
 
     /**
      * Component directory for the telemetry hierarchy walk: top-level
@@ -97,11 +98,24 @@ class Simulation
     void
     spawn(Coro<void> body)
     {
+        spawnLane(eq_.currentLane(), std::move(body));
+    }
+
+    /**
+     * Start a detached coroutine on an explicit lane (see
+     * event_queue.hh): node-affine work spawned by the lane-0 driver
+     * gets the node's lane so its whole activity stream carries a
+     * partition-invariant ordering key.  `Node::spawn` is the usual
+     * caller.
+     */
+    void
+    spawnLane(std::uint32_t lane, Coro<void> body)
+    {
         RootTask task = runRoot(std::move(body));
         auto h = task.handle;
         h.promise().sim = this;
         roots_.push_back(h.address());
-        eq_.post([h] { h.resume(); });
+        eq_.scheduleLane(eq_.now(), lane, [h] { h.resume(); });
     }
 
     /** Awaitable: suspend the calling coroutine for @p d ticks. */
@@ -136,10 +150,14 @@ class Simulation
     /** @name Event-loop drivers (see EventQueue)
      *  @{ */
     void runFor(Tick duration) { eq_.runFor(duration); }
-    void runUntil(Tick when) { eq_.runUntil(when); }
+    void runUntil(Tick when) override { eq_.runUntil(when); }
     std::uint64_t run(std::uint64_t limit = ~std::uint64_t{0})
     {
         return eq_.run(limit);
+    }
+    std::uint64_t executedEvents() const override
+    {
+        return eq_.executedEvents();
     }
     /** @} */
 

@@ -14,6 +14,8 @@
 #include "simcore/log.hh"
 #include "simcore/mutex.hh"
 #include "simcore/random.hh"
+#include "simcore/runner.hh"
+#include "simcore/shard.hh"
 #include "simcore/sim.hh"
 #include "simcore/stats.hh"
 #include "simcore/sync.hh"

@@ -257,6 +257,20 @@ class Hub
         return name;
     }
 
+    /**
+     * Register under an exact, caller-chosen name.  Components with a
+     * cluster-global identity (nodes, keyed by switch-port id) use
+     * this so their telemetry names stay stable when the cluster is
+     * partitioned across several Simulations, each with its own Hub —
+     * per-hub auto-numbering would restart on every shard.
+     */
+    std::string
+    addNamed(std::string name, Instrumented *c)
+    {
+        entries_.push_back({name, c});
+        return entries_.back().name;
+    }
+
     /** Unregister (component destruction). */
     void
     remove(const Instrumented *c)

@@ -122,7 +122,8 @@ TEST(SwitchFaults, DropDupAndDelaySemantics)
 
     FaultInjector inj(1);
     sw.setFaultInjector(&inj);
-    auto &site = inj.site("link." + std::to_string(dst));
+    auto &site = inj.site("link." + std::to_string(src) + "." +
+                          std::to_string(dst));
 
     net::Burst b;
     b.src = src;
@@ -295,8 +296,12 @@ TEST(TcpFaults, RtoBackoffDoublesAndExhaustionAborts)
     // Cut both directions, then send once: every (re)transmission is
     // lost, so the RTO path must fire at 1, 1+2, 1+2+4 ms and abort
     // after the configured three retries.
-    faults.site("link." + std::to_string(a.id()), {1.0, 0.0, 0.0, sim::Tick{0}});
-    faults.site("link." + std::to_string(b.id()), {1.0, 0.0, 0.0, sim::Tick{0}});
+    faults.site("link." + std::to_string(b.id()) + "." +
+                    std::to_string(a.id()),
+                {1.0, 0.0, 0.0, sim::Tick{0}});
+    faults.site("link." + std::to_string(a.id()) + "." +
+                    std::to_string(b.id()),
+                {1.0, 0.0, 0.0, sim::Tick{0}});
     sim.spawn([](tcp::Connection *c) -> Coro<void> {
         co_await c->send(1024);
     }(conn));
@@ -348,7 +353,8 @@ TEST(TcpFaults, LossyLinkRecoveredByRetransmission)
     Node a(sim, fabric, reliableNode());
     Node b(sim, fabric, reliableNode());
     // 5% loss + occasional dup/delay on the data direction.
-    faults.site("link." + std::to_string(b.id()),
+    faults.site("link." + std::to_string(a.id()) + "." +
+                    std::to_string(b.id()),
                 {0.05, 0.01, 0.01, sim::microseconds(30)});
 
     const std::size_t chunk = 64 * 1024;
@@ -833,8 +839,12 @@ TEST(TimerTicks, RtoBackoffFiresAtExactTicks)
     // first transmission leaves at 5 ms + send-path CPU costs; every
     // copy is lost, so the retry timeline is driven purely by the RTO
     // timer: rtoInitial after the first tx, then doubling.
-    faults.site("link." + std::to_string(a.id()), {1.0, 0.0, 0.0, sim::Tick{0}});
-    faults.site("link." + std::to_string(b.id()), {1.0, 0.0, 0.0, sim::Tick{0}});
+    faults.site("link." + std::to_string(b.id()) + "." +
+                    std::to_string(a.id()),
+                {1.0, 0.0, 0.0, sim::Tick{0}});
+    faults.site("link." + std::to_string(a.id()) + "." +
+                    std::to_string(b.id()),
+                {1.0, 0.0, 0.0, sim::Tick{0}});
     sim.spawn([](tcp::Connection *c) -> Coro<void> {
         co_await c->send(1024);
     }(conn));

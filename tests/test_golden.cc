@@ -29,26 +29,14 @@
 #include "datacenter/proxy.hh"
 #include "datacenter/web_server.hh"
 #include "datacenter/workload.hh"
+#include "simcore/digest.hh"
 
 using namespace ioat;
 using namespace ioat::bench;
 
 namespace {
 
-/** FNV-1a, printed as 16 hex digits: stable, dependency-free. */
-std::string
-digestOf(const std::string &text)
-{
-    std::uint64_t h = 1469598103934665603ull;
-    for (const unsigned char c : text) {
-        h ^= c;
-        h *= 1099511628211ull;
-    }
-    char buf[17];
-    std::snprintf(buf, sizeof buf, "%016llx",
-                  static_cast<unsigned long long>(h));
-    return std::string(buf);
-}
+using sim::digestOf;
 
 std::string
 goldenPath(const std::string &name)

@@ -1,0 +1,363 @@
+/**
+ * @file
+ * Shard-equivalence harness: the paper's scenarios rendered at
+ * 1/2/4/8 shards must produce byte-identical output.
+ *
+ * This is the contract that makes `--shards` a pure go-faster knob
+ * (DESIGN.md §10): the fixed node→shard assignment, lane-keyed event
+ * ordering and deterministic barrier merge together guarantee the
+ * *model* cannot observe how the cluster was partitioned.  Each test
+ * renders a golden-suite scenario — fig03 streaming, fig08 two-tier
+ * data center, the fault sweep — against a ShardGroup and diffs the
+ * full rendered table (not just a digest, so failures show *where*
+ * the runs diverged) between the single-shard baseline and every
+ * sharded run.  A run that never crosses a shard boundary would pass
+ * vacuously, so the harness also asserts cross-shard traffic actually
+ * flowed.
+ */
+
+#include <cstdint>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common.hh"
+#include "datacenter/client.hh"
+#include "datacenter/proxy.hh"
+#include "datacenter/web_server.hh"
+#include "datacenter/workload.hh"
+#include "simcore/digest.hh"
+
+using namespace ioat;
+using namespace ioat::bench;
+
+namespace {
+
+struct Render
+{
+    std::string text;
+    /** Mailbox events over every group in the render. */
+    std::uint64_t crossEvents = 0;
+};
+
+// ---- fig03: single-stream bandwidth + CPU --------------------------
+
+Render
+renderFig03Sharded(unsigned shards)
+{
+    Render r;
+    std::ostringstream out;
+    sim::Table t({"ports", "non-ioat Mbps", "ioat Mbps", "non-ioat CPU",
+                  "ioat CPU"});
+    for (unsigned ports = 1; ports <= 2; ++ports) {
+        double mbps[2], cpu[2];
+        int col = 0;
+        for (IoatConfig features :
+             {IoatConfig::disabled(), IoatConfig::enabled()}) {
+            sim::ShardGroup group(shards, sim::nanoseconds(2000));
+            net::Switch fabric(group, sim::nanoseconds(2000));
+            Node a(group.shard(0), fabric,
+                   NodeConfig::server(features, ports));
+            Node b(group.shard(1 % shards), fabric,
+                   NodeConfig::server(features, ports));
+            core::AppMemory memB(b.host(), "sinkB");
+
+            const std::size_t chunk = 64 * 1024;
+            b.spawn(streamSinkLoop(b, 5001, {.recvChunk = chunk},
+                                   memB));
+            for (unsigned i = 0; i < ports; ++i)
+                a.spawn(streamSenderLoop(a, b.id(), 5001, chunk));
+
+            Meter meter(group);
+            meter.warmup(sim::milliseconds(50), {&a, &b});
+            const std::uint64_t rx0 = b.stack().rxPayloadBytes();
+            meter.run(sim::milliseconds(150));
+            const std::uint64_t rx1 = b.stack().rxPayloadBytes();
+
+            mbps[col] = sim::throughputMbps(rx1 - rx0, meter.elapsed());
+            cpu[col] = b.cpu().utilization();
+            ++col;
+            r.crossEvents += group.crossEvents();
+        }
+        t.addRow({std::to_string(ports), num(mbps[0], 0), num(mbps[1], 0),
+                  pct(cpu[0]), pct(cpu[1])});
+    }
+    t.print(out);
+    r.text = out.str();
+    return r;
+}
+
+// ---- fig08: two-tier data-center TPS -------------------------------
+
+Render
+renderFig08Sharded(unsigned shards)
+{
+    Render r;
+    std::ostringstream out;
+    sim::Table t({"file size", "non-ioat TPS", "ioat TPS"});
+    for (std::size_t bytes : {std::size_t{2048}, std::size_t{8192}}) {
+        double tps[2];
+        int col = 0;
+        for (IoatConfig features :
+             {IoatConfig::disabled(), IoatConfig::enabled()}) {
+            sim::ShardGroup group(shards, sim::nanoseconds(2000));
+            core::Testbed tb(
+                group, core::TestbedConfig{
+                           .serverCount = 2,
+                           .serverConfig = NodeConfig::server(features),
+                           .clientCount = 2,
+                       });
+
+            dc::DcConfig cfg;
+            cfg.proxyCachingEnabled = false;
+            dc::SingleFileWorkload wl(bytes, 1000);
+            dc::WebServer server(tb.server(1), cfg, wl);
+            dc::Proxy proxy(tb.server(0), cfg, tb.server(1).id());
+            server.start();
+            proxy.start();
+
+            dc::ClientFleet::Options opts;
+            opts.target = tb.server(0).id();
+            opts.port = cfg.proxyPort;
+            opts.threads = 8;
+            dc::ClientFleet fleet({&tb.client(0), &tb.client(1)}, wl,
+                                  opts);
+            fleet.start();
+
+            Meter meter(group);
+            meter.warmup(sim::milliseconds(100),
+                         {&tb.server(0), &tb.server(1)});
+            const std::uint64_t done0 = fleet.completed();
+            meter.run(sim::milliseconds(200));
+            const std::uint64_t done1 = fleet.completed();
+
+            tps[col] = static_cast<double>(done1 - done0) /
+                       sim::toSeconds(meter.elapsed());
+            ++col;
+            r.crossEvents += group.crossEvents();
+        }
+        t.addRow({std::to_string(bytes / 1024) + "K", num(tps[0], 0),
+                  num(tps[1], 0)});
+    }
+    t.print(out);
+    r.text = out.str();
+    return r;
+}
+
+// ---- fault_sweep: lossy-link stream + crashy two-tier --------------
+
+constexpr std::uint64_t kFaultSeed = 42;
+
+sim::FaultSiteConfig
+lossMix(double loss)
+{
+    sim::FaultSiteConfig cfg;
+    cfg.dropProb = loss;
+    cfg.dupProb = loss / 10.0;
+    cfg.delayProb = loss / 10.0;
+    cfg.delayTicks = sim::microseconds(20);
+    return cfg;
+}
+
+Render
+renderFaultSweepSharded(unsigned shards)
+{
+    Render r;
+    std::ostringstream out;
+
+    sim::Table t1({"loss", "Mbps", "retransmits", "drops", "dups"});
+    for (double loss : {0.0, 1e-3, 1e-2}) {
+        sim::ShardGroup group(shards, sim::nanoseconds(2000));
+        net::Switch fabric(group, sim::nanoseconds(2000));
+        sim::FaultInjector faults(kFaultSeed);
+        faults.setDefaultConfig(lossMix(loss));
+        fabric.setFaultInjector(&faults);
+
+        NodeConfig nodeCfg =
+            NodeConfig::server(IoatConfig::disabled(), 1);
+        nodeCfg.tcp.reliable = true;
+        Node a(group.shard(0), fabric, nodeCfg);
+        Node b(group.shard(1 % shards), fabric, nodeCfg);
+        core::AppMemory memB(b.host(), "sinkB");
+
+        const std::size_t chunk = 64 * 1024;
+        b.spawn(streamSinkLoop(b, 5001, {.recvChunk = chunk}, memB));
+        a.spawn(streamSenderLoop(a, b.id(), 5001, chunk));
+
+        Meter meter(group);
+        meter.warmup(sim::milliseconds(50), {&a, &b});
+        const std::uint64_t rx0 = b.stack().rxPayloadBytes();
+        meter.run(sim::milliseconds(200));
+        const std::uint64_t rx1 = b.stack().rxPayloadBytes();
+
+        t1.addRow({sim::strprintf("%g", loss),
+                   num(sim::throughputMbps(rx1 - rx0, meter.elapsed()),
+                       0),
+                   std::to_string(a.stack().retransmits() +
+                                  b.stack().retransmits()),
+                   std::to_string(faults.totalDrops()),
+                   std::to_string(faults.totalDups())});
+        r.crossEvents += group.crossEvents();
+    }
+    t1.print(out);
+
+    sim::Table t2({"loss", "TPS", "bk retries", "client fails",
+                   "outage drops"});
+    for (double loss : {0.0, 1e-3}) {
+        sim::ShardGroup group(shards, sim::nanoseconds(2000));
+        net::Switch fabric(group, sim::nanoseconds(2000));
+        sim::FaultInjector faults(kFaultSeed);
+        faults.setDefaultConfig(lossMix(loss));
+        fabric.setFaultInjector(&faults);
+
+        NodeConfig nodeCfg =
+            NodeConfig::server(IoatConfig::disabled(), 6);
+        nodeCfg.tcp.reliable = true;
+        Node clientNode(group.shard(0), fabric, nodeCfg);
+        Node proxyNode(group.shard(1 % shards), fabric, nodeCfg);
+        Node backend0(group.shard(2 % shards), fabric, nodeCfg);
+        Node backend1(group.shard(3 % shards), fabric, nodeCfg);
+
+        dc::DcConfig cfg;
+        cfg.proxyCachingEnabled = false;
+        cfg.requestDeadline = sim::milliseconds(5);
+        cfg.backendRetries = 3;
+        cfg.serveStaleOnError = true;
+
+        dc::SingleFileWorkload wl(16 * 1024, 100);
+        dc::WebServer server0(backend0, cfg, wl);
+        dc::WebServer server1(backend1, cfg, wl);
+        server0.start();
+        server1.start();
+
+        dc::Proxy proxy(
+            proxyNode, cfg,
+            std::vector<net::NodeId>{backend0.id(), backend1.id()}, 8);
+        proxy.start();
+
+        dc::ClientFleet::Options opts;
+        opts.target = proxyNode.id();
+        opts.port = cfg.proxyPort;
+        opts.threads = 8;
+        opts.requestTimeout = sim::milliseconds(20);
+        dc::ClientFleet fleet({&clientNode}, wl, opts);
+        fleet.start();
+
+        faults.addOutage(backend0.id(), sim::milliseconds(150),
+                         sim::milliseconds(250));
+
+        Meter meter(group);
+        meter.warmup(sim::milliseconds(100), {&clientNode, &proxyNode});
+        const std::uint64_t done0 = fleet.completed();
+        meter.run(sim::milliseconds(300));
+        const std::uint64_t done1 = fleet.completed();
+
+        t2.addRow({sim::strprintf("%g", loss),
+                   num(static_cast<double>(done1 - done0) /
+                           sim::toSeconds(meter.elapsed()),
+                       0),
+                   std::to_string(proxy.backendRetries()),
+                   std::to_string(fleet.failures()),
+                   std::to_string(faults.outageDrops())});
+        r.crossEvents += group.crossEvents();
+    }
+    t2.print(out);
+    r.text = out.str();
+    return r;
+}
+
+/**
+ * Render @p scenario at 1 shard and at each count in {2,4,8}; all
+ * four outputs must be byte-identical, and every sharded run must
+ * have crossed shard boundaries (or the test proves nothing).
+ */
+void
+checkShardEquivalence(const char *name, Render (*render)(unsigned))
+{
+    const Render base = render(1);
+    ASSERT_FALSE(base.text.empty());
+    EXPECT_EQ(base.crossEvents, 0u)
+        << "single shard must never touch the mailbox path";
+    for (unsigned shards : {2u, 4u, 8u}) {
+        const Render sharded = render(shards);
+        EXPECT_EQ(base.text, sharded.text)
+            << name << " diverged at " << shards
+            << " shards (digest " << sim::digestOf(base.text) << " vs "
+            << sim::digestOf(sharded.text) << ")";
+        EXPECT_GT(sharded.crossEvents, 0u)
+            << name << " at " << shards
+            << " shards exchanged no cross-shard events — the "
+               "equivalence check was vacuous";
+    }
+}
+
+TEST(ShardEquivalence, Fig03Streaming)
+{
+    checkShardEquivalence("fig03", renderFig03Sharded);
+}
+
+TEST(ShardEquivalence, Fig08Datacenter)
+{
+    checkShardEquivalence("fig08", renderFig08Sharded);
+}
+
+TEST(ShardEquivalence, FaultSweep)
+{
+    checkShardEquivalence("fault_sweep", renderFaultSweepSharded);
+}
+
+// The 1-shard ShardGroup must also be byte-identical to the classic
+// single-Simulation construction it claims to be a pass-through for:
+// node-affine lanes, the sharded Switch ctor and the group runner all
+// sum to zero model-visible difference.  fig03's golden digest pins
+// the classic render, so matching it transitively pins all of the
+// sharded renders above to the seed behaviour... *if* this repo's
+// fig03 golden was produced by the same build; here we just compare
+// the two constructions directly on one scenario.
+TEST(ShardEquivalence, OneShardMatchesClassicSimulation)
+{
+    // Classic: one Simulation, driver-lane (lane 0) spawns.
+    std::string classic;
+    {
+        Simulation sim;
+        net::Switch fabric(sim, sim::nanoseconds(2000));
+        NodeConfig cfg = NodeConfig::server(IoatConfig::disabled(), 1);
+        cfg.tcp.reliable = true;
+        Node a(sim, fabric, cfg);
+        Node b(sim, fabric, cfg);
+        core::AppMemory memB(b.host(), "sinkB");
+        const std::size_t chunk = 64 * 1024;
+        b.spawn(streamSinkLoop(b, 5001, {.recvChunk = chunk}, memB));
+        a.spawn(streamSenderLoop(a, b.id(), 5001, chunk));
+        sim.runFor(sim::milliseconds(100));
+        classic = sim::strprintf(
+            "rx=%llu retx=%llu events=%llu",
+            static_cast<unsigned long long>(b.stack().rxPayloadBytes()),
+            static_cast<unsigned long long>(a.stack().retransmits()),
+            static_cast<unsigned long long>(sim.executedEvents()));
+    }
+
+    std::string sharded;
+    {
+        sim::ShardGroup group(1, sim::nanoseconds(2000));
+        net::Switch fabric(group, sim::nanoseconds(2000));
+        NodeConfig cfg = NodeConfig::server(IoatConfig::disabled(), 1);
+        cfg.tcp.reliable = true;
+        Node a(group.shard(0), fabric, cfg);
+        Node b(group.shard(0), fabric, cfg);
+        core::AppMemory memB(b.host(), "sinkB");
+        const std::size_t chunk = 64 * 1024;
+        b.spawn(streamSinkLoop(b, 5001, {.recvChunk = chunk}, memB));
+        a.spawn(streamSenderLoop(a, b.id(), 5001, chunk));
+        group.runUntil(sim::milliseconds(100));
+        sharded = sim::strprintf(
+            "rx=%llu retx=%llu events=%llu",
+            static_cast<unsigned long long>(b.stack().rxPayloadBytes()),
+            static_cast<unsigned long long>(a.stack().retransmits()),
+            static_cast<unsigned long long>(group.executedEvents()));
+    }
+
+    EXPECT_EQ(classic, sharded);
+}
+
+} // namespace

@@ -1,0 +1,367 @@
+/**
+ * @file
+ * Property suite for the sharded executor's machinery, checked
+ * against the single-threaded executor as the reference model:
+ *
+ *  - the (when, lane, seq) merge order is total and stable: any
+ *    injection order of the same keyed events executes identically;
+ *  - lane bookkeeping: events inherit the executing lane, and
+ *    scheduleCross re-attributes priority and execution lanes the
+ *    way the switch needs at node boundaries;
+ *  - horizon computation: windows never span more than the lookahead,
+ *    the barrier count is exactly the window count, and runUntil
+ *    always terminates (no barrier deadlock) — including when the
+ *    caller drives time in arbitrary increments;
+ *  - the lookahead contract is *enforced*, not assumed: wiring a
+ *    switch faster than the group's lookahead dies at construction;
+ *  - a seeded stress sweep (64 seeds full, trimmed under
+ *    IOAT_SHARD_STRESS_QUICK=1) randomizes topology, shard count,
+ *    loss mix and barrier perturbation, and diffs a result digest
+ *    against the 1-shard run of the same seed.
+ */
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/app_memory.hh"
+#include "core/node.hh"
+#include "net/switch.hh"
+#include "simcore/digest.hh"
+#include "simcore/simcore.hh"
+#include "sock/socket.hh"
+
+using namespace ioat;
+using core::IoatConfig;
+using core::Node;
+using core::NodeConfig;
+using sim::Coro;
+using sim::Simulation;
+using sim::Tick;
+
+namespace {
+
+// ---- merge order ---------------------------------------------------
+
+struct Keyed
+{
+    Tick when;
+    std::uint32_t lane;
+    std::uint64_t seq;
+    int id;
+};
+
+/** Execute @p events injected in the given order; return id order. */
+std::vector<int>
+runOrder(const std::vector<Keyed> &events)
+{
+    sim::EventQueue eq;
+    std::vector<int> order;
+    for (const Keyed &e : events)
+        eq.injectKeyed(e.when, e.lane, e.seq, e.lane,
+                       [&order, id = e.id] { order.push_back(id); });
+    eq.run();
+    return order;
+}
+
+TEST(ShardProperty, MergeOrderIsTotalAndStable)
+{
+    // A grid of keys with deliberate tick and lane collisions; only
+    // the full (when, lane, seq) triple orders them.  Triples are
+    // unique — per-lane seq draws never repeat on a queue, so the
+    // mailbox merge never sees two events with equal keys.
+    std::vector<Keyed> events;
+    int id = 0;
+    for (Tick when : {Tick{5}, Tick{1}, Tick{12}, Tick{9}})
+        for (std::uint32_t lane : {2u, 0u, 7u})
+            for (std::uint64_t seq : {1u, 0u})
+                events.push_back({when, lane, seq, id++});
+
+    const std::vector<int> reference = runOrder(events);
+    ASSERT_EQ(reference.size(), events.size());
+
+    // The reference must agree with an explicit sort of the keys —
+    // the order is total, not an artifact of heap internals.
+    std::vector<Keyed> sorted = events;
+    std::stable_sort(sorted.begin(), sorted.end(),
+                     [](const Keyed &a, const Keyed &b) {
+                         if (a.when != b.when)
+                             return a.when < b.when;
+                         if (a.lane != b.lane)
+                             return a.lane < b.lane;
+                         return a.seq < b.seq;
+                     });
+    for (std::size_t i = 0; i < sorted.size(); ++i)
+        EXPECT_EQ(reference[i], sorted[i].id) << "position " << i;
+
+    // ...and any injection order must reproduce it exactly.  This is
+    // what makes the barrier merge deterministic: mailboxes can hand
+    // the destination queue its cross-shard events in any order.
+    sim::Rng rng(2026);
+    for (int trial = 0; trial < 32; ++trial) {
+        std::vector<Keyed> shuffled = events;
+        for (std::size_t i = shuffled.size(); i > 1; --i)
+            std::swap(shuffled[i - 1], shuffled[rng.uniformInt(0, i - 1)]);
+        EXPECT_EQ(runOrder(shuffled), reference)
+            << "injection order changed execution order (trial "
+            << trial << ")";
+    }
+}
+
+TEST(ShardProperty, EventsInheritExecutingLane)
+{
+    sim::EventQueue eq;
+    std::vector<std::uint32_t> lanesSeen;
+    // Root event on lane 3 schedules a child with no explicit lane:
+    // the child must inherit lane 3, transitively.
+    eq.scheduleLane(Tick{1}, 3, [&] {
+        lanesSeen.push_back(eq.currentLane());
+        eq.schedule(Tick{2}, [&] {
+            lanesSeen.push_back(eq.currentLane());
+            eq.schedule(Tick{3},
+                        [&] { lanesSeen.push_back(eq.currentLane()); });
+        });
+    });
+    eq.run();
+    EXPECT_EQ(lanesSeen, (std::vector<std::uint32_t>{3, 3, 3}));
+}
+
+TEST(ShardProperty, ScheduleCrossReattributesLanes)
+{
+    sim::EventQueue eq;
+    std::uint32_t execLaneSeen = 0;
+    std::uint32_t childLane = 0;
+    // A lane-5 sender hands off to exec-lane 9 (the receiving node):
+    // the handler runs *as* lane 9 and its children stay on lane 9 —
+    // exactly what the switch does at a node boundary.
+    eq.scheduleLane(Tick{1}, 5, [&] {
+        eq.scheduleCross(Tick{4}, 5, 9, [&] {
+            execLaneSeen = eq.currentLane();
+            eq.schedule(Tick{5}, [&] { childLane = eq.currentLane(); });
+        });
+    });
+    eq.run();
+    EXPECT_EQ(execLaneSeen, 9u);
+    EXPECT_EQ(childLane, 9u);
+}
+
+TEST(ShardProperty, CrossPriorityLaneOrdersAgainstSenderLane)
+{
+    // Two same-tick events: one local to lane 7, one cross-scheduled
+    // with priority lane 5 (exec lane 9).  Priority lane orders the
+    // merge: 5 runs before 7 even though its *execution* lane is 9.
+    sim::EventQueue eq;
+    std::vector<int> order;
+    eq.scheduleLane(Tick{1}, 7, [&] {
+        eq.schedule(Tick{4}, [&] { order.push_back(7); });
+    });
+    eq.scheduleLane(Tick{1}, 5, [&] {
+        eq.scheduleCross(Tick{4}, 5, 9, [&] { order.push_back(5); });
+    });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{5, 7}));
+}
+
+// ---- horizon / barrier ---------------------------------------------
+
+TEST(ShardProperty, BarrierCountMatchesWindowArithmetic)
+{
+    const Tick L = sim::nanoseconds(2000);
+    {
+        // until = 4 full lookahead windows: 4 horizon windows plus
+        // the final-tick window.
+        sim::ShardGroup g(2, L);
+        g.runUntil(Tick{4 * L.count()});
+        EXPECT_EQ(g.barriers(), 5u);
+        EXPECT_EQ(g.now(), Tick{4 * L.count()});
+    }
+    {
+        // A ragged tail adds one partial window before the final tick.
+        sim::ShardGroup g(2, L);
+        g.runUntil(Tick{4 * L.count() + 7});
+        EXPECT_EQ(g.barriers(), 6u);
+    }
+    {
+        // Lookahead never violated: every window spans <= L ticks, so
+        // n windows can never cover more than n*L of simulated time.
+        sim::ShardGroup g(3, L);
+        g.runUntil(Tick{1000 * L.count()});
+        EXPECT_GE(g.barriers(), 1000u + 1u);
+    }
+}
+
+TEST(ShardProperty, EmptyGroupMakesProgressWithoutDeadlock)
+{
+    // No events at all: the barrier protocol alone must advance time
+    // and return, repeatedly, from every caller pattern.
+    sim::ShardGroup g(4, sim::nanoseconds(2000));
+    g.runUntil(sim::microseconds(50));
+    EXPECT_EQ(g.now(), sim::microseconds(50));
+    g.runUntil(sim::microseconds(50)); // no-op re-entry
+    g.runFor(sim::microseconds(1));
+    EXPECT_EQ(g.now(), sim::microseconds(51));
+    EXPECT_EQ(g.executedEvents(), 0u);
+}
+
+#if GTEST_HAS_DEATH_TEST
+TEST(ShardProperty, SwitchFasterThanLookaheadRefusedAtConstruction)
+{
+    // The conservative protocol is sound only when every cross-shard
+    // delivery lands at least one lookahead past the sender's clock;
+    // a switch faster than the group's lookahead must not build.
+    EXPECT_DEATH(
+        {
+            sim::ShardGroup group(2, sim::nanoseconds(5000));
+            net::Switch fabric(group, sim::nanoseconds(2000));
+        },
+        "lookahead");
+}
+#endif
+
+// ---- seeded stress: random topology vs the 1-shard reference -------
+
+Coro<void>
+stressSinkLoop(Node &node, std::uint16_t port, std::size_t chunk)
+{
+    sock::Listener listener(node.stack(), port);
+    for (;;) {
+        sock::Socket c = co_await listener.accept();
+        node.spawn([](sock::Socket conn, std::size_t ck) -> Coro<void> {
+            for (;;) {
+                const std::size_t got = co_await conn.recvAll(ck);
+                if (got == 0)
+                    co_return;
+            }
+        }(c, chunk));
+    }
+}
+
+Coro<void>
+stressSenderLoop(Node &node, net::NodeId dst, std::uint16_t port,
+                 std::size_t chunk)
+{
+    sock::Socket c =
+        co_await sock::Socket::connect(node.stack(), dst, port);
+    for (;;)
+        co_await c.sendAll(chunk);
+}
+
+struct StressPlan
+{
+    unsigned nodes;
+    unsigned shards;
+    std::size_t chunk;
+    double loss;
+    Tick duration;
+    /** runUntil increments (barrier perturbation); 0 = one shot. */
+    unsigned timeSlices;
+};
+
+StressPlan
+planFor(std::uint64_t seed)
+{
+    sim::Rng rng(seed * 2654435761u + 1);
+    StressPlan p;
+    p.nodes = static_cast<unsigned>(rng.uniformInt(2, 5));
+    const unsigned shardChoices[] = {2, 3, 4, 5, 8};
+    p.shards = shardChoices[rng.uniformInt(0, 4)];
+    const std::size_t chunkChoices[] = {4096, 16384, 65536};
+    p.chunk = chunkChoices[rng.uniformInt(0, 2)];
+    const double lossChoices[] = {0.0, 1e-3, 1e-2};
+    p.loss = lossChoices[rng.uniformInt(0, 2)];
+    p.duration = sim::microseconds(rng.uniformInt(4000, 12000));
+    p.timeSlices = static_cast<unsigned>(rng.uniformInt(0, 7));
+    return p;
+}
+
+/**
+ * Run one seed's topology at @p shards shards: every node streams to
+ * its ring successor.  The digest folds every model-visible counter.
+ */
+std::string
+stressDigest(const StressPlan &p, unsigned shards, std::uint64_t seed)
+{
+    sim::ShardGroup group(shards, sim::nanoseconds(2000));
+    net::Switch fabric(group, sim::nanoseconds(2000));
+    sim::FaultInjector faults(seed);
+    if (p.loss > 0) {
+        sim::FaultSiteConfig fc;
+        fc.dropProb = p.loss;
+        fc.dupProb = p.loss / 10.0;
+        faults.setDefaultConfig(fc);
+        fabric.setFaultInjector(&faults);
+    }
+
+    NodeConfig cfg = NodeConfig::server(IoatConfig::disabled(), 1);
+    cfg.tcp.reliable = true;
+    std::vector<std::unique_ptr<Node>> nodes;
+    for (unsigned i = 0; i < p.nodes; ++i)
+        nodes.push_back(std::make_unique<Node>(
+            group.shard(i % shards), fabric, cfg));
+
+    for (unsigned i = 0; i < p.nodes; ++i) {
+        Node &sink = *nodes[i];
+        Node &src = *nodes[(i + 1) % p.nodes];
+        const auto port = static_cast<std::uint16_t>(6000 + i);
+        sink.spawn(stressSinkLoop(sink, port, p.chunk));
+        src.spawn(stressSenderLoop(src, sink.id(), port, p.chunk));
+    }
+
+    // Barrier perturbation: carve the same span into a different
+    // number of runUntil calls — window alignment shifts, results
+    // must not.
+    if (p.timeSlices == 0) {
+        group.runUntil(p.duration);
+    } else {
+        sim::Rng rng(seed ^ 0x5eed);
+        Tick t{};
+        for (unsigned s = 0; s + 1 < p.timeSlices; ++s) {
+            t += Tick{rng.uniformInt(1, p.duration.count() /
+                                            p.timeSlices)};
+            group.runUntil(t);
+        }
+        group.runUntil(p.duration);
+    }
+
+    std::string text;
+    for (unsigned i = 0; i < p.nodes; ++i)
+        text += sim::strprintf(
+            "n%u rx=%llu retx=%llu\n", i,
+            static_cast<unsigned long long>(
+                nodes[i]->stack().rxPayloadBytes()),
+            static_cast<unsigned long long>(
+                nodes[i]->stack().retransmits()));
+    text += sim::strprintf(
+        "drops=%llu dups=%llu events=%llu\n",
+        static_cast<unsigned long long>(faults.totalDrops()),
+        static_cast<unsigned long long>(faults.totalDups()),
+        static_cast<unsigned long long>(group.executedEvents()));
+    return sim::digestOf(text);
+}
+
+TEST(ShardStress, SeededShardCountAndBarrierPerturbation)
+{
+    // 64 seeds; IOAT_SHARD_STRESS_QUICK=1 (set by CI's TSan job,
+    // where each run costs ~20x) trims to the first 12.
+    const bool quick =
+        std::getenv("IOAT_SHARD_STRESS_QUICK") != nullptr;
+    const std::uint64_t seeds = quick ? 12 : 64;
+    for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+        const StressPlan p = planFor(seed);
+        StressPlan oneShot = p;
+        oneShot.timeSlices = 0; // reference: 1 shard, single runUntil
+        const std::string reference = stressDigest(oneShot, 1, seed);
+        const std::string sharded = stressDigest(p, p.shards, seed);
+        EXPECT_EQ(reference, sharded)
+            << "seed " << seed << ": " << p.shards << " shards, "
+            << p.nodes << " nodes, chunk " << p.chunk << ", loss "
+            << p.loss << ", slices " << p.timeSlices;
+    }
+}
+
+} // namespace

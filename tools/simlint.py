@@ -36,6 +36,14 @@ Rules
                   sanctioned sinks are src/simcore/log.hh (leveled
                   stderr logging) and src/simcore/assert.hh (panics).
                   String *formatting* (strprintf/vsnprintf) is fine.
+  raw-thread      no std::thread/mutex/condition_variable/atomic,
+                  thread_local, locks or futures outside src/simcore/:
+                  the sharded executor (shard.hh) owns ALL real
+                  concurrency, and model code stays single-threaded
+                  per shard so shard-equivalence (ctest -L shard) can
+                  hold.  Model-visible shared state goes through the
+                  wrappers in src/simcore/stats.hh (Counter, Flag,
+                  Level) or per-node partials merged in node order.
 
 Suppressions
 ------------
@@ -65,6 +73,7 @@ RULES = (
     "raw-new",
     "float-tick",
     "raw-stdout",
+    "raw-thread",
 )
 
 # Files that ARE the sanctioned implementation of a rule's subject.
@@ -73,6 +82,14 @@ EXEMPT = {
     "raw-new": ("src/simcore/pool.hh",),
     "float-tick": ("src/simcore/types.hh",),
     "raw-stdout": ("src/simcore/log.hh", "src/simcore/assert.hh"),
+}
+
+# Directories whose whole subtree is the sanctioned implementation.
+EXEMPT_DIRS = {
+    # simcore owns the executor: the shard workers/barrier/mailboxes,
+    # the coroutine arena's thread-local free lists and the atomic
+    # stats wrappers are exactly the code the rule funnels others to.
+    "raw-thread": ("src/simcore/",),
 }
 
 SOURCE_SUFFIXES = {".hh", ".cc", ".cpp", ".hpp", ".cxx"}
@@ -107,6 +124,17 @@ RAW_STDOUT_RE = re.compile(
     r"\bstd::(?:cout|cerr|clog)\b"
     r"|(?<![\w:.>])(?:std::)?(?:printf|fprintf|vprintf|vfprintf"
     r"|puts|fputs|putchar|fputc|putc)\s*\("
+)
+# Real concurrency primitives.  thread_local is keyword-matched;
+# everything else is the std:: vocabulary (std::thread::id and
+# member uses still contain the flagged token, which is the point).
+RAW_THREAD_RE = re.compile(
+    r"\bstd::(?:jthread|thread|timed_mutex|recursive_mutex"
+    r"|shared_mutex|mutex|condition_variable_any|condition_variable"
+    r"|atomic_flag|atomic_ref|atomic|lock_guard|unique_lock"
+    r"|scoped_lock|shared_lock|counting_semaphore|binary_semaphore"
+    r"|stop_token|barrier|latch|future|shared_future|promise|async)\b"
+    r"|\bthread_local\b"
 )
 UNORDERED_DECL_RE = re.compile(
     r"\bstd::unordered_(?:map|set|multimap|multiset)\s*<"
@@ -239,7 +267,9 @@ def lint_file(path, rel):
     used_allows = []
 
     def exempt(rule):
-        return any(rel.endswith(e) for e in EXEMPT.get(rule, ()))
+        norm = rel.replace("\\", "/")
+        return any(norm.endswith(e) for e in EXEMPT.get(rule, ())) or \
+            any(d in norm for d in EXEMPT_DIRS.get(rule, ()))
 
     def report(lineno, rule, message):
         if rule in allows.get(lineno, ()):
@@ -281,6 +311,14 @@ def lint_file(path, rel):
                 "raw console I/O; emit run artifacts through the "
                 "telemetry registry / RunReport / sim::Table (leveled "
                 "diagnostics go through src/simcore/log.hh)",
+            )
+        if not exempt("raw-thread") and RAW_THREAD_RE.search(line):
+            report(
+                lineno, "raw-thread",
+                "raw threading primitive; real concurrency lives only "
+                "in src/simcore/ (the sharded executor) — use "
+                "sim::stats::Counter/Flag/Level or per-node partials "
+                "for shared state",
             )
         if not exempt("float-tick") and FLOAT_TICK_RE.search(line):
             report(

@@ -1,0 +1,32 @@
+// Fixture: the sanctioned shared-state wrappers and lookalike names
+// must NOT trip raw-thread.
+#include <cstdint>
+
+namespace ioat::sim::stats {
+class Counter
+{
+  public:
+    void inc() { ++v_; }
+    std::uint64_t value() const { return v_; }
+
+  private:
+    std::uint64_t v_ = 0;
+};
+} // namespace ioat::sim::stats
+
+// Identifiers merely *containing* the tokens are fine: a member
+// named mutex_, a "threads" knob, an atomicity comment.
+struct FleetOptions
+{
+    unsigned threads = 16; // model threads, not OS threads
+    bool mutexFree = true;
+};
+
+std::uint64_t
+goodThreading()
+{
+    ioat::sim::stats::Counter completed;
+    completed.inc();
+    FleetOptions opts;
+    return completed.value() + opts.threads;
+}

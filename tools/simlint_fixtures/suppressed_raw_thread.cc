@@ -1,0 +1,12 @@
+// Fixture: an allow(raw-thread) waiver must silence the finding and
+// be counted against the suppression budget.
+#include <atomic>
+
+// simlint: allow(raw-thread) interop shim measured by the TSan job
+std::atomic<int> interopFlag{0};
+
+int
+suppressedThreading()
+{
+    return 1;
+}
