@@ -101,8 +101,7 @@ struct NodeSnapshot
     {
         if (when == sim::Tick{0} || cores == 0)
             return 0.0;
-        return static_cast<double>(cpuBusyTicks.count()) /
-               (static_cast<double>(when.count()) * cores);
+        return sim::fractionOf(cpuBusyTicks, when) / cores;
     }
 
     double rxMbps() const { return sim::throughputMbps(rxPayload, when); }

@@ -141,11 +141,7 @@ class DmaEngine : public sim::telemetry::Instrumented
     double
     overlapFraction(std::size_t bytes) const
     {
-        const double total =
-            static_cast<double>(syncCopyTime(bytes).count());
-        if (total <= 0.0)
-            return 0.0;
-        return static_cast<double>(engineTime(bytes).count()) / total;
+        return sim::fractionOf(engineTime(bytes), syncCopyTime(bytes));
     }
 
     /**

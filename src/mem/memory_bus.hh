@@ -62,8 +62,8 @@ class MemoryBus
     consume(Bytes bytes)
     {
         rotate();
-        current_ += bytes.count();
-        total_ += bytes.count();
+        current_ += bytes;
+        total_ += bytes;
     }
 
     /** Estimated demand in bytes/second over the recent window. */
@@ -72,7 +72,7 @@ class MemoryBus
     {
         rotate();
         const double bytes =
-            static_cast<double>(current_ + previous_);
+            static_cast<double>((current_ + previous_).count());
         // The buckets cover the full previous half-window plus the
         // elapsed part of the current one.
         const Tick coverage = half_ + (sim_.now() - bucketStart_);
@@ -98,7 +98,7 @@ class MemoryBus
         return demandBytesPerSec() / cfg_.capacity.bytesPerSecond();
     }
 
-    std::uint64_t totalBytes() const { return total_; }
+    std::uint64_t totalBytes() const { return total_.count(); }
 
     /** Publish bus telemetry (called under the node's "bus" scope). */
     void
@@ -106,14 +106,14 @@ class MemoryBus
     {
         reg.scalar(
             "totalBytes",
-            [this] { return static_cast<double>(total_); },
+            [this] { return static_cast<double>(total_.count()); },
             "bytes moved across the memory interface");
         reg.scalar(
             "slowdown", [this] { return slowdown(); },
             "memory-bound latency multiplier (>= 1)");
         reg.probe(
             "bytes", sim::telemetry::ProbeKind::delta,
-            [this] { return static_cast<double>(total_); },
+            [this] { return static_cast<double>(total_.count()); },
             "memory-interface bytes per sample interval");
         reg.probe(
             "utilization", sim::telemetry::ProbeKind::gauge,
@@ -129,11 +129,11 @@ class MemoryBus
         const Tick now = sim_.now();
         while (now >= bucketStart_ + half_) {
             previous_ = current_;
-            current_ = 0;
+            current_ = Bytes{0};
             bucketStart_ += half_;
             // If we jumped more than a full window, fast-forward.
             if (now >= bucketStart_ + 2 * half_) {
-                previous_ = 0;
+                previous_ = Bytes{0};
                 bucketStart_ = now - (now % half_);
             }
         }
@@ -143,9 +143,9 @@ class MemoryBus
     MemoryBusConfig cfg_;
     Tick half_;
     Tick bucketStart_{};
-    std::uint64_t current_ = 0;
-    std::uint64_t previous_ = 0;
-    std::uint64_t total_ = 0;
+    Bytes current_{};
+    Bytes previous_{};
+    Bytes total_{};
 };
 
 } // namespace ioat::mem

@@ -175,7 +175,7 @@ class Nic
         if (payload == Bytes{0})
             return 1; // pure control packet
         return static_cast<std::uint32_t>(
-            (payload.count() + cfg_.mtu - 1) / cfg_.mtu);
+            sim::divCeil(payload, Bytes{cfg_.mtu}));
     }
 
     /** Wire bytes for @p payload, including per-frame overheads. */

@@ -287,6 +287,37 @@ class Bytes
     std::uint64_t n_ = 0;
 };
 
+/**
+ * Ceiling division of two sizes: the number of @p unit -sized pieces
+ * needed to cover @p total (the last piece may be partial).  This is
+ * the audited door for the classic `(n + unit - 1) / unit` framing /
+ * chunking idiom — writing it out against `.count()` raw values is a
+ * simcheck strong-type finding.
+ */
+constexpr std::uint64_t
+divCeil(Bytes total, Bytes unit)
+{
+    return unit.count() == 0
+               ? 0
+               : (total.count() + unit.count() - 1) / unit.count();
+}
+
+/**
+ * Dimensionless fraction @p num / @p den of two durations, in
+ * floating point (0.0 when @p den is zero).  The audited door for
+ * utilization/overlap ratios: float-domain math on ticks happens
+ * here, and re-enters Tick only through `ticksFromDouble` or
+ * `Rate::transferTime`.
+ */
+constexpr double
+fractionOf(Tick num, Tick den)
+{
+    return den == Tick{0}
+               ? 0.0
+               : static_cast<double>(num.count()) /
+                     static_cast<double>(den.count());
+}
+
 /** @name Size-unit constructors
  *
  * `kib`/`mib` stay raw `std::size_t` helpers for buffer/capacity

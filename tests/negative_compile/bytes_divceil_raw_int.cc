@@ -1,0 +1,11 @@
+// MUST NOT COMPILE: divCeil is an audited door that takes two Bytes;
+// a raw integer denominator would silently change units, so Bytes's
+// explicit constructor must reject it.
+#include "simcore/types.hh"
+
+int
+main()
+{
+    using namespace ioat::sim;
+    return static_cast<int>(divCeil(kibibytes(64), 1500));
+}

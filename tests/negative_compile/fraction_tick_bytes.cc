@@ -1,0 +1,12 @@
+// MUST NOT COMPILE: fractionOf divides two Ticks; mixing a Tick
+// numerator with a Bytes denominator is a unit error the strong
+// types must reject at the call site.
+#include "simcore/types.hh"
+
+int
+main()
+{
+    using namespace ioat::sim;
+    const double f = fractionOf(microseconds(5), kibibytes(4));
+    return f > 0.5 ? 1 : 0;
+}

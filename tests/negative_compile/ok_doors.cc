@@ -1,0 +1,14 @@
+// MUST COMPILE: positive control for the audited-door siblings.
+// Correctly-typed calls to divCeil and fractionOf are well-formed;
+// if this breaks, the WILL_FAIL results of bytes_divceil_raw_int.cc
+// and fraction_tick_bytes.cc prove nothing.
+#include "simcore/types.hh"
+
+int
+main()
+{
+    using namespace ioat::sim;
+    const auto frames = divCeil(kibibytes(64), Bytes{1500});
+    const double f = fractionOf(microseconds(5), microseconds(10));
+    return static_cast<int>(frames % 2) + (f > 0.5 ? 1 : 0);
+}

@@ -1,0 +1,9 @@
+// Fixture: a bench bypassing the sock:: facade — one layering
+// finding.
+#include "tcp/stack.hh"
+
+int main() {
+  tcp::Stack s;
+  s.poll();
+  return 0;
+}

@@ -1,0 +1,9 @@
+// Fixture: a bench using the sock:: facade — zero findings, even
+// though the facade itself (transitively) includes tcp/stack.hh.
+#include "sock/socket.hh"
+
+int main() {
+  sock::Socket s;
+  s.send();
+  return 0;
+}

@@ -1,0 +1,11 @@
+// Fixture stub of an application-tier header: device models
+// (src/mem, src/nic, src/dma) must not include it.
+#pragma once
+
+namespace dc {
+
+struct Config {
+  int tiers{3};
+};
+
+}  // namespace dc

@@ -1,0 +1,9 @@
+// Fixture: a device model reaching up into the application tier —
+// one layering finding.
+#include "datacenter/config.hh"
+
+namespace mem {
+
+int tiersOf(const dc::Config &c) { return c.tiers; }
+
+}  // namespace mem

@@ -1,0 +1,28 @@
+// Fixture: three coroutine-lifetime violations (expected.json pins
+// the count).  Each compiles — the bug class is a use-after-free at
+// runtime, invisible to the type system.
+#include "simcore/coro.hh"
+#include "simcore/sim.hh"
+#include "simcore/types.hh"
+
+namespace model {
+
+sim::Coro<void> worker(const sim::Tick &deadline) {
+  co_await sim::Delay{deadline};
+}
+
+sim::Coro<void> driver(sim::Simulation &s) {
+  sim::Tick deadline{100};
+  // 1: coroutine-frame local bound to a reference parameter of a
+  // detached task — this frame dies at its own co_return.
+  s.spawn(worker(deadline));
+  // 2: materialized temporary bound to a reference parameter.
+  s.spawn(worker(sim::Tick{5}));
+  // 3: spawned coroutine lambda capturing by reference.
+  s.spawn([&]() -> sim::Coro<void> {
+    co_await sim::Delay{deadline};
+  }());
+  co_return;
+}
+
+}  // namespace model

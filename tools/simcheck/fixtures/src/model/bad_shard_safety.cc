@@ -1,0 +1,37 @@
+// Fixture: four shard-safety violations — two mutable statics and two
+// hash-order-dependent iterations (one through a type alias, which
+// the regex lint cannot see).
+#include <cstdint>
+#include <unordered_map>
+
+#include "simcore/stats.hh"
+
+namespace model {
+
+static std::uint64_t dropCount = 0;  // violation 1: namespace static
+
+using FlowMap = std::unordered_map<int, int>;
+
+std::uint64_t totalFlow(const FlowMap &flows) {
+  std::uint64_t sum = 0;
+  for (const auto &kv : flows) {  // violation 2: aliased unordered
+    sum += static_cast<std::uint64_t>(kv.second);
+  }
+  dropCount += sum == 0 ? 1 : 0;
+  return sum;
+}
+
+std::uint64_t nextSeq() {
+  static std::uint64_t seq = 0;  // violation 3: function-local static
+  return ++seq;
+}
+
+std::uint64_t directIter(const std::unordered_map<int, int> &table) {
+  std::uint64_t sum = 0;
+  for (const auto &kv : table) {  // violation 4: direct unordered
+    sum += static_cast<std::uint64_t>(kv.second);
+  }
+  return sum;
+}
+
+}  // namespace model

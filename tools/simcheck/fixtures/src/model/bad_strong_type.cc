@@ -1,0 +1,18 @@
+// Fixture: three strong-type escapes — integer arithmetic on the raw
+// representation outside src/simcore/.
+#include <cstdint>
+
+#include "simcore/types.hh"
+
+namespace model {
+
+sim::Tick nextDeadline();
+
+std::uint64_t leakyMath(sim::Tick t, sim::Bytes b) {
+  std::uint64_t a = t.count() + 5;                  // escape 1
+  std::uint64_t c = b.count() % 3;                  // escape 2
+  std::uint64_t d2 = nextDeadline().count() * 2;    // escape 3
+  return a + c + d2;
+}
+
+}  // namespace model

@@ -1,0 +1,28 @@
+// Fixture: the sanctioned spawning idioms — zero findings expected.
+#include "simcore/coro.hh"
+#include "simcore/sim.hh"
+#include "simcore/types.hh"
+
+namespace model {
+
+sim::Coro<void> worker2(sim::Tick deadline) {
+  co_await sim::Delay{deadline};
+}
+
+// Plain-function driver: trusted by convention — it owns the
+// Simulation and runs it to completion before its locals die.
+void runBench() {
+  sim::Simulation s;
+  sim::Tick deadline{100};
+  s.spawn(worker2(deadline));
+  // Capture-less lambda with explicit parameters (the sock/message.hh
+  // watcher idiom): the by-ref parameter binds an object that outlives
+  // the run loop, the rest travel by value into the frame.
+  s.spawn([](sim::Simulation &owner, sim::Tick d) -> sim::Coro<void> {
+    co_await sim::Delay{d};
+    owner.run();
+  }(s, deadline));
+  s.run();
+}
+
+}  // namespace model

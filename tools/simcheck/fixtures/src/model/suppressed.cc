@@ -1,0 +1,21 @@
+// Fixture: a real coroutine-lifetime violation waived by an allow
+// comment — expected to consume exactly one unit of the
+// coro-lifetime allow budget and produce zero findings.
+#include "simcore/coro.hh"
+#include "simcore/sim.hh"
+#include "simcore/types.hh"
+
+namespace model {
+
+sim::Coro<void> audited(const sim::Tick &deadline);
+
+sim::Coro<void> auditedDriver(sim::Simulation &s) {
+  sim::Tick deadline{7};
+  // Known-benign by local audit: the spawner joins the task before
+  // its frame dies (not expressible to the analyzer).
+  // simcheck: allow(coro-lifetime)
+  s.spawn(audited(deadline));
+  co_return;
+}
+
+}  // namespace model

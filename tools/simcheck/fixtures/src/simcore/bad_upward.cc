@@ -1,0 +1,9 @@
+// Fixture: the simulation kernel including an upper layer — one
+// layering finding.
+#include "tcp/stack.hh"
+
+namespace sim {
+
+void pollStack(tcp::Stack &s) { s.poll(); }
+
+}  // namespace sim

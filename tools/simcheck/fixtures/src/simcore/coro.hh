@@ -1,0 +1,39 @@
+// Fixture stub of src/simcore/coro.hh: a minimal lazily-started,
+// owning Coro<void> so coroutine fixtures compile under
+// -fsyntax-only.
+#pragma once
+
+#include <coroutine>
+#include <utility>
+
+namespace sim {
+
+template <typename T>
+class Coro;
+
+template <>
+class Coro<void> {
+ public:
+  struct promise_type {
+    Coro<void> get_return_object() {
+      return Coro<void>{
+          std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    std::suspend_always final_suspend() noexcept { return {}; }
+    void return_void() noexcept {}
+    void unhandled_exception() {}
+  };
+
+  explicit Coro(std::coroutine_handle<promise_type> h) : h_(h) {}
+  Coro(Coro &&o) noexcept : h_(std::exchange(o.h_, {})) {}
+  Coro(const Coro &) = delete;
+  ~Coro() {
+    if (h_) h_.destroy();
+  }
+
+ private:
+  std::coroutine_handle<promise_type> h_;
+};
+
+}  // namespace sim

@@ -1,0 +1,24 @@
+// Fixture stub of the Simulation surface the rules care about:
+// detached spawn entry points and an awaitable.
+#pragma once
+
+#include "simcore/coro.hh"
+#include "simcore/types.hh"
+
+namespace sim {
+
+struct Delay {
+  Tick ticks;
+  bool await_ready() const noexcept { return true; }
+  void await_suspend(std::coroutine_handle<>) const noexcept {}
+  void await_resume() const noexcept {}
+};
+
+class Simulation {
+ public:
+  void spawn(Coro<void>) {}
+  void spawnLane(int, Coro<void>) {}
+  void run() {}
+};
+
+}  // namespace sim

@@ -1,0 +1,48 @@
+// Fixture stub of the sanctioned shard-safe stats wrappers.
+#pragma once
+
+#include <cstdint>
+
+namespace sim::stats {
+
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { v_ += n; }
+  std::uint64_t value() const { return v_; }
+
+ private:
+  std::uint64_t v_{0};
+};
+
+class Flag {
+ public:
+  void set() { v_ = true; }
+  bool value() const { return v_; }
+
+ private:
+  bool v_{false};
+};
+
+class Level {
+ public:
+  void raise(std::int64_t d) { v_ += d; }
+  std::int64_t value() const { return v_; }
+
+ private:
+  std::int64_t v_{0};
+};
+
+class Accumulator {
+ public:
+  void sample(double x) {
+    sum_ += x;
+    ++n_;
+  }
+  double mean() const { return n_ ? sum_ / static_cast<double>(n_) : 0.0; }
+
+ private:
+  double sum_{0.0};
+  std::uint64_t n_{0};
+};
+
+}  // namespace sim::stats

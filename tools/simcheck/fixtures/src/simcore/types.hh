@@ -1,0 +1,53 @@
+// Fixture stub of src/simcore/types.hh: just enough of the strong
+// types and audited doors for the rule fixtures to compile.
+#pragma once
+
+#include <cstdint>
+
+namespace sim {
+
+class Tick {
+ public:
+  constexpr Tick() = default;
+  constexpr explicit Tick(std::uint64_t v) : v_(v) {}
+  constexpr std::uint64_t count() const { return v_; }
+
+ private:
+  std::uint64_t v_{0};
+};
+
+class Bytes {
+ public:
+  constexpr Bytes() = default;
+  constexpr explicit Bytes(std::uint64_t v) : v_(v) {}
+  constexpr std::uint64_t count() const { return v_; }
+
+ private:
+  std::uint64_t v_{0};
+};
+
+class BytesPerSec {
+ public:
+  constexpr BytesPerSec() = default;
+  constexpr explicit BytesPerSec(double v) : v_(v) {}
+  constexpr double count() const { return v_; }
+
+ private:
+  double v_{0.0};
+};
+
+using Rate = BytesPerSec;
+
+// Audited doors: unit-erasing math is allowed here and only here.
+constexpr std::uint64_t divCeil(Bytes num, Bytes den) {
+  return (num.count() + den.count() - 1) / den.count();
+}
+
+constexpr double fractionOf(Tick num, Tick den) {
+  return den.count() == 0
+             ? 0.0
+             : static_cast<double>(num.count()) /
+                   static_cast<double>(den.count());
+}
+
+}  // namespace sim

@@ -1,0 +1,17 @@
+// Fixture stub of the sock:: facade — the sanctioned API over
+// tcp/stack.hh.
+#pragma once
+
+#include "tcp/stack.hh"
+
+namespace sock {
+
+class Socket {
+ public:
+  void send() { stack_.poll(); }
+
+ private:
+  tcp::Stack stack_;
+};
+
+}  // namespace sock

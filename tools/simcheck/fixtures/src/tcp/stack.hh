@@ -1,0 +1,12 @@
+// Fixture stub of the TCP stack internals: bench/ and examples/ must
+// reach this only through the sock:: facade.
+#pragma once
+
+namespace tcp {
+
+class Stack {
+ public:
+  void poll() {}
+};
+
+}  // namespace tcp

@@ -1,0 +1,103 @@
+#!/bin/sh
+# Proof that the simcheck gate actually gates: inject one violation
+# per rule family into REAL sources, assert `tools/simcheck` exits
+# non-zero, restore the file, and finish with a clean run.  CI runs
+# this after the baseline-gated tree analysis; a rule that stops
+# firing on live code fails the job even if the fixtures still pass.
+#
+# The canary runs use --no-typecheck: every injected snippet is
+# well-formed C++ on purpose (an ill-formed one would trip the
+# `typecheck` rule instead and prove nothing about its family), and
+# skipping the g++ -fsyntax-only pass keeps the four runs fast.
+#
+# Usage: tools/simcheck_canaries.sh [compile_commands.json]
+set -eu
+
+repo=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+cd "$repo"
+cc=${1:-build/compile_commands.json}
+if [ ! -f "$cc" ]; then
+    echo "simcheck_canaries: no $cc (configure with cmake -B build -S . first)" >&2
+    exit 2
+fi
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+simcheck() {
+    python3 tools/simcheck -q --no-typecheck --cache-dir "$tmp/cache" \
+        -p "$cc" "$@"
+}
+
+backup()  { cp "$1" "$tmp/orig"; }
+restore() { cp "$tmp/orig" "$1"; }
+
+# The mutation must have changed the file, and the changed tree must
+# fail the gate.  A no-op mutation means the source drifted and the
+# canary needs re-anchoring — that is an error, not a pass.
+expect_fail() {
+    name=$1
+    file=$2
+    if cmp -s "$file" "$tmp/orig"; then
+        echo "canary $name: mutation was a no-op on $file (source drifted; re-anchor the canary)" >&2
+        exit 1
+    fi
+    if simcheck >/dev/null 2>&1; then
+        echo "canary $name: injected violation NOT caught" >&2
+        exit 1
+    fi
+    echo "canary $name: caught"
+}
+
+# 1. strong-type: re-open the raw-representation ceil-divide that the
+#    sim::divCeil door replaced.
+backup src/nic/nic.hh
+sed -i 's|sim::divCeil(payload, Bytes{cfg_.mtu})|(payload.count() + cfg_.mtu - 1) / cfg_.mtu|' \
+    src/nic/nic.hh
+expect_fail strong-type src/nic/nic.hh
+restore src/nic/nic.hh
+
+# 2. shard-safety: a mutable static member outside src/simcore/.
+backup src/nic/nic.hh
+sed -i 's|/\*\* Frames needed to carry @p payload bytes at the current MTU. \*/|inline static int canaryCounter_ = 0;\n    /** Frames needed to carry @p payload bytes at the current MTU. */|' \
+    src/nic/nic.hh
+expect_fail shard-safety src/nic/nic.hh
+restore src/nic/nic.hh
+
+# 3. layering: bench/ reaching past the sock:: facade into the TCP
+#    internals.
+backup bench/fig03_bandwidth.cpp
+sed -i '1i #include "tcp/stack.hh"' bench/fig03_bandwidth.cpp
+expect_fail layering bench/fig03_bandwidth.cpp
+restore bench/fig03_bandwidth.cpp
+
+# 4. coro-lifetime: turn the message-watcher's safe capture-less
+#    lambda (explicit value params) back into a ref-capturing one —
+#    the exact bug class the rule exists for.
+backup src/sock/message.hh
+python3 - <<'EOF'
+t = open('src/sock/message.hh').read()
+t = t.replace("""    conn.simulation().spawn(
+        [](Connection &c, sim::Tick t,
+           std::shared_ptr<Watch> w) -> Coro<void> {
+            co_await c.simulation().delay(t);
+            if (!w->done) {
+                w->fired = true;
+                c.abortLocal();
+            }
+        }(conn, timeout, watch));""", """    conn.simulation().spawn(
+        [&]() -> Coro<void> {
+            co_await conn.simulation().delay(timeout);
+            if (!watch->done) {
+                watch->fired = true;
+                conn.abortLocal();
+            }
+        }());""")
+open('src/sock/message.hh', 'w').write(t)
+EOF
+expect_fail coro-lifetime src/sock/message.hh
+restore src/sock/message.hh
+
+# Restored tree must be clean again.
+simcheck
+echo "simcheck_canaries: all four rule families fire; tree clean after restore"

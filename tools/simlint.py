@@ -52,8 +52,9 @@ comment on the line directly above:
 
     foo = new Node[n]; // simlint: allow(raw-new) arena chunk
 
-Each allow() is counted; the total budget is capped (default 5) so
-waivers stay rare and reviewed.
+Each allow() is counted against a *per-rule* budget (default 5 per
+rule, override with `--suppression-budget [rule=]N`) so waivers stay
+rare and reviewed; the clean summary reports the remaining budget.
 
 Usage
 -----
@@ -65,6 +66,14 @@ import argparse
 import pathlib
 import re
 import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+# Shared with tools/simcheck: a C++ stripper that understands raw
+# string literals and digit separators.  The naive stripper this
+# replaced lost quote-state inside R"(...)" bodies with embedded
+# quotes, leaking string text into "code" and producing phantom
+# unordered-iter findings.
+from simcheck.cxxlex import strip_code  # noqa: E402
 
 RULES = (
     "wall-clock",
@@ -152,74 +161,6 @@ class Finding:
 
     def __str__(self):
         return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
-
-
-def strip_code(text):
-    """Return lines with comments and string/char literals blanked.
-
-    Keeps line structure (so line numbers survive) and keeps the
-    *comment text* out of rule matching while `collect_allows` reads
-    the raw text separately.
-    """
-    out = []
-    i = 0
-    n = len(text)
-    line = []
-    state = "code"  # code | line-comment | block-comment | string | char
-    while i < n:
-        c = text[i]
-        nxt = text[i + 1] if i + 1 < n else ""
-        if c == "\n":
-            out.append("".join(line))
-            line = []
-            if state == "line-comment":
-                state = "code"
-            i += 1
-            continue
-        if state == "code":
-            if c == "/" and nxt == "/":
-                state = "line-comment"
-                i += 2
-                continue
-            if c == "/" and nxt == "*":
-                state = "block-comment"
-                i += 2
-                continue
-            if c == '"':
-                state = "string"
-                line.append(" ")
-                i += 1
-                continue
-            if c == "'":
-                state = "char"
-                line.append(" ")
-                i += 1
-                continue
-            line.append(c)
-            i += 1
-            continue
-        if state == "block-comment":
-            if c == "*" and nxt == "/":
-                state = "code"
-                i += 2
-                continue
-            i += 1
-            continue
-        if state in ("string", "char"):
-            if c == "\\":
-                i += 2
-                continue
-            if (state == "string" and c == '"') or (
-                state == "char" and c == "'"
-            ):
-                state = "code"
-            i += 1
-            continue
-        # line-comment: skip to newline
-        i += 1
-    if line or (text and not text.endswith("\n")):
-        out.append("".join(line))
-    return out
 
 
 def collect_allows(raw_lines):
@@ -362,7 +303,7 @@ def iter_sources(paths):
                     yield f
 
 
-def run_lint(paths, budget, root=None):
+def run_lint(paths, root=None):
     root = pathlib.Path(root or ".").resolve()
     all_findings = []
     all_allows = []
@@ -417,13 +358,35 @@ def self_test(script_dir):
     return 1 if failures else 0
 
 
+DEFAULT_BUDGET = 5
+
+
+def parse_budgets(specs):
+    """`--suppression-budget [rule=]N`, repeatable.  A bare N sets
+    every rule's budget; `rule=N` sets one rule's."""
+    budgets = {rule: DEFAULT_BUDGET for rule in RULES}
+    for spec in specs or ():
+        if "=" in spec:
+            rule, _, n = spec.partition("=")
+            if rule not in RULES:
+                raise SystemExit(f"simlint: unknown rule in "
+                                 f"--suppression-budget: {rule}")
+            budgets[rule] = int(n)
+        else:
+            for rule in RULES:
+                budgets[rule] = int(spec)
+    return budgets
+
+
 def main(argv=None):
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("paths", nargs="*", default=None,
                     help="files or directories to lint (default: src/)")
-    ap.add_argument("--suppression-budget", type=int, default=5,
-                    help="max simlint:allow() waivers tolerated "
-                         "(default 5)")
+    ap.add_argument("--suppression-budget", action="append",
+                    metavar="[RULE=]N",
+                    help=f"per-rule simlint:allow() budget (default "
+                         f"{DEFAULT_BUDGET} per rule); a bare N sets "
+                         f"all rules, RULE=N one rule; repeatable")
     ap.add_argument("--self-test", action="store_true",
                     help="run the fixture suite instead of linting")
     args = ap.parse_args(argv)
@@ -432,9 +395,10 @@ def main(argv=None):
     if args.self_test:
         return self_test(script_dir)
 
+    budgets = parse_budgets(args.suppression_budget)
     repo = script_dir.parent
     paths = args.paths or [repo / "src"]
-    findings, allows = run_lint(paths, args.suppression_budget, root=repo)
+    findings, allows = run_lint(paths, root=repo)
 
     for x in findings:
         print(x)
@@ -442,17 +406,25 @@ def main(argv=None):
     if findings:
         print(f"simlint: {len(findings)} finding(s)", file=sys.stderr)
         status = 1
-    if len(allows) > args.suppression_budget:
-        print(
-            f"simlint: {len(allows)} allow() waivers exceed the budget "
-            f"of {args.suppression_budget}:", file=sys.stderr)
-        for rel, ln, rule in allows:
-            print(f"  {rel}:{ln}: allow({rule})", file=sys.stderr)
-        status = 1
+    used = {}
+    for _, _, rule in allows:
+        used[rule] = used.get(rule, 0) + 1
+    for rule in sorted(used):
+        if used[rule] > budgets[rule]:
+            print(f"simlint: {used[rule]} allow({rule}) waivers exceed "
+                  f"the rule's budget of {budgets[rule]}:",
+                  file=sys.stderr)
+            for rel, ln, r in allows:
+                if r == rule:
+                    print(f"  {rel}:{ln}: allow({rule})",
+                          file=sys.stderr)
+            status = 1
     if status == 0:
         n = len(allows)
-        print(f"simlint: clean ({n} waiver(s) within budget "
-              f"{args.suppression_budget})")
+        remaining = ", ".join(f"{rule}={budgets[rule] - used.get(rule, 0)}"
+                              for rule in RULES)
+        print(f"simlint: clean ({n} waiver(s); remaining budget: "
+              f"{remaining})")
     return status
 
 
