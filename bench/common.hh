@@ -54,7 +54,7 @@ inline Coro<void>
 streamSinkLoop(Node &node, std::uint16_t port, SinkOptions opts,
                core::AppMemory &mem)
 {
-    sock::Listener listener(node.stack(), port);
+    sock::Listener listener(node.transport(), port);
     for (;;) {
         sock::Socket conn = co_await listener.accept();
         node.spawn(
@@ -80,8 +80,7 @@ inline Coro<void>
 streamSenderLoop(Node &node, net::NodeId dst, std::uint16_t port,
                  std::size_t chunk, bool zero_copy = false)
 {
-    sock::Socket conn =
-        co_await sock::Socket::connect(node.stack(), dst, port);
+    sock::Socket conn = co_await node.transport().connect(dst, port);
     const sock::SendOptions opts{.zeroCopy = zero_copy};
     for (;;)
         co_await conn.sendAll(chunk, opts);
@@ -117,6 +116,39 @@ class Meter
     sim::Runner &runner_;
     Tick windowStart_{};
 };
+
+/**
+ * The `--transport` choice: pin a bench to one transport/feature
+ * configuration instead of its default comparison table.
+ */
+enum class TransportChoice {
+    none,   ///< flag absent: the bench renders its usual comparison
+    tcp,    ///< kernel TCP, I/OAT features off
+    ioat,   ///< kernel TCP with the full I/OAT feature set
+    bypass, ///< user-space kernel-bypass transport
+};
+
+/** Map a TransportChoice onto a node configuration. */
+inline void
+applyTransport(core::NodeConfig &cfg, TransportChoice choice)
+{
+    switch (choice) {
+    case TransportChoice::none:
+        break;
+    case TransportChoice::tcp:
+        cfg.ioat = IoatConfig::disabled();
+        cfg.transport = core::TransportKind::tcp;
+        break;
+    case TransportChoice::ioat:
+        cfg.ioat = IoatConfig::enabled();
+        cfg.transport = core::TransportKind::tcp;
+        break;
+    case TransportChoice::bypass:
+        cfg.ioat = IoatConfig::disabled();
+        cfg.transport = core::TransportKind::bypass;
+        break;
+    }
+}
 
 /** Relative benefit (b - a) / b as the paper defines it (§4). */
 inline double
@@ -190,6 +222,26 @@ class Options
     /** The raw --shards value, before the instrumentation pin. */
     unsigned requestedShards() const { return shards_; }
 
+    /** @name Transport pinning (`--transport {tcp,ioat,bypass}`)
+     *  @{ */
+    /** The raw flag value ("" when absent). */
+    const std::string &transportName() const { return transport_; }
+    /** True when the bench should render one transport, not a table
+     *  of comparisons. */
+    bool singleTransport() const { return !transport_.empty(); }
+    TransportChoice
+    transportChoice() const
+    {
+        if (transport_ == "tcp")
+            return TransportChoice::tcp;
+        if (transport_ == "ioat")
+            return TransportChoice::ioat;
+        if (transport_ == "bypass")
+            return TransportChoice::bypass;
+        return TransportChoice::none;
+    }
+    /** @} */
+
     /** Register a numeric knob: `--<name> <value>` writes to @p slot. */
     void
     knob(std::string name, double *slot, std::string desc)
@@ -210,6 +262,15 @@ class Options
                 usage(stdout);
                 exitCode_ = 0;
                 return false;
+            }
+            if (arg == "--transport") {
+                if (i + 1 >= argc)
+                    return fail(arg + " needs a value");
+                const std::string val = argv[++i];
+                if (val != "tcp" && val != "ioat" && val != "bypass")
+                    return fail("--transport wants tcp, ioat or bypass");
+                transport_ = val;
+                continue;
             }
             if (arg == "--shards") {
                 if (i + 1 >= argc)
@@ -278,7 +339,11 @@ class Options
                      "  --shards <n>              worker shards for the "
                      "cluster (default 1; results are\n"
                      "                            identical at any value, "
-                     "instrumented runs pin to 1)\n");
+                     "instrumented runs pin to 1)\n"
+                     "  --transport <t>           pin one transport: tcp, "
+                     "ioat or bypass (default: render\n"
+                     "                            the bench's usual "
+                     "comparison table)\n");
         for (const Knob &k : knobs_)
             std::fprintf(out, "  --%-23s %s (default %g)\n",
                          (k.name + " <value>").c_str(), k.desc.c_str(),
@@ -293,6 +358,8 @@ class Options
         cfg.emplace_back("sampleIntervalTicks",
                          std::to_string(sampleInterval_.count()));
         cfg.emplace_back("shards", std::to_string(shards()));
+        cfg.emplace_back("transport",
+                         transport_.empty() ? "default" : transport_);
         for (const Knob &k : knobs_)
             cfg.emplace_back(k.name, sim::strprintf("%g", *k.slot));
         return cfg;
@@ -323,6 +390,7 @@ class Options
     Tick sampleInterval_ = sim::microseconds(100);
     std::uint64_t seed_ = 1;
     unsigned shards_ = 1;
+    std::string transport_;
     std::vector<Knob> knobs_;
     int exitCode_ = 0;
 };

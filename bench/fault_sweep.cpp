@@ -52,7 +52,8 @@ struct StreamResult
 /** Fig. 3-style single-port ttcp stream over a lossy link. */
 StreamResult
 runStream(IoatConfig features, double loss,
-          const Options *report = nullptr)
+          const Options *report = nullptr,
+          TransportChoice choice = TransportChoice::none)
 {
     Simulation sim;
     net::Switch fabric(sim, sim::nanoseconds(2000));
@@ -62,6 +63,7 @@ runStream(IoatConfig features, double loss,
 
     NodeConfig nodeCfg = NodeConfig::server(features, 1);
     nodeCfg.tcp.reliable = true;
+    applyTransport(nodeCfg, choice);
     Node a(sim, fabric, nodeCfg);
     Node b(sim, fabric, nodeCfg);
 
@@ -77,9 +79,9 @@ runStream(IoatConfig features, double loss,
 
     Meter meter(sim);
     meter.warmup(sim::milliseconds(100), {&a, &b});
-    const std::uint64_t rx0 = b.stack().rxPayloadBytes();
+    const std::uint64_t rx0 = b.transport().rxPayloadBytes();
     meter.run(sim::milliseconds(400));
-    const std::uint64_t rx1 = b.stack().rxPayloadBytes();
+    const std::uint64_t rx1 = b.transport().rxPayloadBytes();
 
     if (tr)
         tr->finish({{"lossRate", sim::strprintf("%g", loss)},
@@ -87,7 +89,7 @@ runStream(IoatConfig features, double loss,
                     {"ioat", features.any() ? "true" : "false"}});
 
     return {sim::throughputMbps(rx1 - rx0, meter.elapsed()),
-            a.stack().retransmits() + b.stack().retransmits(),
+            a.transport().retransmits() + b.transport().retransmits(),
             faults.totalDrops(), faults.totalDups()};
 }
 
@@ -107,7 +109,8 @@ struct DcResult
  * backends, lossy links, and backend 0 crashing for 100 ms mid-run.
  */
 DcResult
-runDatacenter(IoatConfig features, double loss)
+runDatacenter(IoatConfig features, double loss,
+              TransportChoice choice = TransportChoice::none)
 {
     Simulation sim;
     net::Switch fabric(sim, sim::nanoseconds(2000));
@@ -117,6 +120,7 @@ runDatacenter(IoatConfig features, double loss)
 
     NodeConfig nodeCfg = NodeConfig::server(features, 6);
     nodeCfg.tcp.reliable = true;
+    applyTransport(nodeCfg, choice);
     Node clientNode(sim, fabric, nodeCfg);
     Node proxyNode(sim, fabric, nodeCfg);
     Node backend0(sim, fabric, nodeCfg);
@@ -176,6 +180,50 @@ main(int argc, char **argv)
     Options opts("fault_sweep");
     if (!opts.parse(argc, argv))
         return opts.exitCode();
+
+    if (opts.singleTransport()) {
+        std::cout << "=== Fault sweep (" << opts.transportName()
+                  << " transport) ===\n\n";
+        std::cout << "Fig. 3-style bandwidth (1 port, drop=p dup=p/10 "
+                     "delay=p/10):\n";
+        sim::Table t1({"loss", "Mbps", "retransmits", "link drops",
+                       "link dups"});
+        for (double loss : kLossRates) {
+            const StreamResult r =
+                runStream(IoatConfig::disabled(), loss, nullptr,
+                          opts.transportChoice());
+            t1.addRow({sim::strprintf("%g", loss), num(r.mbps, 0),
+                       std::to_string(r.retransmits),
+                       std::to_string(r.drops),
+                       std::to_string(r.dups)});
+        }
+        t1.print(std::cout);
+        std::cout << "\nFig. 8-style two-tier data center (2 backends, "
+                     "backend 0 down 250-350 ms):\n";
+        sim::Table t2({"loss", "TPS", "bk retries", "stale serves",
+                       "503s", "client fails", "client 503s",
+                       "outage drops"});
+        for (double loss : kLossRates) {
+            const DcResult r = runDatacenter(IoatConfig::disabled(),
+                                             loss,
+                                             opts.transportChoice());
+            t2.addRow({sim::strprintf("%g", loss), num(r.tps, 0),
+                       std::to_string(r.retries),
+                       std::to_string(r.degraded),
+                       std::to_string(r.shed),
+                       std::to_string(r.failures),
+                       std::to_string(r.rejected),
+                       std::to_string(r.outageDrops)});
+        }
+        t2.print(std::cout);
+        if (opts.instrumented())
+            runStream(IoatConfig::disabled(), 1e-3, &opts,
+                      opts.transportChoice());
+        std::cout << "\nEvery row is a pure function of the fault "
+                     "seed (" << kFaultSeed << "): rerunning prints "
+                     "this table byte-for-byte.\n";
+        return 0;
+    }
 
     std::cout << "=== Fault sweep: loss-tolerant transport under link "
                  "faults ===\n\n";

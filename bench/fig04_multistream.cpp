@@ -24,12 +24,15 @@ struct Result
 
 Result
 run(IoatConfig features, unsigned threads,
-    const Options *report = nullptr)
+    const Options *report = nullptr,
+    TransportChoice choice = TransportChoice::none)
 {
     Simulation sim;
     net::Switch fabric(sim, sim::nanoseconds(2000));
-    Node client(sim, fabric, NodeConfig::server(features, 6));
-    Node server(sim, fabric, NodeConfig::server(features, 6));
+    NodeConfig cfg = NodeConfig::server(features, 6);
+    applyTransport(cfg, choice);
+    Node client(sim, fabric, cfg);
+    Node server(sim, fabric, cfg);
 
     core::AppMemory mem(server.host(), "sink");
     std::optional<TelemetryRun> tr;
@@ -44,9 +47,9 @@ run(IoatConfig features, unsigned threads,
 
     Meter meter(sim);
     meter.warmup(sim::milliseconds(100), {&client, &server});
-    const std::uint64_t rx0 = server.stack().rxPayloadBytes();
+    const std::uint64_t rx0 = server.transport().rxPayloadBytes();
     meter.run(sim::milliseconds(400));
-    const std::uint64_t rx1 = server.stack().rxPayloadBytes();
+    const std::uint64_t rx1 = server.transport().rxPayloadBytes();
 
     if (tr)
         tr->finish({{"threads", std::to_string(threads)},
@@ -63,6 +66,22 @@ main(int argc, char **argv)
 {
     Options opts("fig04_multistream");
     return benchMain(argc, argv, opts, [](const Options &o) {
+        if (o.singleTransport()) {
+            std::cout << "=== Figure 4 (" << o.transportName()
+                      << " transport) ===\n\n";
+            sim::Table t({"threads", "Mbps", "rx CPU"});
+            for (unsigned threads : {2u, 4u, 6u, 8u, 10u, 12u}) {
+                const Result r = run(IoatConfig::disabled(), threads,
+                                     nullptr, o.transportChoice());
+                t.addRow({std::to_string(threads), num(r.mbps, 0),
+                          pct(r.cpu)});
+            }
+            t.print(std::cout);
+            if (o.wantReport() || o.wantTrace())
+                run(IoatConfig::disabled(), 12, &o,
+                    o.transportChoice());
+            return 0;
+        }
         std::cout << "=== Figure 4: Multi-Stream Bandwidth (one server, "
                      "N client threads, 6 ports) ===\n\n";
         sim::Table t({"threads", "non-ioat Mbps", "ioat Mbps",

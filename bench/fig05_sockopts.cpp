@@ -47,11 +47,13 @@ caseConfig(IoatConfig features, int case_id)
 
 Result
 run(IoatConfig features, int case_id, bool bidirectional,
-    const Options *report = nullptr)
+    const Options *report = nullptr,
+    TransportChoice choice = TransportChoice::none)
 {
     Simulation sim;
     net::Switch fabric(sim, sim::nanoseconds(2000));
-    const NodeConfig cfg = caseConfig(features, case_id);
+    NodeConfig cfg = caseConfig(features, case_id);
+    applyTransport(cfg, choice);
     Node a(sim, fabric, cfg);
     Node b(sim, fabric, cfg);
 
@@ -73,10 +75,10 @@ run(IoatConfig features, int case_id, bool bidirectional,
     Meter meter(sim);
     meter.warmup(sim::milliseconds(100), {&a, &b});
     const std::uint64_t rx0 =
-        b.stack().rxPayloadBytes() + a.stack().rxPayloadBytes();
+        b.transport().rxPayloadBytes() + a.transport().rxPayloadBytes();
     meter.run(sim::milliseconds(400));
     const std::uint64_t rx1 =
-        b.stack().rxPayloadBytes() + a.stack().rxPayloadBytes();
+        b.transport().rxPayloadBytes() + a.transport().rxPayloadBytes();
 
     if (tr)
         tr->finish({{"case", std::to_string(case_id)},
@@ -115,6 +117,26 @@ main(int argc, char **argv)
 {
     Options opts("fig05_sockopts");
     return benchMain(argc, argv, opts, [](const Options &o) {
+        if (o.singleTransport()) {
+            std::cout << "=== Figure 5 (" << o.transportName()
+                      << " transport) ===\n\n";
+            const char *labels[] = {
+                "defaults", "+1MB sockbuf", "+TSO", "+jumbo (2048)",
+                "+intr coalescing",
+            };
+            sim::Table t({"case", "optimizations", "Mbps", "rx CPU"});
+            for (int c = 1; c <= 5; ++c) {
+                const Result r = run(IoatConfig::disabled(), c, false,
+                                     nullptr, o.transportChoice());
+                t.addRow({"Case " + std::to_string(c), labels[c - 1],
+                          num(r.mbps, 0), pct(r.cpu)});
+            }
+            t.print(std::cout);
+            if (o.wantReport() || o.wantTrace())
+                run(IoatConfig::disabled(), 5, false, &o,
+                    o.transportChoice());
+            return 0;
+        }
         std::cout << "=== Figure 5: Socket Optimizations (6 ports) "
                      "===\n\n";
         table(false, "Figure 5a: Bandwidth");

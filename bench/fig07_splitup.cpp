@@ -31,12 +31,15 @@ struct Result
 
 Result
 run(IoatConfig features, std::size_t msg_bytes,
-    const Options *report = nullptr)
+    const Options *report = nullptr,
+    TransportChoice choice = TransportChoice::none)
 {
     Simulation sim;
     net::Switch fabric(sim, sim::nanoseconds(2000));
-    Node client(sim, fabric, NodeConfig::server(features, 4));
-    Node server(sim, fabric, NodeConfig::server(features, 4));
+    NodeConfig cfg = NodeConfig::server(features, 4);
+    applyTransport(cfg, choice);
+    Node client(sim, fabric, cfg);
+    Node server(sim, fabric, cfg);
 
     // The four server threads consume whole messages and stream over
     // them once (this working set is what overflows the L2 at 1M+).
@@ -52,9 +55,9 @@ run(IoatConfig features, std::size_t msg_bytes,
 
     Meter meter(sim);
     meter.warmup(sim::milliseconds(150), {&client, &server});
-    const std::uint64_t rx0 = server.stack().rxPayloadBytes();
+    const std::uint64_t rx0 = server.transport().rxPayloadBytes();
     meter.run(sim::milliseconds(500));
-    const std::uint64_t rx1 = server.stack().rxPayloadBytes();
+    const std::uint64_t rx1 = server.transport().rxPayloadBytes();
 
     if (tr)
         tr->finish({{"msgBytes", std::to_string(msg_bytes)},
@@ -80,6 +83,24 @@ main(int argc, char **argv)
     Options opts("fig07_splitup");
     if (!opts.parse(argc, argv))
         return opts.exitCode();
+
+    if (opts.singleTransport()) {
+        std::cout << "=== Figure 7 (" << opts.transportName()
+                  << " transport) ===\n\n";
+        sim::Table t({"msg size", "Mbps", "rx CPU"});
+        for (std::size_t sz :
+             {std::size_t{16} << 10, std::size_t{64} << 10,
+              std::size_t{1} << 20, std::size_t{4} << 20}) {
+            const Result r = run(IoatConfig::disabled(), sz, nullptr,
+                                 opts.transportChoice());
+            t.addRow({sizeLabel(sz), num(r.mbps, 0), pct(r.cpu)});
+        }
+        t.print(std::cout);
+        if (opts.instrumented())
+            run(IoatConfig::disabled(), std::size_t{1} << 20, &opts,
+                opts.transportChoice());
+        return 0;
+    }
 
     std::cout << "=== Figure 7: I/OAT split-up benefits (4 ports, 4 "
                  "streams) ===\n\n";

@@ -31,14 +31,21 @@ constexpr unsigned kClientThreads = 64;
 double
 runTps(IoatConfig features, dc::Workload &workload,
        std::size_t proxy_cache_bytes, bool proxy_caching,
-       const Options *report = nullptr)
+       const Options *report = nullptr,
+       TransportChoice choice = TransportChoice::none)
 {
     Simulation sim;
+    NodeConfig server_cfg = NodeConfig::server(features);
+    applyTransport(server_cfg, choice);
+    NodeConfig client_cfg = NodeConfig::client();
+    if (choice == TransportChoice::bypass)
+        client_cfg.transport = core::TransportKind::bypass;
     core::Testbed tb(sim,
                      core::TestbedConfig{
                          .serverCount = 2,
-                         .serverConfig = NodeConfig::server(features),
+                         .serverConfig = server_cfg,
                          .clientCount = kClientNodes,
+                         .clientConfig = client_cfg,
                      });
 
     dc::DcConfig cfg;
@@ -94,9 +101,35 @@ main(int argc, char **argv)
 
     if (quick != 0) {
         dc::SingleFileWorkload wl(4096, 1000);
-        const double tps =
-            runTps(IoatConfig::enabled(), wl, 0, false, &opts);
+        const IoatConfig features = opts.singleTransport()
+                                        ? IoatConfig::disabled()
+                                        : IoatConfig::enabled();
+        const double tps = runTps(features, wl, 0, false, &opts,
+                                  opts.transportChoice());
         std::cout << "fig08 quick run: " << num(tps, 0) << " TPS\n";
+        return 0;
+    }
+
+    if (opts.singleTransport()) {
+        std::cout << "=== Figure 8 (" << opts.transportName()
+                  << " transport) ===\n\n";
+        sim::Table t({"trace", "file size", "TPS"});
+        int trace = 1;
+        for (std::size_t bytes : {std::size_t{2048}, std::size_t{4096},
+                                  std::size_t{8192}}) {
+            dc::SingleFileWorkload wl(bytes, 1000);
+            const double tps = runTps(IoatConfig::disabled(), wl, 0,
+                                      false, nullptr,
+                                      opts.transportChoice());
+            t.addRow({"Trace " + std::to_string(trace++),
+                      std::to_string(bytes / 1024) + "K", num(tps, 0)});
+        }
+        t.print(std::cout);
+        if (opts.instrumented()) {
+            dc::SingleFileWorkload wl(4096, 1000);
+            runTps(IoatConfig::disabled(), wl, 0, false, &opts,
+                   opts.transportChoice());
+        }
         return 0;
     }
 

@@ -30,12 +30,15 @@ struct Result
 
 Result
 run(IoatConfig features, unsigned threads,
-    const Options *report = nullptr)
+    const Options *report = nullptr,
+    TransportChoice choice = TransportChoice::none)
 {
     Simulation sim;
     net::Switch fabric(sim, sim::nanoseconds(2000));
-    Node client_node(sim, fabric, NodeConfig::server(features, 6));
-    Node server_node(sim, fabric, NodeConfig::server(features, 6));
+    NodeConfig cfg_node = NodeConfig::server(features, 6);
+    applyTransport(cfg_node, choice);
+    Node client_node(sim, fabric, cfg_node);
+    Node server_node(sim, fabric, cfg_node);
 
     dc::DcConfig cfg;
     dc::SingleFileWorkload wl(16 * 1024, 1000);
@@ -83,6 +86,23 @@ main(int argc, char **argv)
     Options opts("fig09_emulated_clients");
     if (!opts.parse(argc, argv))
         return opts.exitCode();
+
+    if (opts.singleTransport()) {
+        std::cout << "=== Figure 9 (" << opts.transportName()
+                  << " transport, 16K files) ===\n\n";
+        sim::Table t({"threads", "TPS", "client CPU"});
+        for (unsigned threads : {1u, 4u, 16u, 64u, 256u}) {
+            const Result r = run(IoatConfig::disabled(), threads,
+                                 nullptr, opts.transportChoice());
+            t.addRow({std::to_string(threads), num(r.tps, 0),
+                      pct(r.clientCpu)});
+        }
+        t.print(std::cout);
+        if (opts.instrumented())
+            run(IoatConfig::disabled(), 64, &opts,
+                opts.transportChoice());
+        return 0;
+    }
 
     std::cout << "=== Figure 9: Clients with I/OAT capability (16K "
                  "files) ===\n\n";

@@ -28,9 +28,10 @@ struct Result
 
 Result
 run(IoatConfig features, unsigned iod_count, unsigned compute_nodes,
-    const Options *report = nullptr)
+    const Options *report = nullptr,
+    TransportChoice choice = TransportChoice::none)
 {
-    PvfsRig rig(features, iod_count);
+    PvfsRig rig(features, iod_count, choice);
     const std::size_t region = 2ull * 1024 * 1024 * iod_count;
 
     std::vector<std::unique_ptr<pvfs::PvfsClient>> clients;
@@ -102,6 +103,23 @@ main(int argc, char **argv)
     Options opts("fig10_pvfs_read");
     if (!opts.parse(argc, argv))
         return opts.exitCode();
+
+    if (opts.singleTransport()) {
+        std::cout << "=== Figure 10 (" << opts.transportName()
+                  << " transport, 6 I/O servers) ===\n\n";
+        sim::Table t({"clients", "MB/s", "client CPU"});
+        for (unsigned clients = 1; clients <= 6; ++clients) {
+            const Result r = run(IoatConfig::disabled(), 6, clients,
+                                 nullptr, opts.transportChoice());
+            t.addRow({std::to_string(clients), num(r.mbps, 0),
+                      pct(r.clientCpu)});
+        }
+        t.print(std::cout);
+        if (opts.instrumented())
+            run(IoatConfig::disabled(), 6, 6, &opts,
+                opts.transportChoice());
+        return 0;
+    }
 
     std::cout << "=== Figure 10: PVFS Concurrent Read Performance "
                  "(ramfs) ===\n\n";

@@ -24,9 +24,10 @@ struct Result
 
 Result
 run(IoatConfig features, unsigned iod_count, unsigned compute_nodes,
-    const Options *report = nullptr)
+    const Options *report = nullptr,
+    TransportChoice choice = TransportChoice::none)
 {
-    PvfsRig rig(features, iod_count);
+    PvfsRig rig(features, iod_count, choice);
     const std::size_t region = 2ull * 1024 * 1024 * iod_count;
 
     std::vector<std::unique_ptr<pvfs::PvfsClient>> clients;
@@ -96,6 +97,23 @@ main(int argc, char **argv)
     Options opts("fig11_pvfs_write");
     if (!opts.parse(argc, argv))
         return opts.exitCode();
+
+    if (opts.singleTransport()) {
+        std::cout << "=== Figure 11 (" << opts.transportName()
+                  << " transport, 6 I/O servers) ===\n\n";
+        sim::Table t({"clients", "MB/s", "server CPU"});
+        for (unsigned clients = 1; clients <= 6; ++clients) {
+            const Result r = run(IoatConfig::disabled(), 6, clients,
+                                 nullptr, opts.transportChoice());
+            t.addRow({std::to_string(clients), num(r.mbps, 0),
+                      pct(r.serverCpu)});
+        }
+        t.print(std::cout);
+        if (opts.instrumented())
+            run(IoatConfig::disabled(), 6, 6, &opts,
+                opts.transportChoice());
+        return 0;
+    }
 
     std::cout << "=== Figure 11: PVFS Concurrent Write Performance "
                  "(ramfs) ===\n\n";

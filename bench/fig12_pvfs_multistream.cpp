@@ -27,10 +27,11 @@ struct Result
 
 Result
 run(IoatConfig features, unsigned emulated_clients,
-    const Options *report = nullptr)
+    const Options *report = nullptr,
+    TransportChoice choice = TransportChoice::none)
 {
     constexpr unsigned kIods = 6;
-    PvfsRig rig(features, kIods);
+    PvfsRig rig(features, kIods, choice);
     const std::size_t region = 2ull * 1024 * 1024 * kIods;
 
     std::vector<std::unique_ptr<pvfs::PvfsClient>> clients;
@@ -80,6 +81,23 @@ main(int argc, char **argv)
     Options opts("fig12_pvfs_multistream");
     if (!opts.parse(argc, argv))
         return opts.exitCode();
+
+    if (opts.singleTransport()) {
+        std::cout << "=== Figure 12 (" << opts.transportName()
+                  << " transport, 6 I/O servers) ===\n\n";
+        sim::Table t({"clients", "MB/s", "client CPU"});
+        for (unsigned clients : {1u, 4u, 16u, 64u}) {
+            const Result r = run(IoatConfig::disabled(), clients,
+                                 nullptr, opts.transportChoice());
+            t.addRow({std::to_string(clients), num(r.mbps, 0),
+                      pct(r.clientCpu)});
+        }
+        t.print(std::cout);
+        if (opts.instrumented())
+            run(IoatConfig::disabled(), 16, &opts,
+                opts.transportChoice());
+        return 0;
+    }
 
     std::cout << "=== Figure 12: Multi-Stream PVFS Read Performance (6 "
                  "I/O servers) ===\n\n";

@@ -153,7 +153,7 @@ BENCHMARK(BM_DmaEngineTransferSim);
 Coro<void>
 perfSinkLoop(Node &node, std::uint16_t port, std::size_t chunk)
 {
-    sock::Listener listener(node.stack(), port);
+    sock::Listener listener(node.transport(), port);
     for (;;) {
         sock::Socket c = co_await listener.accept();
         node.simulation().spawn(
@@ -171,8 +171,7 @@ Coro<void>
 perfSenderLoop(Node &node, net::NodeId dst, std::uint16_t port,
                std::size_t chunk)
 {
-    sock::Socket c =
-        co_await sock::Socket::connect(node.stack(), dst, port);
+    sock::Socket c = co_await node.transport().connect(dst, port);
     for (;;)
         co_await c.sendAll(chunk);
 }

@@ -32,7 +32,7 @@ struct PvfsRig
     std::vector<std::unique_ptr<pvfs::IodServer>> iods;
 
     static core::TestbedConfig
-    testbedConfig(IoatConfig features)
+    testbedConfig(IoatConfig features, TransportChoice choice)
     {
         core::TestbedConfig cfg;
         cfg.serverCount = 2;
@@ -42,11 +42,13 @@ struct PvfsRig
         // why aggregate bandwidth scales with compute processes
         // (Fig. 10's 361 -> 649 MB/s curve).
         cfg.serverConfig.tcp.sockBuf = 64 * 1024;
+        applyTransport(cfg.serverConfig, choice);
         return cfg;
     }
 
-    PvfsRig(IoatConfig features, unsigned iod_count)
-        : tb(sim, testbedConfig(features))
+    PvfsRig(IoatConfig features, unsigned iod_count,
+            TransportChoice choice = TransportChoice::none)
+        : tb(sim, testbedConfig(features, choice))
     {
         cfg.iodCount = iod_count;
         mgr = std::make_unique<pvfs::MetadataManager>(serverNode(), cfg,

@@ -27,7 +27,7 @@ namespace {
 Coro<void>
 sinkTask(Node &server)
 {
-    sock::Listener listener(server.stack(), 5001);
+    sock::Listener listener(server.transport(), 5001);
     sock::Socket conn = co_await listener.accept();
     for (;;) {
         if (co_await conn.recv(sim::mib(1)) == 0)
@@ -40,7 +40,7 @@ Coro<void>
 sourceTask(Node &client, net::NodeId server)
 {
     sock::Socket conn =
-        co_await sock::Socket::connect(client.stack(), server, 5001);
+        co_await client.transport().connect(server, 5001);
     for (;;)
         co_await conn.sendAll(sim::kib(64));
 }

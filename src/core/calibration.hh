@@ -31,6 +31,7 @@
 #include "nic/nic.hh"
 #include "simcore/types.hh"
 #include "tcp/config.hh"
+#include "xpt/bypass.hh"
 
 namespace ioat::core::calibration {
 
@@ -143,6 +144,20 @@ inline tcp::TcpConfig
 serverTcp()
 {
     return {}; // defaults in tcp/config.hh are the calibrated values
+}
+
+/**
+ * Kernel-bypass transport library (user-space polled NIC queues).
+ * Per-operation costs are set well below the kernel path's — no
+ * syscall crossing, no softirq dispatch, no sk_buff management —
+ * matching the OS-bypass overheads the paper's §7 discussion (and
+ * the RDMA-vs-I/OAT comparisons it cites) attributes to descriptor
+ * handling alone.
+ */
+inline xpt::BypassConfig
+bypassXpt()
+{
+    return {}; // defaults in xpt/bypass.hh are the calibrated values
 }
 
 } // namespace ioat::core::calibration

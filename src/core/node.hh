@@ -24,12 +24,20 @@
 #include "nic/nic.hh"
 #include "simcore/lifecycle.hh"
 #include "simcore/sim.hh"
+#include "sock/socket.hh"
 #include "tcp/host.hh"
 #include "tcp/stack.hh"
+#include "xpt/bypass.hh"
 
 namespace ioat::core {
 
 using sim::Simulation;
+
+/** Which transport `Node::transport()` hands to applications. */
+enum class TransportKind {
+    tcp,    ///< kernel TCP stack (the default; tcp+ioat testbeds)
+    bypass, ///< user-space kernel-bypass library (xpt::BypassStack)
+};
 
 /** Full static description of one node. */
 struct NodeConfig
@@ -42,6 +50,13 @@ struct NodeConfig
     dma::DmaConfig dma = calibration::ioatDma();
     nic::NicConfig nic = calibration::serverNic();
     tcp::TcpConfig tcp = calibration::serverTcp();
+    /** Kernel-bypass library parameters (used when transport says so). */
+    xpt::BypassConfig bypass = calibration::bypassXpt();
+    /** Which transport applications get from Node::transport().  The
+     *  kernel TCP stack always exists (it owns ports/telemetry the
+     *  benches compare against); `bypass` additionally builds an
+     *  xpt::BypassStack that takes over the NIC RX path. */
+    TransportKind transport = TransportKind::tcp;
     /** Which I/OAT features to enable (requires the hardware). */
     IoatConfig ioat = IoatConfig::disabled();
     /** Node physically has the I/OAT chipset/NIC (Testbed 1 does;
@@ -100,7 +115,19 @@ class Node : public sim::telemetry::Instrumented, public sim::Restartable
           nic_(sim, fabric, cfg_.nic),
           stack_(tcp::Host{sim, cpu_, cache_, copy_, pages_, bus_,
                            dma_.get()},
-                 nic_, cfg_.tcp)
+                 nic_, cfg_.tcp),
+          // Built after stack_: its RX-handler registration must win
+          // so delivered bursts reach the user-space poll loops.
+          bypass_(cfg_.transport == TransportKind::bypass
+                      ? std::make_unique<xpt::BypassStack>(
+                            tcp::Host{sim, cpu_, cache_, copy_, pages_,
+                                      bus_, dma_.get()},
+                            nic_, cfg_.bypass)
+                      : nullptr),
+          tcpXport_(stack_),
+          bypXport_(bypass_ ? std::make_unique<sock::BypassTransport>(
+                                  *bypass_)
+                            : nullptr)
     {
         // Exact name keyed by the cluster-global port id: per-hub
         // auto-numbering would restart per shard.
@@ -141,6 +168,10 @@ class Node : public sim::telemetry::Instrumented, public sim::Restartable
             Scope s(reg, "tcp");
             stack_.instrument(reg);
         }
+        if (bypass_) {
+            Scope s(reg, "xpt");
+            bypass_->instrument(reg);
+        }
     }
 
     /** Forward a trace writer to the models that emit trace events. */
@@ -154,7 +185,13 @@ class Node : public sim::telemetry::Instrumented, public sim::Restartable
 
     /** @name Crash–restart hooks (sim::Restartable)
      *  @{ */
-    void onCrash(sim::Tick) override { stack_.crashReset(); }
+    void
+    onCrash(sim::Tick) override
+    {
+        stack_.crashReset();
+        if (bypass_)
+            bypass_->crashReset();
+    }
     /** Nothing to rebuild: listeners persist and connections are
      *  re-established lazily by the applications' recovery paths. */
     void onRestart(sim::Tick) override {}
@@ -190,6 +227,21 @@ class Node : public sim::telemetry::Instrumented, public sim::Restartable
     dma::DmaEngine *dma() { return dma_.get(); }
     nic::Nic &nic() { return nic_; }
     tcp::TcpStack &stack() { return stack_; }
+    /** The bypass stack, when this node is configured for it. */
+    xpt::BypassStack *bypassStack() { return bypass_.get(); }
+
+    /**
+     * The transport applications should open connections through —
+     * the configured one (kernel TCP or kernel bypass).  Application
+     * and bench code written against this never names a transport.
+     */
+    sock::Transport &
+    transport()
+    {
+        if (bypXport_)
+            return *bypXport_;
+        return tcpXport_;
+    }
 
     /** Non-owning hardware view (for AsyncMemcpy and apps). */
     tcp::Host
@@ -225,6 +277,9 @@ class Node : public sim::telemetry::Instrumented, public sim::Restartable
     std::unique_ptr<dma::DmaEngine> dma_;
     nic::Nic nic_;
     tcp::TcpStack stack_;
+    std::unique_ptr<xpt::BypassStack> bypass_;
+    sock::TcpTransport tcpXport_;
+    std::unique_ptr<sock::BypassTransport> bypXport_;
 };
 
 } // namespace ioat::core

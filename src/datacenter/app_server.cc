@@ -6,12 +6,11 @@
 #include "datacenter/app_server.hh"
 
 #include "datacenter/web_server.hh"
-#include "sock/message.hh"
+#include "sock/socket.hh"
 
 namespace ioat::dc {
 
 using sim::Coro;
-using tcp::Connection;
 
 // --------------------------------------------------------------------
 // Database
@@ -33,18 +32,18 @@ Database::start()
 Coro<void>
 Database::acceptLoop()
 {
-    auto &listener = node_.stack().listen(cfg_.dbPort);
+    sock::Listener listener(node_.transport(), cfg_.dbPort);
     for (;;) {
-        Connection *conn = co_await listener.accept();
+        sock::Socket conn = co_await listener.accept();
         node_.simulation().spawn(serveConnection(conn));
     }
 }
 
 Coro<void>
-Database::serveConnection(Connection *conn)
+Database::serveConnection(sock::Socket conn)
 {
     for (;;) {
-        auto msg = co_await sock::recvMessage(*conn);
+        auto msg = co_await conn.recvMessage();
         if (!msg.has_value())
             co_return;
         sim::simAssert(msg->tag == static_cast<std::uint64_t>(DynTag::Query),
@@ -59,7 +58,7 @@ Database::serveConnection(Connection *conn)
         result.tag = static_cast<std::uint64_t>(DynTag::QueryResult);
         result.a = msg->a;
         result.payloadBytes = cfg_.rowBytes;
-        co_await sock::sendMessage(*conn, result);
+        co_await conn.sendMessage(result);
     }
 }
 
@@ -88,8 +87,8 @@ Coro<void>
 AppServer::openDbPool()
 {
     for (unsigned i = 0; i < dbConns_; ++i) {
-        Connection *conn =
-            co_await node_.stack().connect(db_, cfg_.dbPort);
+        sock::Socket conn =
+            co_await node_.transport().connect(db_, cfg_.dbPort);
         idleDb_.push(conn);
     }
 }
@@ -97,18 +96,18 @@ AppServer::openDbPool()
 Coro<void>
 AppServer::acceptLoop()
 {
-    auto &listener = node_.stack().listen(cfg_.appPort);
+    sock::Listener listener(node_.transport(), cfg_.appPort);
     for (;;) {
-        Connection *conn = co_await listener.accept();
+        sock::Socket conn = co_await listener.accept();
         node_.simulation().spawn(serveConnection(conn));
     }
 }
 
 Coro<void>
-AppServer::serveConnection(Connection *conn)
+AppServer::serveConnection(sock::Socket conn)
 {
     for (;;) {
-        auto msg = co_await sock::recvMessage(*conn);
+        auto msg = co_await conn.recvMessage();
         if (!msg.has_value())
             co_return;
         sim::simAssert(
@@ -126,19 +125,19 @@ AppServer::serveConnection(Connection *conn)
         for (unsigned q = 0; q < cfg_.queriesPerRequest; ++q) {
             auto db = co_await idleDb_.recv();
             sim::simAssert(db.has_value(), "db pool closed");
-            Connection *orig = *db;
-            Connection *dbc = orig;
-            if (!dbc->usable()) {
+            sock::Socket orig = *db;
+            sock::Socket dbc = orig;
+            if (!dbc.usable()) {
                 // Replace the dead pooled connection in place (the
                 // database listener survives its process restarts).
                 deadDbConns_.inc();
-                dbc = co_await node_.stack().connect(
+                dbc = co_await node_.transport().connect(
                     db_, cfg_.dbPort, httpCfg_.requestDeadline);
-                if (dbc == nullptr || !dbc->usable()) {
+                if (!dbc.valid() || !dbc.usable()) {
                     // Keep the pool population constant even on
                     // failure: return the dead original, which the
                     // next user replaces again.
-                    if (dbc != nullptr)
+                    if (dbc.valid())
                         orig = dbc;
                     idleDb_.push(orig);
                     dbDown = true;
@@ -149,8 +148,8 @@ AppServer::serveConnection(Connection *conn)
             sock::Message query;
             query.tag = static_cast<std::uint64_t>(DynTag::Query);
             query.a = msg->a * 131 + q;
-            co_await sock::sendMessage(*dbc, query);
-            auto result = co_await sock::recvMessageAndPayload(*dbc);
+            co_await dbc.sendMessage(query);
+            auto result = co_await dbc.recvMessageAndPayload();
             idleDb_.push(dbc);
             if (!result.has_value()) {
                 dbDown = true;
@@ -163,7 +162,7 @@ AppServer::serveConnection(Connection *conn)
             busy.tag =
                 static_cast<std::uint64_t>(HttpTag::ServiceUnavailable);
             busy.a = msg->a;
-            co_await sock::sendMessage(*conn, busy);
+            co_await conn.sendMessage(busy);
             continue;
         }
 
@@ -177,8 +176,8 @@ AppServer::serveConnection(Connection *conn)
         resp.tag = static_cast<std::uint64_t>(DynTag::QueryResult);
         resp.a = msg->a;
         resp.payloadBytes = cfg_.responseBytes;
-        co_await sock::sendMessage(*conn, resp,
-                                   tcp::SendOptions{.zeroCopy = false});
+        co_await conn.sendMessage(resp,
+                                  sock::SendOptions{.zeroCopy = false});
         served_.inc();
     }
 }

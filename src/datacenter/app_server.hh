@@ -84,7 +84,7 @@ class Database : public sim::Restartable
 
   private:
     sim::Coro<void> acceptLoop();
-    sim::Coro<void> serveConnection(tcp::Connection *conn);
+    sim::Coro<void> serveConnection(sock::Socket conn);
 
     core::Node &node_;
     DynConfig cfg_;
@@ -129,7 +129,7 @@ class AppServer : public sim::Restartable
   private:
     sim::Coro<void> openDbPool();
     sim::Coro<void> acceptLoop();
-    sim::Coro<void> serveConnection(tcp::Connection *conn);
+    sim::Coro<void> serveConnection(sock::Socket conn);
 
     core::Node &node_;
     DcConfig httpCfg_;
@@ -137,7 +137,7 @@ class AppServer : public sim::Restartable
     net::NodeId db_;
     unsigned dbConns_;
     core::AppMemory mem_;
-    sim::Channel<tcp::Connection *> idleDb_;
+    sim::Channel<sock::Socket> idleDb_;
     sim::stats::Counter served_;
     sim::stats::Counter dbFailed_;
     sim::stats::Counter deadDbConns_;

@@ -9,12 +9,11 @@
 
 #include "datacenter/web_server.hh"
 #include "simcore/timeout.hh"
-#include "sock/message.hh"
+#include "sock/socket.hh"
 
 namespace ioat::dc {
 
 using sim::Coro;
-using tcp::Connection;
 
 ClientFleet::ClientFleet(std::vector<core::Node *> nodes,
                          Workload &workload, const Options &opts)
@@ -76,13 +75,13 @@ ClientFleet::clientThread(core::Node &node, core::AppMemory &mem,
     sim::RequestTracer *rt = node.simulation().requestTracer();
     sim::CappedBackoff backoff(opts_.reconnectDelay,
                                opts_.reconnectBackoffCap);
-    Connection *conn = co_await node.stack().connect(
+    sock::Socket conn = co_await node.transport().connect(
         opts_.target, opts_.port, opts_.requestTimeout);
 
     for (;;) {
         if (stopping_)
             break;
-        if (conn == nullptr || !conn->usable()) {
+        if (!conn.valid() || !conn.usable()) {
             // Dead connection (abort / server restart): back off and
             // reopen, then resume the closed loop.  With a backoff
             // cap, consecutive failures wait exponentially longer.
@@ -97,9 +96,9 @@ ClientFleet::clientThread(core::Node &node, core::AppMemory &mem,
             co_await node.simulation().delay(pause);
             if (stopping_)
                 break;
-            conn = co_await node.stack().connect(
+            conn = co_await node.transport().connect(
                 opts_.target, opts_.port, opts_.requestTimeout);
-            if (conn != nullptr && conn->usable())
+            if (conn.valid() && conn.usable())
                 backoff.reset();
             continue;
         }
@@ -125,10 +124,10 @@ ClientFleet::clientThread(core::Node &node, core::AppMemory &mem,
         get.b = req.bytes;
         get.trace = tc;
         issued_.inc(); // every issued request must terminate below
-        co_await sock::sendMessage(*conn, get);
+        co_await conn.sendMessage(get);
 
-        auto resp = co_await sock::recvMessageTimed(
-            *conn, opts_.requestTimeout, nullptr, tc);
+        auto resp = co_await conn.recvMessageTimed(
+            opts_.requestTimeout, nullptr, tc);
         if (!resp.has_value()) {
             failures_.inc(); // timeout or server closed mid-request
             if (rt)
@@ -144,8 +143,8 @@ ClientFleet::clientThread(core::Node &node, core::AppMemory &mem,
         }
         // Timed like the header read: a server that crashes mid-body
         // must not park this thread forever (crash sends no RST).
-        const std::size_t got = co_await sock::recvAllTimed(
-            *conn, resp->payloadBytes, opts_.requestTimeout, tc);
+        const std::size_t got = co_await conn.recvAllTimed(
+            resp->payloadBytes, opts_.requestTimeout, tc);
         if (got != resp->payloadBytes) {
             failures_.inc(); // truncated body
             if (rt)

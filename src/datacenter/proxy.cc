@@ -22,7 +22,6 @@
 namespace ioat::dc {
 
 using sim::Coro;
-using tcp::Connection;
 
 namespace {
 
@@ -34,12 +33,12 @@ struct OpWatch
 };
 
 Coro<void>
-armWatch(Connection &c, sim::Tick t, std::shared_ptr<OpWatch> w)
+armWatch(sock::Socket c, sim::Tick t, std::shared_ptr<OpWatch> w)
 {
     co_await c.simulation().delay(t);
     if (!w->done) {
         w->fired = true;
-        c.abortLocal();
+        c.abort();
     }
 }
 
@@ -54,7 +53,7 @@ Proxy::Proxy(core::Node &node, const DcConfig &cfg,
     sim::simAssert(!backends_.empty(), "proxy needs a backend");
     for (std::size_t i = 0; i < backends_.size(); ++i)
         pools_.push_back(
-            std::make_unique<sim::Channel<Connection *>>(
+            std::make_unique<sim::Channel<sock::Socket>>(
                 node.simulation()));
     leaseUntil_.assign(backends_.size(), sim::Tick{});
     mem_.reserve(cfg_.appResidentBytes);
@@ -147,13 +146,13 @@ Proxy::heartbeatLoop(unsigned idx)
     const sim::Tick interval = cfg_.heartbeatInterval;
     const sim::Tick hb_deadline = cfg_.effectiveHeartbeatTimeout();
     sim::CappedBackoff backoff(interval, cfg_.effectiveLease());
-    Connection *conn = nullptr;
+    sock::Socket conn;
     bool wasAlive = true;
     while (!stopping_) {
-        if (conn == nullptr || !conn->usable()) {
-            conn = co_await node_.stack().connect(
+        if (!conn.valid() || !conn.usable()) {
+            conn = co_await node_.transport().connect(
                 backends_[idx], cfg_.serverPort, hb_deadline);
-            if (conn == nullptr || !conn->usable()) {
+            if (!conn.valid() || !conn.usable()) {
                 if (wasAlive && !backendAlive(idx)) {
                     leaseExpiries_.inc();
                     wasAlive = false;
@@ -167,8 +166,8 @@ Proxy::heartbeatLoop(unsigned idx)
         sock::Message ping;
         ping.tag = static_cast<std::uint64_t>(HttpTag::Ping);
         ping.a = idx;
-        co_await sock::sendMessage(*conn, ping);
-        auto pong = co_await sock::recvMessageTimed(*conn, hb_deadline);
+        co_await conn.sendMessage(ping);
+        auto pong = co_await conn.recvMessageTimed(hb_deadline);
         if (pong &&
             pong->tag == static_cast<std::uint64_t>(HttpTag::Pong)) {
             hbAcks_.inc();
@@ -197,7 +196,7 @@ Proxy::openBackendPool()
 {
     for (std::size_t p = 0; p < backends_.size(); ++p) {
         for (unsigned i = 0; i < backendConns_; ++i) {
-            Connection *conn = co_await node_.stack().connect(
+            sock::Socket conn = co_await node_.transport().connect(
                 backends_[p], cfg_.serverPort, cfg_.requestDeadline);
             pools_[p]->push(conn);
         }
@@ -207,9 +206,9 @@ Proxy::openBackendPool()
 Coro<void>
 Proxy::acceptLoop()
 {
-    auto &listener = node_.stack().listen(cfg_.proxyPort);
+    sock::Listener listener(node_.transport(), cfg_.proxyPort);
     for (;;) {
-        Connection *conn = co_await listener.accept();
+        sock::Socket conn = co_await listener.accept();
         node_.simulation().spawn(serveConnection(conn));
     }
 }
@@ -221,16 +220,16 @@ Proxy::fetchOnce(unsigned pool_idx, const sock::Message &request,
     auto &pool = *pools_[pool_idx];
     auto backend = co_await pool.recv();
     sim::simAssert(backend.has_value(), "backend pool closed");
-    Connection *bc = *backend;
+    sock::Socket bc = *backend;
 
-    if (!bc->usable()) {
+    if (!bc.usable()) {
         // The pooled connection died (abort / server crash): replace
         // it in place so the pool population stays constant.
         deadConns_.inc();
-        bc = co_await node_.stack().connect(
+        bc = co_await node_.transport().connect(
             backends_[pool_idx], cfg_.serverPort, cfg_.requestDeadline);
-        if (bc == nullptr || !bc->usable()) {
-            if (bc != nullptr)
+        if (!bc.valid() || !bc.usable()) {
+            if (bc.valid())
                 pool.push(bc);
             co_return std::nullopt;
         }
@@ -239,14 +238,14 @@ Proxy::fetchOnce(unsigned pool_idx, const sock::Message &request,
     auto watch = std::make_shared<OpWatch>();
     if (cfg_.requestDeadline > sim::Tick{0})
         node_.simulation().spawn(
-            armWatch(*bc, cfg_.requestDeadline, watch));
+            armWatch(bc, cfg_.requestDeadline, watch));
 
     sock::Message fwd = request;
     fwd.trace = ctx; // backend works on behalf of the proxy span
-    co_await sock::sendMessage(*bc, fwd);
+    co_await bc.sendMessage(fwd);
     std::optional<sock::Message> resp;
-    if (!bc->aborted())
-        resp = co_await sock::recvMessage(*bc, ctx);
+    if (!bc.aborted())
+        resp = co_await bc.recvMessage(ctx);
     if (!resp) {
         watch->done = true;
         pool.push(bc);
@@ -260,7 +259,7 @@ Proxy::fetchOnce(unsigned pool_idx, const sock::Message &request,
         co_return std::nullopt;
     }
     const std::size_t bytes = resp->payloadBytes;
-    const std::size_t got = co_await bc->recvAll(bytes, ctx);
+    const std::size_t got = co_await bc.recvAll(bytes, ctx);
     watch->done = true;
     pool.push(bc);
     if (got != bytes)
@@ -269,11 +268,11 @@ Proxy::fetchOnce(unsigned pool_idx, const sock::Message &request,
 }
 
 Coro<void>
-Proxy::serveConnection(Connection *client)
+Proxy::serveConnection(sock::Socket client)
 {
     sim::RequestTracer *rt = node_.simulation().requestTracer();
     for (;;) {
-        auto msg = co_await sock::recvMessage(*client);
+        auto msg = co_await client.recvMessage();
         if (!msg.has_value())
             co_return;
         sim::simAssert(msg->tag == static_cast<std::uint64_t>(HttpTag::Get),
@@ -378,7 +377,7 @@ Proxy::serveConnection(Connection *client)
                         HttpTag::ServiceUnavailable);
                     busy.a = msg->a;
                     busy.trace = pctx;
-                    co_await sock::sendMessage(*client, busy);
+                    co_await client.sendMessage(busy);
                     if (rt)
                         rt->endSpan(pctx);
                     --inflight_;
@@ -401,8 +400,8 @@ Proxy::serveConnection(Connection *client)
         resp.a = msg->a;
         resp.payloadBytes = bytes;
         resp.trace = pctx;
-        co_await sock::sendMessage(*client, resp,
-                                   tcp::SendOptions{.zeroCopy = true});
+        co_await client.sendMessage(resp,
+                                    sock::SendOptions{.zeroCopy = true});
         if (rt)
             rt->endSpan(pctx);
         served_.inc();

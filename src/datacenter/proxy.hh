@@ -24,7 +24,7 @@
 #include "simcore/channel.hh"
 #include "simcore/lifecycle.hh"
 #include "simcore/stats.hh"
-#include "sock/message.hh"
+#include "sock/socket.hh"
 
 namespace ioat::dc {
 
@@ -127,7 +127,7 @@ class Proxy : public sim::telemetry::Instrumented,
   private:
     sim::Coro<void> openBackendPool();
     sim::Coro<void> acceptLoop();
-    sim::Coro<void> serveConnection(tcp::Connection *client);
+    sim::Coro<void> serveConnection(sock::Socket client);
     /** One backend exchange against pool @p pool_idx; nullopt on
      *  deadline expiry, dead connection, or backend 503. */
     sim::Coro<std::optional<std::size_t>>
@@ -143,7 +143,7 @@ class Proxy : public sim::telemetry::Instrumented,
     LruCache cache_;
     core::AppMemory mem_;
     /** Idle persistent connections, one pool per backend. */
-    std::vector<std::unique_ptr<sim::Channel<tcp::Connection *>>> pools_;
+    std::vector<std::unique_ptr<sim::Channel<sock::Socket>>> pools_;
     /** Lease expiry instant per backend (heartbeat detector). */
     std::vector<sim::Tick> leaseUntil_;
     bool stopping_ = false; ///< heartbeat monitors wind down

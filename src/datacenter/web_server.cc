@@ -5,12 +5,11 @@
 
 #include "datacenter/web_server.hh"
 
-#include "sock/message.hh"
+#include "sock/socket.hh"
 
 namespace ioat::dc {
 
 using sim::Coro;
-using tcp::Connection;
 
 WebServer::WebServer(core::Node &node, const DcConfig &cfg,
                      const Workload &files)
@@ -34,19 +33,19 @@ WebServer::start()
 Coro<void>
 WebServer::acceptLoop()
 {
-    auto &listener = node_.stack().listen(cfg_.serverPort);
+    sock::Listener listener(node_.transport(), cfg_.serverPort);
     for (;;) {
-        Connection *conn = co_await listener.accept();
+        sock::Socket conn = co_await listener.accept();
         node_.simulation().spawn(serveConnection(conn));
     }
 }
 
 Coro<void>
-WebServer::serveConnection(Connection *conn)
+WebServer::serveConnection(sock::Socket conn)
 {
     sim::RequestTracer *rt = node_.simulation().requestTracer();
     for (;;) {
-        auto msg = co_await sock::recvMessage(*conn);
+        auto msg = co_await conn.recvMessage();
         if (!msg.has_value())
             co_return; // client hung up
 
@@ -58,7 +57,7 @@ WebServer::serveConnection(Connection *conn)
             sock::Message pong;
             pong.tag = static_cast<std::uint64_t>(HttpTag::Pong);
             pong.a = msg->a;
-            co_await sock::sendMessage(*conn, pong);
+            co_await conn.sendMessage(pong);
             continue;
         }
         sim::simAssert(msg->tag == static_cast<std::uint64_t>(HttpTag::Get),
@@ -80,7 +79,7 @@ WebServer::serveConnection(Connection *conn)
                 static_cast<std::uint64_t>(HttpTag::ServiceUnavailable);
             busy.a = msg->a;
             busy.trace = sctx;
-            co_await sock::sendMessage(*conn, busy);
+            co_await conn.sendMessage(busy);
             if (rt)
                 rt->endSpan(sctx);
             continue;
@@ -110,8 +109,8 @@ WebServer::serveConnection(Connection *conn)
         resp.a = msg->a;
         resp.payloadBytes = bytes;
         resp.trace = sctx;
-        co_await sock::sendMessage(*conn, resp,
-                                   tcp::SendOptions{.zeroCopy = true});
+        co_await conn.sendMessage(resp,
+                                  sock::SendOptions{.zeroCopy = true});
         if (rt)
             rt->endSpan(sctx);
         served_.inc();

@@ -90,7 +90,7 @@ class WebServer : public sim::telemetry::Instrumented,
 
   private:
     sim::Coro<void> acceptLoop();
-    sim::Coro<void> serveConnection(tcp::Connection *conn);
+    sim::Coro<void> serveConnection(sock::Socket conn);
 
     core::Node &node_;
     DcConfig cfg_;

@@ -24,7 +24,6 @@
 namespace ioat::pvfs {
 
 using sim::Coro;
-using tcp::Connection;
 
 namespace {
 
@@ -53,11 +52,11 @@ struct OpWatch
     explicit OpWatch(sim::Simulation &s) : dog(s) {}
 
     void
-    arm(Connection &c, sim::Tick t)
+    arm(sock::Socket c, sim::Tick t)
     {
-        dog.arm(t, [this, conn = &c] {
+        dog.arm(t, [this, conn = c]() mutable {
             fired = true;
-            conn->abortLocal();
+            conn.abort();
         });
     }
 
@@ -125,45 +124,45 @@ PvfsClient::instrument(sim::telemetry::Registry &reg)
 Coro<PvfsErrc>
 PvfsClient::connect()
 {
-    mgr_ = co_await node_.stack().connect(mgrAddr_.node, mgrAddr_.port,
-                                          connectDeadline());
-    if (mgr_ == nullptr || !mgr_->usable())
+    mgr_ = co_await node_.transport().connect(
+        mgrAddr_.node, mgrAddr_.port, connectDeadline());
+    if (!mgr_.valid() || !mgr_.usable())
         co_return PvfsErrc::ConnectFailed;
     iods_.clear();
     for (const auto &addr : iodAddrs_) {
-        Connection *c = co_await node_.stack().connect(
+        sock::Socket c = co_await node_.transport().connect(
             addr.node, addr.port, connectDeadline());
-        if (c == nullptr || !c->usable())
+        if (!c.valid() || !c.usable())
             co_return PvfsErrc::ConnectFailed;
         iods_.push_back(c);
     }
     co_return PvfsErrc::Ok;
 }
 
-Coro<Connection *>
+Coro<sock::Socket>
 PvfsClient::ensureMgr()
 {
-    if (mgr_ != nullptr && mgr_->usable())
+    if (mgr_.valid() && mgr_.usable())
         co_return mgr_;
     reconnects_.inc();
-    Connection *c = co_await node_.stack().connect(
+    sock::Socket c = co_await node_.transport().connect(
         mgrAddr_.node, mgrAddr_.port, connectDeadline());
-    if (c != nullptr && c->usable())
+    if (c.valid() && c.usable())
         mgr_ = c;
     co_return c;
 }
 
-Coro<Connection *>
+Coro<sock::Socket>
 PvfsClient::ensureIod(unsigned server)
 {
-    Connection *c = iods_[server];
-    if (c != nullptr && c->usable())
+    sock::Socket c = iods_[server];
+    if (c.valid() && c.usable())
         co_return c;
     reconnects_.inc();
-    c = co_await node_.stack().connect(iodAddrs_[server].node,
-                                       iodAddrs_[server].port,
-                                       connectDeadline());
-    if (c != nullptr && c->usable())
+    c = co_await node_.transport().connect(iodAddrs_[server].node,
+                                           iodAddrs_[server].port,
+                                           connectDeadline());
+    if (c.valid() && c.usable())
         iods_[server] = c;
     co_return c;
 }
@@ -171,7 +170,7 @@ PvfsClient::ensureIod(unsigned server)
 Coro<PvfsResult<sock::Message>>
 PvfsClient::mgrOp(const sock::Message &request, sim::TraceContext ctx)
 {
-    sim::simAssert(mgr_ != nullptr, "PvfsClient not connected");
+    sim::simAssert(mgr_.valid(), "PvfsClient not connected");
     RpcInFlight rpc(outstanding_);
     sim::RequestTracer *rt = node_.simulation().requestTracer();
     // One span for the whole manager exchange, retries included.
@@ -185,14 +184,14 @@ PvfsClient::mgrOp(const sock::Message &request, sim::TraceContext ctx)
             co_await node_.simulation().delay(backoff);
             backoff *= 2;
         }
-        Connection *conn = co_await ensureMgr();
-        if (conn == nullptr || !conn->usable()) {
+        sock::Socket conn = co_await ensureMgr();
+        if (!conn.valid() || !conn.usable()) {
             lastErr = PvfsErrc::ConnectFailed;
             continue;
         }
         OpWatch watch(node_.simulation());
         if (cfg_.rpcTimeout > sim::Tick{0})
-            watch.arm(*conn, cfg_.rpcTimeout);
+            watch.arm(conn, cfg_.rpcTimeout);
 
         const sim::Tick req_t0 = node_.simulation().now();
         co_await node_.cpu().compute(cfg_.clientRequestCost);
@@ -203,10 +202,10 @@ PvfsClient::mgrOp(const sock::Message &request, sim::TraceContext ctx)
                                      cfg_.clientRequestCost}});
         sock::Message traced = request;
         traced.trace = op.ctx();
-        co_await sock::sendMessage(*conn, traced);
+        co_await conn.sendMessage(traced);
         std::optional<sock::Message> reply;
-        if (!conn->aborted())
-            reply = co_await sock::recvMessage(*conn, op.ctx());
+        if (!conn.aborted())
+            reply = co_await conn.recvMessage(op.ctx());
         watch.finish();
         if (reply)
             co_return PvfsResult<sock::Message>{*reply, PvfsErrc::Ok};
@@ -281,14 +280,14 @@ PvfsClient::readChunk(const StripeChunk &chunk, FileHandle h,
             co_await node_.simulation().delay(backoff);
             backoff *= 2;
         }
-        Connection *conn = co_await ensureIod(chunk.server);
-        if (conn == nullptr || !conn->usable()) {
+        sock::Socket conn = co_await ensureIod(chunk.server);
+        if (!conn.valid() || !conn.usable()) {
             lastErr = PvfsErrc::ConnectFailed;
             continue;
         }
         OpWatch watch(node_.simulation());
         if (cfg_.rpcTimeout > sim::Tick{0})
-            watch.arm(*conn, cfg_.rpcTimeout);
+            watch.arm(conn, cfg_.rpcTimeout);
 
         const sim::Tick req_t0 = node_.simulation().now();
         co_await node_.cpu().compute(cfg_.clientRequestCost);
@@ -303,11 +302,11 @@ PvfsClient::readChunk(const StripeChunk &chunk, FileHandle h,
         req.b = chunk.offset;
         req.c = chunk.bytes;
         req.trace = stripe.ctx();
-        co_await sock::sendMessage(*conn, req);
+        co_await conn.sendMessage(req);
 
         std::optional<sock::Message> resp;
-        if (!conn->aborted())
-            resp = co_await sock::recvMessage(*conn, stripe.ctx());
+        if (!conn.aborted())
+            resp = co_await conn.recvMessage(stripe.ctx());
         if (!resp) {
             watch.finish();
             lastErr = watch.fired ? PvfsErrc::Timeout
@@ -321,7 +320,7 @@ PvfsClient::readChunk(const StripeChunk &chunk, FileHandle h,
         }
         std::size_t got = 0;
         while (got < resp->payloadBytes) {
-            const std::size_t n = co_await conn->recv(
+            const std::size_t n = co_await conn.recv(
                 resp->payloadBytes - got, stripe.ctx());
             if (n == 0)
                 break;
@@ -401,14 +400,14 @@ PvfsClient::writeChunk(const StripeChunk &chunk, FileHandle h,
             co_await node_.simulation().delay(backoff);
             backoff *= 2;
         }
-        Connection *conn = co_await ensureIod(chunk.server);
-        if (conn == nullptr || !conn->usable()) {
+        sock::Socket conn = co_await ensureIod(chunk.server);
+        if (!conn.valid() || !conn.usable()) {
             lastErr = PvfsErrc::ConnectFailed;
             continue;
         }
         OpWatch watch(node_.simulation());
         if (cfg_.rpcTimeout > sim::Tick{0})
-            watch.arm(*conn, cfg_.rpcTimeout);
+            watch.arm(conn, cfg_.rpcTimeout);
 
         const sim::Tick req_t0 = node_.simulation().now();
         co_await node_.cpu().compute(cfg_.clientRequestCost);
@@ -424,11 +423,11 @@ PvfsClient::writeChunk(const StripeChunk &chunk, FileHandle h,
         req.c = wid; // retry-stable id: dedup + durability tracking
         req.payloadBytes = chunk.bytes;
         req.trace = stripe.ctx();
-        co_await sock::sendMessage(*conn, req);
+        co_await conn.sendMessage(req);
 
         std::optional<sock::Message> ack;
-        if (!conn->aborted())
-            ack = co_await sock::recvMessage(*conn, stripe.ctx());
+        if (!conn.aborted())
+            ack = co_await conn.recvMessage(stripe.ctx());
         watch.finish();
         if (ack && ack->tag == tag(PvfsTag::WriteAck)) {
             bytesWritten_.inc(chunk.bytes);
@@ -519,14 +518,14 @@ PvfsClient::readListChunk(const StridedChunk &chunk, FileHandle h,
             co_await node_.simulation().delay(backoff);
             backoff *= 2;
         }
-        Connection *conn = co_await ensureIod(chunk.server);
-        if (conn == nullptr || !conn->usable()) {
+        sock::Socket conn = co_await ensureIod(chunk.server);
+        if (!conn.valid() || !conn.usable()) {
             lastErr = PvfsErrc::ConnectFailed;
             continue;
         }
         OpWatch watch(node_.simulation());
         if (cfg_.rpcTimeout > sim::Tick{0})
-            watch.arm(*conn, cfg_.rpcTimeout);
+            watch.arm(conn, cfg_.rpcTimeout);
 
         const sim::Tick req_t0 = node_.simulation().now();
         co_await node_.cpu().compute(cfg_.clientRequestCost +
@@ -544,11 +543,11 @@ PvfsClient::readListChunk(const StridedChunk &chunk, FileHandle h,
         req.b = chunk.extents;
         req.c = chunk.bytes;
         req.trace = stripe.ctx();
-        co_await sock::sendMessage(*conn, req);
+        co_await conn.sendMessage(req);
 
         std::optional<sock::Message> resp;
-        if (!conn->aborted())
-            resp = co_await sock::recvMessage(*conn, stripe.ctx());
+        if (!conn.aborted())
+            resp = co_await conn.recvMessage(stripe.ctx());
         if (!resp) {
             watch.finish();
             lastErr = watch.fired ? PvfsErrc::Timeout
@@ -562,7 +561,7 @@ PvfsClient::readListChunk(const StridedChunk &chunk, FileHandle h,
         }
         std::size_t got = 0;
         while (got < resp->payloadBytes) {
-            const std::size_t n = co_await conn->recv(
+            const std::size_t n = co_await conn.recv(
                 resp->payloadBytes - got, stripe.ctx());
             if (n == 0)
                 break;
@@ -642,14 +641,14 @@ PvfsClient::writeListChunk(const StridedChunk &chunk, FileHandle h,
             co_await node_.simulation().delay(backoff);
             backoff *= 2;
         }
-        Connection *conn = co_await ensureIod(chunk.server);
-        if (conn == nullptr || !conn->usable()) {
+        sock::Socket conn = co_await ensureIod(chunk.server);
+        if (!conn.valid() || !conn.usable()) {
             lastErr = PvfsErrc::ConnectFailed;
             continue;
         }
         OpWatch watch(node_.simulation());
         if (cfg_.rpcTimeout > sim::Tick{0})
-            watch.arm(*conn, cfg_.rpcTimeout);
+            watch.arm(conn, cfg_.rpcTimeout);
 
         const sim::Tick req_t0 = node_.simulation().now();
         co_await node_.cpu().compute(cfg_.clientRequestCost +
@@ -668,11 +667,11 @@ PvfsClient::writeListChunk(const StridedChunk &chunk, FileHandle h,
         req.c = wid; // retry-stable id: dedup + durability tracking
         req.payloadBytes = chunk.bytes;
         req.trace = stripe.ctx();
-        co_await sock::sendMessage(*conn, req);
+        co_await conn.sendMessage(req);
 
         std::optional<sock::Message> ack;
-        if (!conn->aborted())
-            ack = co_await sock::recvMessage(*conn, stripe.ctx());
+        if (!conn.aborted())
+            ack = co_await conn.recvMessage(stripe.ctx());
         watch.finish();
         if (ack && ack->tag == tag(PvfsTag::WriteAck)) {
             bytesWritten_.inc(chunk.bytes);

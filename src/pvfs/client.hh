@@ -22,7 +22,7 @@
 #include "pvfs/fs_state.hh"
 #include "pvfs/layout.hh"
 #include "simcore/stats.hh"
-#include "sock/message.hh"
+#include "sock/socket.hh"
 
 namespace ioat::pvfs {
 
@@ -159,9 +159,9 @@ class PvfsClient : public sim::telemetry::Instrumented
         const sock::Message &request, sim::TraceContext ctx = {});
 
     /** Usable manager connection, reconnecting if needed. */
-    sim::Coro<tcp::Connection *> ensureMgr();
+    sim::Coro<sock::Socket> ensureMgr();
     /** Usable connection to iod @p server, reconnecting if needed. */
-    sim::Coro<tcp::Connection *> ensureIod(unsigned server);
+    sim::Coro<sock::Socket> ensureIod(unsigned server);
     /** Reconnect deadline (0 when fault handling is off). */
     sim::Tick connectDeadline() const
     {
@@ -192,8 +192,8 @@ class PvfsClient : public sim::telemetry::Instrumented
     StripeLayout layout_;
     core::AppMemory mem_;
 
-    tcp::Connection *mgr_ = nullptr;
-    std::vector<tcp::Connection *> iods_;
+    sock::Socket mgr_;
+    std::vector<sock::Socket> iods_;
 
     sim::stats::Counter bytesRead_;
     sim::stats::Counter bytesWritten_;

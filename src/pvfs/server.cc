@@ -6,12 +6,11 @@
 #include "pvfs/server.hh"
 
 #include "pvfs/protocol.hh"
-#include "sock/message.hh"
+#include "sock/socket.hh"
 
 namespace ioat::pvfs {
 
 using sim::Coro;
-using tcp::Connection;
 
 // --------------------------------------------------------------------
 // MetadataManager
@@ -38,19 +37,19 @@ MetadataManager::start()
 Coro<void>
 MetadataManager::acceptLoop()
 {
-    auto &listener = node_.stack().listen(cfg_.mgrPort);
+    sock::Listener listener(node_.transport(), cfg_.mgrPort);
     for (;;) {
-        Connection *conn = co_await listener.accept();
+        sock::Socket conn = co_await listener.accept();
         node_.simulation().spawn(serveConnection(conn));
     }
 }
 
 Coro<void>
-MetadataManager::serveConnection(Connection *conn)
+MetadataManager::serveConnection(sock::Socket conn)
 {
     sim::RequestTracer *rt = node_.simulation().requestTracer();
     for (;;) {
-        auto msg = co_await sock::recvMessage(*conn);
+        auto msg = co_await conn.recvMessage();
         if (!msg.has_value())
             co_return;
 
@@ -110,7 +109,7 @@ MetadataManager::serveConnection(Connection *conn)
             sim::panic("metadata manager got a non-metadata op");
         }
 
-        co_await sock::sendMessage(*conn, reply);
+        co_await conn.sendMessage(reply);
         op.end();
     }
 }
@@ -169,19 +168,19 @@ IodServer::replayCost(std::size_t entries)
 Coro<void>
 IodServer::acceptLoop()
 {
-    auto &listener = node_.stack().listen(port());
+    sock::Listener listener(node_.transport(), port());
     for (;;) {
-        Connection *conn = co_await listener.accept();
+        sock::Socket conn = co_await listener.accept();
         node_.simulation().spawn(serveConnection(conn));
     }
 }
 
 Coro<void>
-IodServer::serveConnection(Connection *conn)
+IodServer::serveConnection(sock::Socket conn)
 {
     sim::RequestTracer *rt = node_.simulation().requestTracer();
     for (;;) {
-        auto msg = co_await sock::recvMessage(*conn);
+        auto msg = co_await conn.recvMessage();
         if (!msg.has_value())
             co_return;
 
@@ -207,8 +206,8 @@ IodServer::serveConnection(Connection *conn)
             resp.a = msg->a;
             resp.payloadBytes = bytes;
             resp.trace = serve.ctx();
-            co_await sock::sendMessage(
-                *conn, resp, tcp::SendOptions{.zeroCopy = true});
+            co_await conn.sendMessage(
+                resp, sock::SendOptions{.zeroCopy = true});
             bytesRead_.inc(bytes);
             break;
           }
@@ -223,7 +222,7 @@ IodServer::serveConnection(Connection *conn)
                     {{"iod.handle", sim::CostCat::cpu,
                       cfg_.iodRequestCost + cfg_.ramfsLookupCost}});
             const std::size_t got =
-                co_await conn->recvAll(bytes, serve.ctx());
+                co_await conn.recvAll(bytes, serve.ctx());
             if (got != bytes)
                 co_return; // connection died mid-payload: no ack
             const std::uint64_t wid = msg->c;
@@ -261,7 +260,7 @@ IodServer::serveConnection(Connection *conn)
             ack.a = msg->a;
             ack.c = wid;
             ack.trace = serve.ctx();
-            co_await sock::sendMessage(*conn, ack);
+            co_await conn.sendMessage(ack);
             break;
           }
           case PvfsTag::ReadList: {
@@ -284,8 +283,8 @@ IodServer::serveConnection(Connection *conn)
             resp.a = msg->a;
             resp.payloadBytes = bytes;
             resp.trace = serve.ctx();
-            co_await sock::sendMessage(
-                *conn, resp, tcp::SendOptions{.zeroCopy = true});
+            co_await conn.sendMessage(
+                resp, sock::SendOptions{.zeroCopy = true});
             bytesRead_.inc(bytes);
             break;
           }
@@ -303,7 +302,7 @@ IodServer::serveConnection(Connection *conn)
                       cfg_.iodRequestCost + cfg_.ramfsLookupCost +
                           cfg_.iodExtentCost * extents}});
             const std::size_t got =
-                co_await conn->recvAll(bytes, serve.ctx());
+                co_await conn.recvAll(bytes, serve.ctx());
             if (got != bytes)
                 co_return; // connection died mid-payload: no ack
             const std::uint64_t wid = msg->c;
@@ -333,7 +332,7 @@ IodServer::serveConnection(Connection *conn)
             ack.a = msg->a;
             ack.c = wid;
             ack.trace = serve.ctx();
-            co_await sock::sendMessage(*conn, ack);
+            co_await conn.sendMessage(ack);
             break;
           }
           default:

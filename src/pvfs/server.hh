@@ -61,7 +61,7 @@ class MetadataManager : public sim::telemetry::Instrumented,
 
   private:
     sim::Coro<void> acceptLoop();
-    sim::Coro<void> serveConnection(tcp::Connection *conn);
+    sim::Coro<void> serveConnection(sock::Socket conn);
 
     core::Node &node_;
     PvfsConfig cfg_;
@@ -139,7 +139,7 @@ class IodServer : public sim::telemetry::Instrumented,
 
   private:
     sim::Coro<void> acceptLoop();
-    sim::Coro<void> serveConnection(tcp::Connection *conn);
+    sim::Coro<void> serveConnection(sock::Socket conn);
     /** CPU work of replaying @p entries journal entries on restart. */
     sim::Coro<void> replayCost(std::size_t entries);
 

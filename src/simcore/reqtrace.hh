@@ -59,9 +59,10 @@ enum class CostCat : std::uint8_t {
     queueWait, ///< waiting: credit, scheduling, transit residue
     retx,      ///< retransmissions and RTO backoff
     cache,     ///< cache-miss penalty share of copies/touches
+    poll,      ///< user-space polled RX processing (kernel bypass)
 };
 
-inline constexpr std::size_t kCostCatCount = 7;
+inline constexpr std::size_t kCostCatCount = 8;
 
 constexpr const char *
 costCatName(CostCat c)
@@ -81,6 +82,8 @@ costCatName(CostCat c)
         return "retx";
     case CostCat::cache:
         return "cache";
+    case CostCat::poll:
+        return "poll";
     }
     return "?";
 }

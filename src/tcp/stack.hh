@@ -38,6 +38,7 @@
 #include "simcore/sync.hh"
 #include "simcore/telemetry/histogram.hh"
 #include "simcore/telemetry/registry.hh"
+#include "sock/types.hh"
 #include "tcp/config.hh"
 #include "tcp/host.hh"
 
@@ -74,25 +75,11 @@ struct TxSegment
     std::uint64_t trace = 0;    ///< packed TraceContext (0 = untraced)
 };
 
-/** Per-send options. */
-struct SendOptions
-{
-    /** sendfile()-style zero-copy: skip the user→kernel copy. */
-    bool zeroCopy = false;
-    /** Request context this send serves (invalid = untraced). */
-    sim::TraceContext trace{};
-};
+/** Per-send options: now a first-class sock:: type (migration alias). */
+using SendOptions = sock::SendOptions;
 
-/**
- * Application metadata that rides in-band with a message's first
- * segment.  Data content is virtual in this simulator (only byte
- * counts move); this is how message-structured applications attach
- * the few words of real information a request/response needs.
- */
-struct MsgMeta
-{
-    std::uint64_t w[net::kBurstMetaWords] = {};
-};
+/** In-band message metadata: now a first-class sock:: type. */
+using MsgMeta = sock::MsgMeta;
 
 /**
  * One established connection (single writer, single reader).

@@ -10,7 +10,7 @@
 #include "datacenter/client.hh"
 #include "datacenter/workload.hh"
 #include "simcore/simcore.hh"
-#include "sock/message.hh"
+#include "sock/socket.hh"
 
 namespace {
 
@@ -48,13 +48,13 @@ TEST(DynamicContent, RequestTriggersScriptAndQueries)
     DynRig rig;
     bool done = false;
     rig.sim.spawn([](DynRig &r, bool &f) -> Coro<void> {
-        tcp::Connection *c = co_await r.tb.client(0).stack().connect(
+        sock::Socket c = co_await r.tb.client(0).transport().connect(
             r.tb.server(0).id(), r.dyn.appPort);
         sock::Message req;
         req.tag = static_cast<std::uint64_t>(dc::DynTag::DynamicGet);
         req.a = 42;
-        co_await sock::sendMessage(*c, req);
-        auto resp = co_await sock::recvMessageAndPayload(*c);
+        co_await c.sendMessage(req);
+        auto resp = co_await c.recvMessageAndPayload();
         EXPECT_TRUE(resp.has_value());
         if (resp) {
             EXPECT_EQ(resp->payloadBytes, r.dyn.responseBytes);
@@ -74,16 +74,16 @@ TEST(DynamicContent, PipelinedRequestsAllComplete)
     int done = 0;
     for (int i = 0; i < 8; ++i) {
         rig.sim.spawn([](DynRig &r, int &n, int id) -> Coro<void> {
-            tcp::Connection *c =
-                co_await r.tb.client(0).stack().connect(
+            sock::Socket c =
+                co_await r.tb.client(0).transport().connect(
                     r.tb.server(0).id(), r.dyn.appPort);
             for (int k = 0; k < 5; ++k) {
                 sock::Message req;
                 req.tag =
                     static_cast<std::uint64_t>(dc::DynTag::DynamicGet);
                 req.a = static_cast<std::uint64_t>(id * 100 + k);
-                co_await sock::sendMessage(*c, req);
-                auto resp = co_await sock::recvMessageAndPayload(*c);
+                co_await c.sendMessage(req);
+                auto resp = co_await c.recvMessageAndPayload();
                 EXPECT_TRUE(resp.has_value());
             }
             ++n;
@@ -120,13 +120,13 @@ TEST(DynamicContent, ScriptCostDominatesLatency)
     DynRig rig;
     sim::Tick latency{};
     rig.sim.spawn([](DynRig &r, sim::Tick &out) -> Coro<void> {
-        tcp::Connection *c = co_await r.tb.client(0).stack().connect(
+        sock::Socket c = co_await r.tb.client(0).transport().connect(
             r.tb.server(0).id(), r.dyn.appPort);
         const sim::Tick t0 = r.sim.now();
         sock::Message req;
         req.tag = static_cast<std::uint64_t>(dc::DynTag::DynamicGet);
-        co_await sock::sendMessage(*c, req);
-        (void)co_await sock::recvMessageAndPayload(*c);
+        co_await c.sendMessage(req);
+        (void)co_await c.recvMessageAndPayload();
         out = r.sim.now() - t0;
     }(rig, latency));
     rig.sim.run();

@@ -228,7 +228,7 @@ TEST(ShardProperty, SwitchFasterThanLookaheadRefusedAtConstruction)
 Coro<void>
 stressSinkLoop(Node &node, std::uint16_t port, std::size_t chunk)
 {
-    sock::Listener listener(node.stack(), port);
+    sock::Listener listener(node.transport(), port);
     for (;;) {
         sock::Socket c = co_await listener.accept();
         node.spawn([](sock::Socket conn, std::size_t ck) -> Coro<void> {
@@ -245,8 +245,7 @@ Coro<void>
 stressSenderLoop(Node &node, net::NodeId dst, std::uint16_t port,
                  std::size_t chunk)
 {
-    sock::Socket c =
-        co_await sock::Socket::connect(node.stack(), dst, port);
+    sock::Socket c = co_await node.transport().connect(dst, port);
     for (;;)
         co_await c.sendAll(chunk);
 }

@@ -10,7 +10,7 @@
 #include "core/async_memcpy.hh"
 #include "core/testbed.hh"
 #include "simcore/simcore.hh"
-#include "sock/message.hh"
+#include "sock/socket.hh"
 
 namespace {
 
@@ -256,9 +256,9 @@ TEST(Sock, MessageRoundTripCarriesHeaderFields)
     Pair p;
     bool ok = false;
     p.sim.spawn([](Pair &pp) -> Coro<void> {
-        auto &l = pp.b.stack().listen(9000);
-        Connection *c = co_await l.accept();
-        auto msg = co_await sock::recvMessageAndPayload(*c);
+        sock::Listener l(pp.b.transport(), 9000);
+        sock::Socket c = co_await l.accept();
+        auto msg = co_await c.recvMessageAndPayload();
         EXPECT_TRUE(msg.has_value());
         if (!msg)
             co_return;
@@ -269,16 +269,17 @@ TEST(Sock, MessageRoundTripCarriesHeaderFields)
         sock::Message reply;
         reply.tag = 8;
         reply.payloadBytes = 1000;
-        co_await sock::sendMessage(*c, reply);
+        co_await c.sendMessage(reply);
     }(p));
     p.sim.spawn([](Pair &pp, bool &f) -> Coro<void> {
-        Connection *c = co_await pp.a.stack().connect(pp.b.id(), 9000);
+        sock::Socket c =
+            co_await pp.a.transport().connect(pp.b.id(), 9000);
         sock::Message m;
         m.tag = 7;
         m.a = 42;
         m.payloadBytes = sim::kib(16);
-        co_await sock::sendMessage(*c, m);
-        auto reply = co_await sock::recvMessageAndPayload(*c);
+        co_await c.sendMessage(m);
+        auto reply = co_await c.recvMessageAndPayload();
         EXPECT_TRUE(reply.has_value());
         if (!reply)
             co_return;
@@ -296,10 +297,10 @@ TEST(Sock, PipelinedMessagesKeepOrder)
     std::vector<std::uint64_t> tags;
     p.sim.spawn([](Pair &pp, std::vector<std::uint64_t> &out)
                     -> Coro<void> {
-        auto &l = pp.b.stack().listen(9000);
-        Connection *c = co_await l.accept();
+        sock::Listener l(pp.b.transport(), 9000);
+        sock::Socket c = co_await l.accept();
         for (int i = 0; i < 10; ++i) {
-            auto msg = co_await sock::recvMessageAndPayload(*c);
+            auto msg = co_await c.recvMessageAndPayload();
             EXPECT_TRUE(msg.has_value());
             if (!msg)
                 co_return;
@@ -307,12 +308,13 @@ TEST(Sock, PipelinedMessagesKeepOrder)
         }
     }(p, tags));
     p.sim.spawn([](Pair &pp) -> Coro<void> {
-        Connection *c = co_await pp.a.stack().connect(pp.b.id(), 9000);
+        sock::Socket c =
+            co_await pp.a.transport().connect(pp.b.id(), 9000);
         for (std::uint64_t i = 0; i < 10; ++i) {
             sock::Message m;
             m.tag = 100 + i;
             m.payloadBytes = 2048 * (i % 3);
-            co_await sock::sendMessage(*c, m);
+            co_await c.sendMessage(m);
         }
     }(p));
     p.sim.run();

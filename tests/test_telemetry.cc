@@ -164,7 +164,7 @@ TEST(Sampler, DeltaAndGaugeSemantics)
 Coro<void>
 sinkTask(Node &node)
 {
-    sock::Listener listener(node.stack(), 5001);
+    sock::Listener listener(node.transport(), 5001);
     sock::Socket c = co_await listener.accept();
     for (;;) {
         if (co_await c.recv(64 * 1024) == 0)
@@ -175,8 +175,7 @@ sinkTask(Node &node)
 Coro<void>
 senderTask(Node &node, net::NodeId dst)
 {
-    sock::Socket c =
-        co_await sock::Socket::connect(node.stack(), dst, 5001);
+    sock::Socket c = co_await node.transport().connect(dst, 5001);
     for (;;)
         co_await c.sendAll(64 * 1024);
 }

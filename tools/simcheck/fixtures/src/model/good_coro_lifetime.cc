@@ -15,7 +15,7 @@ void runBench() {
   sim::Simulation s;
   sim::Tick deadline{100};
   s.spawn(worker2(deadline));
-  // Capture-less lambda with explicit parameters (the sock/message.hh
+  // Capture-less lambda with explicit parameters (the sock/socket.hh
   // watcher idiom): the by-ref parameter binds an object that outlives
   // the run loop, the rest travel by value into the frame.
   s.spawn([](sim::Simulation &owner, sim::Tick d) -> sim::Coro<void> {

@@ -1,0 +1,9 @@
+// Fixture: the sock:: facade reaching past the bypass-transport
+// interface header into an xpt/ internal — one layering finding.
+#include "xpt/rings.hh"
+
+namespace sock {
+
+int creditsOf(const xpt::RxRing &r) { return r.credits; }
+
+}  // namespace sock

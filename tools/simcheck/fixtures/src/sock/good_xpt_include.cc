@@ -1,0 +1,10 @@
+// Fixture: the sock:: facade using the sanctioned bypass-transport
+// interface header — zero findings, even though bypass.hh itself
+// (transitively) includes the xpt/ internals.
+#include "xpt/bypass.hh"
+
+namespace sock {
+
+int creditsOf(const xpt::Endpoint &e) { return e.credits(); }
+
+}  // namespace sock

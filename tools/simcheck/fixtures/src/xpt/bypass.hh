@@ -1,0 +1,18 @@
+// Fixture stub of the bypass-transport interface header — the one
+// xpt/ header src/sock/ is allowed to include.  It pulls in the
+// internals itself; only the *direct* edge from sock/ is policed.
+#pragma once
+
+#include "xpt/rings.hh"
+
+namespace xpt {
+
+class Endpoint {
+ public:
+  int credits() const { return ring_.credits; }
+
+ private:
+  RxRing ring_;
+};
+
+}  // namespace xpt

@@ -1,0 +1,11 @@
+// Fixture stub of a bypass-transport internal: src/sock/ must reach
+// the transport only through xpt/bypass.hh, never this header.
+#pragma once
+
+namespace xpt {
+
+struct RxRing {
+  int credits = 0;
+};
+
+}  // namespace xpt

@@ -53,7 +53,11 @@ Rule catalog (DESIGN.md §11 is the narrative version):
                     tcp/stack.hh — the sock:: facade is the API;
                   * src/simcore/ must not include any upper layer;
                   * src/mem, src/nic, src/dma must not include
-                    datacenter/ headers.
+                    datacenter/ headers;
+                  * src/sock/ may reach the kernel-bypass transport
+                    only through its interface header xpt/bypass.hh —
+                    never xpt/ internals, so the facade stays
+                    swappable.
 
   typecheck       Every TU must type-check (libclang diagnostics, or
                   g++ -fsyntax-only in fallback mode).
@@ -115,8 +119,7 @@ def check_layering(includes):
             findings.append(Finding(
                 "layering", f["file"], f["line"],
                 "direct include of tcp/stack.hh; bench/ and examples/ "
-                "must use the sock:: facade (src/sock/socket.hh, "
-                "message.hh)"))
+                "must use the sock:: facade (src/sock/socket.hh)"))
         elif src_layer == "src/simcore" and \
                 tgt_layer.startswith("src/") and \
                 tgt_layer != "src/simcore":
@@ -131,6 +134,14 @@ def check_layering(includes):
                 "layering", f["file"], f["line"],
                 f"{src_layer}/ must not include datacenter/ ({tgt}); "
                 f"device models sit below application tiers"))
+        elif src_layer == "src/sock" and tgt_layer == "src/xpt" and \
+                not tgt.endswith("xpt/bypass.hh"):
+            findings.append(Finding(
+                "layering", f["file"], f["line"],
+                f"src/sock/ must reach the bypass transport only "
+                f"through its interface header xpt/bypass.hh ({tgt} "
+                f"is an xpt/ internal); the facade must not depend on "
+                f"transport implementation details"))
     return findings
 
 
@@ -145,7 +156,7 @@ def check_coro_lifetime(spawns, coro_sigs):
                 "spawned coroutine lambda captures by reference; the "
                 "capture dies with the spawning frame while the task "
                 "lives on — use a capture-less lambda with explicit "
-                "parameters (see sock/message.hh watchers)"))
+                "parameters (see sock/socket.hh timeout watchers)"))
             continue
         args = s.get("args", [])
         kinds = None

@@ -71,32 +71,43 @@ sed -i '1i #include "tcp/stack.hh"' bench/fig03_bandwidth.cpp
 expect_fail layering bench/fig03_bandwidth.cpp
 restore bench/fig03_bandwidth.cpp
 
-# 4. coro-lifetime: turn the message-watcher's safe capture-less
+# 3b. layering: the sock:: facade reaching past the bypass-transport
+#     interface header (xpt/bypass.hh) into an xpt/ internal.  The
+#     only other file under src/xpt/ is the implementation TU itself;
+#     textually including it is exactly the dependency the rule bans
+#     (canaries run with --no-typecheck, so this never compiles).
+backup src/sock/socket.hh
+sed -i 's|#include "xpt/bypass.hh"|#include "xpt/bypass.cc"|' \
+    src/sock/socket.hh
+expect_fail layering src/sock/socket.hh
+restore src/sock/socket.hh
+
+# 4. coro-lifetime: turn the recv-timeout watcher's safe capture-less
 #    lambda (explicit value params) back into a ref-capturing one —
 #    the exact bug class the rule exists for.
-backup src/sock/message.hh
+backup src/sock/socket.hh
 python3 - <<'EOF'
-t = open('src/sock/message.hh').read()
-t = t.replace("""    conn.simulation().spawn(
-        [](Connection &c, sim::Tick t,
-           std::shared_ptr<Watch> w) -> Coro<void> {
-            co_await c.simulation().delay(t);
+t = open('src/sock/socket.hh').read()
+t = t.replace("""    simulation().spawn(
+        [](Socket s, sim::Tick t,
+           std::shared_ptr<Watch> w) -> sim::Coro<void> {
+            co_await s.simulation().delay(t);
             if (!w->done) {
                 w->fired = true;
-                c.abortLocal();
+                s.abort();
             }
-        }(conn, timeout, watch));""", """    conn.simulation().spawn(
-        [&]() -> Coro<void> {
-            co_await conn.simulation().delay(timeout);
+        }(*this, timeout, watch));""", """    simulation().spawn(
+        [&]() -> sim::Coro<void> {
+            co_await simulation().delay(timeout);
             if (!watch->done) {
                 watch->fired = true;
-                conn.abortLocal();
+                abort();
             }
         }());""")
-open('src/sock/message.hh', 'w').write(t)
+open('src/sock/socket.hh', 'w').write(t)
 EOF
-expect_fail coro-lifetime src/sock/message.hh
-restore src/sock/message.hh
+expect_fail coro-lifetime src/sock/socket.hh
+restore src/sock/socket.hh
 
 # Restored tree must be clean again.
 simcheck
