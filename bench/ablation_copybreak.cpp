@@ -43,6 +43,8 @@ run(std::size_t copybreak, std::size_t msg,
     meter.warmup(sim::milliseconds(100), {&client, &server});
     meter.run(sim::milliseconds(400));
 
+    if (report)
+        report->noteEvents(sim.executedEvents());
     if (tr)
         tr->finish({{"copybreak", std::to_string(copybreak)},
                     {"msgBytes", std::to_string(msg)}});
@@ -56,8 +58,7 @@ int
 main(int argc, char **argv)
 {
     Options opts("ablation_copybreak");
-    if (!opts.parse(argc, argv))
-        return opts.exitCode();
+    return benchMain(argc, argv, opts, [&](const Options &) {
 
     std::cout << "=== Ablation: DMA copybreak threshold (SS7 pinning "
                  "caveat) ===\n\n";
@@ -90,4 +91,5 @@ main(int argc, char **argv)
     std::cout << "Offloading below the pin+submit breakeven wastes "
                  "CPU; the kernel's 4K copybreak is near-optimal.\n";
     return 0;
+    });
 }

@@ -49,6 +49,8 @@ run(core::IoatConfig features, const Options *report = nullptr)
     meter.run(sim::milliseconds(400));
     const std::uint64_t rx1 = server.stack().rxPayloadBytes();
 
+    if (report)
+        report->noteEvents(sim.executedEvents());
     if (tr)
         tr->finish(
             {{"dma", features.dmaEngine ? "true" : "false"},
@@ -65,8 +67,7 @@ int
 main(int argc, char **argv)
 {
     Options opts("ablation_features");
-    if (!opts.parse(argc, argv))
-        return opts.exitCode();
+    return benchMain(argc, argv, opts, [&](const Options &) {
 
     std::cout << "=== Ablation: I/OAT feature matrix (6 ports, 12 "
                  "streams, 64K messages) ===\n\n";
@@ -93,4 +94,5 @@ main(int argc, char **argv)
                  "{on,on,-}; the mrq rows are the configuration its "
                  "kernel could not enable.\n";
     return 0;
+    });
 }

@@ -54,6 +54,8 @@ run(bool multi_queue, unsigned flows, std::size_t msg,
     meter.run(sim::milliseconds(400));
     const std::uint64_t rx1 = server.stack().rxPayloadBytes();
 
+    if (report)
+        report->noteEvents(sim.executedEvents());
     if (tr)
         tr->finish({{"multiQueue", multi_queue ? "true" : "false"},
                     {"flows", std::to_string(flows)},
@@ -69,8 +71,7 @@ int
 main(int argc, char **argv)
 {
     Options opts("ablation_multiqueue");
-    if (!opts.parse(argc, argv))
-        return opts.exitCode();
+    return benchMain(argc, argv, opts, [&](const Options &) {
 
     std::cout << "=== Ablation: multiple receive queues (feature "
                  "disabled in the paper's kernel) ===\n\n";
@@ -95,4 +96,5 @@ main(int argc, char **argv)
                  "the adapter's IRQ core; MRQ lets extra cores share "
                  "it, so the gain appears once that core saturates.\n";
     return 0;
+    });
 }

@@ -12,11 +12,16 @@
 #ifndef IOAT_BENCH_COMMON_HH
 #define IOAT_BENCH_COMMON_HH
 
+#include <sys/resource.h>
+
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -25,6 +30,7 @@
 #include "core/cluster.hh"
 #include "core/node.hh"
 #include "core/testbed.hh"
+#include "simcore/profile.hh"
 #include "simcore/simcore.hh"
 #include "simcore/telemetry.hh"
 #include "sock/socket.hh"
@@ -189,34 +195,60 @@ class Options
     const std::string &tracePath() const { return trace_; }
     const std::string &requestTracePath() const { return reqTrace_; }
     const std::string &spanReportPath() const { return spanReport_; }
+    const std::string &profilePath() const { return profile_; }
+    const std::string &metricsPath() const { return metrics_; }
     std::uint64_t seed() const { return seed_; }
     bool wantReport() const { return !report_.empty(); }
     bool wantTrace() const { return !trace_.empty(); }
     bool wantRequestTrace() const { return !reqTrace_.empty(); }
     bool wantSpanReport() const { return !spanReport_.empty(); }
+    bool wantProfile() const { return !profile_.empty(); }
+    bool wantMetrics() const { return !metrics_.empty(); }
+    bool wantEngineMetrics() const { return metricsEngine_; }
     /** Any artifact that needs telemetry/tracing machinery on. */
     bool
     instrumented() const
     {
         return wantReport() || wantTrace() || wantRequestTrace() ||
-               wantSpanReport();
+               wantSpanReport() || wantProfile() || wantMetrics();
     }
 
     /** Probe sampling period for instrumented runs. */
     Tick sampleInterval() const { return sampleInterval_; }
 
+    /** Metrics snapshot spacing (defaults to the sample interval). */
+    Tick
+    metricsInterval() const
+    {
+        return metricsInterval_ > Tick{0} ? metricsInterval_
+                                          : sampleInterval_;
+    }
+
+    /**
+     * Artifacts that follow individual requests through one span tree
+     * — traces and profiles — need every span stamped from one clock,
+     * so those runs still pin to a single shard.
+     */
+    bool
+    traced() const
+    {
+        return wantTrace() || wantRequestTrace() || wantSpanReport() ||
+               wantProfile();
+    }
+
     /**
      * Worker shards to partition the cluster over (`--shards N`).
-     * Instrumented runs (sampled telemetry, tracing) are pinned to
-     * one shard: the samplers walk every node from driver events, so
-     * they are only sound when the whole cluster shares one queue.
-     * Results are shard-count-invariant either way; see
-     * DESIGN.md §10.
+     * Traced runs (Chrome traces, span reports, profiles) pin to one
+     * shard: one request's spans must be stamped from one clock.
+     * Reports and metrics snapshots shard freely — per-shard
+     * registries merge deterministically at capture (DESIGN.md §8),
+     * and snapshot sampling is per-shard lane-0 local.  Results are
+     * shard-count-invariant either way; see DESIGN.md §10.
      */
     unsigned
     shards() const
     {
-        return instrumented() ? 1u : shards_;
+        return traced() ? 1u : shards_;
     }
 
     /** The raw --shards value, before the instrumentation pin. */
@@ -282,8 +314,14 @@ class Options
                 shards_ = static_cast<unsigned>(n);
                 continue;
             }
+            if (arg == "--metrics-engine") {
+                metricsEngine_ = true;
+                continue;
+            }
             if (arg == "--report" || arg == "--trace" ||
                 arg == "--trace-requests" || arg == "--span-report" ||
+                arg == "--profile" || arg == "--metrics" ||
+                arg == "--metrics-interval" || arg == "--bench-json" ||
                 arg == "--sample-interval" || arg == "--seed") {
                 if (i + 1 >= argc)
                     return fail(arg + " needs a value");
@@ -296,6 +334,15 @@ class Options
                     reqTrace_ = val;
                 else if (arg == "--span-report")
                     spanReport_ = val;
+                else if (arg == "--profile")
+                    profile_ = val;
+                else if (arg == "--metrics")
+                    metrics_ = val;
+                else if (arg == "--bench-json")
+                    benchJson_ = val;
+                else if (arg == "--metrics-interval")
+                    metricsInterval_ = sim::microseconds(
+                        std::strtoull(val.c_str(), nullptr, 10));
                 else if (arg == "--sample-interval")
                     sampleInterval_ = sim::microseconds(
                         std::strtoull(val.c_str(), nullptr, 10));
@@ -321,6 +368,24 @@ class Options
 
     int exitCode() const { return exitCode_; }
 
+    /** @name Perf trajectory (BENCH_<bench>.json)
+     *  @{ */
+    /** Add simulator events executed by one of the bench's runs.
+     *  Called from run bodies (hence const + mutable accumulator);
+     *  benchMain folds the total into the trajectory JSON. */
+    void noteEvents(std::uint64_t n) const { eventsNoted_ += n; }
+
+    std::uint64_t eventsNoted() const { return eventsNoted_; }
+
+    /** Trajectory output path ("" = BENCH_<bench>.json). */
+    std::string
+    benchJsonPath() const
+    {
+        return benchJson_.empty() ? "BENCH_" + bench_ + ".json"
+                                  : benchJson_;
+    }
+    /** @} */
+
     void
     usage(std::FILE *out) const
     {
@@ -332,6 +397,18 @@ class Options
                      "trace with flow events\n"
                      "  --span-report <file>      write per-request span "
                      "JSON (breakdown + critical path)\n"
+                     "  --profile <file>          write folded-stack "
+                     "profile (flamegraph.pl format)\n"
+                     "  --metrics <file>          write periodic metrics "
+                     "snapshots (OpenMetrics text;\n"
+                     "                            JSON when the path ends "
+                     "in .json)\n"
+                     "  --metrics-interval <us>   snapshot spacing "
+                     "(default: the sample interval)\n"
+                     "  --metrics-engine          include simulator-engine "
+                     "gauges in --metrics\n"
+                     "  --bench-json <file>       perf-trajectory JSON "
+                     "path (default BENCH_<bench>.json)\n"
                      "  --sample-interval <us>    probe sampling period "
                      "(default 100)\n"
                      "  --seed <n>                run seed echoed into the "
@@ -339,7 +416,7 @@ class Options
                      "  --shards <n>              worker shards for the "
                      "cluster (default 1; results are\n"
                      "                            identical at any value, "
-                     "instrumented runs pin to 1)\n"
+                     "traced/profiled runs pin to 1)\n"
                      "  --transport <t>           pin one transport: tcp, "
                      "ioat or bypass (default: render\n"
                      "                            the bench's usual "
@@ -387,17 +464,70 @@ class Options
     std::string trace_;
     std::string reqTrace_;
     std::string spanReport_;
+    std::string profile_;
+    std::string metrics_;
+    std::string benchJson_;
+    bool metricsEngine_ = false;
     Tick sampleInterval_ = sim::microseconds(100);
+    Tick metricsInterval_{};
     std::uint64_t seed_ = 1;
     unsigned shards_ = 1;
     std::string transport_;
     std::vector<Knob> knobs_;
     int exitCode_ = 0;
+    /** Simulator events the bench body reported via noteEvents():
+     *  mutable so run functions taking `const Options&` can report. */
+    mutable std::uint64_t eventsNoted_ = 0;
 };
+
+/** Peak resident set in bytes (ru_maxrss is KiB on Linux). */
+inline std::uint64_t
+peakRssBytes()
+{
+    struct rusage ru
+    {};
+    if (getrusage(RUSAGE_SELF, &ru) != 0)
+        return 0;
+    return static_cast<std::uint64_t>(ru.ru_maxrss) * 1024u;
+}
+
+/**
+ * The normalized perf-trajectory record every bench emits
+ * ("ioat-bench-v1"): events/sec, wall time, peak RSS, the config
+ * echo and the git revision.  `tools/benchdiff.py` compares two of
+ * these with noise tolerance; CI gates on the comparison.  Written
+ * silently (no stdout) so bench-table golden digests are untouched.
+ */
+inline void
+writeBenchJson(const Options &opts, double wall_seconds)
+{
+    std::ofstream out(opts.benchJsonPath());
+    if (!out)
+        return;
+    const std::uint64_t events = opts.eventsNoted();
+    const double eps =
+        wall_seconds > 0.0
+            ? static_cast<double>(events) / wall_seconds
+            : 0.0;
+    out << "{\n  \"schema\": \"ioat-bench-v1\",\n"
+        << "  \"bench\": \"" << opts.benchName() << "\",\n"
+        << "  \"gitRev\": \"" << sim::telemetry::gitRevision()
+        << "\",\n  \"config\": {";
+    const auto cfg = opts.configEcho();
+    for (std::size_t i = 0; i < cfg.size(); ++i)
+        out << (i ? ", " : "") << "\"" << cfg[i].first << "\": \""
+            << cfg[i].second << "\"";
+    out << "},\n  \"metrics\": {\"events\": " << events
+        << ", \"wallSeconds\": " << sim::strprintf("%.3f", wall_seconds)
+        << ", \"eventsPerSec\": " << sim::strprintf("%.0f", eps)
+        << ", \"peakRssBytes\": " << peakRssBytes() << "}\n}\n";
+}
 
 /**
  * Parse flags, then run the bench body.  The body receives the parsed
- * Options and returns the process exit code.
+ * Options and returns the process exit code.  On success the
+ * perf-trajectory JSON (BENCH_<bench>.json) is written with the
+ * body's wall time and whatever events the body noteEvents()ed.
  */
 inline int
 benchMain(int argc, char **argv, Options &opts,
@@ -405,7 +535,14 @@ benchMain(int argc, char **argv, Options &opts,
 {
     if (!opts.parse(argc, argv))
         return opts.exitCode();
-    return body(opts);
+    const auto wall0 = std::chrono::steady_clock::now();
+    const int rc = body(opts);
+    const auto wall1 = std::chrono::steady_clock::now();
+    if (rc == 0)
+        writeBenchJson(
+            opts,
+            std::chrono::duration<double>(wall1 - wall0).count());
+    return rc;
 }
 
 /**
@@ -420,27 +557,38 @@ benchMain(int argc, char **argv, Options &opts,
 class TelemetryRun
 {
   public:
-    TelemetryRun(Simulation &sim, const Options &opts)
-        : opts_(opts),
-          session_(sim,
-                   sim::telemetry::Session::Config{
-                       opts.wantReport() ? opts.sampleInterval()
-                                         : Tick{0},
-                       sim::telemetry::Sampler::kDefaultMaxSamples})
+    TelemetryRun(Simulation &sim, const Options &opts) : opts_(opts)
     {
-        if (opts.wantTrace()) {
-            tracer_ = std::make_unique<sim::TraceWriter>();
-            session_.attachTracer(tracer_.get());
-        }
-        if (opts.wantRequestTrace() || opts.wantSpanReport()) {
-            // Must happen before the workload spawns so requests are
-            // minted from the first iteration on.
-            reqTracer_ = &sim.enableRequestTracing();
-            session_.add("requestTrace", *reqTracer_);
+        session_.emplace(sim, sessionConfig(opts));
+        initSingle(sim);
+    }
+
+    /**
+     * Cluster-aware variant.  With one shard this is exactly the
+     * classic single-Simulation setup — sampled series, traces,
+     * profiling all work.  With several shards only the artifacts
+     * that merge deterministically stay on: the RunReport captures a
+     * name-sorted merged registry (scalars/histograms/flows; no
+     * sampled series) and metrics snapshots sample each shard from
+     * its own lane-0 event.  Trace/span/profile artifacts stay
+     * single-shard — Options::shards() pins them there.
+     */
+    TelemetryRun(core::Cluster &cluster, const Options &opts)
+        : opts_(opts), cluster_(&cluster)
+    {
+        if (cluster.group().shardCount() == 1) {
+            session_.emplace(cluster.group().shard(0),
+                             sessionConfig(opts));
+            initSingle(cluster.group().shard(0));
+        } else if (opts.wantMetrics()) {
+            metrics_.emplace(cluster.group(), snapshotConfig(opts));
         }
     }
 
-    sim::telemetry::Session &session() { return session_; }
+    /** The Session; only present when the run is single-Simulation
+     *  (always true outside the multi-shard Cluster path). */
+    sim::telemetry::Session &session() { return *session_; }
+    bool hasSession() const { return session_.has_value(); }
 
     /**
      * Capture and write artifacts.  @p extra_config is appended to
@@ -460,7 +608,19 @@ class TelemetryRun
             for (auto &kv : cfg)
                 report.addConfig(std::move(kv.first),
                                  std::move(kv.second));
-            session_.captureInto(report);
+            if (session_) {
+                session_->captureInto(report);
+            } else {
+                // Multi-shard: walk every shard's hub into one
+                // registry.  Walk order depends on the partition, so
+                // sort by name before capturing.
+                sim::telemetry::Registry merged;
+                auto &group = cluster_->group();
+                for (unsigned s = 0; s < group.shardCount(); ++s)
+                    group.shard(s).telemetry().instrumentAll(merged);
+                merged.sortByName();
+                report.capture(merged, group.now());
+            }
             report.saveJson(opts_.reportPath());
         }
         if (tracer_)
@@ -474,16 +634,78 @@ class TelemetryRun
                 rtw.save(opts_.requestTracePath());
             }
         }
+        if (profiler_)
+            profiler_->saveFolded(opts_.profilePath());
+        if (metrics_) {
+            metrics_->captureFinal();
+            metrics_->save(opts_.metricsPath());
+        }
     }
 
     /** The request tracer, when --trace-requests/--span-report is on. */
     sim::RequestTracer *requestTracer() { return reqTracer_; }
 
+    /** The profiler, when --profile is on. */
+    sim::Profiler *profiler()
+    {
+        return profiler_ ? &*profiler_ : nullptr;
+    }
+
+    /** The metrics snapshotter, when --metrics is on. */
+    sim::telemetry::MetricsSnapshot *metrics()
+    {
+        return metrics_ ? &*metrics_ : nullptr;
+    }
+
   private:
+    static sim::telemetry::Session::Config
+    sessionConfig(const Options &opts)
+    {
+        return sim::telemetry::Session::Config{
+            opts.wantReport() ? opts.sampleInterval() : Tick{0},
+            sim::telemetry::Sampler::kDefaultMaxSamples};
+    }
+
+    static sim::telemetry::MetricsSnapshot::Config
+    snapshotConfig(const Options &opts)
+    {
+        sim::telemetry::MetricsSnapshot::Config cfg;
+        cfg.interval = opts.metricsInterval();
+        cfg.engine = opts.wantEngineMetrics();
+        return cfg;
+    }
+
+    /** Single-Simulation artifact wiring (tracing, profiling,
+     *  snapshots); requires session_ to be live. */
+    void
+    initSingle(Simulation &sim)
+    {
+        if (opts_.wantTrace()) {
+            tracer_ = std::make_unique<sim::TraceWriter>();
+            session_->attachTracer(tracer_.get());
+        }
+        if (opts_.wantRequestTrace() || opts_.wantSpanReport() ||
+            opts_.wantProfile()) {
+            // Must happen before the workload spawns so requests are
+            // minted from the first iteration on.
+            reqTracer_ = &sim.enableRequestTracing();
+            session_->add("requestTrace", *reqTracer_);
+            if (opts_.wantProfile()) {
+                profiler_.emplace();
+                reqTracer_->attachProfiler(&*profiler_);
+            }
+        }
+        if (opts_.wantMetrics())
+            metrics_.emplace(sim, snapshotConfig(opts_));
+    }
+
     const Options &opts_;
+    core::Cluster *cluster_ = nullptr;
     std::unique_ptr<sim::TraceWriter> tracer_;
     sim::RequestTracer *reqTracer_ = nullptr;
-    sim::telemetry::Session session_;
+    std::optional<sim::telemetry::Session> session_;
+    std::optional<sim::Profiler> profiler_;
+    std::optional<sim::telemetry::MetricsSnapshot> metrics_;
 };
 
 } // namespace ioat::bench

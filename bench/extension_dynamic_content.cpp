@@ -69,6 +69,8 @@ run(IoatConfig features, unsigned threads,
     meter.run(sim::milliseconds(700));
     const std::uint64_t done1 = fleet.completed();
 
+    if (report)
+        report->noteEvents(sim.executedEvents());
     if (tr)
         tr->finish({{"threads", std::to_string(threads)},
                     {"ioat", features.any() ? "true" : "false"}});
@@ -85,8 +87,7 @@ int
 main(int argc, char **argv)
 {
     Options opts("extension_dynamic_content");
-    if (!opts.parse(argc, argv))
-        return opts.exitCode();
+    return benchMain(argc, argv, opts, [&](const Options &) {
 
     std::cout << "=== Extension: dynamic content, 3 tiers (client -> "
                  "app server -> database) ===\n\n";
@@ -109,4 +110,5 @@ main(int argc, char **argv)
                  "relief converts into additional script capacity "
                  "(the paper's SS5.1 argument, quantified).\n";
     return 0;
+    });
 }

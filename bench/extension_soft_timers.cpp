@@ -57,6 +57,8 @@ run(IoatConfig features, bool soft_timers,
     const std::uint64_t poll0 = server.nic().softPolls();
     meter.run(sim::milliseconds(400));
 
+    if (report)
+        report->noteEvents(sim.executedEvents());
     if (tr)
         tr->finish({{"softTimers", soft_timers ? "true" : "false"},
                     {"ioat", features.any() ? "true" : "false"}});
@@ -74,8 +76,7 @@ int
 main(int argc, char **argv)
 {
     Options opts("extension_soft_timers");
-    if (!opts.parse(argc, argv))
-        return opts.exitCode();
+    return benchMain(argc, argv, opts, [&](const Options &) {
 
     std::cout << "=== Extension: soft timers + I/OAT (SS7 co-existence "
                  "claim) ===\n\n";
@@ -111,4 +112,5 @@ main(int argc, char **argv)
                  "attack different terms, so their savings stack — "
                  "the paper's SS7 co-existence argument.\n";
     return 0;
+    });
 }

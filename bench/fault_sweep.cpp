@@ -83,6 +83,8 @@ runStream(IoatConfig features, double loss,
     meter.run(sim::milliseconds(400));
     const std::uint64_t rx1 = b.transport().rxPayloadBytes();
 
+    if (report)
+        report->noteEvents(sim.executedEvents());
     if (tr)
         tr->finish({{"lossRate", sim::strprintf("%g", loss)},
                     {"faultSeed", std::to_string(kFaultSeed)},
@@ -178,8 +180,7 @@ int
 main(int argc, char **argv)
 {
     Options opts("fault_sweep");
-    if (!opts.parse(argc, argv))
-        return opts.exitCode();
+    return benchMain(argc, argv, opts, [&](const Options &) {
 
     if (opts.singleTransport()) {
         std::cout << "=== Fault sweep (" << opts.transportName()
@@ -262,4 +263,5 @@ main(int argc, char **argv)
               << kFaultSeed << "): rerunning prints this table "
                                "byte-for-byte.\n";
     return 0;
+    });
 }

@@ -28,8 +28,8 @@ struct Result
 };
 
 Result
-runBandwidth(IoatConfig features, unsigned ports, bool bidirectional,
-             const Options *report = nullptr,
+runBandwidth(const Options &o, IoatConfig features, unsigned ports,
+             bool bidirectional, bool artifacts = false,
              TransportChoice choice = TransportChoice::none)
 {
     const auto wall0 = std::chrono::steady_clock::now();
@@ -44,8 +44,8 @@ runBandwidth(IoatConfig features, unsigned ports, bool bidirectional,
     core::AppMemory memB(b.host(), "sinkB");
 
     std::optional<TelemetryRun> tr;
-    if (report)
-        tr.emplace(sim, *report);
+    if (artifacts)
+        tr.emplace(sim, o);
 
     const std::size_t chunk = 64 * 1024;
     sim.spawn(streamSinkLoop(b, 5001, {.recvChunk = chunk}, memB));
@@ -81,6 +81,7 @@ runBandwidth(IoatConfig features, unsigned ports, bool bidirectional,
                     {"eventsPerSec", sim::strprintf("%.0f", eps)}});
     }
 
+    o.noteEvents(sim.executedEvents());
     return {sim::throughputMbps(rx1 - rx0, meter.elapsed()),
             b.cpu().utilization()};
 }
@@ -93,8 +94,8 @@ singleTable(const Options &o, bool bidirectional, const char *title)
     sim::Table t({"ports", "Mbps", "rx CPU"});
     for (unsigned ports = 1; ports <= 6; ++ports) {
         const Result r =
-            runBandwidth(IoatConfig::disabled(), ports, bidirectional,
-                         nullptr, o.transportChoice());
+            runBandwidth(o, IoatConfig::disabled(), ports,
+                         bidirectional, false, o.transportChoice());
         t.addRow({std::to_string(ports), num(r.mbps, 0), pct(r.cpu)});
     }
     t.print(std::cout);
@@ -102,16 +103,16 @@ singleTable(const Options &o, bool bidirectional, const char *title)
 }
 
 void
-table(bool bidirectional, const char *title)
+table(const Options &o, bool bidirectional, const char *title)
 {
     std::cout << title << "\n";
     sim::Table t({"ports", "non-ioat Mbps", "ioat Mbps", "non-ioat CPU",
                   "ioat CPU", "rel CPU benefit"});
     for (unsigned ports = 1; ports <= 6; ++ports) {
-        const Result non =
-            runBandwidth(IoatConfig::disabled(), ports, bidirectional);
-        const Result yes =
-            runBandwidth(IoatConfig::enabled(), ports, bidirectional);
+        const Result non = runBandwidth(o, IoatConfig::disabled(),
+                                        ports, bidirectional);
+        const Result yes = runBandwidth(o, IoatConfig::enabled(),
+                                        ports, bidirectional);
         t.addRow({std::to_string(ports), num(non.mbps, 0),
                   num(yes.mbps, 0), pct(non.cpu), pct(yes.cpu),
                   pct(relativeBenefit(yes.cpu, non.cpu))});
@@ -134,22 +135,22 @@ main(int argc, char **argv)
             singleTable(o, true,
                         "Figure 3b: Bi-directional bandwidth vs ports "
                         "(2N threads)");
-            if (o.wantReport() || o.wantTrace())
-                runBandwidth(IoatConfig::disabled(), 6, false, &o,
+            if (o.instrumented())
+                runBandwidth(o, IoatConfig::disabled(), 6, false, true,
                              o.transportChoice());
             return 0;
         }
         std::cout << "=== Figure 3: Bandwidth and Bi-directional "
                      "Bandwidth (ttcp, Testbed 1) ===\n\n";
-        table(false, "Figure 3a: Bandwidth vs ports");
-        table(true, "Figure 3b: Bi-directional bandwidth vs ports "
-                    "(2N threads)");
+        table(o, false, "Figure 3a: Bandwidth vs ports");
+        table(o, true, "Figure 3b: Bi-directional bandwidth vs ports "
+                       "(2N threads)");
         std::cout << "Paper anchors: ~5635 Mbps at 6 ports; 3a CPU 37% "
                      "vs 29% (~21% relative);\n"
                      "~9600 Mbps bidir; 3b CPU ~90% vs ~70% (~22% "
                      "relative).\n";
-        if (o.wantReport() || o.wantTrace())
-            runBandwidth(IoatConfig::enabled(), 6, false, &o);
+        if (o.instrumented())
+            runBandwidth(o, IoatConfig::enabled(), 6, false, true);
         return 0;
     });
 }

@@ -51,6 +51,8 @@ run(IoatConfig features, unsigned threads,
     meter.run(sim::milliseconds(400));
     const std::uint64_t rx1 = server.transport().rxPayloadBytes();
 
+    if (report)
+        report->noteEvents(sim.executedEvents());
     if (tr)
         tr->finish({{"threads", std::to_string(threads)},
                     {"ioat", features.any() ? "true" : "false"}});
@@ -77,7 +79,7 @@ main(int argc, char **argv)
                           pct(r.cpu)});
             }
             t.print(std::cout);
-            if (o.wantReport() || o.wantTrace())
+            if (o.instrumented())
                 run(IoatConfig::disabled(), 12, &o,
                     o.transportChoice());
             return 0;
@@ -98,7 +100,7 @@ main(int argc, char **argv)
                      "12 threads, where non-I/OAT degrades;\nat 12 "
                      "threads CPU 76% (non-I/OAT) vs 52% (I/OAT), ~32% "
                      "relative benefit.\n";
-        if (o.wantReport() || o.wantTrace())
+        if (o.instrumented())
             run(IoatConfig::enabled(), 12, &o);
         return 0;
     });

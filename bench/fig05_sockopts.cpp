@@ -80,6 +80,8 @@ run(IoatConfig features, int case_id, bool bidirectional,
     const std::uint64_t rx1 =
         b.transport().rxPayloadBytes() + a.transport().rxPayloadBytes();
 
+    if (report)
+        report->noteEvents(sim.executedEvents());
     if (tr)
         tr->finish({{"case", std::to_string(case_id)},
                     {"bidirectional", bidirectional ? "true" : "false"},
@@ -132,7 +134,7 @@ main(int argc, char **argv)
                           num(r.mbps, 0), pct(r.cpu)});
             }
             t.print(std::cout);
-            if (o.wantReport() || o.wantTrace())
+            if (o.instrumented())
                 run(IoatConfig::disabled(), 5, false, &o,
                     o.transportChoice());
             return 0;
@@ -145,7 +147,7 @@ main(int argc, char **argv)
                      "5586 vs non-I/OAT 5514 Mbps at Case 5);\nrelative "
                      "CPU benefit grows with optimizations, ~30% (5a) "
                      "and ~38% (5b) at Case 4.\n";
-        if (o.wantReport() || o.wantTrace())
+        if (o.instrumented())
             run(IoatConfig::enabled(), 5, false, &o);
         return 0;
     });

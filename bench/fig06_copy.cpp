@@ -39,6 +39,7 @@ reportRun(const Options &opts)
             co_await e.transfer(64 * 1024);
     }(engine));
     sim.runFor(sim::milliseconds(50));
+    opts.noteEvents(sim.executedEvents());
     tr.finish({{"transferBytes", "65536"}, {"transfers", "512"}});
 }
 
@@ -48,8 +49,7 @@ int
 main(int argc, char **argv)
 {
     Options opts("fig06_copy");
-    if (!opts.parse(argc, argv))
-        return opts.exitCode();
+    return benchMain(argc, argv, opts, [&](const Options &) {
 
     std::cout << "=== Figure 6: CPU-based Copy vs DMA-based Copy ===\n\n";
 
@@ -94,4 +94,5 @@ main(int argc, char **argv)
                  "DMA end-to-end, but DMA-overhead stays below "
                  "copy-cache time.\n";
     return 0;
+    });
 }

@@ -59,6 +59,8 @@ run(IoatConfig features, std::size_t msg_bytes,
     meter.run(sim::milliseconds(500));
     const std::uint64_t rx1 = server.transport().rxPayloadBytes();
 
+    if (report)
+        report->noteEvents(sim.executedEvents());
     if (tr)
         tr->finish({{"msgBytes", std::to_string(msg_bytes)},
                     {"ioat", features.any() ? "true" : "false"}});
@@ -81,8 +83,7 @@ int
 main(int argc, char **argv)
 {
     Options opts("fig07_splitup");
-    if (!opts.parse(argc, argv))
-        return opts.exitCode();
+    return benchMain(argc, argv, opts, [&](const Options &) {
 
     if (opts.singleTransport()) {
         std::cout << "=== Figure 7 (" << opts.transportName()
@@ -149,4 +150,5 @@ main(int argc, char **argv)
                  "working set > 2 MB L2), benefit shrinking toward "
                  "8M.\n";
     return 0;
+    });
 }

@@ -76,6 +76,8 @@ runTps(IoatConfig features, dc::Workload &workload,
     meter.run(sim::milliseconds(700));
     const std::uint64_t done1 = fleet.completed();
 
+    if (report)
+        report->noteEvents(sim.executedEvents());
     if (tr)
         tr->finish(
             {{"proxyCacheBytes", std::to_string(proxy_cache_bytes)},
@@ -91,13 +93,12 @@ runTps(IoatConfig features, dc::Workload &workload,
 int
 main(int argc, char **argv)
 {
-    Options opts("fig08_datacenter_traces");
+    Options options("fig08_datacenter_traces");
     double quick = 0;
-    opts.knob("quick", &quick,
-              "nonzero: skip the sweeps, run only the instrumented "
-              "4K single-file configuration");
-    if (!opts.parse(argc, argv))
-        return opts.exitCode();
+    options.knob("quick", &quick,
+                 "nonzero: skip the sweeps, run only the instrumented "
+                 "4K single-file configuration");
+    return benchMain(argc, argv, options, [&quick](const Options &opts) {
 
     if (quick != 0) {
         dc::SingleFileWorkload wl(4096, 1000);
@@ -183,4 +184,5 @@ main(int argc, char **argv)
                  "non-I/OAT for every alpha, up to ~11% at low "
                  "locality.\n";
     return 0;
+    });
 }

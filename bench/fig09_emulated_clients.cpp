@@ -69,6 +69,8 @@ run(IoatConfig features, unsigned threads,
     meter.run(sim::milliseconds(700));
     const std::uint64_t done1 = fleet.completed();
 
+    if (report)
+        report->noteEvents(sim.executedEvents());
     if (tr)
         tr->finish({{"threads", std::to_string(threads)},
                     {"ioat", features.any() ? "true" : "false"}});
@@ -84,8 +86,7 @@ int
 main(int argc, char **argv)
 {
     Options opts("fig09_emulated_clients");
-    if (!opts.parse(argc, argv))
-        return opts.exitCode();
+    return benchMain(argc, argv, opts, [&](const Options &) {
 
     if (opts.singleTransport()) {
         std::cout << "=== Figure 9 (" << opts.transportName()
@@ -126,4 +127,5 @@ main(int argc, char **argv)
                  "threads (~15059 TPS, ~16% better, 4x the "
                  "threads).\n";
     return 0;
+    });
 }

@@ -66,6 +66,8 @@ run(IoatConfig features, unsigned iod_count, unsigned compute_nodes,
     for (const auto &c : clients)
         rx1 += c->bytesRead();
 
+    if (report)
+        report->noteEvents(rig.sim.executedEvents());
     if (tr)
         tr->finish({{"iodCount", std::to_string(iod_count)},
                     {"computeNodes", std::to_string(compute_nodes)},
@@ -101,8 +103,7 @@ int
 main(int argc, char **argv)
 {
     Options opts("fig10_pvfs_read");
-    if (!opts.parse(argc, argv))
-        return opts.exitCode();
+    return benchMain(argc, argv, opts, [&](const Options &) {
 
     if (opts.singleTransport()) {
         std::cout << "=== Figure 10 (" << opts.transportName()
@@ -133,4 +134,5 @@ main(int argc, char **argv)
                  "I/OAT 360->731 MB/s (~12% at 6 clients), ~15% CPU "
                  "benefit;\n5 servers: same trends, smaller gains.\n";
     return 0;
+    });
 }

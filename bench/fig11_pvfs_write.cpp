@@ -60,6 +60,8 @@ run(IoatConfig features, unsigned iod_count, unsigned compute_nodes,
     for (const auto &c : clients)
         tx1 += c->bytesWritten();
 
+    if (report)
+        report->noteEvents(rig.sim.executedEvents());
     if (tr)
         tr->finish({{"iodCount", std::to_string(iod_count)},
                     {"computeNodes", std::to_string(compute_nodes)},
@@ -95,8 +97,7 @@ int
 main(int argc, char **argv)
 {
     Options opts("fig11_pvfs_write");
-    if (!opts.parse(argc, argv))
-        return opts.exitCode();
+    return benchMain(argc, argv, opts, [&](const Options &) {
 
     if (opts.singleTransport()) {
         std::cout << "=== Figure 11 (" << opts.transportName()
@@ -127,4 +128,5 @@ main(int argc, char **argv)
                  "I/OAT 460->750 MB/s (~8% at 6 clients), ~7% CPU "
                  "benefit;\n5 servers: same trends.\n";
     return 0;
+    });
 }

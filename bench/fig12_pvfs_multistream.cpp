@@ -64,6 +64,8 @@ run(IoatConfig features, unsigned emulated_clients,
     for (const auto &c : clients)
         rx1 += c->bytesRead();
 
+    if (report)
+        report->noteEvents(rig.sim.executedEvents());
     if (tr)
         tr->finish(
             {{"emulatedClients", std::to_string(emulated_clients)},
@@ -79,8 +81,7 @@ int
 main(int argc, char **argv)
 {
     Options opts("fig12_pvfs_multistream");
-    if (!opts.parse(argc, argv))
-        return opts.exitCode();
+    return benchMain(argc, argv, opts, [&](const Options &) {
 
     if (opts.singleTransport()) {
         std::cout << "=== Figure 12 (" << opts.transportName()
@@ -122,4 +123,5 @@ main(int argc, char **argv)
                  "because faster receives let clients issue reads "
                  "faster.\n";
     return 0;
+    });
 }

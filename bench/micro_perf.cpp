@@ -288,6 +288,7 @@ reportRun(const ioat::bench::Options &opts)
     sim.spawn(perfSinkLoop(sink, 5001, chunk));
     sim.spawn(perfSenderLoop(sender, sink.id(), 5001, chunk));
     sim.runFor(sim::milliseconds(50));
+    opts.noteEvents(sim.executedEvents());
     tr.finish({{"workload", "stream_2node"},
                {"chunkBytes", std::to_string(chunk)}});
 }
@@ -304,7 +305,12 @@ main(int argc, char **argv)
     std::vector<char *> our_argv{argv[0]};
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
-        if (arg == "--report" || arg == "--trace" ||
+        if (arg == "--metrics-engine") {
+            our_argv.push_back(argv[i]);
+        } else if (arg == "--report" || arg == "--trace" ||
+            arg == "--trace-requests" || arg == "--span-report" ||
+            arg == "--profile" || arg == "--metrics" ||
+            arg == "--metrics-interval" || arg == "--bench-json" ||
             arg == "--sample-interval" || arg == "--seed") {
             our_argv.push_back(argv[i]);
             if (i + 1 < argc)
@@ -314,18 +320,19 @@ main(int argc, char **argv)
         }
     }
     int our_argc = static_cast<int>(our_argv.size());
-    if (!opts.parse(our_argc, our_argv.data()))
-        return opts.exitCode();
+    return ioat::bench::benchMain(
+        our_argc, our_argv.data(), opts,
+        [&](const ioat::bench::Options &) {
+            if (opts.instrumented())
+                reportRun(opts);
 
-    if (opts.instrumented())
-        reportRun(opts);
-
-    int gbench_argc = static_cast<int>(gbench_argv.size());
-    benchmark::Initialize(&gbench_argc, gbench_argv.data());
-    if (benchmark::ReportUnrecognizedArguments(gbench_argc,
-                                               gbench_argv.data()))
-        return 1;
-    benchmark::RunSpecifiedBenchmarks();
-    benchmark::Shutdown();
-    return 0;
+            int gbench_argc = static_cast<int>(gbench_argv.size());
+            benchmark::Initialize(&gbench_argc, gbench_argv.data());
+            if (benchmark::ReportUnrecognizedArguments(
+                    gbench_argc, gbench_argv.data()))
+                return 1;
+            benchmark::RunSpecifiedBenchmarks();
+            benchmark::Shutdown();
+            return 0;
+        });
 }

@@ -82,9 +82,10 @@ run(IoatConfig features, const char *configName, unsigned clientNodes,
     dc::ClientFleet fleet(clientPtrs, wl, opts);
     std::optional<TelemetryRun> tr;
     if (report)
-        // Instrumented runs are pinned to one shard (Options::shards
-        // returns 1), so shard 0 is the whole cluster here.
-        tr.emplace(cluster.group().shard(0), *report);
+        // Cluster-aware: single-shard runs get the full Session
+        // (sampled series, traces); multi-shard runs keep the report
+        // and metrics snapshots via the deterministic merge.
+        tr.emplace(cluster, *report);
     fleet.start();
 
     Meter meter(cluster.runner());
@@ -98,6 +99,8 @@ run(IoatConfig features, const char *configName, unsigned clientNodes,
         std::chrono::duration<double>(wall1 - wall0).count();
     const std::uint64_t events = cluster.group().executedEvents();
 
+    if (report)
+        report->noteEvents(events);
     if (tr)
         tr->finish({{"clientNodes", std::to_string(clientNodes)},
                     {"config", configName}});
@@ -152,12 +155,12 @@ writeJson(const std::vector<Point> &points, unsigned shards,
 int
 main(int argc, char **argv)
 {
-    Options opts("scale_cluster");
+    Options options("scale_cluster");
     double maxClients = 64;
-    opts.knob("max-clients", &maxClients,
-              "largest client-node count in the sweep (8/16/32/64)");
-    if (!opts.parse(argc, argv))
-        return opts.exitCode();
+    options.knob("max-clients", &maxClients,
+                 "largest client-node count in the sweep (8/16/32/64)");
+    return benchMain(argc, argv, options, [&maxClients](
+                                              const Options &opts) {
     const unsigned shards = opts.shards();
 
     std::cout << "=== Cluster scale-out: Fig. 9 workload, N client "
@@ -197,5 +200,8 @@ main(int argc, char **argv)
               << ").\nevents/sec is simulator hot-path throughput: "
                  "compare across PRs at equal cluster size and shard "
                  "count.\n";
+    for (const Point &p : points)
+        opts.noteEvents(p.events);
     return 0;
+    });
 }

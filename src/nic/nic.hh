@@ -266,6 +266,15 @@ class Nic
                                            rxBytes_.value());
             },
             "link bytes (tx+rx) per sample interval");
+        reg.probe(
+            "rxRingDepth", sim::telemetry::ProbeKind::gauge,
+            [this] {
+                std::size_t n = 0;
+                for (const auto &q : rxQueues_)
+                    n += q.pending.size();
+                return static_cast<double>(n);
+            },
+            "bursts waiting in RX descriptor rings, all queues");
     }
 
   private:

@@ -390,6 +390,18 @@ class EventQueue
     /** Total number of events executed since construction. */
     std::uint64_t executedEvents() const { return executed_; }
 
+    /** @name Wheel-occupancy introspection
+     * Pending-event counts per calendar level, for the engine
+     * telemetry snapshots (telemetry/snapshot.hh).  Read-only: which
+     * level an event sits on is a cascading detail, so these are
+     * wall-clock-ish engine facts, not model state.
+     *  @{ */
+    std::size_t l0Depth() const { return l0Count_; }
+    std::size_t l1Depth() const { return l1Count_; }
+    std::size_t l2Depth() const { return l2Count_; }
+    std::size_t heapDepth() const { return heapLive_; }
+    /** @} */
+
   private:
     /** @name Geometry
      *  @{ */

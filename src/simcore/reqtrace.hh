@@ -89,6 +89,23 @@ costCatName(CostCat c)
 }
 
 /**
+ * Receiver of exact per-stack cost charges, fed by the tracer's
+ * attribution walk at request finalize.  `simcore/profile.hh`'s
+ * Profiler is the implementation; the interface lives here so the
+ * tracer needs no profile include.  Attaching a sink changes no
+ * model outcome — it only observes charges the tracer computes
+ * anyway.
+ */
+class ProfileSink
+{
+  public:
+    virtual ~ProfileSink() = default;
+    /** @p stack: semicolon-joined span names, request root first. */
+    virtual void add(const std::string &stack, CostCat cat,
+                     Tick ticks) = 0;
+};
+
+/**
  * The causal identity carried along a request's path: which request
  * (trace) and which span within it is the parent of whatever work the
  * holder performs.  Trivially copyable by design — propagation is
@@ -312,6 +329,15 @@ class RequestTracer : public telemetry::Instrumented
     }
     /** @} */
 
+    /**
+     * Route every future finalize's attribution charges into @p sink
+     * as folded stacks (null detaches).  Requests already finalized
+     * are not replayed — attach before the workload runs.
+     */
+    void attachProfiler(ProfileSink *sink) { profiler_ = sink; }
+
+    ProfileSink *profiler() const { return profiler_; }
+
     /** @name Queries
      *  @{ */
     const std::vector<Request> &requests() const { return requests_; }
@@ -485,7 +511,14 @@ class RequestTracer : public telemetry::Instrumented
             if (s.parent != 0)
                 kids[s.parent].push_back(s.id);
 
-        attributeSpan(r, kids, r.spans[0], r.start, r.end);
+        if (profiler_) {
+            const std::string root_path = r.spans[0].name;
+            attributeSpan(r, kids, r.spans[0], r.start, r.end,
+                          &root_path);
+        } else {
+            attributeSpan(r, kids, r.spans[0], r.start, r.end,
+                          nullptr);
+        }
         markCriticalPath(r, kids);
 
         const Tick e2e = r.end - r.start;
@@ -503,11 +536,19 @@ class RequestTracer : public telemetry::Instrumented
      * larger id); the rest goes to s's category.  A recursive exact
      * partition — children's charges plus s's own always sum to
      * hi - lo.
+     *
+     * @p path is the semicolon-joined name chain from the request
+     * root to @p s — non-null only while a ProfileSink is attached,
+     * so the tracing-without-profiling walk allocates no path
+     * strings.  Every tick charged to the breakdown is mirrored to
+     * the sink under the same partition, which is why profiler
+     * totals equal summed request breakdowns exactly.
      */
     void
     attributeSpan(Request &r,
                   const std::vector<std::vector<std::uint32_t>> &kids,
-                  const Span &s, Tick lo, Tick hi)
+                  const Span &s, Tick lo, Tick hi,
+                  const std::string *path)
     {
         if (hi <= lo)
             return;
@@ -527,6 +568,8 @@ class RequestTracer : public telemetry::Instrumented
         }
         if (cs.empty()) {
             r.breakdown.cat[static_cast<std::size_t>(s.cat)] += hi - lo;
+            if (path)
+                profiler_->add(*path, s.cat, hi - lo);
             return;
         }
         std::vector<Tick> pts;
@@ -552,9 +595,18 @@ class RequestTracer : public telemetry::Instrumented
             if (!best) {
                 r.breakdown.cat[static_cast<std::size_t>(s.cat)] +=
                     b - a;
+                if (path)
+                    profiler_->add(*path, s.cat, b - a);
                 continue;
             }
-            attributeSpan(r, kids, r.spans[best->id - 1], a, b);
+            const Span &child = r.spans[best->id - 1];
+            if (path) {
+                const std::string child_path =
+                    *path + ";" + child.name;
+                attributeSpan(r, kids, child, a, b, &child_path);
+            } else {
+                attributeSpan(r, kids, child, a, b, nullptr);
+            }
         }
     }
 
@@ -603,6 +655,7 @@ class RequestTracer : public telemetry::Instrumented
     }
 
     EventQueue &clock_;
+    ProfileSink *profiler_ = nullptr;
     std::uint32_t maxDetailed_;
     std::vector<Request> requests_;
     std::uint64_t started_ = 0;

@@ -14,6 +14,7 @@
 #include "simcore/telemetry/report.hh"
 #include "simcore/telemetry/sampler.hh"
 #include "simcore/telemetry/session.hh"
+#include "simcore/telemetry/snapshot.hh"
 #include "simcore/telemetry/timeseries.hh"
 
 #endif // IOAT_SIMCORE_TELEMETRY_HH

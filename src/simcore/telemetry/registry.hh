@@ -27,6 +27,7 @@
 #ifndef IOAT_SIMCORE_TELEMETRY_REGISTRY_HH
 #define IOAT_SIMCORE_TELEMETRY_REGISTRY_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -198,6 +199,24 @@ class Registry
         flowSources_.push_back({qualify(name), std::move(read)});
     }
     /** @} */
+
+    /**
+     * Sort every table by qualified name.  A registry built by
+     * walking *several* hubs (one per shard of a partitioned cluster)
+     * sees components in shard order, which depends on the partition;
+     * sorting restores a shard-count-invariant capture order.
+     */
+    void
+    sortByName()
+    {
+        const auto byName = [](const auto &a, const auto &b) {
+            return a.name < b.name;
+        };
+        std::sort(scalars_.begin(), scalars_.end(), byName);
+        std::sort(probes_.begin(), probes_.end(), byName);
+        std::sort(histograms_.begin(), histograms_.end(), byName);
+        std::sort(flowSources_.begin(), flowSources_.end(), byName);
+    }
 
     /** @name Access (Sampler, RunReport, tests)
      *  @{ */

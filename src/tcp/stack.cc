@@ -922,6 +922,24 @@ TcpStack::instrument(sim::telemetry::Registry &reg)
             return static_cast<double>(n);
         },
         "established, unaborted, peer-open connections");
+    reg.probe(
+        "creditBytes", sim::telemetry::ProbeKind::gauge,
+        [this] {
+            std::uint64_t n = 0;
+            for (const auto &c : conns_)
+                n += c->credit_;
+            return static_cast<double>(n);
+        },
+        "unused peer-socket-buffer send credit, all connections");
+    reg.probe(
+        "unackedBytes", sim::telemetry::ProbeKind::gauge,
+        [this] {
+            std::uint64_t n = 0;
+            for (const auto &c : conns_)
+                n += c->sndNxt_ - c->sndUna_;
+            return static_cast<double>(n);
+        },
+        "sent-but-unacked stream bytes (the RTO window)");
     reg.histogram("handshakeTicks", handshakeHist_,
                   "active-open handshake latency (ticks)");
     reg.histogram("flowLifetimeTicks", lifetimeHist_,

@@ -732,6 +732,15 @@ BypassStack::instrument(sim::telemetry::Registry &reg)
         "endpoints",
         [this] { return static_cast<double>(endpoints_.size()); },
         "endpoints created");
+    reg.probe(
+        "creditBytes", sim::telemetry::ProbeKind::gauge,
+        [this] {
+            std::uint64_t n = 0;
+            for (const auto &e : endpoints_)
+                n += e->credit_;
+            return static_cast<double>(n);
+        },
+        "unused registered-pool send credit, all endpoints");
     reg.histogram("handshakeTicks", handshakeHist_,
                   "active-open handshake latency (ticks)");
     reg.histogram("flowLifetimeTicks", lifetimeHist_,

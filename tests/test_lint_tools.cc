@@ -58,7 +58,7 @@ TEST(LintTools, SimcheckFixtureCorpusExactPerRuleCounts)
     // Exact per-rule totals over the fixture corpus.  If a fixture or
     // its expected.json changes, this line must change with it.
     EXPECT_NE(r.output.find("simcheck self-test counts: "
-                            "coro-lifetime=3 layering=4 "
+                            "coro-lifetime=3 layering=5 "
                             "shard-safety=4 strong-type=3"),
               std::string::npos)
         << r.output;

@@ -1,0 +1,18 @@
+// Fixture stub of the concrete profiler: model layers must reach
+// profiling only through the ProfileSink hook, never this header.
+#pragma once
+
+#include <cstdint>
+
+namespace sim {
+
+class Profiler {
+ public:
+  void add(std::uint64_t ticks) { total_ += ticks; }
+  std::uint64_t total() const { return total_; }
+
+ private:
+  std::uint64_t total_{0};
+};
+
+}  // namespace sim

@@ -1,0 +1,10 @@
+// Fixture: a transport model pulling in the concrete profiler — one
+// layering finding.  Models charge costs through the ProfileSink hook
+// in reqtrace.hh; only the harness layer may attach sim::Profiler.
+#include "simcore/profile.hh"
+
+namespace tcp {
+
+void chargeRetx(sim::Profiler &p) { p.add(42); }
+
+}  // namespace tcp

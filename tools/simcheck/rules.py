@@ -57,7 +57,12 @@ Rule catalog (DESIGN.md §11 is the narrative version):
                   * src/sock/ may reach the kernel-bypass transport
                     only through its interface header xpt/bypass.hh —
                     never xpt/ internals, so the facade stays
-                    swappable.
+                    swappable;
+                  * model layers (src/mem, src/nic, src/dma, src/tcp,
+                    src/xpt) must not include simcore/profile.hh —
+                    models report costs through the ProfileSink hook
+                    in reqtrace.hh; only the bench/test harness
+                    attaches the concrete profiler.
 
   typecheck       Every TU must type-check (libclang diagnostics, or
                   g++ -fsyntax-only in fallback mode).
@@ -134,6 +139,15 @@ def check_layering(includes):
                 "layering", f["file"], f["line"],
                 f"{src_layer}/ must not include datacenter/ ({tgt}); "
                 f"device models sit below application tiers"))
+        elif src_layer in ("src/mem", "src/nic", "src/dma", "src/tcp",
+                           "src/xpt") and \
+                tgt.endswith("simcore/profile.hh"):
+            findings.append(Finding(
+                "layering", f["file"], f["line"],
+                f"{src_layer}/ must not include simcore/profile.hh; "
+                f"model code reports costs through the ProfileSink "
+                f"hook in reqtrace.hh, and only the bench/test "
+                f"harness attaches the concrete profiler"))
         elif src_layer == "src/sock" and tgt_layer == "src/xpt" and \
                 not tgt.endswith("xpt/bypass.hh"):
             findings.append(Finding(

@@ -1,0 +1,35 @@
+// Fixture: the profiling plane's hot-path idiom must be clean under
+// every rule — Tick-typed cost arithmetic (no wall-clock, no floats
+// on the tick axis), a sorted std::map ledger (deterministic
+// iteration), and export through a caller-supplied ostream (never the
+// console directly).
+#include <array>
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+
+using Tick = std::uint64_t;
+
+class FoldedLedger
+{
+public:
+    void
+    add(const std::string &stack, std::size_t cat, Tick ticks)
+    {
+        folded_[stack][cat] += ticks;
+    }
+
+    void
+    writeFolded(std::ostream &os) const
+    {
+        for (const auto &[stack, cats] : folded_)
+            for (std::size_t c = 0; c < cats.size(); ++c)
+                if (cats[c] != 0)
+                    os << stack << ";[" << c << "] " << cats[c]
+                       << "\n";
+    }
+
+private:
+    std::map<std::string, std::array<Tick, 8>> folded_;
+};

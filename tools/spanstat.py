@@ -5,8 +5,14 @@ Prints the top-N slowest requests with their per-category latency
 breakdown and the critical-path span chain, then aggregate per-category
 totals across every finished request.
 
+With --by-transport, requests are additionally grouped by the transport
+their category profile implies (poll time => bypass, dma time => ioat,
+else tcp) and a per-group aggregate is printed — useful on reports from
+mixed-transport benches (fig08's proxy tiers).
+
 Usage:
     tools/spanstat.py spans.json [--top N] [--name SUBSTR]
+        [--by-transport]
 
 Stdlib only; no third-party dependencies.
 """
@@ -43,6 +49,40 @@ def critical_chain(req):
     return names
 
 
+def infer_transport(req):
+    """The transport a request's category profile implies.
+
+    The bypass path busy-polls for completions (poll ticks) and never
+    touches DMA engines; the I/OAT path offloads copies to DMA (dma
+    ticks); plain kernel TCP shows neither.
+    """
+    bd = req.get("breakdown", {})
+    if bd.get("poll", 0) > 0:
+        return "bypass"
+    if bd.get("dma", 0) > 0:
+        return "ioat"
+    return "tcp"
+
+
+def print_aggregate(label, reqs, cats):
+    totals = {cat: 0 for cat in cats}
+    grand = 0
+    for r in reqs:
+        for cat in cats:
+            totals[cat] += r["breakdown"].get(cat, 0)
+        grand += r["durationTicks"]
+    print(f"{label} ({len(reqs)} request(s)):")
+    for cat in cats:
+        if totals[cat] == 0:
+            continue
+        share = 100.0 * totals[cat] / grand if grand else 0.0
+        print(f"    {cat:<12} {fmt_ticks(totals[cat]):>12}  "
+              f"{share:5.1f}%")
+    absent = [cat for cat in cats if totals[cat] == 0]
+    if absent:
+        print("    absent: " + ", ".join(absent))
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("report", help="span JSON written by --span-report")
@@ -50,6 +90,9 @@ def main():
                     help="slowest requests to detail (default 10)")
     ap.add_argument("--name", default="",
                     help="only consider requests whose name contains this")
+    ap.add_argument("--by-transport", action="store_true",
+                    help="also aggregate per inferred transport "
+                         "(poll=>bypass, dma=>ioat, else tcp)")
     args = ap.parse_args()
 
     doc = load(args.report)
@@ -78,19 +121,18 @@ def main():
             print("    critical path: " + " -> ".join(chain))
         print()
 
-    totals = {cat: 0 for cat in cats}
-    grand = 0
-    for r in reqs:
-        for cat in cats:
-            totals[cat] += r["breakdown"].get(cat, 0)
-        grand += r["durationTicks"]
-    print("aggregate breakdown over all matching requests:")
-    for cat in cats:
-        if totals[cat] == 0:
-            continue
-        share = 100.0 * totals[cat] / grand if grand else 0.0
-        print(f"    {cat:<12} {fmt_ticks(totals[cat]):>12}  "
-              f"{share:5.1f}%")
+    print_aggregate("aggregate breakdown over all matching requests",
+                    reqs, cats)
+
+    if args.by_transport:
+        groups = {}
+        for r in reqs:
+            groups.setdefault(infer_transport(r), []).append(r)
+        for transport in ("tcp", "ioat", "bypass"):
+            if transport in groups:
+                print()
+                print_aggregate(f"[{transport}]", groups[transport],
+                                cats)
 
 
 if __name__ == "__main__":

@@ -1,0 +1,203 @@
+#!/usr/bin/env python3
+"""Differential span analysis over two ioat-span-report-v1 files.
+
+Joins two span-report runs (e.g. `fig08 --transport tcp --span-report a.json`
+vs `--transport bypass --span-report b.json`) by request identity —
+(request name, occurrence index in start order) — and reports what
+changed between them:
+
+ * per-category latency totals, before vs after, with deltas;
+ * span kinds that DISAPPEARED (present in A, absent in B): the copies,
+   interrupt waits and kernel hops an offload/bypass path eliminated,
+   grouped per lane (lane 0 = driver, lane n = node n-1);
+ * span kinds that APPEARED (new machinery the B path added);
+ * span kinds present in both whose total cost moved.
+
+Span-level sections need detailed requests (the tracer records full
+span trees for sampled requests); category totals work on every
+finished request.
+
+Usage:
+    tools/tracediff.py A.json B.json [--name SUBSTR] [--top N]
+
+Stdlib only; no third-party dependencies.
+"""
+
+import argparse
+import collections
+import json
+import sys
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    if doc.get("schema") != "ioat-span-report-v1":
+        sys.exit(f"{path}: not an ioat-span-report-v1 document")
+    return doc
+
+
+def fmt_ticks(ticks):
+    """Ticks are nanoseconds; print at a human scale."""
+    sign = "-" if ticks < 0 else ""
+    t = abs(ticks)
+    if t >= 1_000_000:
+        return f"{sign}{t / 1e6:.3f} ms"
+    if t >= 1_000:
+        return f"{sign}{t / 1e3:.2f} us"
+    return f"{sign}{t} ns"
+
+
+def joined_requests(doc_a, doc_b, name_filter):
+    """Pair requests by (name, occurrence index in start order)."""
+
+    def keyed(doc):
+        reqs = [r for r in doc["requests"] if name_filter in r["name"]]
+        reqs.sort(key=lambda r: (r["startTick"], r["id"]))
+        seen = collections.Counter()
+        out = {}
+        for r in reqs:
+            out[(r["name"], seen[r["name"]])] = r
+            seen[r["name"]] += 1
+        return out
+
+    a, b = keyed(doc_a), keyed(doc_b)
+    pairs = [(a[k], b[k]) for k in a if k in b]
+    only_a = [k for k in a if k not in b]
+    only_b = [k for k in b if k not in a]
+    return pairs, only_a, only_b
+
+
+SpanAgg = collections.namedtuple("SpanAgg", "count ticks lanes")
+
+
+def span_profile(reqs):
+    """Aggregate detailed spans per (name, category)."""
+    count = collections.Counter()
+    ticks = collections.Counter()
+    lanes = collections.defaultdict(collections.Counter)
+    for r in reqs:
+        for s in r.get("spans", []):
+            key = (s["name"], s["cat"])
+            count[key] += 1
+            ticks[key] += s["endTick"] - s["startTick"]
+            lanes[key][s["lane"]] += 1
+    return {
+        k: SpanAgg(count[k], ticks[k], dict(sorted(lanes[k].items())))
+        for k in count
+    }
+
+
+def lane_str(lanes):
+    return ", ".join(f"lane{ln}x{n}" for ln, n in lanes.items())
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("before", help="baseline span report (A)")
+    ap.add_argument("after", help="comparison span report (B)")
+    ap.add_argument("--name", default="",
+                    help="only consider requests whose name contains this")
+    ap.add_argument("--top", type=int, default=15,
+                    help="changed-span rows to print (default 15)")
+    args = ap.parse_args()
+
+    doc_a = load(args.before)
+    doc_b = load(args.after)
+    cats = doc_a["categories"]
+    if cats != doc_b["categories"]:
+        sys.exit("category sets differ; reports from different builds?")
+
+    pairs, only_a, only_b = joined_requests(doc_a, doc_b, args.name)
+    print(f"joined {len(pairs)} request pair(s) by (name, occurrence); "
+          f"{len(only_a)} only in A, {len(only_b)} only in B")
+    for k in only_a[:5]:
+        print(f"  only in A: {k[0]} (#{k[1]})")
+    for k in only_b[:5]:
+        print(f"  only in B: {k[0]} (#{k[1]})")
+    if not pairs:
+        print("nothing to diff")
+        return
+
+    # --- category totals over the joined pairs -----------------------
+    tot_a = {c: 0 for c in cats}
+    tot_b = {c: 0 for c in cats}
+    dur_a = dur_b = 0
+    for ra, rb in pairs:
+        dur_a += ra["durationTicks"]
+        dur_b += rb["durationTicks"]
+        for c in cats:
+            tot_a[c] += ra["breakdown"].get(c, 0)
+            tot_b[c] += rb["breakdown"].get(c, 0)
+
+    print("\nper-category totals over joined requests (A -> B):")
+    print(f"    {'category':<12} {'A':>12} {'B':>12} {'delta':>12}")
+    for c in cats:
+        if tot_a[c] == 0 and tot_b[c] == 0:
+            continue
+        d = tot_b[c] - tot_a[c]
+        note = ""
+        if tot_a[c] and not tot_b[c]:
+            note = "  [eliminated]"
+        elif tot_b[c] and not tot_a[c]:
+            note = "  [new]"
+        print(f"    {c:<12} {fmt_ticks(tot_a[c]):>12} "
+              f"{fmt_ticks(tot_b[c]):>12} {fmt_ticks(d):>12}{note}")
+    print(f"    {'end-to-end':<12} {fmt_ticks(dur_a):>12} "
+          f"{fmt_ticks(dur_b):>12} {fmt_ticks(dur_b - dur_a):>12}")
+
+    # --- span-kind diff over detailed requests -----------------------
+    prof_a = span_profile([ra for ra, _ in pairs])
+    prof_b = span_profile([rb for _, rb in pairs])
+    if not prof_a and not prof_b:
+        print("\nno detailed spans in either report "
+              "(span trees are recorded for sampled requests only)")
+        return
+
+    gone = sorted((k for k in prof_a if k not in prof_b),
+                  key=lambda k: -prof_a[k].ticks)
+    new = sorted((k for k in prof_b if k not in prof_a),
+                 key=lambda k: -prof_b[k].ticks)
+    both = sorted((k for k in prof_a if k in prof_b),
+                  key=lambda k: -abs(prof_b[k].ticks - prof_a[k].ticks))
+
+    print(f"\nspans eliminated in B ({len(gone)} kind(s)):")
+    for name, cat in gone:
+        agg = prof_a[(name, cat)]
+        print(f"    {name} [{cat}]  x{agg.count}  "
+              f"{fmt_ticks(agg.ticks)}  ({lane_str(agg.lanes)})")
+    if not gone:
+        print("    (none)")
+
+    print(f"\nspans new in B ({len(new)} kind(s)):")
+    for name, cat in new:
+        agg = prof_b[(name, cat)]
+        print(f"    {name} [{cat}]  x{agg.count}  "
+              f"{fmt_ticks(agg.ticks)}  ({lane_str(agg.lanes)})")
+    if not new:
+        print("    (none)")
+
+    print(f"\nspans in both whose cost moved (top {args.top}):")
+    shown = 0
+    for name, cat in both:
+        a, b = prof_a[(name, cat)], prof_b[(name, cat)]
+        dt = b.ticks - a.ticks
+        if dt == 0 and a.count == b.count:
+            continue
+        print(f"    {name} [{cat}]  x{a.count}->x{b.count}  "
+              f"{fmt_ticks(a.ticks)} -> {fmt_ticks(b.ticks)}  "
+              f"({fmt_ticks(dt)})")
+        shown += 1
+        if shown >= args.top:
+            break
+    if shown == 0:
+        print("    (none)")
+
+
+if __name__ == "__main__":
+    try:
+        main()
+    except BrokenPipeError:  # e.g. piped into head
+        sys.exit(0)
